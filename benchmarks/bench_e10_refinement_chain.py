@@ -1,0 +1,77 @@
+"""E10 — Observation 3.2 / Corollary 3.3: refinement monotonicity and the
+⌈n/2⌉ iteration cap, measured over family and random workloads.
+"""
+
+import math
+
+import pytest
+
+from repro.core.classifier import classify
+from repro.core.partition import class_members
+from repro.graphs.families import g_m, s_m
+
+from conftest import seeded_config
+
+
+@pytest.mark.benchmark(group="e10-chains")
+def test_chain_monotone_on_random_batch(benchmark):
+    configs = [seeded_config(555 + i, n=12, span=3) for i in range(12)]
+
+    def run():
+        ok = 0
+        for cfg in configs:
+            trace = classify(cfg)
+            chain = trace.class_count_chain()
+            monotone = all(a <= b for a, b in zip(chain, chain[1:]))
+            capped = trace.num_iterations <= math.ceil(cfg.n / 2)
+            strictly_growing_before_exit = all(
+                a < b for a, b in zip(chain[:-1], chain[1:-1])
+            )
+            ok += monotone and capped and strictly_growing_before_exit
+        return ok
+
+    assert benchmark(run) == len(configs)
+
+
+@pytest.mark.benchmark(group="e10-chains")
+def test_gm_chain_peels_one_layer_per_iteration(benchmark):
+    def run():
+        trace = classify(g_m(6))
+        return trace
+
+    trace = benchmark(run)
+    chain = trace.class_count_chain()
+    # G_m: iterations strictly refine until the centre separates
+    assert chain[0] == 1
+    assert all(a < b for a, b in zip(chain[:-1], chain[1:-1]))
+    assert trace.decided_at >= 6
+
+
+@pytest.mark.benchmark(group="e10-chains")
+def test_sm_fixpoint_detected(benchmark):
+    def run():
+        return classify(s_m(4))
+
+    trace = benchmark(run)
+    chain = trace.class_count_chain()
+    assert chain[-1] == chain[-2]  # the "No" exit fires on stabilization
+    blocks = class_members(trace.final_classes())
+    assert sorted(len(v) for v in blocks.values()) == [2, 2]
+
+
+@pytest.mark.benchmark(group="e10-chains")
+def test_every_partition_refines_previous(benchmark):
+    configs = [seeded_config(9100 + i, n=10, span=2) for i in range(8)]
+
+    def run():
+        bad = 0
+        for cfg in configs:
+            trace = classify(cfg)
+            for j in range(1, trace.num_iterations + 1):
+                coarse, fine = trace.classes_at(j), trace.classes_at(j + 1)
+                for block in class_members(fine).values():
+                    if len({coarse[v] for v in block}) != 1:
+                        bad += 1
+        return bad
+
+    assert benchmark(run) == 0

@@ -1,0 +1,47 @@
+"""E11 — Channel ablation: how load-bearing is collision detection?
+
+The paper assumes collision detection (Section 1.1). This experiment
+re-runs the canonical-family refinement under the no-CD and beeping
+channels over an exhaustive small census and asserts the predicted order:
+CD dominates both weaker channels, and no-CD / beeping are incomparable
+(witnesses exist in both directions).
+"""
+
+import pytest
+
+from repro.variants.census import exhaustive_cross_model_census
+from repro.variants.channels import BEEP, CD, NO_CD
+from repro.variants.canonical import variant_elect
+from repro.variants.refinement import variant_classify
+from repro.graphs.families import h_m
+
+
+@pytest.mark.benchmark(group="e11-census")
+def test_cross_model_census_n4(benchmark):
+    census = benchmark(exhaustive_cross_model_census, 4, 1)
+    assert census.total == 90
+    # CD dominates (weak-feasible ⇒ CD-feasible)
+    assert census.inclusion_holds(NO_CD, CD)
+    assert census.inclusion_holds(BEEP, CD)
+    # strict drops under both weaker channels
+    assert census.count(NO_CD) < census.count(CD)
+    assert census.count(BEEP) < census.count(CD)
+    # no-CD and beeping are incomparable
+    assert census.witnesses(NO_CD, BEEP, 1)
+    assert census.witnesses(BEEP, NO_CD, 1)
+
+
+@pytest.mark.benchmark(group="e11-classify")
+@pytest.mark.parametrize("channel", [CD, NO_CD, BEEP], ids=lambda c: c.name)
+def test_variant_classify_hm(benchmark, channel):
+    trace = benchmark(variant_classify, h_m(8), channel)
+    # H_m splits all four nodes immediately regardless of channel: the
+    # asymmetry is in the wakeup offsets, not in collisions.
+    assert trace.feasible
+
+
+@pytest.mark.benchmark(group="e11-elect")
+@pytest.mark.parametrize("channel", [CD, NO_CD, BEEP], ids=lambda c: c.name)
+def test_variant_election_runs(benchmark, channel):
+    result = benchmark(variant_elect, h_m(4), channel)
+    assert result.elected

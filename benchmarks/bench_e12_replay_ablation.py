@@ -1,0 +1,63 @@
+"""E12 — Closed-form replay vs round-by-round simulation.
+
+Lemma 3.7/3.8 predict the canonical execution completely; the replay
+computes every node's terminal history in O(phases × edges) instead of
+O(rounds × n). This experiment gates on byte-identical histories, then
+times both paths — the speedup is the measurable content of the lemmas.
+"""
+
+import pytest
+
+from repro.core.canonical import CanonicalProtocol
+from repro.core.classifier import classify
+from repro.core.replay import replay_histories, replay_matches_simulation
+from repro.graphs.families import g_m, h_m
+from repro.radio.simulator import simulate
+
+from conftest import seeded_config
+
+
+def simulate_canonical(trace):
+    protocol = CanonicalProtocol.from_trace(trace)
+    network = trace.config
+    return simulate(
+        network, protocol.factory, max_rounds=protocol.round_budget(network.span)
+    )
+
+
+CASES = {
+    "hm-16": lambda: h_m(16),
+    "gm-4": lambda: g_m(4),
+    "random-n24": lambda: seeded_config(11, 24, 3),
+}
+
+
+@pytest.mark.benchmark(group="e12-simulate")
+@pytest.mark.parametrize("case", sorted(CASES))
+def test_simulator_path(benchmark, case):
+    trace = classify(CASES[case]())
+    execution = benchmark(simulate_canonical, trace)
+    assert execution.max_done_local() > 0
+
+
+@pytest.mark.benchmark(group="e12-replay")
+@pytest.mark.parametrize("case", sorted(CASES))
+def test_replay_path(benchmark, case):
+    trace = classify(CASES[case]())
+    histories = benchmark(replay_histories, trace)
+    assert len(histories) == trace.config.n
+
+
+@pytest.mark.benchmark(group="e12-gate")
+def test_replay_is_exact(benchmark):
+    """Correctness gate: replay equals simulation on every case (and a
+    handful of extras) before any speedup claims count."""
+
+    def check():
+        ok = all(replay_matches_simulation(make()) for make in CASES.values())
+        ok = ok and all(
+            replay_matches_simulation(seeded_config(s, 12, 2)) for s in range(4)
+        )
+        return ok
+
+    assert benchmark(check)

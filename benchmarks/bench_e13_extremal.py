@@ -1,0 +1,71 @@
+"""E13 — Extremal structure: minimal feasible spans and hardest tags.
+
+Quantifies the paper's symmetry-breaking resource. Span 0 is infeasible
+for every n ≥ 2 (all tags equal — the paper's opening observation), and
+span 1 already suffices on the standard shapes; adversarial tag search
+pushes election time well above the uniform-random baseline while
+remaining within the O(n²σ) ceiling.
+"""
+
+import pytest
+
+from repro.analysis.extremal import (
+    election_rounds_objective,
+    hardest_tags,
+    max_iterations,
+    min_feasible_span,
+)
+from repro.core.election import elect_leader
+from repro.graphs.generators import (
+    build,
+    complete_edges,
+    cycle_edges,
+    path_edges,
+    star_edges,
+)
+
+SHAPES = {
+    "path": path_edges,
+    "cycle": cycle_edges,
+    "star": star_edges,
+    "complete": complete_edges,
+}
+
+
+@pytest.mark.benchmark(group="e13-minspan")
+@pytest.mark.parametrize("shape", sorted(SHAPES))
+def test_min_feasible_span(benchmark, shape):
+    edges = SHAPES[shape](5)
+    result = benchmark(min_feasible_span, edges, 5, max_span=2)
+    # Span 0 never works for n >= 2; span 1 suffices on all these shapes.
+    assert result.span == 1
+    assert result.exhaustive
+
+
+@pytest.mark.benchmark(group="e13-iterations")
+def test_max_iterations_n5(benchmark):
+    ext = benchmark(max_iterations, 5, 1)
+    assert 1 <= ext.iterations <= ext.ceiling
+    assert ext.witnesses
+
+
+@pytest.mark.benchmark(group="e13-hardest")
+def test_hardest_tags_beat_random_baseline(benchmark):
+    edges, n, span = path_edges(6), 6, 2
+
+    def search():
+        return hardest_tags(edges, n, span, restarts=3, steps=30, seed=13)
+
+    result = benchmark(search)
+    assert result.objective > 0
+    # stays within the O(n²σ) ceiling
+    cfg = result.config
+    assert elect_leader(cfg).within_bound()
+    # beats (or ties) a small uniform-random baseline
+    from repro.graphs.tags import uniform_random
+
+    baseline = max(
+        election_rounds_objective(build(edges, uniform_random(range(n), span, s), n=n))
+        for s in range(6)
+    )
+    assert result.objective >= baseline

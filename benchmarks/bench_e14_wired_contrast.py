@@ -1,0 +1,52 @@
+"""E14 — Radio vs wired anonymous networks (the intro's contrast).
+
+Section 1.1 argues anonymous radio is the most adverse scenario: wired
+anonymous networks elect from topology alone. Executable form: the view
+refinement (wired feasibility) strictly dominates Classifier (radio
+feasibility) on an exhaustive census — every radio-feasible configuration
+is wired-feasible, and witnesses exist for the strict part.
+"""
+
+import pytest
+
+from repro.analysis.views import (
+    color_refinement,
+    radio_vs_wired,
+    views_stabilize_like_refinement,
+    wired_feasible,
+)
+from repro.core.configuration import Configuration
+from repro.graphs.enumeration import enumerate_configurations
+from repro.graphs.families import g_m
+
+
+@pytest.mark.benchmark(group="e14-contrast")
+def test_exhaustive_contrast_n4(benchmark):
+    census = benchmark(
+        lambda: radio_vs_wired(enumerate_configurations(4, 1))
+    )
+    assert census.dominance_holds()  # radio ⊆ wired, no exceptions
+    assert census.count("wired-only") > 0  # strictness witnesses
+    assert census.count("both") > 0
+
+
+@pytest.mark.benchmark(group="e14-refinement")
+@pytest.mark.parametrize("m", [2, 4, 8])
+def test_color_refinement_gm(benchmark, m):
+    cfg = g_m(m)
+    result = benchmark(color_refinement, cfg)
+    # G_m's centre is wired-electable too (it is radio-electable).
+    assert result.singleton_nodes()
+    assert result.num_rounds <= cfg.n
+
+
+@pytest.mark.benchmark(group="e14-views")
+def test_views_equal_refinement(benchmark):
+    broom = Configuration(
+        [(0, 1), (1, 2), (1, 3), (3, 4)], {i: 0 for i in range(5)}
+    )
+
+    def check():
+        return views_stabilize_like_refinement(broom) and wired_feasible(broom)
+
+    assert benchmark(check)

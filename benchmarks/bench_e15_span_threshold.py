@@ -1,0 +1,34 @@
+"""E15 — Feasibility probability as a function of span.
+
+The paper's symmetry-breaking resource, measured: for random connected
+G(n, p) with uniform tags in 0..σ, the probability that the configuration
+is feasible is 0 at σ = 0 (all tags equal — nobody ever hears anything)
+and rises steeply with σ. This is the quantitative face of "time as
+symmetry breaker".
+"""
+
+import pytest
+
+from repro.analysis.extremal import feasibility_probability
+
+
+@pytest.mark.benchmark(group="e15-threshold")
+def test_probability_curve(benchmark):
+    points = benchmark(
+        feasibility_probability, 8, [0, 1, 2, 4], samples=40, p=0.3, seed=5
+    )
+    fracs = {p.span: p.fraction for p in points}
+    assert fracs[0] == 0.0  # span 0: provably infeasible for n >= 2
+    assert fracs[1] > 0.3  # a single extra wakeup round already helps a lot
+    assert fracs[4] >= fracs[1]  # more span, no worse
+    assert fracs[4] > 0.8  # near-certain by span 4 at n = 8
+
+
+@pytest.mark.benchmark(group="e15-threshold-size")
+@pytest.mark.parametrize("n", [6, 10, 14])
+def test_probability_at_fixed_span(benchmark, n):
+    (point,) = benchmark(
+        feasibility_probability, n, [2], samples=30, p=0.3, seed=9
+    )
+    assert 0.0 <= point.fraction <= 1.0
+    assert point.samples == 30

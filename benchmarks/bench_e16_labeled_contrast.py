@@ -1,0 +1,74 @@
+"""E16 — What labels buy you: round robin vs tree split vs anonymity.
+
+Section 1.3's single-hop landscape, executed: with labels and no collision
+detection, election takes Θ(N) slots (round robin); with labels and
+collision detection, Θ(log n) (tree split); anonymously, feasibility
+itself depends on wakeup tags — with all-equal tags the configuration is
+infeasible at any size.
+"""
+
+import math
+
+import pytest
+
+from repro.baselines.round_robin import round_robin_algorithm, round_robin_slots
+from repro.baselines.tree_split import tree_split_algorithm
+from repro.core.classifier import is_feasible
+from repro.graphs.generators import build, complete_edges
+from repro.radio.simulator import simulate
+
+
+def run(algo, n):
+    cfg = build(complete_edges(n), n=n)
+    return simulate(cfg, algo.factory)
+
+
+@pytest.mark.benchmark(group="e16-round-robin")
+@pytest.mark.parametrize("n", [8, 32, 128])
+def test_round_robin(benchmark, n):
+    algo = round_robin_algorithm(n)
+    execution = benchmark(run, algo, n)
+    assert execution.decide_leaders(algo.decision) == [0]
+    assert execution.max_done_local() == round_robin_slots(n)  # Θ(n)
+
+
+@pytest.mark.benchmark(group="e16-tree-split")
+@pytest.mark.parametrize("n", [8, 32, 128])
+def test_tree_split(benchmark, n):
+    algo = tree_split_algorithm(n)
+    execution = benchmark(run, algo, n)
+    assert len(execution.decide_leaders(algo.decision)) == 1
+
+
+@pytest.mark.benchmark(group="e16-shape")
+def test_crossover_shape(benchmark):
+    """Slot counts: round robin grows linearly, tree split
+    logarithmically — the gap widens with n (who wins and by how much)."""
+
+    def measure():
+        out = {}
+        for n in (8, 32, 128):
+            rr = run(round_robin_algorithm(n), n).max_done_local()
+            ts = run(tree_split_algorithm(n), n).max_done_local()
+            out[n] = (rr, ts)
+        return out
+
+    result = benchmark(measure)
+    for n, (rr, ts) in result.items():
+        assert rr > ts, f"n={n}: tree split must win"
+        assert ts <= 6 * math.log2(n) + 8
+    # the advantage grows with n
+    assert result[128][0] / result[128][1] > result[8][0] / result[8][1]
+
+
+@pytest.mark.benchmark(group="e16-anonymous")
+def test_anonymous_contrast(benchmark):
+    """The same single-hop graph with all-equal tags is infeasible
+    anonymously at every size tried — labels are doing real work above."""
+
+    def check():
+        return [
+            is_feasible(build(complete_edges(n), n=n)) for n in (2, 4, 8, 16)
+        ]
+
+    assert benchmark(check) == [False] * 4

@@ -1,0 +1,103 @@
+"""E18 — Fault injection: the canonical protocol's robustness boundary.
+
+The paper's model is failure-free and its symmetry breaking carries zero
+redundancy: every history bit is load-bearing. This experiment maps the
+boundary with a jamming adversary:
+
+* a no-op jammer reproduces the reference execution exactly;
+* jamming confined to the trailing σ listen rounds (provably silent by
+  the Lemma 3.7 schedule) leaves the election outcome intact;
+* corrupting a single in-block round of the leader's history derails the
+  election (wrong/no leader, or a protocol-detected match failure).
+"""
+
+import pytest
+
+from repro.core.canonical import (
+    CanonicalMatchError,
+    CanonicalProtocol,
+    build_canonical_data,
+)
+from repro.core.classifier import classify
+from repro.graphs.families import g_m, h_m
+from repro.radio.faults import jam_nothing, jam_pairs, jammed_simulate
+from repro.radio.model import SILENCE
+from repro.radio.simulator import simulate
+
+
+def setup(cfg):
+    trace = classify(cfg)
+    protocol = CanonicalProtocol.from_trace(trace)
+    network = trace.config
+    budget = protocol.round_budget(network.span)
+    return trace, protocol, network, budget
+
+
+@pytest.mark.benchmark(group="e18-noop")
+@pytest.mark.parametrize("m", [2, 8])
+def test_noop_jammer_identical(benchmark, m):
+    trace, protocol, network, budget = setup(h_m(m))
+    ref = simulate(network, protocol.factory, max_rounds=budget)
+
+    def run():
+        return jammed_simulate(
+            network, protocol.factory, jammer=jam_nothing(), max_rounds=budget
+        )
+
+    jam = benchmark(run)
+    assert jam.histories == ref.histories
+
+
+@pytest.mark.benchmark(group="e18-trailing")
+def test_trailing_rounds_jamming_harmless(benchmark):
+    trace, protocol, network, budget = setup(h_m(2))
+    data = build_canonical_data(trace)
+    sigma = data.sigma
+    lo = data.phase_ends[-1] - sigma + 1
+    jammer = jam_pairs(
+        [
+            (g, v)
+            for v in network.nodes
+            for g in range(
+                lo + network.tag(v), data.phase_ends[-1] + network.tag(v) + 1
+            )
+        ]
+    )
+    ref = simulate(network, protocol.factory, max_rounds=budget)
+    expected = ref.decide_leaders(protocol.decision)
+
+    def run():
+        jam = jammed_simulate(
+            network, protocol.factory, jammer=jammer, max_rounds=budget
+        )
+        return jam.decide_leaders(protocol.decision)
+
+    assert benchmark(run) == expected
+
+
+@pytest.mark.benchmark(group="e18-derail")
+def test_single_jam_on_leader_derails(benchmark):
+    trace, protocol, network, budget = setup(g_m(2))
+    ref = simulate(network, protocol.factory, max_rounds=budget)
+    expected = ref.decide_leaders(protocol.decision)
+    data = build_canonical_data(trace)
+    leader = trace.leader
+    block_region_end = len(data.lists[0]) * data.block_width
+    local = next(
+        i
+        for i in range(1, block_region_end + 1)
+        if ref.histories[leader][i] is SILENCE
+    )
+    jammer = jam_pairs([(ref.wake_rounds[leader] + local, leader)])
+
+    def run():
+        try:
+            jam = jammed_simulate(
+                network, protocol.factory, jammer=jammer, max_rounds=budget
+            )
+            return jam.decide_leaders(protocol.decision)
+        except CanonicalMatchError:
+            return "match-error"
+
+    outcome = benchmark(run)
+    assert outcome != expected  # the single fault is fatal

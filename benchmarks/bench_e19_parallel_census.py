@@ -1,0 +1,55 @@
+"""E19 — Parallel census execution: correctness gate plus timing.
+
+Feasibility censuses are embarrassingly parallel; the process-pool map
+must be bit-for-bit interchangeable with the serial path (that is the
+gate), and the timing rows let a user judge on their machine where the
+pool overhead amortizes. No speedup is *asserted* — at census scales the
+per-item cost is microseconds and a small pool can legitimately lose to
+the serial loop; the honest content is the equality plus the measured
+numbers.
+"""
+
+import pytest
+
+from repro.analysis.parallel import (
+    parallel_cross_model,
+    parallel_feasibility,
+)
+from repro.core.classifier import is_feasible
+from repro.graphs.enumeration import enumerate_configurations
+from repro.variants.census import cross_model_row
+
+
+@pytest.fixture(scope="module")
+def population():
+    return list(enumerate_configurations(4, 1))
+
+
+@pytest.mark.benchmark(group="e19-feasibility")
+def test_serial_feasibility(benchmark, population):
+    result = benchmark(lambda: [is_feasible(c) for c in population])
+    assert len(result) == len(population)
+
+
+@pytest.mark.benchmark(group="e19-feasibility")
+def test_parallel_feasibility(benchmark, population):
+    result = benchmark(
+        parallel_feasibility, population, max_workers=2, chunksize=16
+    )
+    assert result == [is_feasible(c) for c in population]  # the gate
+
+
+@pytest.mark.benchmark(group="e19-cross-model")
+def test_serial_cross_model(benchmark, population):
+    sample = population[:30]
+    result = benchmark(lambda: [cross_model_row(c).feasible for c in sample])
+    assert len(result) == 30
+
+
+@pytest.mark.benchmark(group="e19-cross-model")
+def test_parallel_cross_model(benchmark, population):
+    sample = population[:30]
+    result = benchmark(
+        parallel_cross_model, sample, max_workers=2, chunksize=8
+    )
+    assert result == [cross_model_row(c).feasible for c in sample]

@@ -1,0 +1,59 @@
+"""E2 — Lemma 3.5: Classifier runs in O(n³Δ).
+
+Benchmarks wall-clock classification at increasing n on bounded-degree
+(paths: Δ=2) and maximal-degree (complete graphs: Δ=n-1) shapes, and
+asserts the metered-operation growth exponent stays at or below the
+paper's cubic-in-n (times Δ) envelope.
+"""
+
+import pytest
+
+from repro.analysis.rounds import sweep
+from repro.core.classifier import classifier_ops, classify
+from repro.core.configuration import Configuration
+from repro.graphs.generators import complete_edges, path_edges
+from repro.graphs.tags import one_early_riser
+
+
+def path_cfg(n):
+    # one early riser forces ~n/2 refinement iterations (worst-case-ish)
+    return Configuration(path_edges(n), one_early_riser(range(n)))
+
+
+def complete_cfg(n):
+    return Configuration(complete_edges(n), one_early_riser(range(n)))
+
+
+@pytest.mark.benchmark(group="e2-scaling-path")
+@pytest.mark.parametrize("n", [16, 32, 64, 128])
+def test_classify_path(benchmark, n):
+    cfg = path_cfg(n)
+    trace = benchmark(classify, cfg)
+    assert trace.decision  # decided
+
+
+@pytest.mark.benchmark(group="e2-scaling-complete")
+@pytest.mark.parametrize("n", [8, 16, 32, 64])
+def test_classify_complete(benchmark, n):
+    cfg = complete_cfg(n)
+    trace = benchmark(classify, cfg)
+    assert trace.decision
+
+
+@pytest.mark.benchmark(group="e2-exponent")
+def test_op_growth_within_cubic_times_delta(benchmark):
+    ns = [12, 24, 48, 96]
+
+    def measure():
+        return sweep(
+            "classifier-ops",
+            ns,
+            lambda n: classifier_ops(path_cfg(int(n))),
+            bound=lambda n: 50 * n**3 * 2,  # c · n³Δ with Δ=2
+        )
+
+    result = benchmark(measure)
+    assert result.all_within_bounds()
+    # paths with one early riser: ops grow polynomially, within O(n³Δ);
+    # the log-log slope must not exceed ~3 (+ fit slack).
+    assert result.growth_exponent() <= 3.3, result.growth_exponent()

@@ -1,0 +1,44 @@
+"""E3 — Proposition 4.1: Ω(n) election on the span-1 family G_m.
+
+The dedicated algorithm's election time on G_m must (a) respect the
+proof's floor of m-1 rounds, (b) grow linearly in m = Θ(n), and (c) stay
+inside the O(n²σ) ceiling of Theorem 3.15.
+"""
+
+import pytest
+
+from repro.analysis.rounds import sweep
+from repro.core.election import elect_leader
+from repro.graphs.families import g_m, g_m_center, g_m_size
+
+
+@pytest.mark.benchmark(group="e3-gm")
+@pytest.mark.parametrize("m", [2, 4, 8, 16])
+def test_elect_g_m(benchmark, m):
+    cfg = g_m(m)
+    result = benchmark(elect_leader, cfg)
+    assert result.elected
+    assert result.leader == g_m_center(m)
+    assert result.rounds >= m - 1  # Ω(n) floor from the proof
+    assert result.within_bound()  # O(n²σ) ceiling
+
+
+@pytest.mark.benchmark(group="e3-gm-shape")
+def test_rounds_linear_in_m(benchmark):
+    ms = [2, 4, 8, 16]
+
+    def measure():
+        return sweep(
+            "gm-rounds",
+            ms,
+            lambda m: elect_leader(g_m(int(m))).rounds,
+            bound=lambda m: 2 * (g_m_size(int(m)) ** 2) * 1 + g_m_size(int(m)),
+        )
+
+    result = benchmark(measure)
+    assert result.all_within_bounds()
+    exponent = result.growth_exponent()
+    # linear-to-mildly-superlinear in m (schedule adds per-phase blocks):
+    assert 0.8 <= exponent <= 2.2, exponent
+    values = [p.value for p in result.points]
+    assert values == sorted(values)  # monotone growth with n

@@ -1,0 +1,49 @@
+"""E4 — Lemma 4.2 / Proposition 4.3: Ω(σ) election on the 4-node H_m.
+
+Election time at fixed n = 4 must be at least m (the proof's floor),
+grow linearly in σ = m+1, and stay within the O(n²σ) ceiling.
+"""
+
+import pytest
+
+from repro.analysis.rounds import sweep
+from repro.core.classifier import classify
+from repro.core.election import elect_leader
+from repro.graphs.families import h_m
+
+
+@pytest.mark.benchmark(group="e4-hm")
+@pytest.mark.parametrize("m", [1, 4, 16, 64])
+def test_elect_h_m(benchmark, m):
+    result = benchmark(elect_leader, h_m(m))
+    assert result.elected
+    assert result.rounds >= m  # Lemma 4.2 floor
+    assert result.within_bound()
+
+
+@pytest.mark.benchmark(group="e4-hm-shape")
+def test_rounds_linear_in_sigma(benchmark):
+    ms = [1, 2, 4, 8, 16, 32, 64]
+
+    def measure():
+        return sweep(
+            "hm-rounds",
+            ms,
+            lambda m: elect_leader(h_m(int(m))).rounds,
+            bound=lambda m: 2 * (4**2) * (int(m) + 1) + 4,  # 2·n²σ + n
+        )
+
+    result = benchmark(measure)
+    assert result.all_within_bounds()
+    # n fixed at 4: growth must be ~linear in σ. Rounds follow a·m + b, so
+    # fit the tail to strip the additive constant's bias at small m.
+    exponent = result.growth_exponent(tail=4)
+    assert 0.8 <= exponent <= 1.2, exponent
+
+
+@pytest.mark.benchmark(group="e4-hm-classify")
+@pytest.mark.parametrize("m", [1, 16, 64])
+def test_classify_h_m_one_iteration(benchmark, m):
+    trace = benchmark(classify, h_m(m))
+    assert trace.feasible
+    assert trace.decided_at == 1  # all four nodes split immediately

@@ -1,0 +1,45 @@
+"""E5 — Proposition 4.4: no universal algorithm for 4-node configurations.
+
+Runs the constructive adversary against the whole candidate portfolio:
+extract each candidate's first tag-0 transmission round t, build H_{t+1},
+verify the candidate fails on it (while the *dedicated* algorithm for the
+same configuration succeeds — feasibility is not the obstacle).
+"""
+
+import pytest
+
+from repro.baselines.universal_candidates import (
+    candidate_portfolio,
+    defeat,
+    eager_beacon,
+    quiet_prober,
+)
+from repro.core.election import elect_leader
+
+
+@pytest.mark.benchmark(group="e5-adversary")
+def test_defeat_whole_portfolio(benchmark):
+    def run():
+        return [defeat(c, probe_m=48) for c in candidate_portfolio()]
+
+    reports = benchmark(run)
+    assert reports and all(r.defeated for r in reports), [
+        r.describe() for r in reports
+    ]
+
+
+@pytest.mark.benchmark(group="e5-adversary")
+def test_defeat_single_candidate(benchmark):
+    report = benchmark(defeat, quiet_prober(3), 48)
+    assert report.defeated
+    assert report.bc_histories_equal and report.ad_histories_equal
+
+
+@pytest.mark.benchmark(group="e5-adversary")
+def test_killer_config_is_feasible(benchmark):
+    # The adversary's configuration is itself feasible: its dedicated
+    # algorithm elects. The candidate, not the configuration, fails.
+    report = defeat(eager_beacon(), probe_m=48)
+    result = benchmark(elect_leader, report.killer)
+    assert result.elected
+    assert report.defeated

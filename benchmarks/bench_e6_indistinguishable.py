@@ -1,0 +1,56 @@
+"""E6 — Proposition 4.5: no distributed feasibility decision.
+
+For each candidate algorithm with first tag-0 transmission round t, the
+feasible H_{t+1} and the infeasible S_{t+1} must induce byte-identical
+histories at *every* node — so no node can output a differing decision.
+"""
+
+import pytest
+
+from repro.baselines.universal_candidates import (
+    candidate_portfolio,
+    compare_executions,
+    first_tag0_transmission,
+    quiet_prober,
+)
+from repro.core.classifier import classify
+from repro.graphs.families import h_m, s_m
+
+
+@pytest.mark.benchmark(group="e6-indistinguishable")
+def test_h_vs_s_for_portfolio(benchmark):
+    def run():
+        results = []
+        for cand in candidate_portfolio():
+            t = first_tag0_transmission(cand, probe_m=48)
+            if t is None:
+                continue
+            per_node = compare_executions(h_m(t + 1), s_m(t + 1), cand)
+            results.append((cand.name, per_node))
+        return results
+
+    results = benchmark(run)
+    assert results
+    for name, per_node in results:
+        assert all(per_node.values()), (name, per_node)
+
+
+@pytest.mark.benchmark(group="e6-indistinguishable")
+def test_feasibility_actually_differs(benchmark):
+    # the configurations are NOT equivalent — one is feasible, one is not.
+    def run():
+        return [
+            (classify(h_m(m)).feasible, classify(s_m(m)).feasible)
+            for m in (2, 5, 9)
+        ]
+
+    statuses = benchmark(run)
+    assert all(h and not s for h, s in statuses)
+
+
+@pytest.mark.benchmark(group="e6-indistinguishable")
+def test_single_candidate_comparison(benchmark):
+    cand = quiet_prober(4)
+    t = first_tag0_transmission(cand, probe_m=48)
+    result = benchmark(compare_executions, h_m(t + 1), s_m(t + 1), cand)
+    assert all(result.values())

@@ -1,0 +1,60 @@
+"""E7 — Theorem 3.15 + Lemma 3.9 on random feasible configurations.
+
+Sweeps random feasible configurations, runs the full distributed election,
+and asserts: unique leader, O(n²σ) budget, per-phase history⟺class
+partition equality. Benchmarks the end-to-end election pipeline.
+"""
+
+import pytest
+
+from repro.core.election import elect_leader
+from repro.core.partition import partition_key
+
+from conftest import feasible_batch
+
+
+@pytest.mark.benchmark(group="e7-election")
+@pytest.mark.parametrize("n,span", [(8, 2), (16, 3), (32, 4), (48, 6)])
+def test_elect_random_feasible(benchmark, n, span):
+    cfg = feasible_batch(1, seed=37 * n + span, n=n, span=span)[0]
+    result = benchmark(elect_leader, cfg)
+    assert result.elected
+    assert result.within_bound()
+
+
+@pytest.mark.benchmark(group="e7-lemma39")
+def test_lemma_3_9_on_batch(benchmark):
+    configs = feasible_batch(6, seed=4242, n=10, span=2)
+
+    def run():
+        violations = 0
+        for cfg in configs:
+            result = elect_leader(cfg)
+            trace = result.trace
+            ends = result.protocol.data.phase_ends
+            for j in range(1, trace.num_iterations + 2):
+                if j - 1 >= len(ends):
+                    break
+                sim = tuple(
+                    tuple(g)
+                    for g in result.execution.prefix_partition(ends[j - 1])
+                )
+                if sim != partition_key(trace.classes_at(j)):
+                    violations += 1
+        return violations
+
+    assert benchmark(run) == 0
+
+
+@pytest.mark.benchmark(group="e7-bound-margin")
+def test_bound_never_violated_across_sweep(benchmark):
+    def run():
+        worst_ratio = 0.0
+        for n, span in ((6, 1), (10, 2), (14, 3), (20, 4)):
+            for cfg in feasible_batch(2, seed=1000 + n, n=n, span=span):
+                r = elect_leader(cfg)
+                worst_ratio = max(worst_ratio, r.rounds / r.round_bound())
+        return worst_ratio
+
+    worst = benchmark(run)
+    assert worst <= 1.0

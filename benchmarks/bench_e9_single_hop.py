@@ -1,0 +1,71 @@
+"""E9 — Section 1.3 contrast: labeled deterministic vs randomized election
+in single-hop networks with collision detection.
+
+Tree-split (IDs, deterministic) must track Θ(log n) slots; Willard-style
+randomized election must beat it on average for large n (expected
+O(log log n)) — the "randomization wins exponentially" shape the paper's
+related-work section reports.
+"""
+
+import pytest
+
+from repro.baselines.tree_split import tree_split_algorithm, tree_split_slot_bound
+from repro.baselines.willard import willard_algorithm
+from repro.graphs.generators import complete_configuration
+from repro.radio.simulator import simulate
+
+
+def run_tree(n):
+    algo = tree_split_algorithm(n)
+    cfg = complete_configuration([0] * n)
+    ex = simulate(cfg, algo.factory, max_rounds=400)
+    assert len(ex.decide_leaders(algo.decision)) == 1
+    return ex.max_done_local()
+
+
+def run_willard(n, seed):
+    algo = willard_algorithm(seed=seed)
+    cfg = complete_configuration([0] * n)
+    ex = simulate(cfg, algo.factory, max_rounds=100_000)
+    assert len(ex.decide_leaders(algo.decision)) == 1
+    return ex.max_done_local()
+
+
+@pytest.mark.benchmark(group="e9-tree-split")
+@pytest.mark.parametrize("n", [8, 32, 128])
+def test_tree_split(benchmark, n):
+    slots = benchmark(run_tree, n)
+    assert slots <= tree_split_slot_bound(n)
+
+
+@pytest.mark.benchmark(group="e9-willard")
+@pytest.mark.parametrize("n", [8, 32, 128])
+def test_willard(benchmark, n):
+    slots = benchmark(run_willard, n, 5)
+    assert slots >= 3
+
+
+@pytest.mark.benchmark(group="e9-shape")
+def test_randomized_beats_deterministic_on_average(benchmark):
+    def run():
+        n = 256
+        det = run_tree(n)
+        rand_mean = sum(run_willard(n, seed) for seed in range(10)) / 10
+        return det, rand_mean
+
+    det, rand_mean = benchmark(run)
+    # deterministic pays the full log n; randomized crosses below it
+    # (expected O(log log n); with our constants the crossover is ~n=200)
+    assert rand_mean < det, (rand_mean, det)
+
+
+@pytest.mark.benchmark(group="e9-shape")
+def test_tree_split_growth_is_logarithmic(benchmark):
+    def run():
+        return {n: run_tree(n) for n in (4, 16, 64, 256)}
+
+    slots = benchmark(run)
+    # doubling-squared n adds ~4 slots per 4x, never multiplies
+    assert slots[256] <= slots[4] + 2 * 8
+    assert slots[16] <= slots[4] + 6
+    assert all(slots[a] <= slots[b] for a, b in ((4, 16), (16, 64), (64, 256)))

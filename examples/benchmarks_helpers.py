@@ -1,0 +1,23 @@
+"""Helpers shared by the example scripts (kept import-light)."""
+
+from repro.core.classifier import classify
+from repro.graphs.generators import build, random_connected_gnp_edges
+from repro.graphs.tags import uniform_random
+
+
+def seeded_config(seed: int, n: int, span: int, p: float = 0.3):
+    edges = random_connected_gnp_edges(n, p, seed)
+    tags = uniform_random(range(n), span, seed + 1)
+    return build(edges, tags, n=n)
+
+
+def feasible_batch(count: int, seed: int, n: int, span: int, p: float = 0.3):
+    """Reproducible batch of feasible random configurations."""
+    out = []
+    attempt = 0
+    while len(out) < count and attempt < 50 * count:
+        cfg = seeded_config(seed + attempt, n, span, p)
+        attempt += 1
+        if classify(cfg).feasible:
+            out.append(cfg)
+    return out

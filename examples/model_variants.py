@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Channel ablation: collision detection, no-CD, and the beeping model.
+
+The paper assumes collision detection. How much of the feasibility
+landscape survives without it? This example classifies every connected
+4-node configuration with tags in {0, 1} under three channels, prints the
+census, exhibits separating witnesses, and runs a real election under
+each channel on one of them.
+
+Run:  python examples/model_variants.py
+"""
+
+from __future__ import annotations
+
+from repro.graphs.enumeration import enumerate_configurations
+from repro.reporting.tables import format_table
+from repro.variants import (
+    BEEP,
+    CD,
+    CHANNELS,
+    NO_CD,
+    variant_elect,
+)
+from repro.variants.census import exhaustive_cross_model_census
+
+
+def main() -> None:
+    n, max_tag = 4, 1
+    census = exhaustive_cross_model_census(n, max_tag)
+    print(
+        format_table(
+            census.TABLE_HEADERS,
+            census.as_table(),
+            title=(
+                f"Feasibility by channel — all {census.total} connected "
+                f"configurations, n={n}, tags 0..{max_tag}"
+            ),
+        )
+    )
+    print()
+
+    print("inclusions (weak-feasible ⇒ strong-feasible):")
+    for weak, strong in ((NO_CD, CD), (BEEP, CD), (NO_CD, BEEP), (BEEP, NO_CD)):
+        holds = census.inclusion_holds(weak, strong)
+        print(f"  {weak.name:>6} ⊆ {strong.name:<6} : {'holds' if holds else 'NO'}")
+    print()
+
+    print("separating witnesses:")
+    for yes, no in ((CD, NO_CD), (BEEP, NO_CD), (NO_CD, BEEP)):
+        w = census.witnesses(yes, no, limit=1)
+        if w:
+            cfg = w[0]
+            print(
+                f"  feasible under {yes.name}, not under {no.name}: "
+                f"edges={cfg.edges}, tags={cfg.tags}"
+            )
+    print()
+
+    # run a genuine election under each channel on a CD/BEEP/no-NO_CD witness
+    cfg = census.witnesses(CD, NO_CD, limit=1)[0]
+    print(f"elections on edges={cfg.edges}, tags={cfg.tags}:")
+    for channel in CHANNELS:
+        result = variant_elect(cfg, channel)
+        outcome = (
+            f"leader {result.leader} in {result.rounds} local rounds"
+            if result.elected
+            else "no leader (refinement says No)"
+        )
+        print(f"  {channel.name:>6}: {outcome}")
+    print()
+    print(
+        "Collision detection is load-bearing: the same network with the "
+        "same wakeup tags flips between feasible and infeasible depending "
+        "only on what the channel reveals about simultaneous transmissions."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""How adverse is the radio model? Wired contrast and span thresholds.
+
+Two quantitative readings of the paper's introduction:
+
+1. *"Anonymous radio networks are the most adverse scenario"* — in the
+   wired anonymous model (reliable simultaneous delivery), election works
+   whenever some node has a unique view; in the radio model the channel
+   itself gates communication. The contrast census shows radio-feasible ⊆
+   wired-feasible, strictly.
+2. *"Time as symmetry breaker"* — the probability that a random
+   configuration is feasible as a function of its span: exactly 0 at
+   span 0, then rising steeply.
+
+Run:  python examples/wired_contrast.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.extremal import feasibility_probability, min_feasible_span
+from repro.analysis.views import radio_vs_wired, wired_feasible
+from repro.core.classifier import is_feasible
+from repro.core.configuration import Configuration
+from repro.graphs.enumeration import enumerate_configurations
+from repro.graphs.generators import (
+    complete_edges,
+    cycle_edges,
+    path_edges,
+    star_edges,
+    wheel_edges,
+)
+from repro.reporting.tables import format_table
+
+
+def main() -> None:
+    # --- 1. radio vs wired ---------------------------------------------
+    census = radio_vs_wired(enumerate_configurations(4, 1))
+    print(
+        format_table(
+            census.TABLE_HEADERS,
+            census.as_table(),
+            title="Radio (Classifier) vs wired (unique view), n=4, tags 0..1",
+        )
+    )
+    print(f"  dominance radio ⊆ wired: {census.dominance_holds()}")
+    example = census.wired_only_examples(limit=1)[0]
+    print(
+        f"  wired-only witness: edges={example.edges}, tags={example.tags}"
+    )
+    print()
+
+    # an all-equal-tags graph: radio-hopeless, wired-trivial
+    broom = Configuration(
+        [(0, 1), (1, 2), (1, 3), (3, 4)], {i: 0 for i in range(5)}
+    )
+    print(
+        "all-zero-tag broom: radio feasible = "
+        f"{is_feasible(broom)}, wired feasible = {wired_feasible(broom)}"
+    )
+    print(
+        "  (equal tags silence the radio network forever; the wired model "
+        "elects from the degree asymmetry alone)"
+    )
+    print()
+
+    # --- 2. minimal feasible span per shape -----------------------------
+    shapes = {
+        "path": path_edges(6),
+        "cycle": cycle_edges(6),
+        "star": star_edges(6),
+        "complete": complete_edges(6),
+        "wheel": wheel_edges(6),
+    }
+    rows = []
+    for name, edges in shapes.items():
+        r = min_feasible_span(edges, 6, max_span=3)
+        rows.append((name, r.span, str(dict(sorted(r.witness.items())))))
+    print(
+        format_table(
+            ("shape (n=6)", "min feasible span", "witness tags"),
+            rows,
+            title="Least wakeup asymmetry needed per graph shape",
+        )
+    )
+    print()
+
+    # --- 3. probability-of-feasibility curve ----------------------------
+    points = feasibility_probability(8, [0, 1, 2, 3, 4], samples=60, seed=17)
+    print(
+        format_table(
+            ("span σ", "samples", "feasible", "fraction"),
+            [(p.span, p.samples, p.feasible, f"{p.fraction:.2f}") for p in points],
+            title="P(feasible) for random connected G(8, 0.3), uniform tags 0..σ",
+        )
+    )
+    print(
+        "  span 0 is provably 0; one round of wakeup slack already breaks "
+        "most symmetries."
+    )
+
+
+if __name__ == "__main__":
+    main()

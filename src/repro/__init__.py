@@ -1,0 +1,79 @@
+"""repro — Deterministic Leader Election in Anonymous Radio Networks.
+
+A complete, executable reproduction of Miller, Pelc & Yadav (SPAA 2020,
+arXiv:2002.02641): the synchronous radio model with collision detection,
+the centralized feasibility classifier (Algorithms 1–4), the canonical
+DRIP and dedicated O(n²σ) leader election (Theorem 3.15), the negative
+results of Section 4 as executable experiments, plus graph/tag workload
+generators, analysis tooling and contrast baselines.
+
+Quickstart::
+
+    >>> from repro import Configuration, decide, elect
+    >>> cfg = Configuration([(0, 1), (1, 2)], {0: 0, 1: 1, 2: 0})
+    >>> decide(cfg).feasible
+    True
+    >>> elect(cfg).leader
+    1
+"""
+
+from .core import (
+    CanonicalProtocol,
+    ClassifierTrace,
+    Configuration,
+    ConfigurationError,
+    ElectionResult,
+    FeasibilityReport,
+    classify,
+    decide,
+    elect,
+    elect_leader,
+    fast_classify,
+    is_feasible,
+    line_configuration,
+)
+from .radio import (
+    COLLISION,
+    LISTEN,
+    SILENCE,
+    TERMINATE,
+    DRIP,
+    History,
+    LeaderElectionAlgorithm,
+    Message,
+    RadioSimulator,
+    Transmit,
+    make_patient,
+    simulate,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "COLLISION",
+    "CanonicalProtocol",
+    "ClassifierTrace",
+    "Configuration",
+    "ConfigurationError",
+    "DRIP",
+    "ElectionResult",
+    "FeasibilityReport",
+    "History",
+    "LISTEN",
+    "LeaderElectionAlgorithm",
+    "Message",
+    "RadioSimulator",
+    "SILENCE",
+    "TERMINATE",
+    "Transmit",
+    "__version__",
+    "classify",
+    "decide",
+    "elect",
+    "elect_leader",
+    "fast_classify",
+    "is_feasible",
+    "line_configuration",
+    "make_patient",
+    "simulate",
+]

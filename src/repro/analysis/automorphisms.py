@@ -1,0 +1,91 @@
+"""Tag-preserving automorphisms: an independent feasibility check.
+
+An automorphism of the underlying graph that also preserves wakeup tags
+maps executions of any DRIP to executions, entry by entry — so nodes in
+the same orbit have *identical histories under every protocol*. Hence:
+
+    feasible  ⇒  some node is fixed by every tag-preserving automorphism.
+
+(The converse does not hold in general — partition refinement can get
+stuck without a global symmetry — so this is a *necessary* condition. The
+test-suite uses it as ground truth for the "No" direction and as a
+cross-check of the classifier's "Yes" answers.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Set
+
+from ..core.configuration import Configuration
+
+
+def tag_preserving_automorphisms(
+    config: Configuration, *, limit: int = None
+) -> Iterator[Dict[object, object]]:
+    """Yield tag-preserving automorphisms as node->node dicts.
+
+    Backed by networkx's VF2 matcher with a tag-equality node match.
+    ``limit`` truncates the (potentially exponential) enumeration.
+    """
+    import networkx as nx
+    from networkx.algorithms.isomorphism import GraphMatcher, categorical_node_match
+
+    g = config.to_networkx()
+    matcher = GraphMatcher(g, g, node_match=categorical_node_match("tag", None))
+    count = 0
+    for mapping in matcher.isomorphisms_iter():
+        yield dict(mapping)
+        count += 1
+        if limit is not None and count >= limit:
+            return
+
+
+def fixed_nodes(config: Configuration, *, limit: int = None) -> List[object]:
+    """Nodes fixed by *every* tag-preserving automorphism (sorted)."""
+    fixed: Set[object] = set(config.nodes)
+    for phi in tag_preserving_automorphisms(config, limit=limit):
+        fixed = {v for v in fixed if phi[v] == v}
+        if not fixed:
+            break
+    return sorted(fixed)
+
+
+def automorphism_orbits(config: Configuration) -> List[List[object]]:
+    """Orbits of the tag-preserving automorphism group (sorted blocks).
+
+    Nodes in the same orbit necessarily share histories under every DRIP,
+    so the orbit partition refines *into* the classifier's final partition
+    ... conversely every classifier class is a union of orbits.
+    """
+    parent: Dict[object, object] = {v: v for v in config.nodes}
+
+    def find(v):
+        while parent[v] != v:
+            parent[v] = parent[parent[v]]
+            v = parent[v]
+        return v
+
+    def union(u, v):
+        ru, rv = find(u), find(v)
+        if ru != rv:
+            parent[ru] = rv
+
+    for phi in tag_preserving_automorphisms(config):
+        for v, w in phi.items():
+            union(v, w)
+    groups: Dict[object, List[object]] = {}
+    for v in config.nodes:
+        groups.setdefault(find(v), []).append(v)
+    return sorted(sorted(g) for g in groups.values())
+
+
+def has_fixed_node(config: Configuration) -> bool:
+    """The necessary condition for feasibility."""
+    return bool(fixed_nodes(config))
+
+
+def is_rigid(config: Configuration) -> bool:
+    """True iff the identity is the only tag-preserving automorphism."""
+    autos = tag_preserving_automorphisms(config, limit=2)
+    count = sum(1 for _ in autos)
+    return count == 1

@@ -1,0 +1,123 @@
+"""Feasibility censuses over configuration populations.
+
+Answers questions like "what fraction of random G(n,p) configurations with
+span σ are feasible?" — the library's analogue of a results table for a
+theory paper, and the workload of experiments E1/E7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..core.classifier import classify
+from ..core.configuration import Configuration
+from ..core.election import elect_leader
+
+
+@dataclass
+class CensusRow:
+    """Aggregate statistics for one census group."""
+
+    group: object
+    total: int = 0
+    feasible: int = 0
+    iterations_sum: int = 0
+    rounds_sum: int = 0  #: election rounds over feasible members only
+
+    @property
+    def feasible_fraction(self) -> float:
+        return self.feasible / self.total if self.total else 0.0
+
+    @property
+    def mean_iterations(self) -> float:
+        return self.iterations_sum / self.total if self.total else 0.0
+
+    @property
+    def mean_rounds(self) -> float:
+        return self.rounds_sum / self.feasible if self.feasible else 0.0
+
+
+@dataclass
+class CensusResult:
+    rows: Dict[object, CensusRow] = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        return sum(r.total for r in self.rows.values())
+
+    @property
+    def feasible(self) -> int:
+        return sum(r.feasible for r in self.rows.values())
+
+    def sorted_rows(self) -> List[CensusRow]:
+        """Rows in ascending key order."""
+        return [self.rows[k] for k in sorted(self.rows)]
+
+    def as_table(self) -> List[Tuple]:
+        """Rows for :mod:`repro.reporting.tables`."""
+        return [
+            (
+                row.group,
+                row.total,
+                row.feasible,
+                f"{row.feasible_fraction:.3f}",
+                f"{row.mean_iterations:.2f}",
+                f"{row.mean_rounds:.1f}" if row.feasible else "-",
+            )
+            for row in self.sorted_rows()
+        ]
+
+    TABLE_HEADERS = ("group", "configs", "feasible", "fraction", "iters", "rounds")
+
+
+def census(
+    configs: Iterable[Configuration],
+    *,
+    group_by: Callable[[Configuration], object] = None,
+    measure_rounds: bool = False,
+) -> CensusResult:
+    """Classify every configuration; aggregate by ``group_by(config)``.
+
+    With ``measure_rounds`` the dedicated election algorithm is also run
+    on every feasible configuration and its ``done_v`` accumulated.
+    """
+    if group_by is None:
+        group_by = lambda c: (c.n, c.span)  # noqa: E731
+    result = CensusResult()
+    for config in configs:
+        trace = classify(config)
+        key = group_by(trace.config)
+        row = result.rows.setdefault(key, CensusRow(group=key))
+        row.total += 1
+        row.iterations_sum += trace.num_iterations
+        if trace.feasible:
+            row.feasible += 1
+            if measure_rounds:
+                row.rounds_sum += elect_leader(trace.config, trace=trace).rounds
+    return result
+
+
+def random_census(
+    n_values: Iterable[int],
+    span: int,
+    p: float,
+    samples: int,
+    seed: int,
+    *,
+    measure_rounds: bool = False,
+) -> CensusResult:
+    """Census over seeded random connected G(n,p) configurations with
+    uniform random tags in ``0..span``; grouped by n."""
+    from ..graphs.generators import build, random_connected_gnp_edges
+    from ..graphs.tags import uniform_random
+
+    def configs():
+        for n in n_values:
+            for s in range(samples):
+                base = seed + 7919 * s + 104729 * n
+                edges = random_connected_gnp_edges(n, p, base)
+                tags = uniform_random(range(n), span, base + 1)
+                yield build(edges, tags, n=n)
+
+    return census(configs(), group_by=lambda c: c.n, measure_rounds=measure_rounds)

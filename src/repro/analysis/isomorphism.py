@@ -1,0 +1,177 @@
+"""Tag-preserving configuration isomorphism and canonical forms.
+
+Two configurations are *equivalent* when a graph isomorphism maps one to
+the other preserving wakeup tags — equivalent configurations are
+operationally identical (every anonymous protocol behaves the same up to
+renaming), so censuses that enumerate labeled graphs overcount. This
+module provides:
+
+* :func:`are_isomorphic` — tag-preserving isomorphism test (backtracking
+  with degree/tag pruning; fine for census-scale n);
+* :func:`canonical_form` — a canonical representative key, equal for two
+  configurations iff they are isomorphic (computed by brute-force minimum
+  over tag/degree-compatible relabelings, with refinement pruning);
+* :func:`dedupe` — collapse an iterable of configurations to isomorphism
+  class representatives;
+* invariance checks used by the property tests: feasibility, the leader's
+  orbit, and election round counts are isomorphism-invariant.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from ..core.configuration import Configuration
+
+
+def _signature(cfg: Configuration) -> Tuple:
+    """Cheap isomorphism invariant: sorted (tag, degree, neighbour tag
+    multiset) per node, plus size and edge count."""
+    per_node = sorted(
+        (
+            cfg.tag(v),
+            cfg.degree(v),
+            tuple(sorted(cfg.tag(w) for w in cfg.neighbors(v))),
+        )
+        for v in cfg.nodes
+    )
+    return (cfg.n, cfg.num_edges, tuple(per_node))
+
+
+def are_isomorphic(a: Configuration, b: Configuration) -> bool:
+    """Tag-preserving isomorphism test."""
+    if _signature(a) != _signature(b):
+        return False
+    return _find_mapping(a, b) is not None
+
+
+def _find_mapping(
+    a: Configuration, b: Configuration
+) -> Optional[Dict[object, object]]:
+    """Backtracking search for a tag-preserving isomorphism a → b."""
+    a_nodes = sorted(a.nodes, key=lambda v: (-a.degree(v), a.tag(v)))
+    b_by_profile: Dict[Tuple, List[object]] = {}
+    for w in b.nodes:
+        b_by_profile.setdefault((b.tag(w), b.degree(w)), []).append(w)
+
+    mapping: Dict[object, object] = {}
+    used: set = set()
+
+    def candidates(v) -> List[object]:
+        return b_by_profile.get((a.tag(v), a.degree(v)), [])
+
+    def consistent(v, w) -> bool:
+        for u in a.neighbors(v):
+            if u in mapping:
+                if mapping[u] not in b.neighbors(w):
+                    return False
+        # non-neighbours must stay non-neighbours (simple graphs: implied
+        # by edge counts once all nodes are mapped, but pruning here
+        # keeps the search shallow)
+        for u, x in mapping.items():
+            if (u in a.neighbors(v)) != (x in b.neighbors(w)):
+                return False
+        return True
+
+    def extend(i: int) -> bool:
+        if i == len(a_nodes):
+            return True
+        v = a_nodes[i]
+        for w in candidates(v):
+            if w in used or not consistent(v, w):
+                continue
+            mapping[v] = w
+            used.add(w)
+            if extend(i + 1):
+                return True
+            del mapping[v]
+            used.discard(w)
+        return False
+
+    return dict(mapping) if extend(0) else None
+
+
+def canonical_form(cfg: Configuration) -> Tuple:
+    """Canonical key: equal for two configurations iff isomorphic.
+
+    Computed as the lexicographic minimum, over all tag/degree-profile
+    compatible relabelings to ``0..n−1``, of ``(tag vector, edge set)``.
+    Exponential in the worst case but heavily pruned by profiles;
+    intended for census-scale configurations (n ≲ 8).
+    """
+    cfg = cfg.normalize()
+    nodes = list(cfg.nodes)
+    n = len(nodes)
+    # group nodes by (tag, degree); only permutations respecting groups
+    # can yield the minimum, since the key starts with the sorted profile
+    profile = {v: (cfg.tag(v), cfg.degree(v)) for v in nodes}
+    groups: Dict[Tuple, List[object]] = {}
+    for v in nodes:
+        groups.setdefault(profile[v], []).append(v)
+    ordered_profiles = sorted(groups)
+    slots: List[Tuple] = []
+    for p in ordered_profiles:
+        slots.extend([p] * len(groups[p]))
+
+    best: Optional[Tuple] = None
+
+    def assignments() -> Iterator[Dict[object, int]]:
+        # positions for each profile group are contiguous in slot order
+        starts = {}
+        idx = 0
+        for p in ordered_profiles:
+            starts[p] = idx
+            idx += len(groups[p])
+        group_lists = [groups[p] for p in ordered_profiles]
+
+        def rec(gi: int, current: Dict[object, int]) -> Iterator[Dict[object, int]]:
+            if gi == len(group_lists):
+                yield dict(current)
+                return
+            members = group_lists[gi]
+            base = starts[ordered_profiles[gi]]
+            for perm in permutations(range(len(members))):
+                for v, off in zip(members, perm):
+                    current[v] = base + off
+                yield from rec(gi + 1, current)
+            for v in members:
+                current.pop(v, None)
+
+        yield from rec(0, {})
+
+    tagvec = tuple(p[0] for p in slots)
+    for mapping in assignments():
+        edges = tuple(
+            sorted(
+                (min(mapping[u], mapping[v]), max(mapping[u], mapping[v]))
+                for u, v in cfg.edges
+            )
+        )
+        key = (n, tagvec, edges)
+        if best is None or key < best:
+            best = key
+    assert best is not None
+    return best
+
+
+def dedupe(configs: Iterable[Configuration]) -> List[Configuration]:
+    """Representatives of each isomorphism class, in first-seen order."""
+    seen = set()
+    out: List[Configuration] = []
+    for cfg in configs:
+        key = canonical_form(cfg)
+        if key not in seen:
+            seen.add(key)
+            out.append(cfg)
+    return out
+
+
+def orbit_of(cfg: Configuration, v: object) -> List[object]:
+    """The set of nodes some tag-preserving automorphism maps ``v`` to."""
+    from .automorphisms import tag_preserving_automorphisms
+
+    out = {v}
+    for auto in tag_preserving_automorphisms(cfg):
+        out.add(auto[v])
+    return sorted(out)

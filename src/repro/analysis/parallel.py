@@ -1,0 +1,133 @@
+"""Parallel batch execution for censuses and sweeps.
+
+Feasibility censuses are embarrassingly parallel: every configuration is
+classified independently. This module provides process-pool wrappers with
+deterministic output ordering, so the large exhaustive/random censuses
+(E1, E11, E14, E15) can use all cores without changing any result.
+
+Design notes (per the HPC guides this repository follows):
+
+* work items are chunked to amortize pickling overhead — the per-item
+  cost of classifying a small configuration is microseconds, so a naive
+  one-task-per-item pool would be slower than serial;
+* everything needed by a worker crosses the process boundary as an
+  argument (no globals), and all functions submitted are module-level —
+  the requirements ``pickle`` imposes;
+* results are returned in input order regardless of completion order, so
+  parallel and serial runs are bit-for-bit interchangeable;
+* ``max_workers=0`` or ``1`` short-circuits to the serial path (used by
+  tests and by callers running inside an already-parallel harness).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, TypeVar
+
+from ..core.classifier import classify
+from ..core.configuration import Configuration
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def default_workers() -> int:
+    """Worker count: all cores but one (leave the harness a core)."""
+    return max(1, (os.cpu_count() or 2) - 1)
+
+
+def _chunks(items: Sequence[T], size: int) -> List[List[T]]:
+    return [list(items[i : i + size]) for i in range(0, len(items), size)]
+
+
+def _apply_chunk(fn: Callable[[T], R], chunk: List[T]) -> List[R]:
+    return [fn(x) for x in chunk]
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    *,
+    max_workers: Optional[int] = None,
+    chunksize: int = 16,
+) -> List[R]:
+    """Order-preserving parallel map over picklable items.
+
+    ``fn`` must be a module-level function (pickling requirement). With
+    ``max_workers`` ≤ 1 the map runs serially in-process — identical
+    results, no pool overhead.
+    """
+    items = list(items)
+    if chunksize < 1:
+        raise ValueError("chunksize must be >= 1")
+    workers = default_workers() if max_workers is None else max_workers
+    if workers <= 1 or len(items) <= chunksize:
+        return [fn(x) for x in items]
+    chunks = _chunks(items, chunksize)
+    out: List[R] = []
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        for result in pool.map(_apply_chunk, [fn] * len(chunks), chunks):
+            out.extend(result)
+    return out
+
+
+# ----------------------------------------------------------------------
+# census workers (module-level for picklability)
+# ----------------------------------------------------------------------
+def _feasibility_worker(cfg: Configuration) -> bool:
+    return classify(cfg).feasible
+
+
+def _decision_worker(cfg: Configuration) -> Dict[str, object]:
+    trace = classify(cfg)
+    return {
+        "feasible": trace.feasible,
+        "iterations": trace.decided_at,
+        "leader": trace.leader,
+        "n": trace.config.n,
+        "span": trace.sigma,
+    }
+
+
+def _cross_model_worker(cfg: Configuration) -> Dict[str, bool]:
+    from ..variants.census import cross_model_row
+
+    return cross_model_row(cfg).feasible
+
+
+def parallel_feasibility(
+    configs: Iterable[Configuration],
+    *,
+    max_workers: Optional[int] = None,
+    chunksize: int = 16,
+) -> List[bool]:
+    """Classifier verdicts for a batch, in input order."""
+    return parallel_map(
+        _feasibility_worker, configs, max_workers=max_workers, chunksize=chunksize
+    )
+
+
+def parallel_decisions(
+    configs: Iterable[Configuration],
+    *,
+    max_workers: Optional[int] = None,
+    chunksize: int = 16,
+) -> List[Dict[str, object]]:
+    """Per-configuration decision summaries (feasible / iterations /
+    leader / n / span), in input order."""
+    return parallel_map(
+        _decision_worker, configs, max_workers=max_workers, chunksize=chunksize
+    )
+
+
+def parallel_cross_model(
+    configs: Iterable[Configuration],
+    *,
+    max_workers: Optional[int] = None,
+    chunksize: int = 8,
+) -> List[Dict[str, bool]]:
+    """Channel-by-channel verdicts (E11's inner loop), in input order."""
+    return parallel_map(
+        _cross_model_worker, configs, max_workers=max_workers, chunksize=chunksize
+    )

@@ -1,0 +1,173 @@
+"""Quotient structure of a partition: the symmetry skeleton.
+
+When ``Classifier`` answers **No**, its final partition is a fixpoint:
+every class looks the same to every class, forever. The *quotient graph*
+of that partition — one vertex per class, annotated with class sizes,
+tags and inter-class edge multiplicities — is the skeleton of the
+configuration's unbreakable symmetry, and is the most compact certificate
+of infeasibility the refinement produces. This module builds quotients
+for classifier partitions (and for any partition, e.g. the wired
+refinement's), checks the fixpoint property structurally, and renders the
+skeleton for humans.
+
+Two distinct stability notions coexist here, and the difference *is* the
+difference between the paper's model and the wired model:
+
+* **equitable** (:meth:`QuotientGraph.is_equitable`) — every ordered
+  class pair has uniform inter-class degree. This is the fixpoint
+  condition of wired color refinement
+  (:func:`repro.analysis.views.color_refinement`), where every neighbour
+  is always heard.
+* **radio-stable** (:func:`radio_stable`) — the paper's Partitioner would
+  not split any class: per class pair *and tag offset*, capped-at-2
+  transmitter counts are uniform, with same-class-same-tag neighbours
+  excluded (they transmit exactly when the listener does and are never
+  heard). A classifier No-partition is radio-stable but need **not** be
+  equitable: the all-equal-tags star is one class — the hub's extra
+  degree is invisible because everyone transmits simultaneously.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.classifier import classify
+from ..core.configuration import Configuration
+from ..core.partition import class_members
+from ..core.trace import ClassifierTrace
+
+
+@dataclass
+class QuotientClass:
+    """One class of the quotient."""
+
+    index: int
+    members: List[object]
+    #: common wakeup tag when all members share one, else None.
+    tag: Optional[int]
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+
+@dataclass
+class QuotientGraph:
+    """The quotient of a configuration by a node partition."""
+
+    config: Configuration
+    classes: List[QuotientClass]
+    #: (class_a, class_b) -> per-A-member count of B-neighbours, when that
+    #: count is the same for every member of A; else None (irregular).
+    degrees: Dict[Tuple[int, int], Optional[int]] = field(default_factory=dict)
+
+    @property
+    def num_classes(self) -> int:
+        return len(self.classes)
+
+    def is_equitable(self) -> bool:
+        """True iff every inter-class degree is uniform (an equitable
+        partition — the fixpoint condition of degree-based refinement)."""
+        return all(v is not None for v in self.degrees.values())
+
+    def singleton_classes(self) -> List[int]:
+        """Indices of size-1 classes (potential leaders)."""
+        return [c.index for c in self.classes if c.size == 1]
+
+    def render(self) -> str:
+        """Human-readable skeleton."""
+        lines = [
+            f"quotient: {self.num_classes} classes over n={self.config.n}"
+            + ("" if self.is_equitable() else " (NOT equitable)")
+        ]
+        for c in self.classes:
+            tag = "mixed" if c.tag is None else c.tag
+            lines.append(
+                f"  C{c.index}: size {c.size}, tag {tag}, members {c.members}"
+            )
+        for (a, b), d in sorted(self.degrees.items()):
+            if d:
+                lines.append(f"  C{a} -> C{b}: {d} edge(s) per member")
+        return "\n".join(lines)
+
+
+def quotient_graph(
+    config: Configuration, partition: Dict[object, int]
+) -> QuotientGraph:
+    """Build the quotient of ``config`` by ``partition`` (node -> class)."""
+    members = class_members(partition)
+    classes = []
+    for k in sorted(members):
+        tags = {config.tag(v) for v in members[k]}
+        classes.append(
+            QuotientClass(
+                index=k,
+                members=members[k],
+                tag=tags.pop() if len(tags) == 1 else None,
+            )
+        )
+    degrees: Dict[Tuple[int, int], Optional[int]] = {}
+    for a in sorted(members):
+        for b in sorted(members):
+            counts = {
+                sum(1 for w in config.neighbors(v) if partition[w] == b)
+                for v in members[a]
+            }
+            degrees[(a, b)] = counts.pop() if len(counts) == 1 else None
+    # drop zero-degree pairs for compactness (uniformly zero is regular)
+    degrees = {
+        ab: d for ab, d in degrees.items() if d is None or d > 0 or ab[0] == ab[1]
+    }
+    return QuotientGraph(config=config, classes=classes, degrees=degrees)
+
+
+def classifier_quotient(
+    config: Configuration, *, trace: Optional[ClassifierTrace] = None
+) -> QuotientGraph:
+    """Quotient by the classifier's final partition."""
+    if trace is None:
+        trace = classify(config)
+    return quotient_graph(trace.config, trace.final_classes())
+
+
+def infeasibility_certificate(config: Configuration) -> Optional[QuotientGraph]:
+    """For an infeasible configuration, its stable quotient (all class
+    sizes ≥ 2 and tags uniform per class); None when feasible.
+
+    The quotient is the compact 'why not': a fixpoint partition with no
+    singleton class means no node can ever acquire a unique history.
+    """
+    trace = classify(config)
+    if trace.feasible:
+        return None
+    q = classifier_quotient(config, trace=trace)
+    assert not q.singleton_classes()
+    return q
+
+
+def equitability_violations(
+    config: Configuration, partition: Dict[object, int]
+) -> List[Tuple[int, int]]:
+    """Class pairs whose inter-class degrees are non-uniform — empty for
+    an equitable partition (e.g. a wired color-refinement fixpoint)."""
+    q = quotient_graph(config, partition)
+    return sorted(ab for ab, d in q.degrees.items() if d is None)
+
+
+def radio_stable(config: Configuration, partition: Dict[object, int]) -> bool:
+    """The paper's fixpoint condition: one more ``Partitioner`` pass with
+    this partition as the class assignment would split nothing.
+
+    Checked by recomputing the Algorithm 3 labels under ``partition`` and
+    verifying label equality within every class — capped multiplicities,
+    tag offsets and the same-class-same-tag exclusion included.
+    """
+    from ..core.partition import compute_label
+
+    members = class_members(partition)
+    for nodes in members.values():
+        labels = {compute_label(config, v, partition) for v in nodes}
+        if len(labels) > 1:
+            return False
+    return True

@@ -1,0 +1,92 @@
+"""Executable symmetry arguments (the engine behind Section 4's proofs).
+
+Every negative result in the paper runs on one move: if a configuration
+has a tag-preserving automorphism pairing node ``u`` with node ``v``,
+then *any* deterministic anonymous protocol gives ``u`` and ``v``
+identical histories forever — so neither can be the unique leader. The
+proofs of Propositions 4.1/4.4/4.5 instantiate this move on the
+families ``G_m``/``H_m``/``S_m``. This module makes the move itself a
+checkable library function:
+
+* :func:`symmetry_pairs` — the node pairs identified by some nontrivial
+  tag-preserving automorphism (the provably indistinguishable pairs);
+* :func:`verify_pairwise_symmetry` — run an arbitrary protocol and check
+  the paired histories really are identical (they must be — a failure
+  would falsify the model implementation, and the property tests use it
+  as exactly that kind of tripwire);
+* :func:`gm_proof_pairs` — Proposition 4.1's pairing on ``G_m``
+  (``a_i ↔ c_i`` and ``b_i ↔ b_{2m+2−i}``), checked against the generic
+  automorphism computation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core.configuration import Configuration
+from ..radio.protocol import ProgramFactory
+from ..radio.simulator import simulate
+from .automorphisms import tag_preserving_automorphisms
+
+
+def symmetry_pairs(
+    config: Configuration, *, limit: Optional[int] = None
+) -> List[Tuple[object, object]]:
+    """Unordered pairs ``{u, v}`` with ``u ≠ v`` mapped to each other by
+    some tag-preserving automorphism (sorted, deduplicated)."""
+    pairs = set()
+    for auto in tag_preserving_automorphisms(config, limit=limit):
+        for u, v in auto.items():
+            if u != v:
+                pairs.add((min(u, v), max(u, v)))
+    return sorted(pairs)
+
+
+def verify_pairwise_symmetry(
+    config: Configuration,
+    factory: ProgramFactory,
+    pairs: List[Tuple[object, object]],
+    *,
+    max_rounds: int = 100_000,
+) -> Dict[Tuple[object, object], bool]:
+    """Run the protocol; per pair, report whether the terminal histories
+    coincide. All-True is the theorem; anything else is a bug report
+    about the simulator or the protocol's anonymity."""
+    execution = simulate(config, factory, max_rounds=max_rounds)
+    return {
+        (u, v): execution.histories[u] == execution.histories[v]
+        for (u, v) in pairs
+    }
+
+
+def forced_non_leaders(config: Configuration) -> List[object]:
+    """Nodes that can never be the unique leader of ``config``: members
+    of some symmetry pair. Feasibility requires at least one node outside
+    this set (the necessary condition the census cross-validates)."""
+    out = set()
+    for u, v in symmetry_pairs(config):
+        out.add(u)
+        out.add(v)
+    return sorted(out)
+
+
+def gm_proof_pairs(m: int) -> List[Tuple[int, int]]:
+    """Proposition 4.1's pairing on ``G_m`` under this repo's node
+    numbering (``a_1..a_m`` = 0..m−1, ``b_1..b_{2m+1}`` = m..3m,
+    ``c_m..c_1`` = 3m+1..4m): the mirror swaps ``a_i ↔ c_i`` and
+    ``b_i ↔ b_{2m+2−i}``; only the centre ``b_{m+1}`` is fixed."""
+    if m < 2:
+        raise ValueError("G_m is defined for m >= 2")
+    n = 4 * m + 1
+    pairs = []
+    for i in range(n // 2):
+        pairs.append((i, n - 1 - i))
+    return pairs
+
+
+def gm_pairs_match_automorphisms(m: int) -> bool:
+    """Cross-check: the hand-derived Proposition 4.1 pairs are exactly
+    the symmetry pairs the generic automorphism computation finds."""
+    from ..graphs.families import g_m
+
+    return symmetry_pairs(g_m(m)) == sorted(gm_proof_pairs(m))

@@ -1,0 +1,247 @@
+"""Wired-model contrast: views and color refinement.
+
+The paper's introduction argues that anonymous *radio* networks are the
+most adverse scenario for symmetry breaking: in anonymous *wired*
+message-passing networks, delivery is reliable and simultaneous, so nodes
+can relay neighbourhoods of growing radius and elect a leader from
+topological asymmetry alone (Yamashita–Kameda [40, 41]; Boldi et al.
+[5]) — no wakeup-time differences needed.
+
+This module makes that contrast executable:
+
+* :func:`color_refinement` — iterated anonymous-broadcast refinement
+  (1-WL) with initial colors ``(tag, degree)``: each round every node
+  reliably learns the multiset of its neighbours' colors. Its fixpoint
+  partition is exactly the view-equivalence partition of the tagged
+  graph (validated against explicit view trees in the tests).
+* :func:`view_key` — the depth-``d`` view of a node as a canonical
+  nested structure, the textbook object the refinement summarizes.
+* :func:`wired_feasible` — leader election feasibility in the wired
+  anonymous model: some node's view is unique, i.e. the fixpoint
+  partition has a singleton class.
+* :func:`radio_vs_wired` — contrast census. The theory predicts strict
+  one-way dominance:
+
+  - **radio-feasible ⇒ wired-feasible**: the radio label of Algorithm 3
+    is a function of the node's tag and the multiset of (class, tag)
+    pairs of its neighbours, all of which color refinement carries, so
+    the wired partition refines the radio partition phase by phase;
+  - **not conversely**: with all tags equal, radio nodes can never hear
+    anything (the paper's introduction), while the wired model still
+    elects on any graph with a degree/structure asymmetry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..core.classifier import classify
+from ..core.configuration import Configuration
+from ..core.partition import partition_key
+
+
+@dataclass
+class RefinementResult:
+    """Outcome of running color refinement to its fixpoint."""
+
+    config: Configuration
+    #: node -> class index (dense, 0-based) per round, round 0 = initial.
+    rounds: List[Dict[object, int]] = field(default_factory=list)
+
+    @property
+    def num_rounds(self) -> int:
+        """Rounds until the partition stabilized (fixpoint excluded)."""
+        return len(self.rounds) - 1
+
+    @property
+    def stable(self) -> Dict[object, int]:
+        """The fixpoint partition."""
+        return self.rounds[-1]
+
+    def partition_at(self, r: int) -> Tuple[Tuple[object, ...], ...]:
+        """Canonical partition after round ``r``."""
+        return partition_key(self.rounds[r])
+
+    def stable_partition(self) -> Tuple[Tuple[object, ...], ...]:
+        """Canonical form of the fixpoint partition."""
+        return partition_key(self.stable)
+
+    def singleton_nodes(self) -> List[object]:
+        """Nodes alone in their fixpoint class (wired-electable leaders)."""
+        counts: Dict[int, int] = {}
+        for c in self.stable.values():
+            counts[c] = counts.get(c, 0) + 1
+        return sorted(v for v, c in self.stable.items() if counts[c] == 1)
+
+    def class_count_chain(self) -> List[int]:
+        """Class counts per round (non-decreasing)."""
+        return [len(set(r.values())) for r in self.rounds]
+
+
+def color_refinement(
+    config: Configuration,
+    *,
+    use_tags: bool = True,
+    use_degrees: bool = True,
+) -> RefinementResult:
+    """Run anonymous-broadcast (1-WL) refinement to its fixpoint.
+
+    Initial colors are ``(tag, degree)`` by default; either ingredient can
+    be switched off to model weaker initial knowledge. Each round maps
+    every node to ``(own color, sorted multiset of neighbour colors)`` and
+    renumbers densely. Stabilizes within ``n`` rounds.
+    """
+    nodes = config.nodes
+
+    def dense(raw: Dict[object, object]) -> Dict[object, int]:
+        order: Dict[object, int] = {}
+        out = {}
+        for v in nodes:
+            key = raw[v]
+            if key not in order:
+                order[key] = len(order)
+            out[v] = order[key]
+        return out
+
+    initial = {
+        v: (
+            config.tag(v) if use_tags else 0,
+            config.degree(v) if use_degrees else 0,
+        )
+        for v in nodes
+    }
+    colors = dense(initial)
+    result = RefinementResult(config=config, rounds=[colors])
+
+    while True:
+        raw = {
+            v: (colors[v], tuple(sorted(colors[w] for w in config.neighbors(v))))
+            for v in nodes
+        }
+        new_colors = dense(raw)
+        if partition_key(new_colors) == partition_key(colors):
+            break
+        colors = new_colors
+        result.rounds.append(colors)
+    return result
+
+
+def wired_feasible(config: Configuration) -> bool:
+    """Leader election feasibility in the wired anonymous model: some
+    node's view is unique (fixpoint partition has a singleton class)."""
+    return bool(color_refinement(config).singleton_nodes())
+
+
+# ----------------------------------------------------------------------
+# explicit views
+# ----------------------------------------------------------------------
+def view_key(config: Configuration, v: object, depth: int) -> Tuple:
+    """Canonical form of the depth-``depth`` view of ``v``.
+
+    The view is the rooted tree of all walks of length ``<= depth``
+    starting at ``v`` in the anonymous broadcast model: the root carries
+    ``(tag, degree)`` and each child is the view of a neighbour one level
+    shallower; children are sorted, so equal trees compare equal.
+    (Exponential in ``depth`` — intended for small validation instances;
+    :func:`color_refinement` is the scalable equivalent.)
+    """
+    if depth < 0:
+        raise ValueError("depth must be >= 0")
+
+    def build(u: object, d: int) -> Tuple:
+        root = (config.tag(u), config.degree(u))
+        if d == 0:
+            return (root, ())
+        children = tuple(
+            sorted(build(w, d - 1) for w in config.neighbors(u))
+        )
+        return (root, children)
+
+    return build(v, depth)
+
+
+def view_partition(
+    config: Configuration, depth: int
+) -> Tuple[Tuple[object, ...], ...]:
+    """Partition of nodes by equality of their depth-``depth`` views."""
+    groups: Dict[Tuple, List[object]] = {}
+    for v in config.nodes:
+        groups.setdefault(view_key(config, v, depth), []).append(v)
+    return tuple(tuple(sorted(g)) for g in sorted(groups.values()))
+
+
+def views_stabilize_like_refinement(config: Configuration) -> bool:
+    """Cross-check: the view partition at the refinement's stabilization
+    depth equals the refinement fixpoint (the classic equivalence)."""
+    result = color_refinement(config)
+    depth = result.num_rounds
+    return view_partition(config, depth) == result.stable_partition()
+
+
+# ----------------------------------------------------------------------
+# radio vs wired contrast
+# ----------------------------------------------------------------------
+@dataclass
+class ContrastRow:
+    config: Configuration
+    radio: bool  #: Classifier verdict (Theorem 3.17)
+    wired: bool  #: unique-view verdict
+
+    @property
+    def kind(self) -> str:
+        if self.radio and self.wired:
+            return "both"
+        if self.wired:
+            return "wired-only"
+        if self.radio:
+            return "radio-only"  # must never occur (dominance)
+        return "neither"
+
+
+@dataclass
+class ContrastCensus:
+    rows: List[ContrastRow] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return len(self.rows)
+
+    def count(self, kind: str) -> int:
+        """Number of rows of the given contrast kind."""
+        return sum(1 for r in self.rows if r.kind == kind)
+
+    def dominance_holds(self) -> bool:
+        """radio-feasible ⊆ wired-feasible (no 'radio-only' rows)."""
+        return self.count("radio-only") == 0
+
+    def wired_only_examples(self, limit: int = 5) -> List[Configuration]:
+        """Witnesses feasible in the wired model only."""
+        return [r.config for r in self.rows if r.kind == "wired-only"][:limit]
+
+    def as_table(self) -> List[Tuple]:
+        """Rows for :func:`repro.reporting.tables.format_table`."""
+        return [
+            (kind, self.count(kind), self.total)
+            for kind in ("both", "wired-only", "radio-only", "neither")
+        ]
+
+    TABLE_HEADERS = ("kind", "count", "total")
+
+
+def radio_vs_wired(
+    configs: Iterable[Configuration], *, limit: Optional[int] = None
+) -> ContrastCensus:
+    """Classify each configuration under both models."""
+    census = ContrastCensus()
+    for i, cfg in enumerate(configs):
+        if limit is not None and i >= limit:
+            break
+        census.rows.append(
+            ContrastRow(
+                config=cfg,
+                radio=classify(cfg).feasible,
+                wired=wired_feasible(cfg),
+            )
+        )
+    return census

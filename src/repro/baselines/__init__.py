@@ -1,0 +1,52 @@
+"""Baselines and adversaries: simulation ground truth, labeled and
+randomized single-hop election, and the Section 4 impossibility
+machinery."""
+
+from .bruteforce import refutes_by_symmetry, simulation_feasible, simulation_leader
+from .tree_split import (
+    TreeSplitDRIP,
+    tree_split_algorithm,
+    tree_split_slot_bound,
+)
+from .universal_candidates import (
+    DefeatReport,
+    candidate_portfolio,
+    canonical_for,
+    compare_executions,
+    defeat,
+    eager_beacon,
+    first_tag0_transmission,
+    quiet_prober,
+)
+from .willard import WillardDRIP, willard_algorithm, willard_expected_slots_bound
+
+from .round_robin import (
+    RoundRobinDRIP,
+    heard_labels,
+    round_robin_algorithm,
+    round_robin_slots,
+)
+
+__all__ = [
+    "DefeatReport",
+    "RoundRobinDRIP",
+    "TreeSplitDRIP",
+    "WillardDRIP",
+    "candidate_portfolio",
+    "canonical_for",
+    "compare_executions",
+    "defeat",
+    "eager_beacon",
+    "first_tag0_transmission",
+    "heard_labels",
+    "quiet_prober",
+    "refutes_by_symmetry",
+    "round_robin_algorithm",
+    "round_robin_slots",
+    "simulation_feasible",
+    "simulation_leader",
+    "tree_split_algorithm",
+    "tree_split_slot_bound",
+    "willard_algorithm",
+    "willard_expected_slots_bound",
+]

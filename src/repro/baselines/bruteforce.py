@@ -1,0 +1,60 @@
+"""Simulation-based feasibility ground truth.
+
+``Classifier``'s Yes/No logic is "singleton class appears" vs "partition
+stabilizes". The theory (Lemmas 3.9/3.11/3.16) says this is equivalent to
+"some node ends the canonical execution with a *unique history*". This
+module decides feasibility from the executed histories alone — exercising
+the simulator, the canonical protocol and the history machinery but *not*
+the classifier's decision logic — so a bug on either side shows up as a
+disagreement. Experiment E1 runs the two against each other exhaustively.
+
+For very small configurations :func:`refutes_by_symmetry` gives a third,
+fully independent *infeasibility* witness: a tag-preserving automorphism
+without fixed points.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.canonical import CanonicalProtocol
+from ..core.classifier import classify
+from ..core.configuration import Configuration
+from ..radio.simulator import simulate
+
+
+def simulation_feasible(config: Configuration) -> bool:
+    """Feasibility decided from simulated canonical histories only."""
+    trace = classify(config)
+    protocol = CanonicalProtocol.from_trace(trace)
+    execution = simulate(
+        trace.config,
+        protocol.factory,
+        max_rounds=protocol.round_budget(trace.config.span),
+    )
+    return bool(execution.unique_history_nodes())
+
+
+def simulation_leader(config: Configuration) -> Optional[object]:
+    """The node with the lexicographically-smallest unique history, or
+    None. (Any deterministic tiebreak over unique histories yields a valid
+    dedicated decision function; smallest-key keeps it reproducible.)"""
+    trace = classify(config)
+    protocol = CanonicalProtocol.from_trace(trace)
+    execution = simulate(
+        trace.config,
+        protocol.factory,
+        max_rounds=protocol.round_budget(trace.config.span),
+    )
+    unique = execution.unique_history_nodes()
+    if not unique:
+        return None
+    return min(unique, key=lambda v: execution.histories[v].key())
+
+
+def refutes_by_symmetry(config: Configuration) -> bool:
+    """True when a fixed-point-free tag-preserving automorphism exists —
+    a direct witness of infeasibility, independent of every other layer."""
+    from ..analysis.automorphisms import has_fixed_node
+
+    return not has_fixed_node(config)

@@ -1,0 +1,143 @@
+"""Deterministic single-hop leader election with IDs (contrast baseline).
+
+The paper's Section 1.3 surveys what *labeled* nodes buy in the radio
+model: with collision detection, deterministic election in single-hop
+networks takes Θ(log n) slots (Capetanakis 1979; Hayes 1978;
+Tsybakov–Mikhailov 1978). This module implements the binary interval-
+splitting algorithm on our simulator so experiment E9 can contrast it with
+the anonymous setting (where deterministic election without wakeup
+asymmetry is impossible) and with randomized election (Willard).
+
+Protocol (all nodes awake in round 0, complete graph, IDs ``0..n-1``,
+``n`` known):
+
+Slots come in (probe, ack) pairs. Every node tracks a common candidate
+interval ``[lo, hi)``, initially ``[0, n)``. In a probe slot, nodes with
+ID in the left half ``[lo, mid)`` transmit; in the ack slot, every node
+that *heard a single message* in the probe transmits an ack. The shared
+feedback drives a common state machine:
+
+* probe heard as silence → left half empty → recurse into the right half;
+* probe heard as collision → ≥ 2 nodes in the left half → recurse left;
+* probe heard as one message → the unique prober wins (listeners know
+  immediately; the prober learns it from the non-silent ack slot).
+
+Each split halves the interval, so a winner emerges within
+``2·(⌊log₂ n⌋ + 1) + 2`` slots — Θ(log n), matching the classical bound.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..radio.history import History
+from ..radio.model import COLLISION, LISTEN, TERMINATE, Action, Message, Transmit
+from ..radio.protocol import DRIP, LeaderElectionAlgorithm
+
+PROBE_MSG = "probe"
+ACK_MSG = "ack"
+
+
+class TreeSplitDRIP(DRIP):
+    """Per-node program of the interval-splitting algorithm (``n >= 2``)."""
+
+    __slots__ = ("node_id", "n", "_lo", "_hi", "_winner", "_i_probed")
+
+    def __init__(self, node_id: int, n: int) -> None:
+        if n < 2:
+            raise ValueError("TreeSplitDRIP needs n >= 2 (see solo_algorithm)")
+        if not 0 <= node_id < n:
+            raise ValueError("node_id must be in 0..n-1")
+        self.node_id = node_id
+        self.n = n
+        self._lo = 0
+        self._hi = n
+        self._winner: Optional[bool] = None  # True: me; False: someone else
+        self._i_probed = False
+
+    def _mid(self) -> int:
+        """Split point; size-1 intervals probe their single candidate."""
+        lo, hi = self._lo, self._hi
+        return hi if hi - lo == 1 else (lo + hi) // 2
+
+    def decide(self, history: History) -> Action:
+        i = len(history)
+
+        if i % 2 == 1:  # probe slot (local rounds 1, 3, 5, ...)
+            if self._i_probed and i >= 3:
+                # Digest the ack feedback of my previous probe: any sound
+                # means everyone heard me alone — I win; silence means my
+                # probe collided — recurse left.
+                ack = history[i - 1]
+                self._i_probed = False
+                if ack is COLLISION or isinstance(ack, Message):
+                    self._winner = True
+                else:
+                    self._hi = self._mid()
+            if self._winner is not None:
+                return TERMINATE
+            self._i_probed = self._lo <= self.node_id < self._mid()
+            return Transmit(PROBE_MSG) if self._i_probed else LISTEN
+
+        # ack slot: listeners classify the probe outcome.
+        if self._i_probed:
+            return LISTEN  # await the ack feedback
+        probe = history[i - 1]
+        if isinstance(probe, Message):
+            self._winner = False  # unique prober heard: it wins
+            return Transmit(ACK_MSG)
+        mid = self._mid()
+        if probe is COLLISION:
+            self._hi = mid  # ≥2 probers: recurse left
+        else:
+            self._lo = mid  # empty left half: recurse right
+        return LISTEN
+
+
+class _SoloDRIP(DRIP):
+    """n = 1: transmit once (to a vacuum) and terminate."""
+
+    def decide(self, history: History) -> Action:
+        if len(history) == 1:
+            return Transmit(PROBE_MSG)
+        return TERMINATE
+
+
+def tree_split_algorithm(n: int) -> LeaderElectionAlgorithm:
+    """The labeled single-hop election algorithm for ``n`` nodes.
+
+    Node ids must be ``0..n-1`` (sortable ints). The decision function is
+    the natural one: a node outputs 1 iff one of its probes was followed
+    by a non-silent ack slot (it probed alone); a node that ever *heard*
+    a lone probe outputs 0.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if n == 1:
+        return LeaderElectionAlgorithm(
+            lambda _v: _SoloDRIP(), lambda _h: 1, name="tree-split(n=1)"
+        )
+
+    def factory(node_id: object) -> DRIP:
+        return TreeSplitDRIP(int(node_id), n)
+
+    def decision(history: History) -> int:
+        for p in range(1, len(history) - 1, 2):
+            probe, ack = history[p], history[p + 1]
+            if isinstance(probe, Message):
+                return 0  # heard someone else's lone probe
+            if probe is not COLLISION and (
+                isinstance(ack, Message) or ack is COLLISION
+            ):
+                return 1  # my lone probe, acknowledged
+        return 0
+
+    return LeaderElectionAlgorithm(factory, decision, name=f"tree-split(n={n})")
+
+
+def tree_split_slot_bound(n: int) -> int:
+    """Worst-case slots: two per split, ⌊log₂ n⌋ + 1 splits, + 2 wrap-up."""
+    if n <= 1:
+        return 2
+    return 2 * (int(math.log2(n)) + 1) + 2

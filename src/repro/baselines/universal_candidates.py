@@ -1,0 +1,256 @@
+"""Adversarial experiments for the impossibility results (Section 4).
+
+Proposition 4.4 proves no single distributed algorithm elects a leader on
+*all* feasible 4-node configurations. The proof is constructive given any
+candidate ``U``: find the first global round ``t`` at which the tag-0
+nodes transmit when ``U`` runs (this round cannot depend on the late
+nodes' tags, which are still asleep), then ``U`` fails on ``H_{t+1}``
+because the wakeups of ``a`` and ``d`` are both message-forced and the
+configuration stays pairwise symmetric forever.
+
+This module mechanizes that adversary: :func:`defeat` takes a candidate
+universal algorithm, extracts its ``t``, builds the killer configuration
+and verifies the failure (not exactly one leader, plus the symmetry
+witness ``H_a = H_d`` and ``H_b = H_c``). A portfolio of natural
+candidates — the canonical protocols of fixed configurations used
+universally, plus hand-written heuristics — is provided for experiments
+E5/E6.
+
+The same machinery drives the Proposition 4.5 experiment:
+:func:`compare_executions` shows that every node's history is identical on
+the feasible ``H_{t+1}`` and the infeasible ``S_{t+1}``, so no distributed
+algorithm can decide feasibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..core.canonical import CanonicalMatchError, CanonicalProtocol
+from ..core.classifier import classify
+from ..core.configuration import Configuration
+from ..graphs.families import h_m
+from ..radio.history import History
+from ..radio.model import LISTEN, TERMINATE, Action, Transmit
+from ..radio.protocol import DRIP, LeaderElectionAlgorithm
+from ..radio.simulator import SimulationTimeout, simulate
+
+#: Node ids of the 4-node line families (a, b, c, d).
+A, B, C, D = 0, 1, 2, 3
+
+
+# ----------------------------------------------------------------------
+# candidate universal algorithms
+# ----------------------------------------------------------------------
+def canonical_for(config: Configuration, name: str = None) -> LeaderElectionAlgorithm:
+    """The canonical dedicated algorithm of ``config``, *misused* as a
+    universal algorithm (run on configurations it was not built for)."""
+    protocol = CanonicalProtocol.from_trace(classify(config))
+    algo = protocol.algorithm()
+    if name:
+        algo.name = name
+    return algo
+
+
+class EagerBeaconDRIP(DRIP):
+    """Heuristic: spontaneously-woken nodes beacon immediately (local
+    round 1), then everyone listens until ``horizon`` and terminates."""
+
+    __slots__ = ("horizon",)
+
+    def __init__(self, horizon: int) -> None:
+        self.horizon = horizon
+
+    def decide(self, history: History) -> Action:
+        from ..radio.model import SILENCE
+
+        if len(history) >= self.horizon:
+            return TERMINATE
+        if len(history) == 1 and history[0] is SILENCE:
+            return Transmit("beacon")
+        return LISTEN
+
+
+def eager_beacon(horizon: int = 8) -> LeaderElectionAlgorithm:
+    """Elect "the" spontaneous beaconer; fails whenever two nodes wake
+    first simultaneously (e.g. b and c in every ``H_m``)."""
+
+    def decision(history: History) -> int:
+        from ..radio.model import SILENCE
+
+        transmitted_first = len(history) > 1 and history[0] is SILENCE
+        heard_nothing = history.first_message_round() is None
+        return 1 if (transmitted_first and heard_nothing) else 0
+
+    return LeaderElectionAlgorithm(
+        lambda _v: EagerBeaconDRIP(horizon),
+        decision,
+        name=f"eager-beacon(h={horizon})",
+    )
+
+
+class QuietProberDRIP(DRIP):
+    """Heuristic: listen ``quiet`` rounds; transmit iff still heard
+    nothing; listen ``quiet`` more rounds; terminate."""
+
+    __slots__ = ("quiet",)
+
+    def __init__(self, quiet: int) -> None:
+        if quiet < 1:
+            raise ValueError("quiet must be >= 1")
+        self.quiet = quiet
+
+    def decide(self, history: History) -> Action:
+        i = len(history)
+        if i >= 2 * self.quiet + 2:
+            return TERMINATE
+        if i == self.quiet + 1 and history.first_message_round() is None:
+            return Transmit("probe")
+        return LISTEN
+
+
+def quiet_prober(quiet: int = 3) -> LeaderElectionAlgorithm:
+    """Candidate universal algorithm: listen ``quiet`` rounds, then beacon."""
+    def decision(history: History) -> int:
+        heard_nothing_before = (
+            history.first_message_round() is None
+            or history.first_message_round() > quiet
+        )
+        return 1 if (len(history) > quiet + 1 and heard_nothing_before) else 0
+
+    return LeaderElectionAlgorithm(
+        lambda _v: QuietProberDRIP(quiet),
+        decision,
+        name=f"quiet-prober(q={quiet})",
+    )
+
+
+def candidate_portfolio() -> List[LeaderElectionAlgorithm]:
+    """The candidates attacked in experiment E5."""
+    from ..graphs.families import g_m
+
+    return [
+        canonical_for(h_m(1), "universal<canonical(H_1)>"),
+        canonical_for(h_m(5), "universal<canonical(H_5)>"),
+        canonical_for(g_m(2), "universal<canonical(G_2)>"),
+        eager_beacon(8),
+        quiet_prober(2),
+        quiet_prober(5),
+    ]
+
+
+# ----------------------------------------------------------------------
+# the adversary
+# ----------------------------------------------------------------------
+@dataclass
+class DefeatReport:
+    """Evidence that a candidate universal algorithm fails."""
+
+    candidate: str
+    first_tag0_transmission: Optional[int]  #: the proof's round t
+    killer: Configuration  #: H_{t+1}
+    leaders: List[object]
+    crashed: bool  #: simulation raised (timeout / failed canonical match)
+    bc_histories_equal: bool
+    ad_histories_equal: bool
+
+    @property
+    def defeated(self) -> bool:
+        return self.crashed or len(self.leaders) != 1
+
+    def describe(self) -> str:
+        """One-line defeat summary."""
+        t = self.first_tag0_transmission
+        outcome = (
+            "crashed"
+            if self.crashed
+            else f"leaders={self.leaders!r} "
+            f"(H_b=H_c: {self.bc_histories_equal}, "
+            f"H_a=H_d: {self.ad_histories_equal})"
+        )
+        return (
+            f"{self.candidate}: t={t}, killer=H_{(t or 0) + 1} -> {outcome}"
+            f" => {'DEFEATED' if self.defeated else 'survived?!'}"
+        )
+
+
+def first_tag0_transmission(
+    algorithm: LeaderElectionAlgorithm,
+    probe_m: int = 64,
+    max_rounds: int = 500_000,
+) -> Optional[int]:
+    """Global round of the first transmission by a tag-0 node (b or c)
+    when ``algorithm`` runs on the probe configuration ``H_{probe_m}``.
+
+    As long as ``probe_m`` exceeds the returned value, the round is
+    determined by the algorithm alone (nodes a/d are still asleep), which
+    is exactly the quantity the Proposition 4.4 proof extracts.
+    """
+    cfg = h_m(probe_m)
+    try:
+        execution = simulate(
+            cfg, algorithm.factory, max_rounds=max_rounds, record_trace=True
+        )
+    except (SimulationTimeout, CanonicalMatchError):
+        return None
+    for rec in execution.trace:
+        if any(v in (B, C) for v in rec.transmitters):
+            return rec.global_round
+    return None
+
+
+def defeat(
+    algorithm: LeaderElectionAlgorithm,
+    probe_m: int = 64,
+    max_rounds: int = 500_000,
+) -> DefeatReport:
+    """Run the Proposition 4.4 adversary against one candidate."""
+    t = first_tag0_transmission(algorithm, probe_m, max_rounds)
+    # A candidate whose tag-0 nodes never transmit dies on any H_m (all-
+    # silent symmetric histories); use H_1 as the killer then.
+    killer = h_m((t + 1) if t is not None else 1)
+    crashed = False
+    leaders: List[object] = []
+    bc_equal = ad_equal = False
+    try:
+        execution = simulate(killer, algorithm.factory, max_rounds=max_rounds)
+        leaders = execution.decide_leaders(algorithm.decision)
+        bc_equal = execution.histories[B] == execution.histories[C]
+        ad_equal = execution.histories[A] == execution.histories[D]
+    except (SimulationTimeout, CanonicalMatchError):
+        crashed = True
+    return DefeatReport(
+        candidate=algorithm.name,
+        first_tag0_transmission=t,
+        killer=killer,
+        leaders=leaders,
+        crashed=crashed,
+        bc_histories_equal=bc_equal,
+        ad_histories_equal=ad_equal,
+    )
+
+
+# ----------------------------------------------------------------------
+# Proposition 4.5: indistinguishability of H_{t+1} and S_{t+1}
+# ----------------------------------------------------------------------
+def compare_executions(
+    cfg_a: Configuration,
+    cfg_b: Configuration,
+    algorithm: LeaderElectionAlgorithm,
+    max_rounds: int = 500_000,
+) -> Dict[object, bool]:
+    """Run one algorithm on two same-node-set configurations; report, per
+    node, whether its terminal histories coincide.
+
+    All-True on ``(H_{t+1}, S_{t+1})`` for an algorithm whose tag-0 nodes
+    first transmit in round t is the Proposition 4.5 witness: no node can
+    tell the feasible configuration from the infeasible one.
+    """
+    ex_a = simulate(cfg_a, algorithm.factory, max_rounds=max_rounds)
+    ex_b = simulate(cfg_b, algorithm.factory, max_rounds=max_rounds)
+    if set(ex_a.histories) != set(ex_b.histories):
+        raise ValueError("configurations have different node sets")
+    return {
+        v: ex_a.histories[v] == ex_b.histories[v] for v in sorted(ex_a.histories)
+    }

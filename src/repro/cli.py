@@ -1,0 +1,416 @@
+"""Command-line interface.
+
+::
+
+    repro-radio classify --line 0,1,0
+    repro-radio classify --family hm:3
+    repro-radio elect --family gm:2 --verbose
+    repro-radio census --n 6,8,10 --span 2 --p 0.3 --samples 20 --seed 1
+    repro-radio defeat
+
+(Also runnable as ``python -m repro.cli ...``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.classifier import classify
+from .core.configuration import Configuration, line_configuration
+from .core.election import elect_leader
+from .reporting.tables import format_table, kv_block
+
+
+def _parse_family(spec: str) -> Configuration:
+    from .graphs import families
+
+    kind, _, arg = spec.partition(":")
+    m = int(arg) if arg else 2
+    table = {"gm": families.g_m, "hm": families.h_m, "sm": families.s_m}
+    if kind not in table:
+        raise SystemExit(f"unknown family {kind!r} (choose gm, hm, sm)")
+    return table[kind](m)
+
+
+def _parse_config(args: argparse.Namespace) -> Configuration:
+    if args.line:
+        tags = [int(t) for t in args.line.split(",")]
+        return line_configuration(tags)
+    if args.family:
+        return _parse_family(args.family)
+    if args.gnp:
+        from .graphs.generators import build, random_connected_gnp_edges
+        from .graphs.tags import uniform_random
+
+        n, p, span, seed = args.gnp.split(",")
+        n, span, seed = int(n), int(span), int(seed)
+        edges = random_connected_gnp_edges(n, float(p), seed)
+        return build(edges, uniform_random(range(n), span, seed + 1), n=n)
+    raise SystemExit("specify a configuration: --line, --family or --gnp")
+
+
+def _add_config_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--line", help="comma-separated tags of a path, e.g. 0,1,0")
+    p.add_argument("--family", help="paper family, e.g. hm:3, sm:5, gm:2")
+    p.add_argument(
+        "--gnp", help="random configuration 'n,p,span,seed', e.g. 12,0.3,2,7"
+    )
+
+
+def cmd_classify(args: argparse.Namespace) -> int:
+    """Decide feasibility of one configuration (Theorem 3.17)."""
+    cfg = _parse_config(args)
+    trace = classify(cfg)
+    print(trace.describe() if args.verbose else "", end="" if args.verbose else "")
+    print(
+        kv_block(
+            "Classifier",
+            [
+                ("decision", trace.decision),
+                ("iterations", trace.num_iterations),
+                ("leader", trace.leader if trace.feasible else "-"),
+                ("n", trace.config.n),
+                ("span", trace.sigma),
+                ("max degree", trace.config.max_degree),
+            ],
+        )
+    )
+    return 0
+
+
+def cmd_elect(args: argparse.Namespace) -> int:
+    """Run the dedicated election algorithm (Theorem 3.15)."""
+    cfg = _parse_config(args)
+    result = elect_leader(cfg)
+    print(result.describe())
+    if args.verbose and result.elected:
+        leader_history = result.execution.histories[result.leader]
+        print(f"leader history: {leader_history.render()}")
+    return 0 if result.elected or not result.trace.feasible else 1
+
+
+def cmd_census(args: argparse.Namespace) -> int:
+    """Feasibility census over random configurations."""
+    from .analysis.census import random_census
+
+    ns = [int(x) for x in args.n.split(",")]
+    result = random_census(
+        ns,
+        span=args.span,
+        p=args.p,
+        samples=args.samples,
+        seed=args.seed,
+        measure_rounds=args.rounds,
+    )
+    print(
+        format_table(
+            result.TABLE_HEADERS,
+            result.as_table(),
+            title=(
+                f"Feasibility census: p={args.p}, span={args.span}, "
+                f"{args.samples} samples per n"
+            ),
+        )
+    )
+    return 0
+
+
+def cmd_defeat(args: argparse.Namespace) -> int:
+    """Run the Proposition 4.4 universal-algorithm adversary."""
+    from .baselines.universal_candidates import candidate_portfolio, defeat
+
+    rows = []
+    all_defeated = True
+    for cand in candidate_portfolio():
+        rep = defeat(cand, probe_m=args.probe_m)
+        all_defeated &= rep.defeated
+        rows.append(
+            (
+                rep.candidate,
+                rep.first_tag0_transmission
+                if rep.first_tag0_transmission is not None
+                else "-",
+                f"H_{(rep.first_tag0_transmission or 0) + 1}",
+                "crash" if rep.crashed else len(rep.leaders),
+                "yes" if rep.defeated else "NO",
+            )
+        )
+    print(
+        format_table(
+            ("candidate", "t", "killer", "leaders", "defeated"),
+            rows,
+            title="Proposition 4.4 adversary: every universal candidate fails",
+        )
+    )
+    return 0 if all_defeated else 1
+
+
+def cmd_program(args: argparse.Namespace) -> int:
+    """Compile a canonical-DRIP program to JSON, or run one."""
+    from .core.program import (
+        compile_program,
+        dumps,
+        load,
+        program_algorithm,
+    )
+    from .radio.simulator import simulate
+
+    if args.run:
+        program = load(args.run)
+        cfg = _parse_config(args)
+        algo = program_algorithm(program)
+        execution = simulate(
+            cfg.normalize(),
+            algo.factory,
+            max_rounds=cfg.span + program.done_round + 2,
+        )
+        leaders = execution.decide_leaders(algo.decision)
+        print(
+            kv_block(
+                "Program run",
+                [
+                    ("program phases", program.num_phases),
+                    ("done round", program.done_round),
+                    ("leaders", leaders if leaders else "-"),
+                ],
+            )
+        )
+        return 0
+    cfg = _parse_config(args)
+    program = compile_program(cfg)
+    text = dumps(program, indent=2)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {args.out} ({len(text)} bytes, "
+              f"{program.num_phases} phase(s), feasible={program.feasible})")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_variants(args: argparse.Namespace) -> int:
+    """Cross-model feasibility census (cd / no-cd / beep)."""
+    from .reporting.tables import format_table as ft
+    from .variants.census import cross_model_census, exhaustive_cross_model_census
+    from .variants.channels import BEEP, CD, NO_CD
+
+    if args.exhaustive:
+        n, max_tag = (int(x) for x in args.exhaustive.split(","))
+        census = exhaustive_cross_model_census(n, max_tag)
+        title = f"Cross-model census: all connected configs n={n}, tags 0..{max_tag}"
+    else:
+        from .graphs.generators import build, random_connected_gnp_edges
+        from .graphs.tags import uniform_random
+
+        def configs():
+            for k in range(args.samples):
+                edges = random_connected_gnp_edges(args.n, args.p, args.seed + k)
+                tags = uniform_random(range(args.n), args.span, args.seed + k + 1)
+                yield build(edges, tags, n=args.n)
+
+        census = cross_model_census(configs())
+        title = (
+            f"Cross-model census: {args.samples} random configs "
+            f"n={args.n}, span={args.span}"
+        )
+    print(ft(census.TABLE_HEADERS, census.as_table(), title=title))
+    checks = [
+        ("no-cd ⊆ cd", census.inclusion_holds(NO_CD, CD)),
+        ("beep ⊆ cd", census.inclusion_holds(BEEP, CD)),
+        ("no-cd ⊆ beep", census.inclusion_holds(NO_CD, BEEP)),
+        ("beep ⊆ no-cd", census.inclusion_holds(BEEP, NO_CD)),
+    ]
+    for label, ok in checks:
+        print(f"  {label}: {'holds' if ok else 'violated'}")
+    return 0
+
+
+def cmd_wired(args: argparse.Namespace) -> int:
+    """Radio vs wired (view refinement) feasibility contrast."""
+    from .analysis.views import radio_vs_wired
+    from .graphs.enumeration import enumerate_configurations
+    from .reporting.tables import format_table as ft
+
+    n, max_tag = (int(x) for x in args.exhaustive.split(","))
+    census = radio_vs_wired(enumerate_configurations(n, max_tag))
+    print(
+        ft(
+            census.TABLE_HEADERS,
+            census.as_table(),
+            title=f"Radio vs wired feasibility: n={n}, tags 0..{max_tag}",
+        )
+    )
+    print(
+        "  dominance (radio ⊆ wired): "
+        + ("holds" if census.dominance_holds() else "VIOLATED")
+    )
+    return 0 if census.dominance_holds() else 1
+
+
+def cmd_minspan(args: argparse.Namespace) -> int:
+    """Least span making a graph shape feasible."""
+    from .analysis.extremal import min_feasible_span
+    from .graphs import generators as gen
+
+    shapes = {
+        "path": lambda n: gen.path_edges(n),
+        "cycle": lambda n: gen.cycle_edges(n),
+        "star": lambda n: gen.star_edges(n),
+        "complete": lambda n: gen.complete_edges(n),
+        "wheel": lambda n: gen.wheel_edges(n),
+    }
+    if args.shape not in shapes:
+        raise SystemExit(f"unknown shape {args.shape!r} (choose {sorted(shapes)})")
+    edges = shapes[args.shape](args.n)
+    result = min_feasible_span(edges, args.n, max_span=args.max_span)
+    print(
+        kv_block(
+            f"Minimal feasible span: {args.shape} n={args.n}",
+            [
+                ("span", result.span if result.span is not None else "> max-span"),
+                ("exhaustive", result.exhaustive),
+                ("witness tags", result.witness if result.witness else "-"),
+            ],
+        )
+    )
+    return 0
+
+
+def cmd_timeline(args: argparse.Namespace) -> int:
+    """Render a canonical election as a space-time grid."""
+    from .core.canonical import CanonicalProtocol
+    from .radio.simulator import simulate
+    from .reporting.timeline import legend, timeline, transmission_density
+
+    cfg = _parse_config(args)
+    trace = classify(cfg)
+    protocol = CanonicalProtocol.from_trace(trace)
+    network = trace.config
+    execution = simulate(
+        network,
+        protocol.factory,
+        max_rounds=protocol.round_budget(network.span),
+        record_trace=True,
+    )
+    leaders = execution.decide_leaders(protocol.decision)
+    print(f"decision: {trace.decision}; leaders: {leaders or '-'}")
+    print(legend())
+    end = args.end if args.end is not None else None
+    print(timeline(execution, start=args.start, end=end))
+    print(f"transmission density: {transmission_density(execution):.3f}")
+    return 0
+
+
+def cmd_quotient(args: argparse.Namespace) -> int:
+    """Show the classifier quotient / symmetry skeleton."""
+    from .analysis.quotient import classifier_quotient, infeasibility_certificate
+
+    cfg = _parse_config(args)
+    cert = infeasibility_certificate(cfg)
+    if cert is None:
+        print("configuration is feasible; classifier quotient:")
+        print(classifier_quotient(cfg).render())
+    else:
+        print("configuration is INFEASIBLE; symmetry skeleton:")
+        print(cert.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro-radio",
+        description=(
+            "Deterministic leader election in anonymous radio networks "
+            "(Miller, Pelc, Yadav; SPAA 2020)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("classify", help="decide feasibility of a configuration")
+    _add_config_args(p)
+    p.add_argument("-v", "--verbose", action="store_true")
+    p.set_defaults(func=cmd_classify)
+
+    p = sub.add_parser("elect", help="run the dedicated election algorithm")
+    _add_config_args(p)
+    p.add_argument("-v", "--verbose", action="store_true")
+    p.set_defaults(func=cmd_elect)
+
+    p = sub.add_parser("census", help="feasibility census over random configs")
+    p.add_argument("--n", default="6,8,10", help="comma-separated sizes")
+    p.add_argument("--span", type=int, default=2)
+    p.add_argument("--p", type=float, default=0.3)
+    p.add_argument("--samples", type=int, default=20)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--rounds", action="store_true", help="measure election rounds")
+    p.set_defaults(func=cmd_census)
+
+    p = sub.add_parser("defeat", help="run the Prop 4.4 universal-algorithm adversary")
+    p.add_argument("--probe-m", type=int, default=64)
+    p.set_defaults(func=cmd_defeat)
+
+    p = sub.add_parser(
+        "program",
+        help="compile a configuration's canonical DRIP to JSON, or run one",
+    )
+    _add_config_args(p)
+    p.add_argument("--out", help="write the program JSON here (default stdout)")
+    p.add_argument("--run", help="run a previously exported program file")
+    p.set_defaults(func=cmd_program)
+
+    p = sub.add_parser(
+        "variants", help="cross-model feasibility census (cd / no-cd / beep)"
+    )
+    p.add_argument(
+        "--exhaustive", help="'n,max_tag': enumerate all small configurations"
+    )
+    p.add_argument("--n", type=int, default=8)
+    p.add_argument("--span", type=int, default=2)
+    p.add_argument("--p", type=float, default=0.3)
+    p.add_argument("--samples", type=int, default=30)
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(func=cmd_variants)
+
+    p = sub.add_parser(
+        "wired", help="radio vs wired (view refinement) feasibility contrast"
+    )
+    p.add_argument("--exhaustive", default="4,1", help="'n,max_tag'")
+    p.set_defaults(func=cmd_wired)
+
+    p = sub.add_parser(
+        "minspan", help="least span making a graph shape feasible"
+    )
+    p.add_argument("--shape", default="path")
+    p.add_argument("--n", type=int, default=5)
+    p.add_argument("--max-span", type=int, default=4)
+    p.set_defaults(func=cmd_minspan)
+
+    p = sub.add_parser(
+        "timeline", help="render a canonical election as a space-time grid"
+    )
+    _add_config_args(p)
+    p.add_argument("--start", type=int, default=0)
+    p.add_argument("--end", type=int, default=None)
+    p.set_defaults(func=cmd_timeline)
+
+    p = sub.add_parser(
+        "quotient", help="show the classifier quotient / symmetry skeleton"
+    )
+    _add_config_args(p)
+    p.set_defaults(func=cmd_quotient)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,301 @@
+"""The canonical DRIP ``D_G`` (paper Section 3.3.1).
+
+For a configuration ``G``, the canonical DRIP is the distributed protocol
+whose hard-coded data is read off the ``Classifier`` trace:
+
+* a sequence of lists ``L_1, L_2, ...`` where ``L_1 = [(1, null)]``,
+  ``L_j[k] = (reps_j[k]_{CLASS,j-1}, reps_j[k]_{LBL,j})`` for ``j >= 2``,
+  and the first ``L_j`` whose construction round saw no class-count growth
+  or saw a singleton class is replaced by the string *terminate*;
+* the span ``σ``.
+
+Locally each node executes phases: phase ``P_j`` consists of
+``numClasses_j = len(L_j)`` transmission blocks of ``2σ+1`` rounds followed
+by ``σ`` listening rounds. At the start of ``P_j`` the node matches its
+phase-``P_{j-1}`` history against the entries of ``L_j`` to find its class
+number ``tBlock``; during the phase it transmits ``'1'`` exactly once, in
+the ``(σ+1)``-th round of block ``tBlock``, and listens otherwise. When
+``L_j`` is *terminate*, the node terminates in the first round of the
+phase. Lemma 3.8 shows the matching always succeeds and reproduces the
+classifier's class assignment; Lemma 3.9 shows two nodes share a class iff
+they share a history.
+
+This module also derives the dedicated decision function ``f_G``
+(Lemma 3.11): a node outputs 1 iff its final matched class equals the
+classifier's singleton leader class. The decision is a genuine function of
+the node's own terminal history (plus the hard-coded protocol data), so
+``(D_G, f_G)`` is a *dedicated leader election algorithm* in the paper's
+sense.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..radio.history import History
+from ..radio.model import LISTEN, TERMINATE, Action, Message, Transmit
+from ..radio.protocol import DRIP, LeaderElectionAlgorithm
+from .partition import Label, ONE, STAR
+from .trace import ClassifierTrace
+
+#: The message every canonical transmission carries (paper: the string '1').
+CANONICAL_MESSAGE = "1"
+
+
+class CanonicalMatchError(RuntimeError):
+    """A node's history matched no entry of ``L_j`` — impossible in a real
+    canonical execution (Lemma 3.8); indicates protocol/simulator skew."""
+
+
+#: One ``L_j`` entry: (class number at the previous partition, label).
+ListEntry = Tuple[int, Label]
+
+
+@dataclass
+class CanonicalData:
+    """Hard-coded data of ``D_G``: everything a node needs, and nothing
+    derived from its identity (all nodes receive an identical copy)."""
+
+    sigma: int
+    #: ``L_1 .. L_P`` for the P real (non-terminate) phases.
+    lists: List[List[ListEntry]]
+    #: entries of the would-be ``L_{P+1}`` (the partition at termination);
+    #: used only by the decision function, not by the protocol.
+    final_list: List[ListEntry]
+    #: class number of the leader's singleton class, or None if infeasible.
+    leader_class: Optional[int]
+    feasible: bool
+    #: phase-end local rounds ``r_0 .. r_P`` (``r_0 = 0``).
+    phase_ends: List[int]
+
+    @property
+    def num_phases(self) -> int:
+        return len(self.lists)
+
+    @property
+    def block_width(self) -> int:
+        return 2 * self.sigma + 1
+
+    @property
+    def done_round(self) -> int:
+        """``done_v``: the local round in which every node terminates
+        (``r_{jterm-1} + 1``, identical across nodes)."""
+        return self.phase_ends[-1] + 1
+
+
+def build_canonical_data(trace: ClassifierTrace) -> CanonicalData:
+    """Construct the canonical DRIP data from a classifier trace."""
+    if not trace.decision:
+        raise ValueError("trace has no decision; run classify() first")
+    sigma = trace.sigma
+    p = trace.decided_at  # number of real phases (L_{p+1} = terminate)
+
+    lists: List[List[ListEntry]] = [[(1, ())]]  # L_1 = [(1, null)]
+    for j in range(2, p + 1):
+        reps_j = trace.reps_at(j)
+        prev_classes = trace.classes_at(j - 1)
+        labels_j = trace.labels_at(j)
+        entries = [
+            (prev_classes[reps_j[k]], labels_j[reps_j[k]])
+            for k in range(1, trace.num_classes_at(j) + 1)
+        ]
+        lists.append(entries)
+
+    # The would-be L_{p+1}: the partition Classifier stopped with.
+    jterm = p + 1
+    reps_f = trace.reps_at(jterm)
+    prev_classes_f = trace.classes_at(jterm - 1)
+    labels_f = trace.labels_at(jterm) if jterm >= 2 else {}
+    final_list: List[ListEntry] = [
+        (prev_classes_f[reps_f[k]], labels_f[reps_f[k]])
+        for k in range(1, trace.num_classes_at(jterm) + 1)
+    ]
+
+    width = 2 * sigma + 1
+    phase_ends = [0]
+    for entries in lists:
+        phase_ends.append(phase_ends[-1] + len(entries) * width + sigma)
+
+    return CanonicalData(
+        sigma=sigma,
+        lists=lists,
+        final_list=final_list,
+        leader_class=trace.leader_class,
+        feasible=trace.feasible,
+        phase_ends=phase_ends,
+    )
+
+
+# ----------------------------------------------------------------------
+# history matching
+# ----------------------------------------------------------------------
+def observed_triples(
+    history: History, r_prev: int, num_blocks: int, sigma: int
+) -> Label:
+    """Triples a node observed during one phase's block region.
+
+    Round ``t = r_prev + (a-1)(2σ+1) + b`` (``a``-th block, ``b``-th round
+    within it) contributes ``(a, b, 1)`` for a received message and
+    ``(a, b, ∗)`` for collision noise; silent rounds contribute nothing.
+    The result is sorted by ``≺hist`` — directly comparable to a
+    Partitioner label (Lemma 3.8 statement (1)).
+    """
+    width = 2 * sigma + 1
+    out = []
+    for t, entry in history.events_in(r_prev + 1, r_prev + num_blocks * width):
+        rel = t - r_prev - 1
+        mark = ONE if isinstance(entry, Message) else STAR
+        out.append((rel // width + 1, rel % width + 1, mark))
+    return tuple(out)
+
+
+def match_entry(
+    entries: List[ListEntry], old_tblock: int, observed: Label
+) -> Optional[int]:
+    """First ``k`` (1-based) whose entry matches ``(old_tblock, observed)``."""
+    for k, (old_class, label) in enumerate(entries, start=1):
+        if old_class == old_tblock and label == observed:
+            return k
+    return None
+
+
+def replay_tblocks(data: CanonicalData, history: History) -> List[int]:
+    """Recompute the node's ``tBlock`` for every phase from its history.
+
+    Returns ``[tb_1, ..., tb_P]``. Requires the history to cover at least
+    through ``r_{P-1}`` (i.e. all phases whose matching data it needs).
+    Raises :class:`CanonicalMatchError` on a failed match.
+    """
+    tblocks = [1]  # phase 1: initial tBlock 1 matches L_1 = [(1, null)]
+    for j in range(2, data.num_phases + 1):
+        observed = observed_triples(
+            history, data.phase_ends[j - 2], len(data.lists[j - 2]), data.sigma
+        )
+        k = match_entry(data.lists[j - 1], tblocks[-1], observed)
+        if k is None:
+            raise CanonicalMatchError(
+                f"phase {j}: history matched no entry of L_{j} "
+                f"(old tBlock {tblocks[-1]}, observed {observed!r})"
+            )
+        tblocks.append(k)
+    return tblocks
+
+
+def final_class_of(data: CanonicalData, history: History) -> Optional[int]:
+    """The node's class in the terminal partition, from its own history."""
+    tblocks = replay_tblocks(data, history)
+    p = data.num_phases
+    observed = observed_triples(
+        history, data.phase_ends[p - 1], len(data.lists[p - 1]), data.sigma
+    )
+    return match_entry(data.final_list, tblocks[-1], observed)
+
+
+# ----------------------------------------------------------------------
+# the protocol
+# ----------------------------------------------------------------------
+class CanonicalDRIP(DRIP):
+    """Per-node executor of ``D_G``.
+
+    The per-round action is O(1) arithmetic on the phase schedule; the
+    per-phase ``tBlock`` matching is cached and costs O(events + |L_j|·Δ).
+    """
+
+    __slots__ = ("data", "_tblocks")
+
+    def __init__(self, data: CanonicalData) -> None:
+        self.data = data
+        self._tblocks: Dict[int, int] = {1: 1}
+
+    def _tblock(self, j: int, history: History) -> int:
+        tb = self._tblocks.get(j)
+        if tb is not None:
+            return tb
+        prev = self._tblock(j - 1, history)
+        data = self.data
+        observed = observed_triples(
+            history, data.phase_ends[j - 2], len(data.lists[j - 2]), data.sigma
+        )
+        tb = match_entry(data.lists[j - 1], prev, observed)
+        if tb is None:
+            raise CanonicalMatchError(
+                f"phase {j}: no matching entry in L_{j} "
+                f"(old tBlock {prev}, observed {observed!r})"
+            )
+        self._tblocks[j] = tb
+        return tb
+
+    def decide(self, history: History) -> Action:
+        data = self.data
+        i = len(history)  # local round being decided
+        ends = data.phase_ends
+        if i > ends[-1]:
+            return TERMINATE  # local round r_P + 1 (and permanently after)
+        # phase j with r_{j-1} < i <= r_j
+        j = bisect_left(ends, i)
+        offset = i - ends[j - 1]
+        width = data.block_width
+        blocks_region = len(data.lists[j - 1]) * width
+        if offset > blocks_region:
+            return LISTEN  # trailing σ rounds of the phase
+        block, pos = divmod(offset - 1, width)
+        if pos + 1 == data.sigma + 1 and block + 1 == self._tblock(j, history):
+            return Transmit(CANONICAL_MESSAGE)
+        return LISTEN
+
+
+class CanonicalProtocol:
+    """Bundles ``D_G`` with its decision function ``f_G`` (Lemma 3.11)."""
+
+    __slots__ = ("data",)
+
+    def __init__(self, data: CanonicalData) -> None:
+        self.data = data
+
+    @classmethod
+    def from_trace(cls, trace: ClassifierTrace) -> "CanonicalProtocol":
+        return cls(build_canonical_data(trace))
+
+    # -- DRIP side -----------------------------------------------------
+    def factory(self, _node_id: object) -> DRIP:
+        """Program factory: every node runs an identical ``CanonicalDRIP``
+        (anonymity — the node id is ignored)."""
+        return CanonicalDRIP(self.data)
+
+    # -- decision side ---------------------------------------------------
+    def decision(self, history: History) -> int:
+        """``f_G``: 1 iff the node's final matched class is the leader's
+        singleton class."""
+        if not self.data.feasible:
+            return 0
+        try:
+            k = final_class_of(self.data, history)
+        except CanonicalMatchError:
+            return 0
+        return 1 if k == self.data.leader_class else 0
+
+    def algorithm(self) -> LeaderElectionAlgorithm:
+        """Bundle ``(D_G, f_G)`` as a LeaderElectionAlgorithm."""
+        return LeaderElectionAlgorithm(
+            self.factory, self.decision, name="canonical"
+        )
+
+    # -- schedule facts --------------------------------------------------
+    @property
+    def expected_done(self) -> int:
+        """The common local termination round ``done_v``."""
+        return self.data.done_round
+
+    def round_budget(self, span: int) -> int:
+        """Global rounds needed to simulate to completion, with margin."""
+        return span + self.data.done_round + 2
+
+    def phase_of_round(self, i: int) -> Optional[int]:
+        """Phase number j whose local-round range contains ``i`` (1-based),
+        or None outside all phases."""
+        ends = self.data.phase_ends
+        if i < 1 or i > ends[-1]:
+            return None
+        return bisect_left(ends, i)

@@ -1,0 +1,132 @@
+"""The paper's centralized decision algorithm ``Classifier`` (Section 3.1).
+
+Faithful transcription of Algorithms 1–4:
+
+* ``Init-Aug`` — every node starts in class 1 with a null label; the first
+  node in the fixed vertex order becomes the class-1 representative.
+* ``Partitioner`` — assigns each node the label encoding what it would
+  hear during the current phase of the canonical DRIP (one transmission
+  block of ``2σ+1`` rounds per class; a neighbour ``w`` of ``v`` lands in
+  ``v``'s local round ``σ+1+t_w−t_v`` of block ``w_CLASS``), then refines
+  the partition via ``Refine``.
+* ``Classifier`` — repeats ``Partitioner`` for at most ``⌈n/2⌉``
+  iterations; outputs **Yes** as soon as some class has exactly one node
+  and **No** as soon as an iteration fails to increase the class count.
+
+Lemma 3.4 guarantees one of the two exits fires within ``⌈n/2⌉``
+iterations, and Theorem 3.17 shows the output equals feasibility of the
+input configuration. The full refinement history is returned as a
+:class:`~repro.core.trace.ClassifierTrace`, from which the canonical DRIP
+is constructed without further computation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from .configuration import Configuration
+from .partition import (
+    OpCounter,
+    compute_all_labels,
+    refine,
+    singleton_classes,
+)
+from .trace import NO, YES, ClassifierTrace, IterationRecord
+
+
+class ClassifierInvariantError(AssertionError):
+    """Internal invariant violation (would contradict Lemma 3.4)."""
+
+
+def classify(
+    config: Configuration,
+    *,
+    count_ops: bool = False,
+) -> ClassifierTrace:
+    """Run ``Classifier`` on ``config`` and return the full trace.
+
+    The configuration is normalized first (smallest tag shifted to 0,
+    w.l.o.g. per Section 2.1); the trace's ``config`` attribute holds the
+    normalized configuration.
+
+    Parameters
+    ----------
+    count_ops:
+        meter triple-level operations (for the O(n³Δ) experiment); the
+        total lands in ``trace.total_ops``.
+    """
+    config = config.normalize()
+    nodes = config.nodes
+    n = config.n
+    counter = OpCounter() if count_ops else None
+
+    # --- Init-Aug (Algorithm 1) ---------------------------------------
+    classes = {v: 1 for v in nodes}
+    reps: list = [None, nodes[0]]  # 1-based; reps[1] = first node
+    num_classes = 1
+
+    trace = ClassifierTrace(
+        config=config,
+        sigma=config.span,
+        initial_classes=dict(classes),
+        initial_reps=tuple(reps),
+    )
+
+    # --- main loop (Algorithm 4) ----------------------------------------
+    max_iters = math.ceil(n / 2)
+    for i in range(1, max_iters + 1):
+        old_class_count = num_classes
+
+        # Partitioner (Algorithm 3): label every node, then Refine.
+        labels = compute_all_labels(config, classes, counter)
+        classes, reps, num_classes = refine(
+            nodes, classes, labels, reps, num_classes, counter
+        )
+
+        trace.iterations.append(
+            IterationRecord(
+                index=i,
+                labels=labels,
+                classes_after=dict(classes),
+                reps_after=tuple(reps),
+                num_classes_after=num_classes,
+            )
+        )
+
+        single = singleton_classes(classes)
+        if single:
+            trace.decision = YES
+            trace.decided_at = i
+            trace.leader_class = single[0]  # the smallest such m (Lemma 3.11)
+            trace.leader = reps[single[0]]
+            break
+        if num_classes == old_class_count:
+            trace.decision = NO
+            trace.decided_at = i
+            break
+    else:
+        raise ClassifierInvariantError(
+            f"Classifier failed to decide within ⌈n/2⌉ = {max_iters} "
+            f"iterations on {config!r} — contradicts Lemma 3.4"
+        )
+
+    if counter is not None:
+        trace.total_ops = counter.total
+    return trace
+
+
+def is_feasible(config: Configuration) -> bool:
+    """Decide feasibility of ``config`` (Theorem 3.17)."""
+    return classify(config).feasible
+
+
+def classifier_ops(config: Configuration) -> int:
+    """Metered operation count of one Classifier run (Lemma 3.5 units)."""
+    return classify(config, count_ops=True).total_ops
+
+
+def chosen_leader(config: Configuration) -> Optional[object]:
+    """The node Classifier isolates (smallest singleton class), or None."""
+    trace = classify(config)
+    return trace.leader if trace.feasible else None

@@ -1,0 +1,142 @@
+"""Hash-based classifier: identical outputs, better complexity (ablation).
+
+The paper's ``Refine`` compares every node against every class
+representative (O(n²Δ) per iteration → O(n³Δ) total, Lemma 3.5). Nothing
+in the correctness argument needs that scan: the assignment rule is
+"same (old class, label) pair as an existing representative", which a dict
+lookup resolves in expected O(Δ) per node. Likewise the duplicate scan in
+label construction (quadratic in the degree) collapses to a counting dict.
+
+``fast_classify`` reproduces **bit-identical** traces — the same class
+numbering, the same representatives, the same decision and leader — in
+O(nΔ log Δ) per iteration. Experiment E8 quantifies the speedup; the test
+suite asserts output equality on thousands of configurations.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+from .classifier import ClassifierInvariantError
+from .configuration import Configuration
+from .partition import Label, ONE, STAR, singleton_classes
+from .trace import NO, YES, ClassifierTrace, IterationRecord
+
+
+def _fast_label(config: Configuration, v: object, classes: Dict[object, int]) -> Label:
+    """Counting-dict version of the Partitioner label (same output)."""
+    sigma = config.span
+    tv = config.tag(v)
+    v_class = classes[v]
+    counts: Dict[tuple, int] = {}
+    for w in config.neighbors(v):
+        w_class = classes[w]
+        tw = config.tag(w)
+        if w_class != v_class or tw != tv:
+            key = (w_class, sigma + 1 + tw - tv)
+            counts[key] = counts.get(key, 0) + 1
+    return tuple(
+        (a, b, ONE if c == 1 else STAR) for (a, b), c in sorted(counts.items())
+    )
+
+
+def fast_classify(config: Configuration) -> ClassifierTrace:
+    """Drop-in replacement for :func:`repro.core.classifier.classify`.
+
+    Returns a trace equal (field by field, up to the unmetered
+    ``total_ops``) to the faithful implementation's.
+    """
+    config = config.normalize()
+    nodes = config.nodes
+    n = config.n
+
+    classes = {v: 1 for v in nodes}
+    reps: list = [None, nodes[0]]
+    num_classes = 1
+
+    trace = ClassifierTrace(
+        config=config,
+        sigma=config.span,
+        initial_classes=dict(classes),
+        initial_reps=tuple(reps),
+    )
+
+    max_iters = math.ceil(n / 2)
+    for i in range(1, max_iters + 1):
+        old_class_count = num_classes
+
+        labels = {v: _fast_label(config, v, classes) for v in nodes}
+
+        # Refine via dict lookup. Representative (old class, label) pairs
+        # are pairwise distinct, so the mapping is well-defined and yields
+        # exactly the paper's class assignment and numbering.
+        by_key: Dict[tuple, int] = {}
+        for k in range(1, num_classes + 1):
+            rep = reps[k]
+            by_key[(classes[rep], labels[rep])] = k
+        new_classes: Dict[object, int] = {}
+        for v in nodes:
+            key = (classes[v], labels[v])
+            k = by_key.get(key)
+            if k is None:
+                num_classes += 1
+                k = num_classes
+                by_key[key] = k
+                reps.append(v)
+            new_classes[v] = k
+        classes = new_classes
+
+        trace.iterations.append(
+            IterationRecord(
+                index=i,
+                labels=labels,
+                classes_after=dict(classes),
+                reps_after=tuple(reps),
+                num_classes_after=num_classes,
+            )
+        )
+
+        single = singleton_classes(classes)
+        if single:
+            trace.decision = YES
+            trace.decided_at = i
+            trace.leader_class = single[0]
+            trace.leader = reps[single[0]]
+            break
+        if num_classes == old_class_count:
+            trace.decision = NO
+            trace.decided_at = i
+            break
+    else:
+        raise ClassifierInvariantError(
+            f"fast_classify failed to decide within ⌈n/2⌉ = {max_iters} "
+            f"iterations on {config!r} — contradicts Lemma 3.4"
+        )
+
+    return trace
+
+
+def traces_equal(a: ClassifierTrace, b: ClassifierTrace) -> bool:
+    """Field-by-field equality of two traces (ignoring op metering)."""
+    if (
+        a.decision != b.decision
+        or a.decided_at != b.decided_at
+        or a.leader != b.leader
+        or a.leader_class != b.leader_class
+        or a.sigma != b.sigma
+        or a.initial_classes != b.initial_classes
+        or a.initial_reps != b.initial_reps
+        or len(a.iterations) != len(b.iterations)
+    ):
+        return False
+    for ra, rb in zip(a.iterations, b.iterations):
+        if (
+            ra.index != rb.index
+            or ra.labels != rb.labels
+            or ra.classes_after != rb.classes_after
+            or ra.reps_after != rb.reps_after
+            or ra.num_classes_after != rb.num_classes_after
+        ):
+            return False
+    return True

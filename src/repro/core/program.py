@@ -1,0 +1,283 @@
+"""Serializable canonical-DRIP programs.
+
+The paper stresses (Section 3) that once ``Classifier`` has run, the
+dedicated distributed leader election algorithm for the configuration is
+available *"without any additional computation"*: the protocol is fully
+determined by the hard-coded lists ``L_1, L_2, ...`` plus the span σ. This
+module makes that claim concrete by giving the hard-coded data a stable,
+portable wire format:
+
+* :class:`CanonicalProgram` — a frozen, versioned value object holding
+  exactly the data a node needs (σ, the lists, the terminal list, the
+  leader class), independent of any :class:`~repro.core.trace.ClassifierTrace`;
+* :func:`export_program` / :func:`import_program` — lossless conversion to
+  and from plain JSON-able dictionaries (and strings/files), so a program
+  compiled on one machine can be installed on the nodes of another;
+* :func:`program_drip` / :func:`program_algorithm` — an interpreter that
+  executes an imported program and is action-for-action equivalent to
+  :class:`~repro.core.canonical.CanonicalDRIP` (tested exhaustively).
+
+The wire format deliberately contains no node identities: installing the
+same program blob on every node is precisely the paper's anonymity
+requirement.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..radio.protocol import DRIP, LeaderElectionAlgorithm
+from .canonical import (
+    CanonicalData,
+    CanonicalDRIP,
+    CanonicalProtocol,
+    build_canonical_data,
+)
+from .classifier import classify
+from .configuration import Configuration
+from .partition import Label, ONE, STAR
+from .trace import ClassifierTrace
+
+#: Wire-format version; bump on incompatible changes.
+FORMAT_VERSION = 1
+
+#: JSON encoding of multiplicity marks.
+_MARK_TO_WIRE = {ONE: "1", STAR: "*"}
+_WIRE_TO_MARK = {"1": ONE, "*": STAR}
+
+
+class ProgramFormatError(ValueError):
+    """Raised when an imported program blob is malformed."""
+
+
+@dataclass(frozen=True)
+class CanonicalProgram:
+    """The portable form of a canonical DRIP ``D_G``.
+
+    Equality is structural: two programs are equal iff they would make
+    every node behave identically in every execution.
+    """
+
+    sigma: int
+    #: ``L_1 .. L_P`` — entries are ``(old_class, label)`` pairs.
+    lists: Tuple[Tuple[Tuple[int, Label], ...], ...]
+    #: the would-be ``L_{P+1}`` (terminal partition data for ``f_G``).
+    final_list: Tuple[Tuple[int, Label], ...]
+    leader_class: Optional[int]
+    feasible: bool
+
+    @property
+    def num_phases(self) -> int:
+        return len(self.lists)
+
+    @property
+    def phase_ends(self) -> List[int]:
+        """Local phase-end rounds ``r_0 .. r_P`` (recomputed, not stored)."""
+        width = 2 * self.sigma + 1
+        ends = [0]
+        for entries in self.lists:
+            ends.append(ends[-1] + len(entries) * width + self.sigma)
+        return ends
+
+    @property
+    def done_round(self) -> int:
+        """The common local termination round ``done_v``."""
+        return self.phase_ends[-1] + 1
+
+    def to_canonical_data(self) -> CanonicalData:
+        """Rehydrate the executable form used by the interpreter."""
+        return CanonicalData(
+            sigma=self.sigma,
+            lists=[list(entries) for entries in self.lists],
+            final_list=list(self.final_list),
+            leader_class=self.leader_class,
+            feasible=self.feasible,
+            phase_ends=self.phase_ends,
+        )
+
+
+# ----------------------------------------------------------------------
+# compilation
+# ----------------------------------------------------------------------
+def compile_program(config: Configuration) -> CanonicalProgram:
+    """Classify ``config`` and package its canonical DRIP as a program."""
+    return program_from_trace(classify(config))
+
+
+def program_from_trace(trace: ClassifierTrace) -> CanonicalProgram:
+    """Package an existing classifier trace (no re-classification)."""
+    return program_from_data(build_canonical_data(trace))
+
+
+def program_from_data(data: CanonicalData) -> CanonicalProgram:
+    """Package executable canonical data as a frozen program value."""
+    return CanonicalProgram(
+        sigma=data.sigma,
+        lists=tuple(tuple(entries) for entries in data.lists),
+        final_list=tuple(data.final_list),
+        leader_class=data.leader_class,
+        feasible=data.feasible,
+    )
+
+
+# ----------------------------------------------------------------------
+# wire format
+# ----------------------------------------------------------------------
+def _label_to_wire(label: Label) -> List[List[object]]:
+    return [[a, b, _MARK_TO_WIRE[c]] for (a, b, c) in label]
+
+
+def _label_from_wire(wire: object) -> Label:
+    if not isinstance(wire, list):
+        raise ProgramFormatError(f"label must be a list, got {type(wire).__name__}")
+    out = []
+    for item in wire:
+        if not (isinstance(item, list) and len(item) == 3):
+            raise ProgramFormatError(f"label triple must be [a, b, mark], got {item!r}")
+        a, b, mark = item
+        if not isinstance(a, int) or not isinstance(b, int):
+            raise ProgramFormatError(f"triple coordinates must be ints, got {item!r}")
+        if mark not in _WIRE_TO_MARK:
+            raise ProgramFormatError(f"unknown multiplicity mark {mark!r}")
+        out.append((a, b, _WIRE_TO_MARK[mark]))
+    return tuple(out)
+
+
+def _entries_to_wire(entries) -> List[List[object]]:
+    return [[old, _label_to_wire(label)] for (old, label) in entries]
+
+
+def _entries_from_wire(wire: object, where: str) -> Tuple[Tuple[int, Label], ...]:
+    if not isinstance(wire, list):
+        raise ProgramFormatError(f"{where} must be a list")
+    out = []
+    for item in wire:
+        if not (isinstance(item, list) and len(item) == 2):
+            raise ProgramFormatError(
+                f"{where} entry must be [old_class, label], got {item!r}"
+            )
+        old, label = item
+        if not isinstance(old, int) or old < 1:
+            raise ProgramFormatError(f"{where}: old_class must be a positive int")
+        out.append((old, _label_from_wire(label)))
+    return tuple(out)
+
+
+def export_program(program: CanonicalProgram) -> Dict[str, object]:
+    """Render a program as a plain JSON-able dictionary."""
+    return {
+        "format": "repro-canonical-drip",
+        "version": FORMAT_VERSION,
+        "sigma": program.sigma,
+        "feasible": program.feasible,
+        "leader_class": program.leader_class,
+        "lists": [_entries_to_wire(entries) for entries in program.lists],
+        "final_list": _entries_to_wire(program.final_list),
+    }
+
+
+def import_program(blob: Dict[str, object]) -> CanonicalProgram:
+    """Parse a dictionary produced by :func:`export_program`.
+
+    Raises :class:`ProgramFormatError` on any structural problem; the
+    checks are strict because a corrupted program silently misbehaves as
+    a distributed protocol.
+    """
+    if not isinstance(blob, dict):
+        raise ProgramFormatError("program blob must be a dict")
+    if blob.get("format") != "repro-canonical-drip":
+        raise ProgramFormatError(f"unknown format {blob.get('format')!r}")
+    if blob.get("version") != FORMAT_VERSION:
+        raise ProgramFormatError(f"unsupported version {blob.get('version')!r}")
+    sigma = blob.get("sigma")
+    if not isinstance(sigma, int) or sigma < 0:
+        raise ProgramFormatError("sigma must be a non-negative int")
+    feasible = blob.get("feasible")
+    if not isinstance(feasible, bool):
+        raise ProgramFormatError("feasible must be a bool")
+    leader_class = blob.get("leader_class")
+    if leader_class is not None and (
+        not isinstance(leader_class, int) or leader_class < 1
+    ):
+        raise ProgramFormatError("leader_class must be a positive int or null")
+    if feasible and leader_class is None:
+        raise ProgramFormatError("feasible program must name a leader class")
+    lists_wire = blob.get("lists")
+    if not isinstance(lists_wire, list) or not lists_wire:
+        raise ProgramFormatError("lists must be a non-empty list")
+    lists = tuple(
+        _entries_from_wire(entries, f"L_{j + 1}")
+        for j, entries in enumerate(lists_wire)
+    )
+    for j, entries in enumerate(lists):
+        if not entries:
+            raise ProgramFormatError(f"L_{j + 1} is empty")
+    if lists[0] != ((1, ()),):
+        raise ProgramFormatError("L_1 must be the single entry (1, null)")
+    final_list = _entries_from_wire(blob.get("final_list"), "final_list")
+    if not final_list:
+        raise ProgramFormatError("final_list is empty")
+    if leader_class is not None and leader_class > len(final_list):
+        raise ProgramFormatError("leader_class exceeds the final partition size")
+    return CanonicalProgram(
+        sigma=sigma,
+        lists=lists,
+        final_list=final_list,
+        leader_class=leader_class,
+        feasible=feasible,
+    )
+
+
+def dumps(program: CanonicalProgram, *, indent: Optional[int] = None) -> str:
+    """Serialize a program to a JSON string."""
+    return json.dumps(export_program(program), indent=indent, sort_keys=True)
+
+
+def loads(text: str) -> CanonicalProgram:
+    """Parse a program from a JSON string."""
+    try:
+        blob = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ProgramFormatError(f"invalid JSON: {exc}") from exc
+    return import_program(blob)
+
+
+def save(program: CanonicalProgram, path) -> None:
+    """Write a program to a JSON file."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(dumps(program, indent=2))
+        fh.write("\n")
+
+
+def load(path) -> CanonicalProgram:
+    """Read a program from a JSON file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return loads(fh.read())
+
+
+# ----------------------------------------------------------------------
+# interpretation
+# ----------------------------------------------------------------------
+def program_drip(program: CanonicalProgram) -> DRIP:
+    """A fresh per-node executor for ``program``.
+
+    The interpreter reuses :class:`~repro.core.canonical.CanonicalDRIP`
+    on the rehydrated data — by construction action-for-action identical
+    to the protocol compiled directly from the classifier trace.
+    """
+    return CanonicalDRIP(program.to_canonical_data())
+
+
+def program_algorithm(program: CanonicalProgram) -> LeaderElectionAlgorithm:
+    """The full dedicated algorithm ``(D_G, f_G)`` from a program blob."""
+    protocol = CanonicalProtocol(program.to_canonical_data())
+    return LeaderElectionAlgorithm(
+        protocol.factory, protocol.decision, name="canonical-program"
+    )
+
+
+def roundtrip_equal(program: CanonicalProgram) -> bool:
+    """True iff export → JSON → import reproduces the program exactly."""
+    return loads(dumps(program)) == program

@@ -1,0 +1,74 @@
+"""The paper's named configuration families (Section 4).
+
+* ``G_m`` (Proposition 4.1): a line of ``4m+1`` nodes
+  ``a_1..a_m, b_1..b_{2m+1}, c_m..c_1`` with tags 0 on the ``a``/``c``
+  nodes and 1 on the ``b`` nodes. Feasible with span 1; every dedicated
+  leader election algorithm needs Ω(n) rounds (symmetry around the centre
+  ``b_{m+1}`` takes ~m rounds to break).
+* ``H_m`` (Lemma 4.2): the 4-node line ``a, b, c, d`` with tags
+  ``m, 0, 0, m+1``. Feasible for every ``m >= 1``; every leader election
+  algorithm needs at least ``m`` rounds (Ω(σ), Proposition 4.3).
+* ``S_m`` (Proposition 4.5): the 4-node line ``a, b, c, d`` with tags
+  ``m, 0, 0, m``. **Infeasible** for every ``m >= 1`` (mirror symmetry),
+  yet indistinguishable from ``H_m`` to every node until round ``m`` —
+  the engine of the no-distributed-decision proof.
+
+Node ids are integers 0..n−1 left to right; ``*_names`` helpers recover
+the paper's letter names.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..core.configuration import Configuration, line_configuration
+
+
+def g_m(m: int) -> Configuration:
+    """Proposition 4.1 line configuration ``G_m`` (requires ``m >= 2``)."""
+    if m < 2:
+        raise ValueError("G_m is defined for m >= 2")
+    tags = [0] * m + [1] * (2 * m + 1) + [0] * m
+    return line_configuration(tags)
+
+
+def g_m_size(m: int) -> int:
+    """Number of nodes of ``G_m``."""
+    return 4 * m + 1
+
+
+def g_m_center(m: int) -> int:
+    """Node id of the centre ``b_{m+1}`` (the node Classifier isolates)."""
+    return 2 * m  # m a-nodes, then b_1..b_m, then b_{m+1} at index 2m
+
+
+def g_m_names(m: int) -> Dict[int, str]:
+    """Map node id -> paper name (``a_i`` / ``b_i`` / ``c_i``)."""
+    names = {}
+    for i in range(m):
+        names[i] = f"a{i + 1}"
+    for i in range(2 * m + 1):
+        names[m + i] = f"b{i + 1}"
+    for i in range(m):
+        names[3 * m + 1 + i] = f"c{m - i}"
+    return names
+
+
+def h_m(m: int) -> Configuration:
+    """Lemma 4.2 configuration ``H_m``: line a,b,c,d tagged m,0,0,m+1."""
+    if m < 1:
+        raise ValueError("H_m is defined for m >= 1")
+    return line_configuration([m, 0, 0, m + 1])
+
+
+def s_m(m: int) -> Configuration:
+    """Proposition 4.5 configuration ``S_m``: line a,b,c,d tagged m,0,0,m.
+
+    Infeasible (the mirror automorphism fixes no node)."""
+    if m < 1:
+        raise ValueError("S_m is defined for m >= 1")
+    return line_configuration([m, 0, 0, m])
+
+
+#: Paper names of the 4-node-line nodes used by ``h_m`` and ``s_m``.
+FOUR_NODE_NAMES = {0: "a", 1: "b", 2: "c", 3: "d"}

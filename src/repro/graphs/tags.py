@@ -1,0 +1,157 @@
+"""Wakeup-tag assignment strategies.
+
+Tags are the only symmetry-breaking resource in the model, so experiment
+workloads sweep both the graph shape *and* the tag pattern. All random
+strategies take explicit seeds.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence
+
+
+def all_zero(nodes: Sequence[int]) -> Dict[int, int]:
+    """Everyone wakes together — infeasible for n >= 2 (Section 1.1)."""
+    return {v: 0 for v in nodes}
+
+
+def distinct_tags(nodes: Sequence[int]) -> Dict[int, int]:
+    """Node ``i`` (in sorted order) gets tag ``i`` — maximal asymmetry."""
+    return {v: i for i, v in enumerate(sorted(nodes))}
+
+
+def uniform_random(nodes: Sequence[int], span: int, seed: int) -> Dict[int, int]:
+    """Independent uniform tags in ``0..span``."""
+    if span < 0:
+        raise ValueError("span must be >= 0")
+    rng = random.Random(seed)
+    return {v: rng.randint(0, span) for v in sorted(nodes)}
+
+
+def one_early_riser(nodes: Sequence[int], late: int = 1) -> Dict[int, int]:
+    """The first node wakes at 0, everyone else at ``late`` — the simplest
+    feasible pattern on most graphs (the early riser becomes leader)."""
+    if late < 1:
+        raise ValueError("late must be >= 1")
+    ordered = sorted(nodes)
+    tags = {v: late for v in ordered}
+    tags[ordered[0]] = 0
+    return tags
+
+
+def blocks(nodes: Sequence[int], block_sizes: Sequence[int]) -> Dict[int, int]:
+    """Consecutive blocks of nodes share a tag: block ``i`` gets tag ``i``.
+
+    ``sum(block_sizes)`` must equal the node count.
+    """
+    ordered = sorted(nodes)
+    if sum(block_sizes) != len(ordered):
+        raise ValueError("block sizes must sum to the number of nodes")
+    tags: Dict[int, int] = {}
+    idx = 0
+    for tag, size in enumerate(block_sizes):
+        for _ in range(size):
+            tags[ordered[idx]] = tag
+            idx += 1
+    return tags
+
+
+def mirrored_line_tags(half: Sequence[int], middle: Sequence[int]) -> List[int]:
+    """Tags for a palindromic line: ``half + middle + reversed(half)``.
+
+    Handy for constructing symmetric (usually infeasible) lines in tests.
+    """
+    return list(half) + list(middle) + list(reversed(half))
+
+
+def staircase(nodes: Sequence[int], step: int = 1, width: int = 1) -> Dict[int, int]:
+    """Groups of ``width`` consecutive nodes; each group wakes ``step``
+    rounds after the previous one (a rolling wavefront)."""
+    if step < 0 or width < 1:
+        raise ValueError("need step >= 0 and width >= 1")
+    ordered = sorted(nodes)
+    return {v: (i // width) * step for i, v in enumerate(ordered)}
+
+
+def alternating(nodes: Sequence[int], low: int = 0, high: int = 1) -> Dict[int, int]:
+    """Tags alternate low/high along the sorted node order — the maximal
+    number of wakeup *boundaries* at span ``high − low``."""
+    if high < low:
+        raise ValueError("need high >= low")
+    ordered = sorted(nodes)
+    return {v: (low if i % 2 == 0 else high) for i, v in enumerate(ordered)}
+
+
+def bfs_layers(config, root, *, step: int = 1) -> Dict[object, int]:
+    """Tag = ``step × (BFS distance from root)`` — wakeups ripple outward
+    from a chosen epicentre. Takes a built configuration (needs adjacency).
+    """
+    if step < 0:
+        raise ValueError("step must be >= 0")
+    from collections import deque
+
+    dist = {root: 0}
+    queue = deque([root])
+    while queue:
+        v = queue.popleft()
+        for w in config.neighbors(v):
+            if w not in dist:
+                dist[w] = dist[v] + 1
+                queue.append(w)
+    if len(dist) != len(config.nodes):
+        raise ValueError("root does not reach every node")
+    return {v: step * d for v, d in dist.items()}
+
+
+def single_sleeper(nodes: Sequence[int], sleeper_index: int = -1, late: int = 1
+                   ) -> Dict[int, int]:
+    """Everyone wakes at 0 except one node at ``late`` — the dual of
+    :func:`one_early_riser` (the sleeper is woken by its neighbours)."""
+    if late < 1:
+        raise ValueError("late must be >= 1")
+    ordered = sorted(nodes)
+    tags = {v: 0 for v in ordered}
+    tags[ordered[sleeper_index]] = late
+    return tags
+
+
+def clustered(
+    nodes: Sequence[int], num_clusters: int, span: int, seed: int
+) -> Dict[int, int]:
+    """Random cluster assignment; all nodes of a cluster share a random
+    tag in ``0..span``. Models correlated wakeups (e.g. one power switch
+    per rack) — fewer distinct tags than :func:`uniform_random`."""
+    if num_clusters < 1:
+        raise ValueError("need at least one cluster")
+    if span < 0:
+        raise ValueError("span must be >= 0")
+    rng = random.Random(seed)
+    cluster_tag = [rng.randint(0, span) for _ in range(num_clusters)]
+    return {v: cluster_tag[rng.randrange(num_clusters)] for v in sorted(nodes)}
+
+
+def all_tag_vectors(n: int, max_tag: int):
+    """Yield every tag vector in ``{0..max_tag}^n`` with min tag 0.
+
+    Normalized representatives only (shift-equivalent vectors are
+    operationally identical), so exhaustive small-case experiments don't
+    re-test shifted duplicates.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if max_tag < 0:
+        raise ValueError("max_tag must be >= 0")
+
+    vec = [0] * n
+
+    def rec(i: int):
+        if i == n:
+            if min(vec) == 0:
+                yield tuple(vec)
+            return
+        for t in range(max_tag + 1):
+            vec[i] = t
+            yield from rec(i + 1)
+
+    yield from rec(0)

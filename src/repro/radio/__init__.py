@@ -1,0 +1,91 @@
+"""Radio-network substrate: model, histories, protocols, simulator.
+
+This subpackage contains everything below the paper's algorithmic layer:
+the synchronous radio communication model with collision detection
+(:mod:`~repro.radio.model`), sparse node histories
+(:mod:`~repro.radio.history`), the DRIP protocol abstraction and the
+Lemma 3.12 patient transformation (:mod:`~repro.radio.protocol`), the
+round-based simulator (:mod:`~repro.radio.simulator`) and execution
+records (:mod:`~repro.radio.events`).
+"""
+
+from .events import FORCED, SPONTANEOUS, ExecutionResult, RoundRecord
+from .history import History, shifted_view_key
+from .model import (
+    COLLISION,
+    LISTEN,
+    SILENCE,
+    TERMINATE,
+    Action,
+    HistoryEntry,
+    Message,
+    Transmit,
+    entry_symbol,
+    is_transmit,
+)
+from .protocol import (
+    DRIP,
+    AlwaysListenDRIP,
+    FunctionDRIP,
+    LeaderElectionAlgorithm,
+    PatientWrapper,
+    ProgramFactory,
+    ScheduleDRIP,
+    anonymous_factory,
+    make_patient,
+    patient_span_of,
+)
+from .simulator import (
+    DEFAULT_MAX_ROUNDS,
+    ProtocolViolation,
+    RadioSimulator,
+    SimulationTimeout,
+    simulate,
+)
+
+from .faults import (
+    JammedRadioSimulator,
+    jam_nothing,
+    jam_pairs,
+    jam_rounds,
+    jammed_simulate,
+)
+
+__all__ = [
+    "Action",
+    "AlwaysListenDRIP",
+    "COLLISION",
+    "DEFAULT_MAX_ROUNDS",
+    "DRIP",
+    "ExecutionResult",
+    "FORCED",
+    "FunctionDRIP",
+    "History",
+    "HistoryEntry",
+    "JammedRadioSimulator",
+    "LISTEN",
+    "LeaderElectionAlgorithm",
+    "Message",
+    "PatientWrapper",
+    "ProgramFactory",
+    "ProtocolViolation",
+    "RadioSimulator",
+    "RoundRecord",
+    "SILENCE",
+    "SPONTANEOUS",
+    "ScheduleDRIP",
+    "SimulationTimeout",
+    "TERMINATE",
+    "Transmit",
+    "anonymous_factory",
+    "entry_symbol",
+    "is_transmit",
+    "jam_nothing",
+    "jam_pairs",
+    "jam_rounds",
+    "jammed_simulate",
+    "make_patient",
+    "patient_span_of",
+    "shifted_view_key",
+    "simulate",
+]

@@ -1,0 +1,147 @@
+"""Execution records produced by the radio simulator.
+
+``RoundRecord`` captures what happened in one global round (useful for
+debugging protocols and for the indistinguishability experiments), and
+``ExecutionResult`` is the complete outcome of a simulation: per-node
+histories, wakeup data, termination data and an optional round-by-round
+trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .history import History
+
+#: Wakeup kinds recorded in the trace.
+SPONTANEOUS = "spontaneous"
+FORCED = "forced"
+
+
+@dataclass
+class RoundRecord:
+    """Events of a single global round."""
+
+    global_round: int
+    #: node -> transmitted message payload
+    transmitters: Dict[object, object] = field(default_factory=dict)
+    #: list of (node, kind) woken up this round; kind in {SPONTANEOUS, FORCED}
+    wakeups: List[Tuple[object, str]] = field(default_factory=list)
+    #: nodes that terminated this round
+    terminated: List[object] = field(default_factory=list)
+
+    @property
+    def quiet(self) -> bool:
+        """True when nothing observable happened this round."""
+        return not (self.transmitters or self.wakeups or self.terminated)
+
+
+class ExecutionResult:
+    """Outcome of simulating a protocol on a configuration.
+
+    Attributes
+    ----------
+    histories:
+        node -> terminal :class:`~repro.radio.history.History`
+        ``H_v[0 .. done_v]`` (the terminate-round entry included, matching
+        the paper's decision-function signature).
+    wake_rounds:
+        node -> global round of wakeup.
+    wake_kinds:
+        node -> ``SPONTANEOUS`` or ``FORCED``.
+    done_local:
+        node -> ``done_v``: the local round in which the node's DRIP
+        returned terminate.
+    rounds_elapsed:
+        total number of global rounds simulated (0-based last round + 1).
+    trace:
+        list of :class:`RoundRecord` when trace recording was enabled.
+    """
+
+    __slots__ = (
+        "histories",
+        "wake_rounds",
+        "wake_kinds",
+        "done_local",
+        "rounds_elapsed",
+        "trace",
+    )
+
+    def __init__(
+        self,
+        histories: Dict[object, History],
+        wake_rounds: Dict[object, int],
+        wake_kinds: Dict[object, str],
+        done_local: Dict[object, int],
+        rounds_elapsed: int,
+        trace: Optional[List[RoundRecord]] = None,
+    ) -> None:
+        self.histories = histories
+        self.wake_rounds = wake_rounds
+        self.wake_kinds = wake_kinds
+        self.done_local = done_local
+        self.rounds_elapsed = rounds_elapsed
+        self.trace = trace
+
+    # ------------------------------------------------------------------
+    # derived queries
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> List[object]:
+        return sorted(self.histories)
+
+    def done_global(self, v: object) -> int:
+        """Global round in which node ``v`` terminated."""
+        return self.wake_rounds[v] + self.done_local[v]
+
+    def max_done_local(self) -> int:
+        """Largest local termination round (the paper's time measure)."""
+        return max(self.done_local.values())
+
+    def history(self, v: object) -> History:
+        """Terminal history of node ``v``."""
+        return self.histories[v]
+
+    def all_spontaneous(self) -> bool:
+        """True iff every node woke up spontaneously (patient executions)."""
+        return all(kind == SPONTANEOUS for kind in self.wake_kinds.values())
+
+    def history_partition(self) -> List[List[object]]:
+        """Group nodes by equality of their *entire* terminal histories."""
+        groups: Dict[tuple, List[object]] = {}
+        for v in self.nodes:
+            groups.setdefault(self.histories[v].key(), []).append(v)
+        return sorted(groups.values())
+
+    def prefix_partition(self, upto: int) -> List[List[object]]:
+        """Group nodes by equality of ``H[0 .. upto]``."""
+        groups: Dict[tuple, List[object]] = {}
+        for v in self.nodes:
+            groups.setdefault(self.histories[v].prefix_key(upto), []).append(v)
+        return sorted(groups.values())
+
+    def unique_history_nodes(self) -> List[object]:
+        """Nodes whose terminal history differs from every other node's."""
+        return [grp[0] for grp in self.history_partition() if len(grp) == 1]
+
+    def decide_leaders(self, decision: Callable[[History], int]) -> List[object]:
+        """Apply a decision function to every node's terminal history."""
+        return [v for v in self.nodes if decision(self.histories[v]) == 1]
+
+    def elects_unique_leader(self, decision: Callable[[History], int]) -> bool:
+        """True iff exactly one node's decision output is 1."""
+        return len(self.decide_leaders(decision)) == 1
+
+    def transmission_rounds(self) -> List[int]:
+        """Global rounds in which at least one node transmitted (from trace)."""
+        if self.trace is None:
+            raise ValueError("simulation was run without trace recording")
+        return [rec.global_round for rec in self.trace if rec.transmitters]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ExecutionResult(n={len(self.histories)}, "
+            f"rounds={self.rounds_elapsed}, "
+            f"max_done={self.max_done_local()})"
+        )

@@ -1,0 +1,158 @@
+"""Sparse node histories.
+
+A node's history is the sequence ``H_v[0], H_v[1], ...`` of
+:mod:`repro.radio.model` entries. Canonical-DRIP executions are
+overwhelmingly silent — a node transmits once per phase and hears at most
+``deg(v)`` events per phase — so we store only the non-silent entries in a
+dict keyed by local round, plus the total length. This keeps memory and
+comparison cost proportional to the number of *events* rather than the
+number of *rounds* (an O(n²σ) → O(nΔ)-ish saving per node).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .model import COLLISION, SILENCE, HistoryEntry, Message, entry_symbol
+
+
+class History:
+    """An append-only, sparsely stored sequence of history entries.
+
+    Index ``i`` is node-local round ``i``; ``len(history)`` is the number of
+    recorded rounds, so the next round to be decided is round
+    ``len(history)`` with knowledge ``H[0 .. len-1]`` (paper Section 2.2).
+    """
+
+    __slots__ = ("_events", "_length")
+
+    def __init__(self) -> None:
+        self._events: Dict[int, HistoryEntry] = {}
+        self._length = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_entries(cls, entries) -> "History":
+        """Build a history from an iterable of entries (mostly for tests)."""
+        h = cls()
+        for e in entries:
+            h.append(e)
+        return h
+
+    def append(self, entry: HistoryEntry) -> None:
+        """Record the entry for local round ``len(self)``."""
+        if entry is not SILENCE:
+            self._events[self._length] = entry
+        self._length += 1
+
+    def copy(self) -> "History":
+        """Independent copy (same entries and length)."""
+        h = History()
+        h._events = dict(self._events)
+        h._length = self._length
+        return h
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._length
+
+    def __getitem__(self, i: int) -> HistoryEntry:
+        if isinstance(i, slice):
+            raise TypeError("use window(lo, hi) instead of slicing")
+        if i < 0:
+            i += self._length
+        if not 0 <= i < self._length:
+            raise IndexError(f"round {i} outside history of length {self._length}")
+        return self._events.get(i, SILENCE)
+
+    def __iter__(self) -> Iterator[HistoryEntry]:
+        for i in range(self._length):
+            yield self._events.get(i, SILENCE)
+
+    def window(self, lo: int, hi: int) -> List[HistoryEntry]:
+        """Entries for local rounds ``lo .. hi`` inclusive (paper's
+        ``H[lo ... hi]`` notation)."""
+        if lo < 0 or hi >= self._length:
+            raise IndexError(
+                f"window [{lo}, {hi}] outside history of length {self._length}"
+            )
+        return [self._events.get(i, SILENCE) for i in range(lo, hi + 1)]
+
+    def events(self) -> List[Tuple[int, HistoryEntry]]:
+        """Sorted list of ``(local_round, entry)`` for non-silent entries."""
+        return sorted(self._events.items())
+
+    def events_in(self, lo: int, hi: int) -> List[Tuple[int, HistoryEntry]]:
+        """Non-silent events with ``lo <= round <= hi`` (sorted).
+
+        Iterates over stored events rather than rounds, so it is cheap even
+        for very wide windows.
+        """
+        return sorted((i, e) for i, e in self._events.items() if lo <= i <= hi)
+
+    def first_message_round(self) -> Optional[int]:
+        """Local round of the first ``(M)`` entry, or None (paper's rcv_w)."""
+        rounds = [i for i, e in self._events.items() if isinstance(e, Message)]
+        return min(rounds) if rounds else None
+
+    # ------------------------------------------------------------------
+    # comparison
+    # ------------------------------------------------------------------
+    def key(self) -> Tuple:
+        """Canonical hashable form: equal iff the histories are equal."""
+        return (self._length, tuple(sorted(self._events.items(), key=lambda kv: kv[0])))
+
+    def prefix_key(self, upto: int) -> Tuple:
+        """Canonical form of ``H[0 .. upto]`` (inclusive)."""
+        if upto >= self._length:
+            raise IndexError(
+                f"prefix through {upto} outside history of length {self._length}"
+            )
+        items = tuple(sorted((i, e) for i, e in self._events.items() if i <= upto))
+        return (upto + 1, items)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, History):
+            return NotImplemented
+        return self._length == other._length and self._events == other._events
+
+    def __ne__(self, other: object) -> bool:
+        eq = self.__eq__(other)
+        return NotImplemented if eq is NotImplemented else not eq
+
+    def __hash__(self) -> int:
+        return hash(self.key())
+
+    # ------------------------------------------------------------------
+    # debugging
+    # ------------------------------------------------------------------
+    def to_list(self) -> List[HistoryEntry]:
+        """Dense entry list (silence included)."""
+        return list(self)
+
+    def render(self) -> str:
+        """Compact printable form, e.g. ``..<1>.*..`` (silence as dots)."""
+        return "".join(entry_symbol(e) for e in self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self._length <= 64:
+            return f"History({self.render()!r})"
+        return f"History(len={self._length}, events={len(self._events)})"
+
+
+def shifted_view_key(history: History, start: int, end: int) -> Tuple:
+    """Canonical key of the subsequence ``H[start .. end]`` re-based to 0.
+
+    Used by the patient-DRIP wrapper (Lemma 3.12), where the wrapped
+    protocol sees the suffix of the real history starting at round ``s_w``.
+    """
+    if start < 0 or end >= len(history) or end < start - 1:
+        raise IndexError(f"invalid window [{start}, {end}] for {history!r}")
+    items = tuple(
+        sorted((i - start, e) for i, e in history._events.items() if start <= i <= end)
+    )
+    return (end - start + 1, items)

@@ -1,0 +1,138 @@
+"""Primitive values of the radio model: history entries and node actions.
+
+The paper (Section 2.2) defines, for each local round ``i``, the history
+entry ``H_v[i]`` of node ``v`` as one of
+
+* ``(∅)`` — ``v`` transmitted, or listened and heard nothing (silence),
+* ``(M)`` — ``v`` listened and received message ``M`` (exactly one
+  neighbour transmitted), or ``i == 0`` and ``v`` was woken up by ``M``,
+* ``(∗)`` — ``v`` listened and a collision occurred (two or more
+  neighbours transmitted); the noise is distinguishable from any message
+  and from silence.
+
+Actions available to a node in each local round ``i >= 1`` are ``listen``,
+``transmit(M)`` and ``terminate``.
+
+These are deliberately tiny immutable values: histories of long executions
+contain millions of them, and the simulator compares and hashes them in its
+inner loop.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+
+class _Sentinel:
+    """A unique, self-describing constant (used for ∅ and ∗ entries)."""
+
+    __slots__ = ("_name",)
+
+    def __init__(self, name: str) -> None:
+        self._name = name
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return self._name
+
+    def __reduce__(self):  # keep identity through pickling
+        return (_lookup_sentinel, (self._name,))
+
+
+#: History entry ``(∅)``: silence (or the entry of a transmitting node).
+SILENCE = _Sentinel("SILENCE")
+
+#: History entry ``(∗)``: collision noise.
+COLLISION = _Sentinel("COLLISION")
+
+
+def _lookup_sentinel(name: str) -> _Sentinel:
+    return {"SILENCE": SILENCE, "COLLISION": COLLISION}[name]
+
+
+class Message:
+    """History entry ``(M)``: a received message with ``payload``.
+
+    Payloads are arbitrary hashable values; the paper's canonical DRIP only
+    ever transmits the string ``"1"``, but baselines (labeled and randomized
+    protocols) use richer payloads.
+    """
+
+    __slots__ = ("payload",)
+
+    def __init__(self, payload: object) -> None:
+        self.payload = payload
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"Message({self.payload!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Message) and other.payload == self.payload
+
+    def __ne__(self, other: object) -> bool:
+        return not self.__eq__(other)
+
+    def __hash__(self) -> int:
+        return hash(("Message", self.payload))
+
+
+#: Type alias for anything that may appear in a node history.
+HistoryEntry = Union[_Sentinel, Message]
+
+
+class _ActionSentinel(_Sentinel):
+    __slots__ = ()
+
+    def __reduce__(self):
+        return (_lookup_action, (self._name,))
+
+
+#: Action: stay silent and listen this round.
+LISTEN = _ActionSentinel("LISTEN")
+
+#: Action: terminate permanently (the node stops participating).
+TERMINATE = _ActionSentinel("TERMINATE")
+
+
+def _lookup_action(name: str) -> _ActionSentinel:
+    return {"LISTEN": LISTEN, "TERMINATE": TERMINATE}[name]
+
+
+class Transmit:
+    """Action: transmit ``message`` to all neighbours this round."""
+
+    __slots__ = ("message",)
+
+    def __init__(self, message: object = "1") -> None:
+        self.message = message
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"Transmit({self.message!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Transmit) and other.message == self.message
+
+    def __ne__(self, other: object) -> bool:
+        return not self.__eq__(other)
+
+    def __hash__(self) -> int:
+        return hash(("Transmit", self.message))
+
+
+#: Type alias for anything a DRIP may return.
+Action = Union[_ActionSentinel, Transmit]
+
+
+def is_transmit(action: Action) -> bool:
+    """Return True when ``action`` is a transmission."""
+    return isinstance(action, Transmit)
+
+
+def entry_symbol(entry: HistoryEntry) -> str:
+    """Short printable symbol for a history entry (used in traces/tables)."""
+    if entry is SILENCE:
+        return "."
+    if entry is COLLISION:
+        return "*"
+    if isinstance(entry, Message):
+        return f"<{entry.payload}>"
+    raise TypeError(f"not a history entry: {entry!r}")

@@ -1,0 +1,211 @@
+"""DRIP protocol interfaces and the patient-DRIP transformation.
+
+A *Distributed Radio Interaction Protocol* (DRIP, paper Section 2.2) is a
+function ``D`` mapping a node's history ``H[0 .. i-1]`` to the action it
+performs in local round ``i`` (listen / transmit(M) / terminate). Here a
+DRIP is an object with a ``decide(history)`` method; implementations may
+cache state, but the contract is that the returned action depends only on
+the history contents (the simulator instantiates one object per node, so
+this is equivalent to the pure-function formulation).
+
+This module also implements the Lemma 3.12 transformation: given any DRIP
+``D`` (and decision function ``f``), build a *patient* DRIP ``D_pat`` that
+listens for ``s_w = min(σ, rcv_w)`` rounds after wakeup and then simulates
+``D`` on the shifted history, together with the shifted decision function
+``f_pat``. Patience guarantees every node wakes up spontaneously.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Optional
+
+from .history import History
+from .model import LISTEN, TERMINATE, Action, Transmit
+
+
+class DRIP(ABC):
+    """A deterministic distributed radio interaction protocol."""
+
+    @abstractmethod
+    def decide(self, history: History) -> Action:
+        """Action for local round ``len(history)`` given ``H[0..len-1]``.
+
+        The simulator calls this exactly once per local round ``i >= 1``
+        of an awake, non-terminated node (round 0 is the wakeup round, in
+        which a node never acts).
+        """
+
+
+class FunctionDRIP(DRIP):
+    """Wrap a plain callable ``history -> action`` as a DRIP."""
+
+    __slots__ = ("_fn",)
+
+    def __init__(self, fn: Callable[[History], Action]) -> None:
+        self._fn = fn
+
+    def decide(self, history: History) -> Action:
+        return self._fn(history)
+
+
+class AlwaysListenDRIP(DRIP):
+    """Listen forever until ``horizon`` rounds pass, then terminate.
+
+    Useful as a null protocol in tests and impossibility experiments.
+    """
+
+    __slots__ = ("horizon",)
+
+    def __init__(self, horizon: int) -> None:
+        if horizon < 1:
+            raise ValueError("horizon must be >= 1")
+        self.horizon = horizon
+
+    def decide(self, history: History) -> Action:
+        if len(history) >= self.horizon:
+            return TERMINATE
+        return LISTEN
+
+
+#: A program factory maps a node id to the DRIP instance that node runs.
+#: Anonymous algorithms must ignore the node id (see
+#: :func:`anonymous_factory`); labeled baselines may use it.
+ProgramFactory = Callable[[object], DRIP]
+
+
+def anonymous_factory(make: Callable[[], DRIP]) -> ProgramFactory:
+    """Factory for anonymous protocols: every node gets an identically
+    constructed program, regardless of its id."""
+
+    def factory(_node_id: object) -> DRIP:
+        return make()
+
+    return factory
+
+
+class LeaderElectionAlgorithm:
+    """A dedicated leader election algorithm: a DRIP plus decision function.
+
+    ``decision`` maps a node's terminal history ``H[0 .. done_v]`` to 0/1;
+    the algorithm solves leader election on configuration ``G`` when the
+    decision is 1 for exactly one node (paper Section 2.3).
+    """
+
+    __slots__ = ("factory", "decision", "name")
+
+    def __init__(
+        self,
+        factory: ProgramFactory,
+        decision: Callable[[History], int],
+        name: str = "unnamed",
+    ) -> None:
+        self.factory = factory
+        self.decision = decision
+        self.name = name
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"LeaderElectionAlgorithm({self.name!r})"
+
+
+class PatientWrapper(DRIP):
+    """The Lemma 3.12 construction ``D_pat`` for a single node.
+
+    The node listens for its first ``s_w = min(span, rcv_w)`` local rounds
+    (``rcv_w`` = first local round in which a message is received) and then
+    executes the wrapped DRIP ``D`` on the history suffix starting at round
+    ``s_w`` — so if a message arrived at ``rcv_w <= span``, the inner
+    protocol sees it as its forced-wakeup entry ``H[0] = (M)``.
+    """
+
+    __slots__ = ("inner", "span", "_inner_history", "_s")
+
+    def __init__(self, inner: DRIP, span: int) -> None:
+        if span < 0:
+            raise ValueError("span must be >= 0")
+        self.inner = inner
+        self.span = span
+        self._inner_history = History()
+        self._s: Optional[int] = None  # resolved s_w once known
+
+    def _resolve_s(self, history: History) -> Optional[int]:
+        """Determine s_w if it is already determined by ``history``."""
+        rcv = history.first_message_round()
+        if rcv is not None:
+            return min(self.span, rcv)
+        if len(history) > self.span:
+            # no message in rounds 0..span -> s_w = span
+            return self.span
+        return None  # still in the undecided listening window
+
+    def decide(self, history: History) -> Action:
+        i = len(history)  # deciding action of local round i
+        if self._s is None:
+            self._s = self._resolve_s(history)
+        if self._s is None or i <= self._s:
+            return LISTEN
+        # Feed the inner protocol the outer entries s_w .. i-1.
+        while len(self._inner_history) < i - self._s:
+            outer_idx = self._s + len(self._inner_history)
+            self._inner_history.append(history[outer_idx])
+        return self.inner.decide(self._inner_history)
+
+
+def patient_span_of(history: History, span: int) -> int:
+    """Recover ``s_w`` from a node's *terminal* patient-execution history."""
+    rcv = history.first_message_round()
+    if rcv is not None and rcv <= span:
+        return min(span, rcv)
+    return span
+
+
+def make_patient(
+    algorithm: LeaderElectionAlgorithm, span: int
+) -> LeaderElectionAlgorithm:
+    """Lift a leader election algorithm to its patient version (Lemma 3.12).
+
+    Builds ``(D_pat, f_pat)`` with
+    ``f_pat(H[0..done]) = f(H[s_w..done])``.
+    """
+
+    def factory(node_id: object) -> DRIP:
+        return PatientWrapper(algorithm.factory(node_id), span)
+
+    def decision(history: History) -> int:
+        s = patient_span_of(history, span)
+        inner = History()
+        for i in range(s, len(history)):
+            inner.append(history[i])
+        return algorithm.decision(inner)
+
+    return LeaderElectionAlgorithm(
+        factory, decision, name=f"patient({algorithm.name}, span={span})"
+    )
+
+
+class ScheduleDRIP(DRIP):
+    """Transmit fixed messages on a fixed local-round schedule, then stop.
+
+    ``schedule`` maps local round -> message payload. The node listens in
+    all other rounds and terminates in round ``done_round``. This is the
+    workhorse for hand-built counterexample protocols in the negative-result
+    experiments (Propositions 4.4 and 4.5).
+    """
+
+    __slots__ = ("schedule", "done_round")
+
+    def __init__(self, schedule, done_round: int) -> None:
+        self.schedule = dict(schedule)
+        if self.schedule and done_round <= max(self.schedule):
+            raise ValueError("done_round must exceed the last scheduled round")
+        if done_round < 1:
+            raise ValueError("done_round must be >= 1")
+        self.done_round = done_round
+
+    def decide(self, history: History) -> Action:
+        i = len(history)
+        if i >= self.done_round:
+            return TERMINATE
+        if i in self.schedule:
+            return Transmit(self.schedule[i])
+        return LISTEN

@@ -1,0 +1,31 @@
+"""Plain-text reporting: tables and series charts for experiments."""
+
+from .series import ascii_chart, series_table, slope_annotation
+from .tables import format_table, kv_block
+
+from .markdown import (
+    MarkdownDoc,
+    md_check,
+    md_checklist,
+    md_kv,
+    md_section,
+    md_table,
+)
+from .timeline import legend, timeline, transmission_density
+
+__all__ = [
+    "MarkdownDoc",
+    "ascii_chart",
+    "format_table",
+    "kv_block",
+    "legend",
+    "md_check",
+    "md_checklist",
+    "md_kv",
+    "md_section",
+    "md_table",
+    "series_table",
+    "slope_annotation",
+    "timeline",
+    "transmission_density",
+]

@@ -1,0 +1,87 @@
+"""Markdown rendering for experiment reports.
+
+EXPERIMENTS.md is generated, not hand-maintained: each experiment section
+renders its measured table next to the paper's claim through these
+helpers, so the document always reflects the code that produced it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def md_table(
+    rows: Iterable[Sequence[object]],
+    headers: Sequence[str],
+) -> str:
+    """A GitHub-flavoured markdown table."""
+    head = list(headers)
+    body = [[_cell(x) for x in row] for row in rows]
+    for row in body:
+        if len(row) != len(head):
+            raise ValueError(
+                f"row width {len(row)} does not match header width {len(head)}"
+            )
+    lines = [
+        "| " + " | ".join(str(h) for h in head) + " |",
+        "|" + "|".join(" --- " for _ in head) + "|",
+    ]
+    lines += ["| " + " | ".join(row) + " |" for row in body]
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value).replace("|", "\\|")
+
+
+def md_section(title: str, *blocks: str, level: int = 2) -> str:
+    """A heading followed by its content blocks, blank-line separated."""
+    if level < 1:
+        raise ValueError("heading level must be >= 1")
+    parts = ["#" * level + " " + title]
+    parts += [b for b in blocks if b]
+    return "\n\n".join(parts)
+
+
+def md_kv(pairs: Iterable[Sequence[object]]) -> str:
+    """A bullet list of ``key: value`` facts."""
+    return "\n".join(f"- **{k}**: {_cell(v)}" for k, v in pairs)
+
+
+def md_check(label: str, ok: bool) -> str:
+    """A single pass/fail line."""
+    return f"- {'✅' if ok else '❌'} {label}"
+
+
+def md_checklist(items: Iterable[Sequence[object]]) -> str:
+    """Pass/fail lines from ``(label, ok)`` pairs."""
+    return "\n".join(md_check(label, ok) for label, ok in items)
+
+
+class MarkdownDoc:
+    """Incremental builder for a generated markdown document."""
+
+    def __init__(self, title: str, preamble: Optional[str] = None) -> None:
+        self._parts: List[str] = ["# " + title]
+        if preamble:
+            self._parts.append(preamble)
+
+    def add(self, *blocks: str) -> "MarkdownDoc":
+        """Append content blocks (empty blocks skipped)."""
+        self._parts.extend(b for b in blocks if b)
+        return self
+
+    def section(self, title: str, *blocks: str, level: int = 2) -> "MarkdownDoc":
+        """Append a heading plus its content blocks."""
+        return self.add(md_section(title, *blocks, level=level))
+
+    def render(self) -> str:
+        """The full document text."""
+        return "\n\n".join(self._parts) + "\n"
+
+    def write(self, path) -> None:
+        """Write the rendered document to ``path``."""
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.render())

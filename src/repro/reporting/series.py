@@ -1,0 +1,65 @@
+"""Text-mode series rendering: figure-style output for scaling sweeps."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def ascii_chart(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    *,
+    title: str = "",
+    width: int = 56,
+    height: int = 14,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """A crude scatter chart: good enough to see linear vs log growth in a
+    terminal, which is all the paper's "figures" need here."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    if not xs:
+        return f"{title}\n(empty series)"
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        col = int((x - x_lo) / x_span * (width - 1))
+        row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+        grid[row][col] = "*"
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_label} in [{y_lo:g}, {y_hi:g}]")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label} in [{x_lo:g}, {x_hi:g}]")
+    return "\n".join(lines)
+
+
+def series_table(xs: Sequence[float], *columns, headers: Sequence[str]) -> str:
+    """Columnar dump of one or more series against ``xs``."""
+    from .tables import format_table
+
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([x] + [col[i] for col in columns])
+    return format_table(headers, rows)
+
+
+def slope_annotation(xs: Sequence[float], ys: Sequence[float]) -> str:
+    """One-line log-log slope annotation for growth-rate figures."""
+    import numpy as np
+
+    xs_a, ys_a = np.asarray(xs, float), np.asarray(ys, float)
+    mask = (xs_a > 0) & (ys_a > 0)
+    if mask.sum() < 2:
+        return "slope: n/a"
+    slope, _ = np.polyfit(np.log(xs_a[mask]), np.log(ys_a[mask]), 1)
+    return f"log-log slope ≈ {slope:.2f}"

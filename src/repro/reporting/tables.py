@@ -1,0 +1,81 @@
+"""Plain-text tables for experiment output (no plotting dependencies)."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[object],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: Optional[str] = None,
+    aligns: Optional[Sequence[str]] = None,
+) -> str:
+    """Render an ASCII table.
+
+    ``aligns`` is a string per column: ``"l"`` or ``"r"`` (default: right
+    for things that look numeric, left otherwise).
+    """
+    str_rows: List[List[str]] = [[_cell(c) for c in row] for row in rows]
+    str_headers = [_cell(h) for h in headers]
+    ncols = len(str_headers)
+    for r in str_rows:
+        if len(r) != ncols:
+            raise ValueError(f"row {r!r} has {len(r)} cells, expected {ncols}")
+
+    widths = [len(h) for h in str_headers]
+    for r in str_rows:
+        for i, c in enumerate(r):
+            widths[i] = max(widths[i], len(c))
+
+    if aligns is None:
+        aligns = [
+            "r" if all(_numericish(r[i]) for r in str_rows) and str_rows else "l"
+            for i in range(ncols)
+        ]
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        parts = []
+        for c, w, a in zip(cells, widths, aligns):
+            parts.append(c.rjust(w) if a == "r" else c.ljust(w))
+        return "| " + " | ".join(parts) + " |"
+
+    sep = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    out = []
+    if title:
+        out.append(title)
+    out.append(sep)
+    out.append(fmt_row(str_headers))
+    out.append(sep)
+    for r in str_rows:
+        out.append(fmt_row(r))
+    out.append(sep)
+    return "\n".join(out)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _numericish(s: str) -> bool:
+    s = s.strip().rstrip("x%")
+    if not s or s == "-":
+        return True
+    try:
+        float(s)
+        return True
+    except ValueError:
+        return False
+
+
+def kv_block(title: str, pairs: Iterable[Sequence[object]]) -> str:
+    """A simple aligned key/value block."""
+    items = [(str(k), _cell(v)) for k, v in pairs]
+    width = max((len(k) for k, _ in items), default=0)
+    lines = [title]
+    for k, v in items:
+        lines.append(f"  {k.ljust(width)} : {v}")
+    return "\n".join(lines)

@@ -1,0 +1,121 @@
+"""ASCII space–time diagrams of radio executions.
+
+Debugging a distributed protocol means staring at who transmitted when.
+This module renders an :class:`~repro.radio.events.ExecutionResult` as a
+rounds × nodes grid:
+
+* ``T`` — the node transmitted this global round,
+* ``.`` — awake and heard silence,
+* ``*`` — heard collision noise,
+* ``<`` — received a message,
+* ``z`` — still asleep,
+* ``#`` — terminated,
+* ``!`` — woke up this round (forced or spontaneous).
+
+The renderer works from the per-node histories plus wakeup data, so it
+needs no trace recording; passing the round trace adds a transmitter
+count column. Long executions are windowed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..radio.events import ExecutionResult
+from ..radio.history import History
+from ..radio.model import COLLISION, SILENCE, Message
+
+ASLEEP = "z"
+WAKE = "!"
+TRANSMIT = "T"
+SILENT = "."
+NOISE = "*"
+RECEIVE = "<"
+DONE = "#"
+
+
+def _cell(execution: ExecutionResult, v: object, r: int) -> str:
+    wake = execution.wake_rounds[v]
+    if r < wake:
+        return ASLEEP
+    if r == wake:
+        return WAKE
+    local = r - wake
+    done = execution.done_local[v]
+    if local > done:
+        return DONE
+    entry = execution.histories[v][local]
+    if entry is COLLISION:
+        return NOISE
+    if isinstance(entry, Message):
+        return RECEIVE
+    return SILENT
+
+
+def timeline(
+    execution: ExecutionResult,
+    *,
+    start: int = 0,
+    end: Optional[int] = None,
+    mark_transmitters: bool = True,
+) -> str:
+    """Render the execution between global rounds ``start`` and ``end``.
+
+    A silent-history cell cannot distinguish "listened, heard silence"
+    from "transmitted" (transmitters hear nothing); with
+    ``mark_transmitters`` (needs a recorded trace) transmission rounds
+    are overwritten with ``T``. Without a trace, cells fall back to the
+    history-only view.
+    """
+    last = max(
+        execution.wake_rounds[v] + execution.done_local[v]
+        for v in execution.nodes
+    )
+    end = last if end is None else min(end, last)
+    if start < 0 or end < start:
+        raise ValueError(f"bad window [{start}, {end}]")
+
+    nodes = execution.nodes
+    grid: Dict[object, List[str]] = {
+        v: [_cell(execution, v, r) for r in range(start, end + 1)] for v in nodes
+    }
+    if mark_transmitters and execution.trace is not None:
+        for rec in execution.trace:
+            if start <= rec.global_round <= end:
+                for v in rec.transmitters:
+                    grid[v][rec.global_round - start] = TRANSMIT
+
+    width = max(len(str(v)) for v in nodes)
+    header = " " * (width + 2) + "".join(
+        str((start + i) // 10 % 10) if (start + i) % 10 == 0 else " "
+        for i in range(end - start + 1)
+    )
+    ruler = " " * (width + 2) + "".join(
+        str((start + i) % 10) for i in range(end - start + 1)
+    )
+    lines = [header, ruler]
+    for v in nodes:
+        lines.append(f"{str(v):>{width}} |" + "".join(grid[v]))
+    return "\n".join(lines)
+
+
+def legend() -> str:
+    """One-line key for the timeline symbols."""
+    return (
+        f"{ASLEEP}=asleep {WAKE}=wakeup {TRANSMIT}=transmit "
+        f"{SILENT}=silence {NOISE}=collision {RECEIVE}=message {DONE}=done"
+    )
+
+
+def transmission_density(execution: ExecutionResult) -> float:
+    """Fraction of awake node-rounds that carried a transmission.
+
+    Needs a recorded trace. Canonical executions are overwhelmingly
+    silent (one transmission per node per phase) — the sparsity the
+    :mod:`repro.radio.history` storage exploits; this measures it.
+    """
+    if execution.trace is None:
+        raise ValueError("simulation was run without trace recording")
+    transmissions = sum(len(rec.transmitters) for rec in execution.trace)
+    awake_rounds = sum(execution.done_local[v] for v in execution.nodes)
+    return transmissions / awake_rounds if awake_rounds else 0.0

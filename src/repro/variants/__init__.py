@@ -1,0 +1,64 @@
+"""Channel-model ablations.
+
+The paper makes one "well-established and practically motivated"
+assumption about the channel: **collision detection** — a listener can
+tell noise (two or more transmitting neighbours) apart from both silence
+and any message. This package measures how load-bearing that assumption
+is by re-running the paper's whole machinery under weaker channels:
+
+* :data:`~repro.variants.channels.CD` — the paper's model (reference);
+* :data:`~repro.variants.channels.NO_CD` — collisions are indistinguishable
+  from silence (the classic radio model without collision detection);
+* :data:`~repro.variants.channels.BEEP` — the beeping model: carrier
+  sensing only; a listener hears a content-free *beep* iff at least one
+  neighbour transmits (so single transmissions and collisions coincide).
+
+For each channel we provide the analogue of the canonical-DRIP refinement
+(:func:`~repro.variants.refinement.variant_classify`), the executable
+canonical-style protocol (:mod:`repro.variants.canonical`), a
+channel-parameterized simulator (:mod:`repro.variants.simulator`) and
+cross-model feasibility censuses (:mod:`repro.variants.census`).
+
+Soundness note: a **Yes** from a variant refinement is constructive — the
+variant canonical protocol provably isolates a unique history, so leader
+election is feasible under that channel. A **No** is complete only for
+the canonical protocol family: the paper's converse (Lemma 3.14) uses
+collision detection, so for weaker channels "No" means *this* symmetric
+schedule cannot break the symmetry, not that no protocol can. The census
+reports therefore treat variant No-instances as "canonical-infeasible".
+"""
+
+from .channels import BEEP, CD, NO_CD, Channel, channel_by_name, CHANNELS
+from .refinement import variant_classify, variant_is_feasible
+from .canonical import (
+    VariantCanonicalProtocol,
+    variant_elect,
+    variant_observed_triples,
+)
+from .simulator import VariantRadioSimulator, variant_simulate
+from .census import (
+    CrossModelRow,
+    cross_model_census,
+    cross_model_row,
+    disagreement_examples,
+)
+
+__all__ = [
+    "BEEP",
+    "CD",
+    "CHANNELS",
+    "Channel",
+    "CrossModelRow",
+    "NO_CD",
+    "VariantCanonicalProtocol",
+    "VariantRadioSimulator",
+    "channel_by_name",
+    "cross_model_census",
+    "cross_model_row",
+    "disagreement_examples",
+    "variant_classify",
+    "variant_elect",
+    "variant_is_feasible",
+    "variant_observed_triples",
+    "variant_simulate",
+]

@@ -1,0 +1,220 @@
+"""Executable canonical-style protocols for arbitrary channels.
+
+The schedule machinery of the canonical DRIP (phases of per-class
+transmission blocks, ``2σ+1`` rounds each, plus σ trailing listen rounds)
+is channel-independent; only the *observation decoding* differs — which
+history entries correspond to which label marks. This module instantiates
+the Section 3.3.1 protocol for any :class:`~repro.variants.channels.
+Channel`, so a variant refinement's **Yes** can be validated as a genuine
+distributed execution on the variant simulator.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..core.canonical import (
+    CANONICAL_MESSAGE,
+    CanonicalData,
+    CanonicalMatchError,
+    ListEntry,
+    build_canonical_data,
+    match_entry,
+)
+from ..core.configuration import Configuration
+from ..core.partition import Label
+from ..core.trace import ClassifierTrace
+from ..radio.history import History
+from ..radio.model import LISTEN, TERMINATE, Action, Transmit
+from ..radio.protocol import DRIP, LeaderElectionAlgorithm
+from .channels import CD, Channel
+from .refinement import variant_classify
+from .simulator import variant_simulate
+
+
+def variant_observed_triples(
+    history: History,
+    r_prev: int,
+    num_blocks: int,
+    sigma: int,
+    channel: Channel,
+) -> Label:
+    """Triples a node observed during one phase's block region, decoded
+    through ``channel`` (the Lemma 3.8 encoding, generalized)."""
+    width = 2 * sigma + 1
+    out = []
+    for t, entry in history.events_in(r_prev + 1, r_prev + num_blocks * width):
+        rel = t - r_prev - 1
+        mark = channel.entry_mark(entry)
+        if mark is None:  # pragma: no cover - silence is never stored
+            continue
+        out.append((rel // width + 1, rel % width + 1, mark))
+    return tuple(out)
+
+
+class VariantCanonicalDRIP(DRIP):
+    """Per-node executor of the canonical-style protocol for a channel."""
+
+    __slots__ = ("data", "channel", "_tblocks")
+
+    def __init__(self, data: CanonicalData, channel: Channel) -> None:
+        self.data = data
+        self.channel = channel
+        self._tblocks: Dict[int, int] = {1: 1}
+
+    def _tblock(self, j: int, history: History) -> int:
+        tb = self._tblocks.get(j)
+        if tb is not None:
+            return tb
+        prev = self._tblock(j - 1, history)
+        data = self.data
+        observed = variant_observed_triples(
+            history,
+            data.phase_ends[j - 2],
+            len(data.lists[j - 2]),
+            data.sigma,
+            self.channel,
+        )
+        tb = match_entry(data.lists[j - 1], prev, observed)
+        if tb is None:
+            raise CanonicalMatchError(
+                f"phase {j} ({self.channel.name}): no matching entry in L_{j} "
+                f"(old tBlock {prev}, observed {observed!r})"
+            )
+        self._tblocks[j] = tb
+        return tb
+
+    def decide(self, history: History) -> Action:
+        data = self.data
+        i = len(history)
+        ends = data.phase_ends
+        if i > ends[-1]:
+            return TERMINATE
+        j = bisect_left(ends, i)
+        offset = i - ends[j - 1]
+        width = data.block_width
+        blocks_region = len(data.lists[j - 1]) * width
+        if offset > blocks_region:
+            return LISTEN
+        block, pos = divmod(offset - 1, width)
+        if pos + 1 == data.sigma + 1 and block + 1 == self._tblock(j, history):
+            return Transmit(CANONICAL_MESSAGE)
+        return LISTEN
+
+
+@dataclass
+class VariantCanonicalProtocol:
+    """The dedicated algorithm ``(D_G, f_G)`` for one channel."""
+
+    data: CanonicalData
+    channel: Channel
+
+    @classmethod
+    def from_trace(
+        cls, trace: ClassifierTrace, channel: Channel
+    ) -> "VariantCanonicalProtocol":
+        return cls(build_canonical_data(trace), channel)
+
+    def factory(self, _node_id: object) -> DRIP:
+        """Identical per-node program (anonymity: the id is ignored)."""
+        return VariantCanonicalDRIP(self.data, self.channel)
+
+    def final_class_of(self, history: History) -> Optional[int]:
+        """Terminal-partition class matched by this history, or None."""
+        drip = VariantCanonicalDRIP(self.data, self.channel)
+        p = self.data.num_phases
+        try:
+            tb = drip._tblock(p, history) if p >= 1 else 1
+        except CanonicalMatchError:
+            return None
+        observed = variant_observed_triples(
+            history,
+            self.data.phase_ends[p - 1],
+            len(self.data.lists[p - 1]),
+            self.data.sigma,
+            self.channel,
+        )
+        return match_entry(self.data.final_list, tb, observed)
+
+    def decision(self, history: History) -> int:
+        """``f_G``: 1 iff the final matched class is the leader class."""
+        if not self.data.feasible:
+            return 0
+        return 1 if self.final_class_of(history) == self.data.leader_class else 0
+
+    def algorithm(self) -> LeaderElectionAlgorithm:
+        """Bundle ``(D_G, f_G)`` for this channel."""
+        return LeaderElectionAlgorithm(
+            self.factory, self.decision, name=f"canonical-{self.channel.name}"
+        )
+
+    def round_budget(self, span: int) -> int:
+        """Global-round budget to simulate to completion."""
+        return span + self.data.done_round + 2
+
+
+@dataclass
+class VariantElectionResult:
+    """Outcome of running the variant canonical protocol end to end."""
+
+    config: Configuration
+    channel: Channel
+    trace: ClassifierTrace
+    leaders: List[object]
+    rounds: int  #: common local termination round done_v
+
+    @property
+    def elected(self) -> bool:
+        return len(self.leaders) == 1
+
+    @property
+    def leader(self) -> Optional[object]:
+        return self.leaders[0] if self.elected else None
+
+
+def variant_elect(
+    config: Configuration,
+    channel: Channel = CD,
+    *,
+    trace: Optional[ClassifierTrace] = None,
+    check: bool = True,
+) -> VariantElectionResult:
+    """Classify under ``channel``, run the variant canonical protocol on
+    the variant simulator, and apply the decision function.
+
+    With ``check`` (default) the outcome is verified against the
+    refinement's prediction: a unique leader — the refinement's isolated
+    node — iff the refinement said Yes.
+    """
+    if trace is None:
+        trace = variant_classify(config, channel)
+    protocol = VariantCanonicalProtocol.from_trace(trace, channel)
+    network = trace.config
+    execution = variant_simulate(
+        network,
+        protocol.factory,
+        channel=channel,
+        max_rounds=protocol.round_budget(network.span),
+    )
+    leaders = execution.decide_leaders(protocol.decision)
+    result = VariantElectionResult(
+        config=network,
+        channel=channel,
+        trace=trace,
+        leaders=leaders,
+        rounds=execution.max_done_local(),
+    )
+    if check:
+        if trace.feasible and leaders != [trace.leader]:
+            raise AssertionError(
+                f"variant refinement predicted leader {trace.leader!r} "
+                f"under {channel.name}, execution elected {leaders!r}"
+            )
+        if not trace.feasible and leaders:
+            raise AssertionError(
+                f"refinement said No under {channel.name} but execution "
+                f"elected {leaders!r}"
+            )
+    return result

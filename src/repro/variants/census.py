@@ -1,0 +1,135 @@
+"""Cross-model feasibility censuses.
+
+For a population of configurations (exhaustive small ones or random
+samples), classify each under every channel and tabulate: how many are
+canonical-feasible per channel, and which inclusion relations hold. The
+theory predicts:
+
+* ``NO_CD``-feasible ⊆ ``CD``-feasible and ``BEEP``-feasible ⊆
+  ``CD``-feasible: both weaker channels' labels are functions of the CD
+  label (drop ∗-triples, or erase the multiplicity mark), so each weak
+  partition is coarser than the CD partition phase by phase — a weak
+  singleton forces a CD singleton.
+* ``NO_CD`` and ``BEEP`` are *incomparable*: a slot with two transmitters
+  is audible to a beeper but silent without collision detection, while a
+  slot with one transmitter is distinguishable from a two-transmitter
+  slot only with content/collision information. The census exhibits
+  witnesses in both directions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..core.configuration import Configuration
+from ..graphs.enumeration import enumerate_configurations
+from .channels import BEEP, CD, CHANNELS, NO_CD, Channel
+from .refinement import variant_classify
+
+
+@dataclass
+class CrossModelRow:
+    """Per-configuration feasibility verdicts across channels."""
+
+    config: Configuration
+    feasible: Dict[str, bool]  #: channel name -> refinement verdict
+
+    @property
+    def pattern(self) -> Tuple[bool, ...]:
+        """Verdicts in canonical channel order (CD, NO_CD, BEEP)."""
+        return tuple(self.feasible[c.name] for c in CHANNELS)
+
+
+@dataclass
+class CrossModelCensus:
+    """Aggregated census over a configuration population."""
+
+    rows: List[CrossModelRow] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return len(self.rows)
+
+    def count(self, channel: Channel) -> int:
+        """Feasible configurations under ``channel``."""
+        return sum(1 for r in self.rows if r.feasible[channel.name])
+
+    def inclusion_holds(self, weaker: Channel, stronger: Channel) -> bool:
+        """Every weaker-feasible configuration is stronger-feasible."""
+        return all(
+            r.feasible[stronger.name]
+            for r in self.rows
+            if r.feasible[weaker.name]
+        )
+
+    def witnesses(
+        self, yes: Channel, no: Channel, limit: int = 5
+    ) -> List[Configuration]:
+        """Configurations feasible under ``yes`` but not under ``no``."""
+        out = []
+        for r in self.rows:
+            if r.feasible[yes.name] and not r.feasible[no.name]:
+                out.append(r.config)
+                if len(out) >= limit:
+                    break
+        return out
+
+    def pattern_histogram(self) -> Dict[Tuple[bool, ...], int]:
+        """Counts per (cd, no-cd, beep) verdict pattern."""
+        hist: Dict[Tuple[bool, ...], int] = {}
+        for r in self.rows:
+            hist[r.pattern] = hist.get(r.pattern, 0) + 1
+        return hist
+
+    def as_table(self) -> List[Tuple]:
+        """Rows for :func:`repro.reporting.tables.format_table`."""
+        return [
+            (c.name, self.count(c), self.total, f"{self.count(c) / self.total:.3f}")
+            for c in CHANNELS
+        ]
+
+    TABLE_HEADERS = ("channel", "feasible", "total", "fraction")
+
+
+def cross_model_row(config: Configuration) -> CrossModelRow:
+    """Classify one configuration under every channel."""
+    return CrossModelRow(
+        config=config,
+        feasible={
+            c.name: variant_classify(config, c).feasible for c in CHANNELS
+        },
+    )
+
+
+def cross_model_census(
+    configs: Iterable[Configuration],
+    *,
+    limit: Optional[int] = None,
+) -> CrossModelCensus:
+    """Census over an iterable of configurations (optionally truncated)."""
+    census = CrossModelCensus()
+    for i, cfg in enumerate(configs):
+        if limit is not None and i >= limit:
+            break
+        census.rows.append(cross_model_row(cfg))
+    return census
+
+
+def exhaustive_cross_model_census(n: int, max_tag: int) -> CrossModelCensus:
+    """Census over all connected configurations with ``n`` nodes and tags
+    in ``0..max_tag`` (up to graph isomorphism of the untagged graph)."""
+    return cross_model_census(enumerate_configurations(n, max_tag))
+
+
+def disagreement_examples(
+    n: int, max_tag: int, limit: int = 3
+) -> Dict[str, List[Configuration]]:
+    """Small witnesses for every strict separation between channels."""
+    census = exhaustive_cross_model_census(n, max_tag)
+    return {
+        "cd_not_nocd": census.witnesses(CD, NO_CD, limit),
+        "cd_not_beep": census.witnesses(CD, BEEP, limit),
+        "nocd_not_beep": census.witnesses(NO_CD, BEEP, limit),
+        "beep_not_nocd": census.witnesses(BEEP, NO_CD, limit),
+    }

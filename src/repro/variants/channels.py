@@ -1,0 +1,157 @@
+"""Channel semantics: what a listener hears as a function of how many
+neighbours transmit.
+
+A :class:`Channel` pins down three things the paper's Section 1.1 fixes
+for the collision-detection model:
+
+* the **history entry** a listening node records when ``k`` neighbours
+  transmit (``entry``);
+* whether ``k`` simultaneous transmissions **wake** a sleeping node
+  (``wakes``) and what entry the wakeup round records (``wake_entry``);
+* the **label mark** a round with ``k`` transmitters contributes to the
+  canonical-refinement label (``triple_mark``), and conversely the mark an
+  observed history entry corresponds to (``entry_mark``) — the two sides
+  of Lemma 3.8's encoding, generalized per channel.
+
+All channels agree that a transmitter hears nothing (its entry is ``(∅)``)
+and that zero transmitting neighbours means silence.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..radio.model import COLLISION, SILENCE, HistoryEntry, Message, _Sentinel
+from ..core.partition import ONE, STAR
+
+#: Label mark for "at least one neighbour transmitted" in the beeping
+#: model (no finer distinction exists there). Distinct from ONE/STAR so
+#: that labels from different channels never accidentally compare equal.
+BEEP_MARK = 3
+
+
+class _BeepSentinel(_Sentinel):
+    __slots__ = ()
+
+    def __reduce__(self):
+        return (_lookup_beep, ())
+
+
+def _lookup_beep() -> "_BeepSentinel":
+    return BEEP_ENTRY
+
+
+#: History entry recorded when a beeping-model listener hears a carrier.
+BEEP_ENTRY = _BeepSentinel("BEEP")
+
+
+class Channel:
+    """One reception model. Instances are stateless and shared."""
+
+    __slots__ = ("name", "collision_detection", "content_bearing")
+
+    def __init__(
+        self, name: str, *, collision_detection: bool, content_bearing: bool
+    ) -> None:
+        self.name = name
+        self.collision_detection = collision_detection
+        self.content_bearing = content_bearing
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"Channel({self.name!r})"
+
+    # ------------------------------------------------------------------
+    # reception
+    # ------------------------------------------------------------------
+    def entry(self, count: int, payload: object) -> HistoryEntry:
+        """History entry of a *listening, awake* node with ``count``
+        transmitting neighbours (``payload`` = the message when unique)."""
+        if count == 0:
+            return SILENCE
+        if self is BEEP:
+            return BEEP_ENTRY
+        if count == 1:
+            return Message(payload)
+        return COLLISION if self.collision_detection else SILENCE
+
+    def wakes(self, count: int) -> bool:
+        """Does a round with ``count`` transmitting neighbours wake a
+        sleeping node?
+
+        The paper's model (Section 2.1): a node wakes iff it *receives a
+        message*; noise does not wake it. Without collision detection a
+        collision is silence, so it cannot wake anyone either. In the
+        beeping model the carrier itself is the signal, so any beep wakes.
+        """
+        if count == 0:
+            return False
+        if self is BEEP:
+            return True
+        return count == 1
+
+    def wake_entry(self, count: int, payload: object) -> HistoryEntry:
+        """``H[0]`` of a node woken *forced* by a round with ``count``
+        transmitters (only called when :meth:`wakes` is True)."""
+        if self is BEEP:
+            return BEEP_ENTRY
+        return Message(payload)
+
+    def spontaneous_entry(self, count: int) -> HistoryEntry:
+        """``H[0]`` of a spontaneously waking node that was not woken
+        forced (count may still be positive if the round was inaudible)."""
+        if count >= 2 and self.collision_detection:
+            return COLLISION
+        return SILENCE
+
+    # ------------------------------------------------------------------
+    # label encoding (canonical refinement, Lemma 3.8 analogue)
+    # ------------------------------------------------------------------
+    def triple_mark(self, count: int) -> Optional[int]:
+        """Mark contributed to a label by a round in which ``count``
+        neighbours transmit; None when the round is indistinguishable
+        from silence and contributes nothing."""
+        if count <= 0:
+            return None
+        if self is BEEP:
+            return BEEP_MARK
+        if count == 1:
+            return ONE
+        return STAR if self.collision_detection else None
+
+    def entry_mark(self, entry: HistoryEntry) -> Optional[int]:
+        """Mark corresponding to an observed history entry (the decoding
+        direction used by the variant canonical DRIP's matcher)."""
+        if entry is SILENCE:
+            return None
+        if entry is BEEP_ENTRY:
+            return BEEP_MARK
+        if entry is COLLISION:
+            return STAR
+        if isinstance(entry, Message):
+            return ONE
+        raise TypeError(f"not a history entry: {entry!r}")
+
+
+#: The paper's model: full collision detection.
+CD = Channel("cd", collision_detection=True, content_bearing=True)
+
+#: Classic radio model without collision detection: noise ≡ silence.
+NO_CD = Channel("no-cd", collision_detection=False, content_bearing=True)
+
+#: Beeping model: carrier sensing only, no message content.
+BEEP = Channel("beep", collision_detection=False, content_bearing=False)
+
+#: All channels, reference model first.
+CHANNELS = (CD, NO_CD, BEEP)
+
+_BY_NAME = {c.name: c for c in CHANNELS}
+
+
+def channel_by_name(name: str) -> Channel:
+    """Look up a channel by its CLI name (``cd``, ``no-cd``, ``beep``)."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown channel {name!r}; choose from {sorted(_BY_NAME)}"
+        ) from None

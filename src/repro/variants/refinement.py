@@ -1,0 +1,135 @@
+"""Canonical-DRIP refinement under arbitrary channels.
+
+This is the ``Classifier`` of Section 3.1 with one change: the label a
+node receives for a phase records what it would hear *under the given
+channel* when every class transmits in its own block. Under the paper's
+collision-detection channel a slot with one transmitter yields mark ``1``
+and a slot with two or more yields ``∗``; without collision detection the
+``∗`` slots vanish (they sound like silence), and in the beeping model
+both collapse to a single content-free *beep* mark.
+
+Instantiated with :data:`~repro.variants.channels.CD` the refinement is
+exactly the paper's Classifier (asserted in the test suite). For weaker
+channels:
+
+* **Yes** is sound: the variant canonical protocol
+  (:mod:`repro.variants.canonical`) realizes the refinement as a real
+  distributed execution, so a singleton class is a node with a provably
+  unique history — leader election is feasible under that channel.
+* **No** refutes only the canonical protocol family. The paper's converse
+  direction (Lemma 3.14) relies on collision detection, so "No" under
+  ``NO_CD``/``BEEP`` is a statement about this schedule, not about every
+  conceivable protocol.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+from ..core.configuration import Configuration
+from ..core.partition import Label, refine, singleton_classes
+from ..core.trace import NO, YES, ClassifierTrace, IterationRecord
+from .channels import CD, Channel
+
+
+def variant_label(
+    config: Configuration,
+    v: object,
+    classes: Dict[object, int],
+    channel: Channel,
+) -> Label:
+    """Phase label of ``v``: per (block, slot) transmitter counts mapped
+    through the channel's mark function.
+
+    Neighbours in ``v``'s class with ``v``'s tag transmit exactly when
+    ``v`` does and are never heard (the paper's Algorithm 3 exclusion).
+    """
+    sigma = config.span
+    tv = config.tag(v)
+    v_class = classes[v]
+    counts: Dict[tuple, int] = {}
+    for w in config.neighbors(v):
+        w_class = classes[w]
+        tw = config.tag(w)
+        if w_class != v_class or tw != tv:
+            slot = (w_class, sigma + 1 + tw - tv)
+            counts[slot] = counts.get(slot, 0) + 1
+    label = []
+    for (a, b), k in counts.items():
+        mark = channel.triple_mark(k)
+        if mark is not None:
+            label.append((a, b, mark))
+    label.sort()
+    return tuple(label)
+
+
+def variant_all_labels(
+    config: Configuration, classes: Dict[object, int], channel: Channel
+) -> Dict[object, Label]:
+    """Labels of every node for one phase under ``channel``."""
+    return {v: variant_label(config, v, classes, channel) for v in config.nodes}
+
+
+def variant_classify(
+    config: Configuration, channel: Channel = CD
+) -> ClassifierTrace:
+    """Run the channel-parameterized refinement; returns a standard
+    :class:`~repro.core.trace.ClassifierTrace` (same shape as
+    :func:`repro.core.classifier.classify`, which it equals for ``CD``).
+    """
+    config = config.normalize()
+    nodes = config.nodes
+    n = config.n
+
+    classes = {v: 1 for v in nodes}
+    reps: list = [None, nodes[0]]
+    num_classes = 1
+
+    trace = ClassifierTrace(
+        config=config,
+        sigma=config.span,
+        initial_classes=dict(classes),
+        initial_reps=tuple(reps),
+    )
+
+    max_iters = math.ceil(n / 2)
+    for i in range(1, max_iters + 1):
+        old_class_count = num_classes
+        labels = variant_all_labels(config, classes, channel)
+        classes, reps, num_classes = refine(
+            nodes, classes, labels, reps, num_classes
+        )
+        trace.iterations.append(
+            IterationRecord(
+                index=i,
+                labels=labels,
+                classes_after=dict(classes),
+                reps_after=tuple(reps),
+                num_classes_after=num_classes,
+            )
+        )
+        single = singleton_classes(classes)
+        if single:
+            trace.decision = YES
+            trace.decided_at = i
+            trace.leader_class = single[0]
+            trace.leader = reps[single[0]]
+            break
+        if num_classes == old_class_count:
+            trace.decision = NO
+            trace.decided_at = i
+            break
+    else:  # pragma: no cover - contradicts the Lemma 3.4 argument
+        raise AssertionError(
+            f"variant refinement failed to decide within ⌈n/2⌉ = "
+            f"{max_iters} iterations on {config!r}"
+        )
+    return trace
+
+
+def variant_is_feasible(config: Configuration, channel: Channel) -> bool:
+    """Feasibility under ``channel`` per the canonical-family refinement
+    (exact for CD; sound-Yes for weaker channels — see the module note).
+    """
+    return variant_classify(config, channel).feasible

@@ -1,0 +1,54 @@
+"""Wired anonymous message-passing networks — the intro's counterpoint.
+
+The paper's introduction (Section 1.1) contrasts anonymous *radio*
+networks with anonymous *wired* networks: with reliable, simultaneous
+delivery and distinct port numbers, nodes "can relay their neighbourhoods
+of increasing radii, learning in this way asymmetries of the network
+topology" — so leader election can succeed from structure alone, with no
+wakeup-time symmetry breaking. This package makes that counterpoint a
+real executable system rather than a citation:
+
+* :mod:`repro.wired.simulator` — a synchronous reliable message-passing
+  simulator: every round, every node sends one message per incident port
+  and receives exactly the messages its neighbours sent (no collisions,
+  no loss — the polar opposite of the radio channel);
+* :mod:`repro.wired.protocols` — the classic anonymous view-exchange
+  protocol (Yamashita–Kameda line of work [40, 41]): each node assembles
+  its depth-``k`` view after ``k`` rounds by exchanging views of depth
+  ``k−1``, then decides;
+* :mod:`repro.wired.election` — leader election by unique view: after
+  ``n`` rounds the view partition has stabilized; a node declares itself
+  leader iff its view is the minimum among the unique ones. Feasibility
+  equals the unique-view criterion computed centrally by
+  :func:`repro.analysis.views.wired_feasible` (cross-validated in tests
+  and benchmarks).
+"""
+
+from .simulator import WiredSimulator, WiredExecution, wired_simulate
+from .protocols import ViewExchangeProtocol, WiredProtocol
+from .ports import (
+    PortAwareViewProtocol,
+    port_aware_partition,
+    port_aware_view_ids,
+    port_awareness_refines,
+)
+from .election import (
+    WiredElectionResult,
+    wired_elect,
+    wired_election_agrees_with_views,
+)
+
+__all__ = [
+    "PortAwareViewProtocol",
+    "ViewExchangeProtocol",
+    "WiredElectionResult",
+    "WiredExecution",
+    "WiredProtocol",
+    "WiredSimulator",
+    "port_aware_partition",
+    "port_aware_view_ids",
+    "port_awareness_refines",
+    "wired_elect",
+    "wired_election_agrees_with_views",
+    "wired_simulate",
+]

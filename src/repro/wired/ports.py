@@ -1,0 +1,113 @@
+"""Port-aware views: the full Yamashita–Kameda construction.
+
+The view-exchange protocol in :mod:`repro.wired.protocols` is
+*port-oblivious*: received subviews are sorted, discarding which port
+they arrived on. The original Yamashita–Kameda views are *port-aware* —
+each child subview is indexed by the local port it arrived on and stamped
+with the sender's outgoing port (the "back port"). Port-aware views can
+only refine port-oblivious ones, sometimes strictly (two neighbours that
+look identical as a multiset can be distinguished by consistent port
+labeling).
+
+Caveat recorded honestly: distinguishing power under port-aware views
+depends on the *port numbering*, which the model treats as arbitrary
+(adversarial). This module uses the simulator's deterministic numbering
+(port ``p`` → ``p``-th smallest neighbour id), so results here are
+statements about that specific numbering; feasibility claims robust to
+adversarial numbering would need a quantification over numberings, which
+is out of scope for the contrast experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..core.configuration import Configuration
+from .protocols import ViewInterner
+from .simulator import WiredNodeProtocol, wired_simulate
+
+
+class PortAwareViewProtocol(WiredNodeProtocol):
+    """View exchange carrying (view id, sending port) on every edge.
+
+    Round ``k``: send ``(current_view, p)`` on each port ``p``; fold the
+    inbox into the depth-``k+1`` view as the port-ordered tuple of
+    ``(arrival_port, back_port, child_view)`` entries.
+    """
+
+    __slots__ = ("root", "degree", "horizon", "interner", "_view", "_round")
+
+    def __init__(
+        self,
+        root: Tuple,
+        degree: int,
+        horizon: int,
+        interner: ViewInterner,
+    ) -> None:
+        if horizon < 0:
+            raise ValueError("horizon must be >= 0")
+        self.root = root
+        self.degree = degree
+        self.horizon = horizon
+        self.interner = interner
+        self._view = interner.intern(root, ())
+        self._round = 0
+
+    def send(self, round_index: int) -> List[object]:
+        return [(self._view, p) for p in range(self.degree)]
+
+    def receive(self, round_index: int, inbox: List[object]) -> None:
+        children = tuple(
+            (p, back_port, child)
+            for p, (child, back_port) in enumerate(inbox)
+        )
+        self._view = self.interner.intern(self.root, children)
+        self._round += 1
+
+    def done(self) -> bool:
+        return self._round >= self.horizon
+
+    def output(self) -> int:
+        return self._view
+
+
+def port_aware_view_ids(
+    config: Configuration, *, horizon: int = None
+) -> Dict[object, int]:
+    """Final port-aware view id of every node after ``horizon`` rounds
+    (default n) under the simulator's deterministic port numbering."""
+    if horizon is None:
+        horizon = config.n
+    interner = ViewInterner()
+
+    def factory(node_id: object, degree: int) -> PortAwareViewProtocol:
+        root = (config.tag(node_id), degree)
+        return PortAwareViewProtocol(root, degree, horizon, interner)
+
+    execution = wired_simulate(config, factory)
+    return dict(execution.outputs)
+
+
+def port_aware_partition(
+    config: Configuration, *, horizon: int = None
+) -> List[List[object]]:
+    """Nodes grouped by equality of their port-aware views."""
+    ids = port_aware_view_ids(config, horizon=horizon)
+    groups: Dict[int, List[object]] = {}
+    for v in sorted(ids):
+        groups.setdefault(ids[v], []).append(v)
+    return sorted(groups.values())
+
+
+def port_awareness_refines(config: Configuration) -> bool:
+    """True iff the port-aware partition refines the port-oblivious one
+    (every port-aware block is inside some oblivious block) — the theory
+    says this always holds; the tests assert it."""
+    from .election import wired_elect
+
+    oblivious = wired_elect(config).view_partition()
+    aware = port_aware_partition(config)
+    for block in aware:
+        if not any(set(block) <= set(ob) for ob in oblivious):
+            return False
+    return True

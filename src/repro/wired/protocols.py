@@ -1,0 +1,105 @@
+"""Anonymous view-exchange protocols for the wired model.
+
+The classic construction (Yamashita–Kameda [40, 41]): a node's depth-0
+view is its local input ``(tag, degree)``; after round ``k`` it knows its
+depth-``k`` view, assembled from the depth-``(k−1)`` views its neighbours
+sent that round. Views here are *port-oblivious* (received subviews are
+sorted, not indexed by port), which matches the centralized
+:func:`repro.analysis.views.view_key` exactly — the cross-validation the
+test suite and E14/E17 benchmarks rely on.
+
+Views grow exponentially with depth if materialized naively, so the
+protocol exchanges *hashes by structure*: each view is interned into an
+integer id via a shared canonical table (deterministic, collision-free by
+construction — it is structural interning, not hashing). Interning keeps
+messages O(degree) integers and the whole execution polynomial while
+preserving view equality exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .simulator import WiredNodeProtocol
+
+
+class ViewInterner:
+    """Structural interning of view trees.
+
+    ``intern(root, children_ids)`` maps each distinct (root, sorted child
+    ids) pair to a unique integer. Two nodes' depth-k views are equal iff
+    their interned ids are equal — exact, no collisions. The table is
+    shared by all nodes of one execution; that sharing is a simulation
+    device (in a real deployment nodes exchange the trees themselves),
+    and it does not leak identities because ids are functions of view
+    *structure* only.
+    """
+
+    def __init__(self) -> None:
+        self._table: Dict[Tuple, int] = {}
+
+    def intern(self, root: Tuple, children_ids: Tuple[int, ...]) -> int:
+        """Unique id of the view (root, sorted child ids)."""
+        key = (root, children_ids)
+        got = self._table.get(key)
+        if got is None:
+            got = len(self._table)
+            self._table[key] = got
+        return got
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+
+@dataclass
+class ViewState:
+    """Final knowledge of one node after the exchange."""
+
+    view_id: int  #: interned id of the node's depth-``horizon`` view
+    horizon: int
+
+
+class ViewExchangeProtocol(WiredNodeProtocol):
+    """One node's view-exchange execution.
+
+    Runs for ``horizon`` rounds: in round ``k`` it sends its current
+    (depth-``k``) view id on every port and folds the received ids into
+    its depth-``k+1`` view. Output is the final view id.
+    """
+
+    __slots__ = ("root", "degree", "horizon", "interner", "_view", "_round")
+
+    def __init__(
+        self,
+        root: Tuple,
+        degree: int,
+        horizon: int,
+        interner: ViewInterner,
+    ) -> None:
+        if horizon < 0:
+            raise ValueError("horizon must be >= 0")
+        self.root = root
+        self.degree = degree
+        self.horizon = horizon
+        self.interner = interner
+        self._view = interner.intern(root, ())
+        self._round = 0
+
+    def send(self, round_index: int) -> List[object]:
+        return [self._view] * self.degree
+
+    def receive(self, round_index: int, inbox: List[object]) -> None:
+        children = tuple(sorted(inbox))
+        self._view = self.interner.intern(self.root, children)
+        self._round += 1
+
+    def done(self) -> bool:
+        return self._round >= self.horizon
+
+    def output(self) -> ViewState:
+        return ViewState(view_id=self._view, horizon=self._round)
+
+
+#: Re-export of the abstract base for library users.
+WiredProtocol = WiredNodeProtocol

@@ -1,0 +1,160 @@
+"""Synchronous reliable message-passing simulator with port numbers.
+
+The wired anonymous model (Angluin [1]; Yamashita–Kameda [40, 41]): nodes
+are anonymous but each node privately numbers its incident edges with
+ports ``0 .. deg−1``. In every synchronous round, every node hands the
+simulator one outgoing message per port; delivery is reliable and
+simultaneous, and each received message is stamped with the local port it
+arrived on. There is no channel contention of any kind — this substrate
+is the polar opposite of the radio model and exists precisely to measure
+what the radio channel *costs*.
+
+Port numbering is fixed from the configuration's sorted adjacency (port
+``p`` of ``v`` leads to its ``p``-th smallest neighbour). Protocols never
+see neighbour identities — only port numbers — so anonymity is preserved.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+#: Hard cap on simulated rounds, as in the radio simulator.
+DEFAULT_MAX_ROUNDS = 100_000
+
+
+class WiredProtocolViolation(RuntimeError):
+    """A protocol returned malformed messages or decisions."""
+
+
+class WiredTimeout(RuntimeError):
+    """The execution exceeded its round budget."""
+
+
+class WiredNodeProtocol(ABC):
+    """Per-node wired protocol instance.
+
+    The simulator drives each node through rounds: ``send`` produces this
+    round's per-port messages, then ``receive`` delivers the per-port
+    inbox. ``done`` signals termination; once every node is done the
+    execution ends. ``output`` is the node's final decision value.
+    """
+
+    @abstractmethod
+    def send(self, round_index: int) -> List[object]:
+        """Messages for ports ``0 .. deg−1`` (length must equal degree)."""
+
+    @abstractmethod
+    def receive(self, round_index: int, inbox: List[object]) -> None:
+        """Deliver the round's messages; ``inbox[p]`` came in on port p."""
+
+    @abstractmethod
+    def done(self) -> bool:
+        """True once the node has terminated."""
+
+    def output(self) -> object:
+        """Final decision value (protocol-specific)."""
+        return None
+
+
+@dataclass
+class WiredExecution:
+    """Outcome of a wired simulation."""
+
+    #: node -> final output value.
+    outputs: Dict[object, object]
+    rounds_elapsed: int
+    #: node -> number of messages the node sent in total.
+    messages_sent: Dict[object, int] = field(default_factory=dict)
+
+    @property
+    def nodes(self) -> List[object]:
+        return sorted(self.outputs)
+
+    def total_messages(self) -> int:
+        """Messages sent across the whole execution."""
+        return sum(self.messages_sent.values())
+
+
+class WiredSimulator:
+    """Synchronous reliable execution of one protocol on one graph.
+
+    ``network`` needs ``nodes`` and ``neighbors(v)`` (the wired model has
+    no wakeup mechanics; all nodes start together). ``factory(node_id,
+    degree)`` builds the per-node protocol; *anonymous* protocols must use
+    the id only to look up the node's own local inputs (its wakeup tag,
+    used as an initial color) — mirroring the radio simulator's factory
+    convention — and never embed the identity in protocol state.
+    """
+
+    def __init__(
+        self,
+        network,
+        factory,
+        *,
+        max_rounds: int = DEFAULT_MAX_ROUNDS,
+    ) -> None:
+        self._nodes = sorted(network.nodes)
+        if not self._nodes:
+            raise ValueError("network has no nodes")
+        # port p of v leads to its p-th smallest neighbour
+        self._ports: Dict[object, Tuple[object, ...]] = {
+            v: tuple(sorted(network.neighbors(v))) for v in self._nodes
+        }
+        # reverse port lookup: (v, w) -> port of w at v
+        self._port_of: Dict[Tuple[object, object], int] = {}
+        for v, nbrs in self._ports.items():
+            for p, w in enumerate(nbrs):
+                self._port_of[(v, w)] = p
+        self._programs: Dict[object, WiredNodeProtocol] = {
+            v: factory(v, len(self._ports[v])) for v in self._nodes
+        }
+        self._max_rounds = max_rounds
+
+    def run(self) -> WiredExecution:
+        """Drive all nodes round by round until everyone is done."""
+        nodes = self._nodes
+        ports = self._ports
+        programs = self._programs
+        sent_count = {v: 0 for v in nodes}
+
+        r = 0
+        while not all(programs[v].done() for v in nodes):
+            if r >= self._max_rounds:
+                raise WiredTimeout(
+                    f"wired execution exceeded {self._max_rounds} rounds"
+                )
+            outgoing: Dict[object, List[object]] = {}
+            for v in nodes:
+                if programs[v].done():
+                    outgoing[v] = [None] * len(ports[v])
+                    continue
+                msgs = programs[v].send(r)
+                if not isinstance(msgs, list) or len(msgs) != len(ports[v]):
+                    raise WiredProtocolViolation(
+                        f"node {v!r} returned {len(msgs) if isinstance(msgs, list) else type(msgs).__name__} "
+                        f"messages for {len(ports[v])} ports in round {r}"
+                    )
+                outgoing[v] = msgs
+                sent_count[v] += sum(1 for m in msgs if m is not None)
+            for v in nodes:
+                if programs[v].done():
+                    continue
+                inbox: List[object] = []
+                for p, w in enumerate(ports[v]):
+                    # message w sent on its port towards v
+                    inbox.append(outgoing[w][self._port_of[(w, v)]])
+                programs[v].receive(r, inbox)
+            r += 1
+
+        return WiredExecution(
+            outputs={v: programs[v].output() for v in nodes},
+            rounds_elapsed=r,
+            messages_sent=sent_count,
+        )
+
+
+def wired_simulate(network, factory, *, max_rounds: int = DEFAULT_MAX_ROUNDS):
+    """One-shot convenience wrapper around :class:`WiredSimulator`."""
+    return WiredSimulator(network, factory, max_rounds=max_rounds).run()

@@ -1,0 +1,77 @@
+"""Unit tests for tag-preserving automorphism analysis."""
+
+from repro.analysis.automorphisms import (
+    automorphism_orbits,
+    fixed_nodes,
+    has_fixed_node,
+    is_rigid,
+    tag_preserving_automorphisms,
+)
+from repro.core.classifier import classify
+from repro.core.configuration import Configuration, line_configuration
+from repro.graphs.families import g_m, h_m, s_m
+
+
+class TestEnumeration:
+    def test_identity_always_present(self):
+        cfg = line_configuration([0, 1, 2])
+        autos = list(tag_preserving_automorphisms(cfg))
+        assert {v: v for v in cfg.nodes} in autos
+
+    def test_symmetric_pair_has_swap(self):
+        cfg = Configuration([(0, 1)], {0: 0, 1: 0})
+        autos = list(tag_preserving_automorphisms(cfg))
+        assert len(autos) == 2
+        assert {0: 1, 1: 0} in autos
+
+    def test_tags_block_swap(self):
+        cfg = Configuration([(0, 1)], {0: 0, 1: 1})
+        autos = list(tag_preserving_automorphisms(cfg))
+        assert len(autos) == 1
+
+    def test_limit(self):
+        cfg = Configuration(
+            [(0, 1), (0, 2), (0, 3)], {0: 0, 1: 1, 2: 1, 3: 1}
+        )  # star with 3 identical leaves: 6 automorphisms
+        assert len(list(tag_preserving_automorphisms(cfg, limit=3))) == 3
+
+
+class TestFixedNodes:
+    def test_s_m_has_none(self):
+        for m in (1, 3):
+            assert fixed_nodes(s_m(m)) == []
+            assert not has_fixed_node(s_m(m))
+
+    def test_h_m_all_fixed(self):
+        for m in (1, 3):
+            assert fixed_nodes(h_m(m)) == [0, 1, 2, 3]
+            assert is_rigid(h_m(m))
+
+    def test_g_m_center_fixed(self):
+        from repro.graphs.families import g_m_center
+
+        fixed = fixed_nodes(g_m(2))
+        assert fixed == [g_m_center(2)]
+
+    def test_necessary_condition_on_families(self):
+        # feasible => some fixed node (checked on known families)
+        for cfg in (h_m(1), h_m(4), g_m(2), g_m(3), line_configuration([0, 1, 0])):
+            assert classify(cfg).feasible
+            assert has_fixed_node(cfg)
+
+
+class TestOrbits:
+    def test_orbits_of_s_m(self):
+        assert automorphism_orbits(s_m(2)) == [[0, 3], [1, 2]]
+
+    def test_orbits_refine_into_classifier_classes(self):
+        # every classifier class is a union of automorphism orbits
+        for cfg in (s_m(2), g_m(2), line_configuration([0, 1, 1, 0])):
+            trace = classify(cfg)
+            final = trace.final_classes()
+            for orbit in automorphism_orbits(cfg.normalize()):
+                assert len({final[v] for v in orbit}) == 1
+
+    def test_rigid_graph_orbits_are_singletons(self):
+        orbits = automorphism_orbits(h_m(1))
+        assert orbits == [[0], [1], [2], [3]]

@@ -1,0 +1,54 @@
+"""Unit tests for simulation-based feasibility ground truth."""
+
+from conftest import random_config_batch
+
+from repro.baselines.bruteforce import (
+    refutes_by_symmetry,
+    simulation_feasible,
+    simulation_leader,
+)
+from repro.core.classifier import classify, is_feasible
+from repro.graphs.families import g_m, h_m, s_m
+
+
+class TestSimulationFeasible:
+    def test_matches_classifier_on_families(self):
+        for cfg in (h_m(1), h_m(3), s_m(1), s_m(3), g_m(2)):
+            assert simulation_feasible(cfg) == is_feasible(cfg)
+
+    def test_matches_classifier_on_random_batch(self):
+        for cfg in random_config_batch(30, base_seed=90):
+            assert simulation_feasible(cfg) == is_feasible(cfg), repr(cfg)
+
+
+class TestSimulationLeader:
+    def test_leader_is_unique_history_node(self):
+        leader = simulation_leader(h_m(2))
+        assert leader in (0, 1, 2, 3)
+
+    def test_none_when_infeasible(self):
+        assert simulation_leader(s_m(2)) is None
+
+    def test_leader_in_classifier_singleton(self):
+        # any unique-history node is a singleton class; the classifier
+        # leader must also have a unique history
+        trace = classify(g_m(2))
+        leader = simulation_leader(g_m(2))
+        assert leader is not None
+        final = trace.final_classes()
+        members = [v for v in trace.config.nodes if final[v] == final[leader]]
+        assert members == [leader]
+
+
+class TestSymmetryRefutation:
+    def test_s_m_refuted(self):
+        assert refutes_by_symmetry(s_m(1))
+        assert refutes_by_symmetry(s_m(4))
+
+    def test_h_m_not_refuted(self):
+        assert not refutes_by_symmetry(h_m(1))
+
+    def test_refutation_implies_infeasible(self):
+        for cfg in random_config_batch(25, base_seed=404):
+            if refutes_by_symmetry(cfg):
+                assert not is_feasible(cfg), repr(cfg)

@@ -1,0 +1,233 @@
+"""Unit tests for the canonical DRIP construction and executor."""
+
+import pytest
+
+from repro.core.canonical import (
+    CanonicalDRIP,
+    CanonicalMatchError,
+    CanonicalProtocol,
+    build_canonical_data,
+    final_class_of,
+    match_entry,
+    observed_triples,
+    replay_tblocks,
+)
+from repro.core.classifier import classify
+from repro.core.configuration import Configuration, line_configuration
+from repro.core.partition import ONE, STAR
+from repro.core.trace import ClassifierTrace
+from repro.graphs.families import g_m, h_m, s_m
+from repro.radio.history import History
+from repro.radio.model import COLLISION, LISTEN, SILENCE, TERMINATE, Message, Transmit
+from repro.radio.simulator import simulate
+
+
+def data_for(cfg):
+    return build_canonical_data(classify(cfg))
+
+
+class TestDataConstruction:
+    def test_l1_is_single_null_entry(self):
+        data = data_for(h_m(2))
+        assert data.lists[0] == [(1, ())]
+
+    def test_num_phases_equals_decided_at(self):
+        for cfg in (h_m(1), s_m(2), g_m(2), line_configuration([0, 1, 0])):
+            trace = classify(cfg)
+            data = build_canonical_data(trace)
+            assert data.num_phases == trace.decided_at
+
+    def test_phase_ends_arithmetic(self):
+        # r_j = r_{j-1} + numClasses_j * (2σ+1) + σ
+        data = data_for(g_m(2))
+        sigma = data.sigma
+        for j in range(1, data.num_phases + 1):
+            expected = (
+                data.phase_ends[j - 1]
+                + len(data.lists[j - 1]) * (2 * sigma + 1)
+                + sigma
+            )
+            assert data.phase_ends[j] == expected
+
+    def test_final_list_covers_final_partition(self):
+        trace = classify(h_m(3))
+        data = build_canonical_data(trace)
+        assert len(data.final_list) == trace.num_classes_at(trace.decided_at + 1)
+
+    def test_leader_class_matches_trace(self):
+        trace = classify(h_m(2))
+        data = build_canonical_data(trace)
+        assert data.leader_class == trace.leader_class
+        assert data.feasible
+
+    def test_infeasible_has_no_leader_class(self):
+        data = data_for(s_m(2))
+        assert data.leader_class is None
+        assert not data.feasible
+
+    def test_done_round(self):
+        data = data_for(h_m(1))
+        assert data.done_round == data.phase_ends[-1] + 1
+
+    def test_rejects_undecided_trace(self):
+        trace = ClassifierTrace(
+            config=None, sigma=0, initial_classes={}, initial_reps=(None,)
+        )
+        with pytest.raises(ValueError):
+            build_canonical_data(trace)
+
+
+class TestObservedTriples:
+    def test_message_maps_to_one(self):
+        # block width 2σ+1 = 3 (σ=1); event at round r_prev+2 of block 1
+        h = History.from_entries([SILENCE, SILENCE, Message("1"), SILENCE])
+        assert observed_triples(h, 0, 1, 1) == ((1, 2, ONE),)
+
+    def test_collision_maps_to_star(self):
+        h = History.from_entries([SILENCE, COLLISION, SILENCE, SILENCE])
+        assert observed_triples(h, 0, 1, 1) == ((1, 1, STAR),)
+
+    def test_block_decomposition(self):
+        # σ=0 -> width 1; three blocks; events in blocks 1 and 3
+        h = History.from_entries([SILENCE, Message("1"), SILENCE, COLLISION])
+        assert observed_triples(h, 0, 3, 0) == ((1, 1, ONE), (3, 1, STAR))
+
+    def test_window_excludes_outside_events(self):
+        h = History.from_entries([Message("x"), SILENCE, SILENCE, Message("y")])
+        # window rounds 1..2 only
+        assert observed_triples(h, 0, 2, 0) == ()
+
+    def test_sorted_by_hist_order(self):
+        h = History.from_entries(
+            [SILENCE, Message("1"), Message("1"), COLLISION, SILENCE]
+        )
+        triples = observed_triples(h, 0, 4, 0)
+        assert list(triples) == sorted(triples)
+
+
+class TestMatchEntry:
+    def test_first_match_wins(self):
+        entries = [(1, ()), (1, ((1, 1, ONE),)), (2, ())]
+        assert match_entry(entries, 1, ()) == 1
+        assert match_entry(entries, 1, ((1, 1, ONE),)) == 2
+        assert match_entry(entries, 2, ()) == 3
+
+    def test_no_match(self):
+        assert match_entry([(1, ())], 2, ()) is None
+        assert match_entry([(1, ())], 1, ((9, 9, ONE),)) is None
+
+
+class TestReplayAndDecision:
+    def test_replay_matches_simulated_classes(self):
+        # every node's replayed tBlock chain equals its classifier classes
+        for cfg in (h_m(2), g_m(2), line_configuration([0, 1, 0, 2])):
+            trace = classify(cfg)
+            protocol = CanonicalProtocol.from_trace(trace)
+            ex = simulate(
+                trace.config,
+                protocol.factory,
+                max_rounds=protocol.round_budget(trace.config.span),
+            )
+            for v in trace.config.nodes:
+                chain = replay_tblocks(protocol.data, ex.histories[v])
+                expected = [
+                    trace.classes_at(j)[v]
+                    for j in range(1, protocol.data.num_phases + 1)
+                ]
+                assert chain == expected, f"node {v} of {cfg!r}"
+
+    def test_final_class_matches_partition(self):
+        trace = classify(h_m(2))
+        protocol = CanonicalProtocol.from_trace(trace)
+        ex = simulate(
+            trace.config,
+            protocol.factory,
+            max_rounds=protocol.round_budget(trace.config.span),
+        )
+        final = trace.final_classes()
+        for v in trace.config.nodes:
+            assert final_class_of(protocol.data, ex.histories[v]) == final[v]
+
+    def test_replay_error_on_garbage_history(self):
+        data = data_for(g_m(2))
+        if data.num_phases < 2:
+            pytest.skip("needs at least two phases")
+        # a history full of collisions matches no legitimate entry
+        h = History.from_entries([COLLISION] * (data.phase_ends[-1] + 2))
+        with pytest.raises(CanonicalMatchError):
+            replay_tblocks(data, h)
+
+    def test_decision_zero_for_infeasible(self):
+        trace = classify(s_m(1))
+        protocol = CanonicalProtocol.from_trace(trace)
+        ex = simulate(
+            trace.config,
+            protocol.factory,
+            max_rounds=protocol.round_budget(trace.config.span),
+        )
+        assert all(
+            protocol.decision(ex.histories[v]) == 0 for v in trace.config.nodes
+        )
+
+
+class TestCanonicalDRIPUnit:
+    def test_terminates_after_schedule(self):
+        data = data_for(Configuration([], {0: 0}))
+        drip = CanonicalDRIP(data)
+        h = History.from_entries([SILENCE] * (data.done_round))
+        assert drip.decide(h) is TERMINATE
+
+    def test_transmits_once_per_phase(self):
+        # run the protocol; each node's transmission count per phase == 1
+        trace = classify(h_m(2))
+        protocol = CanonicalProtocol.from_trace(trace)
+        ex = simulate(
+            trace.config,
+            protocol.factory,
+            max_rounds=protocol.round_budget(trace.config.span),
+            record_trace=True,
+        )
+        data = protocol.data
+        # count transmissions of each node per phase from the trace
+        counts = {v: [0] * (data.num_phases + 1) for v in trace.config.nodes}
+        for rec in ex.trace:
+            for v in rec.transmitters:
+                local = rec.global_round - ex.wake_rounds[v]
+                phase = protocol.phase_of_round(local)
+                assert phase is not None
+                counts[v][phase] += 1
+        for v, per_phase in counts.items():
+            assert per_phase[1:] == [1] * data.num_phases, f"node {v}"
+
+    def test_transmission_offset_is_sigma_plus_one(self):
+        # every transmission happens at local position σ+1 of some block
+        trace = classify(g_m(2))
+        protocol = CanonicalProtocol.from_trace(trace)
+        data = protocol.data
+        ex = simulate(
+            trace.config,
+            protocol.factory,
+            max_rounds=protocol.round_budget(trace.config.span),
+            record_trace=True,
+        )
+        width = data.block_width
+        for rec in ex.trace:
+            for v in rec.transmitters:
+                local = rec.global_round - ex.wake_rounds[v]
+                phase = protocol.phase_of_round(local)
+                offset = local - data.phase_ends[phase - 1]
+                pos = (offset - 1) % width + 1
+                assert pos == data.sigma + 1
+
+    def test_phase_of_round(self):
+        protocol = CanonicalProtocol.from_trace(classify(h_m(1)))
+        ends = protocol.data.phase_ends
+        assert protocol.phase_of_round(0) is None
+        assert protocol.phase_of_round(1) == 1
+        assert protocol.phase_of_round(ends[-1]) == protocol.data.num_phases
+        assert protocol.phase_of_round(ends[-1] + 1) is None
+
+    def test_algorithm_bundle(self):
+        algo = CanonicalProtocol.from_trace(classify(h_m(1))).algorithm()
+        assert algo.name == "canonical"
+        assert callable(algo.factory) and callable(algo.decision)

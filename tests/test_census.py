@@ -1,0 +1,68 @@
+"""Unit tests for feasibility censuses."""
+
+from repro.analysis.census import CensusRow, census, random_census
+from repro.core.configuration import Configuration, line_configuration
+from repro.graphs.families import h_m, s_m
+
+
+class TestCensus:
+    def test_counts(self):
+        result = census([h_m(1), h_m(2), s_m(1)])
+        assert result.total == 3
+        assert result.feasible == 2
+
+    def test_grouping_default_by_n_span(self):
+        result = census([h_m(1), s_m(1)])
+        assert (4, 2) in result.rows  # H_1 span 2
+        assert (4, 1) in result.rows  # S_1 span 1
+
+    def test_custom_grouping(self):
+        result = census([h_m(1), h_m(2), s_m(2)], group_by=lambda c: c.n)
+        assert set(result.rows) == {4}
+        row = result.rows[4]
+        assert row.total == 3 and row.feasible == 2
+
+    def test_measure_rounds(self):
+        result = census([h_m(1), s_m(1)], measure_rounds=True)
+        rows = result.sorted_rows()
+        feasible_rows = [r for r in rows if r.feasible]
+        assert all(r.mean_rounds > 0 for r in feasible_rows)
+
+    def test_table_shape(self):
+        result = census([h_m(1), s_m(1)])
+        table = result.as_table()
+        assert len(table) == len(result.rows)
+        assert len(table[0]) == len(result.TABLE_HEADERS)
+
+
+class TestCensusRow:
+    def test_fractions(self):
+        row = CensusRow(group="g", total=4, feasible=1, iterations_sum=8, rounds_sum=20)
+        assert row.feasible_fraction == 0.25
+        assert row.mean_iterations == 2.0
+        assert row.mean_rounds == 20.0
+
+    def test_empty_row_safe(self):
+        row = CensusRow(group="g")
+        assert row.feasible_fraction == 0.0
+        assert row.mean_iterations == 0.0
+        assert row.mean_rounds == 0.0
+
+
+class TestRandomCensus:
+    def test_deterministic(self):
+        a = random_census([5, 6], span=2, p=0.4, samples=5, seed=3)
+        b = random_census([5, 6], span=2, p=0.4, samples=5, seed=3)
+        assert a.total == b.total == 10  # 2 sizes x 5 samples
+        assert [r.feasible for r in a.sorted_rows()] == [
+            r.feasible for r in b.sorted_rows()
+        ]
+
+    def test_groups_by_n(self):
+        result = random_census([4, 7], span=1, p=0.5, samples=3, seed=1)
+        assert set(result.rows) == {4, 7}
+
+    def test_span_zero_never_feasible_for_n_ge_2(self):
+        # span 0 = simultaneous wakeup: infeasible for every n >= 2.
+        result = random_census([4, 6], span=0, p=0.5, samples=6, seed=9)
+        assert result.feasible == 0

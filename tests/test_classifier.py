@@ -1,0 +1,161 @@
+"""Unit tests for the faithful Classifier (Algorithms 1–4)."""
+
+import math
+
+import pytest
+
+from repro.core.classifier import chosen_leader, classifier_ops, classify, is_feasible
+from repro.core.configuration import Configuration, line_configuration
+from repro.core.trace import NO, YES
+from repro.graphs.families import g_m, h_m, s_m
+
+
+class TestKnownDecisions:
+    def test_single_node_feasible(self):
+        trace = classify(Configuration([], {0: 0}))
+        assert trace.decision == YES
+        assert trace.leader == 0
+
+    def test_symmetric_pair_infeasible(self):
+        assert not is_feasible(Configuration([(0, 1)], {0: 0, 1: 0}))
+
+    def test_asymmetric_pair_feasible(self):
+        trace = classify(Configuration([(0, 1)], {0: 0, 1: 1}))
+        assert trace.feasible
+
+    def test_all_same_tags_infeasible_beyond_one_node(self):
+        # Section 1.1: if all nodes wake together no message is ever heard.
+        for n in (2, 3, 5):
+            cfg = line_configuration([0] * n)
+            assert not is_feasible(cfg), f"path of {n} zero-tag nodes"
+
+    def test_middle_node_isolated_on_0_1_0(self):
+        trace = classify(line_configuration([0, 1, 0]))
+        assert trace.feasible
+        assert trace.leader == 1
+
+    def test_h_m_feasible_all_nodes_singletons(self):
+        # Lemma 4.2: every node lands in its own class after iteration 1.
+        for m in (1, 2, 5, 10):
+            trace = classify(h_m(m))
+            assert trace.feasible
+            assert trace.decided_at == 1
+            assert trace.num_classes_at(2) == 4
+
+    def test_s_m_infeasible(self):
+        # Proposition 4.5: mirror-symmetric, two 2-element classes.
+        for m in (1, 2, 5, 10):
+            trace = classify(s_m(m))
+            assert trace.decision == NO
+            final = trace.final_classes()
+            from repro.core.partition import class_members
+
+            sizes = sorted(len(v) for v in class_members(final).values())
+            assert sizes == [2, 2]
+
+    def test_g_m_feasible_center_leader(self):
+        # Proposition 4.1: G_m feasible, centre b_{m+1} isolated.
+        from repro.graphs.families import g_m_center
+
+        for m in (2, 3, 4):
+            trace = classify(g_m(m))
+            assert trace.feasible
+            assert trace.leader == g_m_center(m)
+
+    def test_g_m_needs_about_m_iterations(self):
+        # the refinement peels one layer per iteration from the ends
+        for m in (2, 3, 4, 5):
+            trace = classify(g_m(m))
+            assert trace.decided_at >= m
+
+    def test_cycle_with_rotational_symmetry_infeasible(self):
+        cfg = Configuration(
+            [(0, 1), (1, 2), (2, 3), (3, 0)], {0: 0, 1: 1, 2: 0, 3: 1}
+        )
+        assert not is_feasible(cfg)
+
+    def test_tag_shift_invariance(self):
+        cfg = line_configuration([0, 1, 0, 2])
+        shifted = cfg.shift_tags(5)
+        assert classify(cfg).decision == classify(shifted).decision
+        assert classify(cfg).leader == classify(shifted).leader
+
+
+class TestTraceStructure:
+    def test_iteration_bound(self):
+        # Lemma 3.4: at most ceil(n/2) iterations.
+        for cfg in (h_m(3), s_m(3), g_m(3), line_configuration([0, 1, 2, 0, 1])):
+            trace = classify(cfg)
+            assert trace.num_iterations <= math.ceil(cfg.n / 2)
+
+    def test_class_counts_strictly_increase_until_decision(self):
+        # Corollary 3.3 + the exit conditions.
+        trace = classify(g_m(3))
+        chain = trace.class_count_chain()
+        for a, b in zip(chain, chain[1:-1]):
+            assert a < b or trace.decision == NO
+
+    def test_no_decision_means_stable_final_counts(self):
+        trace = classify(s_m(2))
+        chain = trace.class_count_chain()
+        assert chain[-1] == chain[-2]
+
+    def test_initial_partition_is_one_class(self):
+        trace = classify(h_m(1))
+        assert set(trace.initial_classes.values()) == {1}
+        assert trace.num_classes_at(1) == 1
+
+    def test_classes_at_bounds(self):
+        trace = classify(h_m(1))
+        with pytest.raises(IndexError):
+            trace.classes_at(0)
+        with pytest.raises(IndexError):
+            trace.classes_at(trace.num_iterations + 2)
+        with pytest.raises(IndexError):
+            trace.labels_at(1)
+
+    def test_reps_belong_to_their_class(self):
+        trace = classify(g_m(2))
+        for j in range(1, trace.num_iterations + 2):
+            classes = trace.classes_at(j)
+            reps = trace.reps_at(j)
+            for k in range(1, trace.num_classes_at(j) + 1):
+                assert classes[reps[k]] == k
+
+    def test_observation_3_2_separation_is_permanent(self):
+        # once two nodes are in different classes, they never rejoin.
+        trace = classify(g_m(3))
+        n_iters = trace.num_iterations
+        nodes = trace.config.nodes
+        for j in range(1, n_iters + 1):
+            before = trace.classes_at(j)
+            after = trace.classes_at(j + 1)
+            for v in nodes:
+                for w in nodes:
+                    if before[v] != before[w]:
+                        assert after[v] != after[w]
+
+    def test_normalization_applied(self):
+        trace = classify(line_configuration([3, 4]))
+        assert trace.config.min_tag == 0
+        assert trace.sigma == 1
+
+    def test_leader_none_when_infeasible(self):
+        trace = classify(s_m(1))
+        assert trace.leader is None
+        assert trace.leader_class is None
+        assert chosen_leader(s_m(1)) is None
+
+    def test_describe_renders(self):
+        text = classify(h_m(1)).describe()
+        assert "Yes" in text and "partition_1" in text
+
+
+class TestOpCounting:
+    def test_ops_positive_and_scaling(self):
+        small = classifier_ops(line_configuration([0, 1, 0, 1]))
+        big = classifier_ops(line_configuration([0, 1, 0, 1] * 4))
+        assert 0 < small < big
+
+    def test_ops_zero_when_unmetered(self):
+        assert classify(h_m(1)).total_ops == 0

@@ -1,0 +1,70 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestClassify:
+    def test_line(self, capsys):
+        assert main(["classify", "--line", "0,1,0"]) == 0
+        out = capsys.readouterr().out
+        assert "Yes" in out
+
+    def test_family(self, capsys):
+        assert main(["classify", "--family", "sm:2"]) == 0
+        assert "No" in capsys.readouterr().out
+
+    def test_verbose(self, capsys):
+        main(["classify", "--line", "0,1", "-v"])
+        assert "partition_1" in capsys.readouterr().out
+
+    def test_gnp(self, capsys):
+        assert main(["classify", "--gnp", "8,0.3,2,5"]) == 0
+        out = capsys.readouterr().out
+        assert "decision" in out
+
+    def test_missing_config(self):
+        with pytest.raises(SystemExit):
+            main(["classify"])
+
+    def test_unknown_family(self):
+        with pytest.raises(SystemExit):
+            main(["classify", "--family", "zz:1"])
+
+
+class TestElect:
+    def test_feasible(self, capsys):
+        assert main(["elect", "--family", "hm:2"]) == 0
+        assert "leader=" in capsys.readouterr().out
+
+    def test_infeasible(self, capsys):
+        assert main(["elect", "--family", "sm:2"]) == 0
+        assert "no leader" in capsys.readouterr().out
+
+    def test_verbose_history(self, capsys):
+        main(["elect", "--line", "0,1", "-v"])
+        assert "leader history" in capsys.readouterr().out
+
+
+class TestCensus:
+    def test_runs(self, capsys):
+        assert main(
+            ["census", "--n", "4,5", "--span", "1", "--samples", "3", "--seed", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "census" in out.lower()
+        assert " 4 |" in out and " 5 |" in out  # one row per size
+
+
+class TestDefeat:
+    def test_all_defeated(self, capsys):
+        assert main(["defeat", "--probe-m", "24"]) == 0
+        out = capsys.readouterr().out
+        assert "DEFEAT" in out.upper() or "yes" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,96 @@
+"""Tests for the extended CLI subcommands (program/variants/wired/minspan)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestProgramCommand:
+    def test_export_to_stdout(self, capsys):
+        assert main(["program", "--family", "hm:1"]) == 0
+        out = capsys.readouterr().out
+        blob = json.loads(out)
+        assert blob["format"] == "repro-canonical-drip"
+        assert blob["feasible"] is True
+
+    def test_export_and_run_roundtrip(self, tmp_path, capsys):
+        path = str(tmp_path / "prog.json")
+        assert main(["program", "--family", "hm:2", "--out", path]) == 0
+        capsys.readouterr()
+        assert main(["program", "--run", path, "--family", "hm:2"]) == 0
+        out = capsys.readouterr().out
+        assert "leaders" in out and "[0]" in out
+
+    def test_infeasible_program_runs_with_no_leader(self, tmp_path, capsys):
+        path = str(tmp_path / "sm.json")
+        assert main(["program", "--family", "sm:2", "--out", path]) == 0
+        capsys.readouterr()
+        assert main(["program", "--run", path, "--family", "sm:2"]) == 0
+        out = capsys.readouterr().out
+        assert "leaders" in out and "-" in out
+
+    def test_needs_a_configuration(self):
+        with pytest.raises(SystemExit):
+            main(["program"])
+
+
+class TestVariantsCommand:
+    def test_exhaustive(self, capsys):
+        assert main(["variants", "--exhaustive", "3,1"]) == 0
+        out = capsys.readouterr().out
+        assert "cd" in out and "no-cd" in out and "beep" in out
+        assert "no-cd ⊆ cd: holds" in out
+
+    def test_random(self, capsys):
+        assert main(
+            ["variants", "--n", "6", "--samples", "5", "--seed", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "random configs" in out
+
+
+class TestWiredCommand:
+    def test_dominance_reported(self, capsys):
+        assert main(["wired", "--exhaustive", "3,1"]) == 0
+        out = capsys.readouterr().out
+        assert "dominance" in out and "holds" in out
+        assert "radio-only" in out
+
+
+class TestMinspanCommand:
+    def test_star(self, capsys):
+        assert main(["minspan", "--shape", "star", "--n", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "span" in out and "witness" in out
+
+    def test_unknown_shape(self):
+        with pytest.raises(SystemExit):
+            main(["minspan", "--shape", "moebius", "--n", "4"])
+
+
+class TestTimelineCommand:
+    def test_renders_grid(self, capsys):
+        assert main(["timeline", "--family", "hm:1"]) == 0
+        out = capsys.readouterr().out
+        assert "leaders: [0]" in out
+        assert "T" in out and "z" in out
+        assert "transmission density" in out
+
+    def test_window_args(self, capsys):
+        assert main(["timeline", "--family", "hm:1", "--start", "1", "--end", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "|" in out
+
+
+class TestQuotientCommand:
+    def test_infeasible_skeleton(self, capsys):
+        assert main(["quotient", "--family", "sm:2"]) == 0
+        out = capsys.readouterr().out
+        assert "INFEASIBLE" in out and "C1" in out
+
+    def test_feasible_quotient(self, capsys):
+        assert main(["quotient", "--line", "0,1,0"]) == 0
+        out = capsys.readouterr().out
+        assert "feasible" in out and "size 1" in out

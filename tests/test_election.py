@@ -1,0 +1,103 @@
+"""Unit tests for dedicated leader election (Theorem 3.15 end to end)."""
+
+import pytest
+
+from repro.core.classifier import classify
+from repro.core.configuration import Configuration, line_configuration
+from repro.core.election import (
+    ElectionError,
+    ElectionResult,
+    elect_leader,
+    election_rounds,
+)
+from repro.graphs.families import g_m, g_m_center, h_m, s_m
+
+
+class TestElectionOutcomes:
+    def test_feasible_elects_classifier_leader(self):
+        for cfg in (
+            line_configuration([0, 1, 0]),
+            line_configuration([0, 1, 2]),
+            h_m(1),
+            h_m(4),
+            g_m(2),
+        ):
+            result = elect_leader(cfg)
+            assert result.elected
+            assert result.leader == result.trace.leader
+
+    def test_infeasible_elects_nobody(self):
+        for cfg in (
+            Configuration([(0, 1)], {0: 0, 1: 0}),
+            s_m(1),
+            s_m(3),
+            line_configuration([0, 0, 0, 0]),
+        ):
+            result = elect_leader(cfg)
+            assert not result.elected
+            assert result.leaders == []
+            assert result.leader is None
+
+    def test_g_m_center_wins(self):
+        for m in (2, 3):
+            assert elect_leader(g_m(m)).leader == g_m_center(m)
+
+    def test_all_nodes_terminate_same_local_round(self):
+        result = elect_leader(h_m(2))
+        assert len(set(result.execution.done_local.values())) == 1
+
+    def test_rounds_match_schedule(self):
+        result = elect_leader(h_m(2))
+        assert result.rounds == result.protocol.expected_done
+
+    def test_trace_reuse(self):
+        cfg = h_m(2)
+        trace = classify(cfg)
+        result = elect_leader(cfg, trace=trace)
+        assert result.trace is trace
+
+    def test_record_trace(self):
+        result = elect_leader(h_m(1), record_trace=True)
+        assert result.execution.trace is not None
+        assert result.execution.transmission_rounds()
+
+
+class TestRoundBound:
+    def test_within_o_n2_sigma(self):
+        for cfg in (h_m(1), h_m(6), g_m(2), g_m(3), line_configuration([0, 1, 2, 3])):
+            result = elect_leader(cfg)
+            assert result.within_bound(), result.describe()
+
+    def test_bound_formula_positive(self):
+        result = elect_leader(h_m(1))
+        assert result.round_bound() > 0
+        assert result.round_bound(3) > result.round_bound(1)
+
+    def test_global_rounds_at_least_local(self):
+        result = elect_leader(h_m(3))
+        assert result.global_rounds >= result.rounds
+
+    def test_election_rounds_helper(self):
+        assert election_rounds(h_m(1)) == elect_leader(h_m(1)).rounds
+
+
+class TestVerification:
+    def test_describe(self):
+        text = elect_leader(h_m(1)).describe()
+        assert "leader=" in text and "done_v=" in text
+        text2 = elect_leader(s_m(1)).describe()
+        assert "no leader" in text2
+
+    def test_check_can_be_disabled(self):
+        # with check=False no exception machinery runs; result returned
+        result = elect_leader(s_m(1), check=False)
+        assert isinstance(result, ElectionResult)
+
+    def test_tampered_outcome_raises(self):
+        # simulate a verification failure by corrupting the trace leader
+        cfg = h_m(1)
+        trace = classify(cfg)
+        wrong = [v for v in trace.config.nodes if v != trace.leader][0]
+        trace.leader = wrong
+        with pytest.raises(ElectionError):
+            elect_leader(cfg, trace=trace)

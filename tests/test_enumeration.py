@@ -1,0 +1,70 @@
+"""Unit tests for exhaustive small-configuration enumeration."""
+
+import pytest
+
+from repro.graphs.enumeration import (
+    all_labeled_connected_graphs,
+    connected_graphs,
+    count_configurations,
+    enumerate_configurations,
+)
+
+
+class TestConnectedGraphs:
+    def test_known_counts(self):
+        # numbers of connected graphs up to isomorphism: 1, 1, 2, 6, 21
+        assert len(connected_graphs(1)) == 1
+        assert len(connected_graphs(2)) == 1
+        assert len(connected_graphs(3)) == 2
+        assert len(connected_graphs(4)) == 6
+        assert len(connected_graphs(5)) == 21
+
+    def test_all_connected(self):
+        import networkx as nx
+
+        for edges in connected_graphs(4):
+            g = nx.Graph()
+            g.add_nodes_from(range(4))
+            g.add_edges_from(edges)
+            assert nx.is_connected(g)
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            connected_graphs(0)
+        with pytest.raises(ValueError):
+            connected_graphs(8)
+
+
+class TestLabeledGraphs:
+    def test_known_counts(self):
+        # labeled connected graphs: 1, 1, 4, 38 for n = 1..4
+        assert len(all_labeled_connected_graphs(1)) == 1
+        assert len(all_labeled_connected_graphs(2)) == 1
+        assert len(all_labeled_connected_graphs(3)) == 4
+        assert len(all_labeled_connected_graphs(4)) == 38
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            all_labeled_connected_graphs(6)
+
+
+class TestEnumerateConfigurations:
+    def test_count_formula(self):
+        # shapes(3) = 2; tag vectors in {0,1}^3 with min 0 = 7
+        assert count_configurations(3, 1) == 2 * 7
+
+    def test_all_valid(self):
+        for cfg in enumerate_configurations(3, 1):
+            assert cfg.n == 3
+            assert cfg.min_tag == 0
+            assert cfg.span <= 1
+
+    def test_labeled_mode_larger(self):
+        plain = count_configurations(3, 1)
+        labeled = count_configurations(3, 1, labeled=True)
+        assert labeled >= plain
+
+    def test_single_node(self):
+        cfgs = list(enumerate_configurations(1, 2))
+        assert len(cfgs) == 1
+        assert cfgs[0].n == 1

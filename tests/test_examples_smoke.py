@@ -1,0 +1,69 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are the public face of the library; a release where
+``python examples/quickstart.py`` crashes is broken no matter what the
+unit tests say. Each script is executed in a subprocess with a generous
+timeout; scripts that write files are pointed at a temp directory.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+#: scripts executed with no arguments
+PLAIN_SCRIPTS = [
+    "quickstart.py",
+    "paper_families.py",
+    "impossibility_demo.py",
+    "census_random.py",
+    "single_hop_contrast.py",
+    "program_export.py",
+    "model_variants.py",
+    "wired_contrast.py",
+    "timeline_debug.py",
+]
+
+
+def run_example(name: str, *args: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        cwd=str(EXAMPLES),
+        env=env,
+    )
+
+
+@pytest.mark.parametrize("script", PLAIN_SCRIPTS)
+def test_example_runs_clean(script):
+    result = run_example(script)
+    assert result.returncode == 0, (
+        f"{script} failed\nstdout:\n{result.stdout[-2000:]}\n"
+        f"stderr:\n{result.stderr[-2000:]}"
+    )
+    assert result.stdout.strip(), f"{script} produced no output"
+
+
+def test_generate_experiments_md(tmp_path):
+    out = tmp_path / "EXPERIMENTS.md"
+    result = run_example("generate_experiments_md.py", str(out))
+    assert result.returncode == 0, result.stderr[-2000:]
+    text = out.read_text(encoding="utf-8")
+    assert text.startswith("# EXPERIMENTS")
+    assert "❌" not in text, "a reproduction check regressed"
+    for eid in range(1, 19):
+        assert f"E{eid} —" in text, f"missing section E{eid}"
+
+
+def test_run_experiments_script():
+    result = run_example("run_experiments.py")
+    assert result.returncode == 0, result.stderr[-2000:]
+    for eid in ("E1", "E5", "E10"):
+        assert eid in result.stdout

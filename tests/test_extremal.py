@@ -1,0 +1,161 @@
+"""Tests for extremal searches (repro.analysis.extremal)."""
+
+import pytest
+
+from repro.analysis.extremal import (
+    IterationExtremum,
+    ProbabilityPoint,
+    SpanSearchResult,
+    TagSearchResult,
+    election_rounds_objective,
+    feasibility_probability,
+    hardest_tags,
+    max_iterations,
+    min_feasible_span,
+)
+from repro.core.classifier import classify, is_feasible
+from repro.core.election import elect_leader
+from repro.graphs.generators import (
+    build,
+    complete_edges,
+    cycle_edges,
+    path_edges,
+    star_edges,
+)
+
+
+class TestMinFeasibleSpan:
+    def test_path3_needs_span_one(self):
+        result = min_feasible_span(path_edges(3), 3, max_span=2)
+        assert result.span == 1
+        assert result.exhaustive
+        cfg = build(result.edges, result.witness, n=3)
+        assert is_feasible(cfg) and cfg.span == 1
+
+    def test_single_node_feasible_at_span_zero(self):
+        result = min_feasible_span([], 1, max_span=0)
+        assert result.span == 0
+
+    def test_span_zero_infeasible_for_n_at_least_2(self):
+        """All tags equal ⇒ no node ever hears anything (paper §1.1)."""
+        for edges, n in [
+            (path_edges(2), 2),
+            (complete_edges(3), 3),
+            (star_edges(4), 4),
+        ]:
+            result = min_feasible_span(edges, n, max_span=1)
+            assert result.span is not None and result.span >= 1
+
+    def test_witness_realizes_exact_span(self):
+        for edges, n in [(cycle_edges(4), 4), (complete_edges(4), 4)]:
+            result = min_feasible_span(edges, n, max_span=3)
+            if result.span is not None:
+                assert max(result.witness.values()) == result.span
+                assert min(result.witness.values()) == 0
+
+    def test_unreachable_budget_returns_none(self):
+        # span 0 on a 2-node path is infeasible; max_span=0 finds nothing
+        result = min_feasible_span(path_edges(2), 2, max_span=0)
+        assert result.span is None and result.witness is None
+
+    def test_randomized_regime_flagged(self):
+        result = min_feasible_span(
+            path_edges(8), 8, max_span=1, exhaustive_limit=4, samples=80
+        )
+        assert not result.exhaustive
+        if result.span is not None:
+            cfg = build(result.edges, result.witness, n=8)
+            assert is_feasible(cfg)
+
+
+class TestMaxIterations:
+    def test_n4_result_shape(self):
+        ext = max_iterations(4, 1)
+        assert isinstance(ext, IterationExtremum)
+        assert ext.ceiling == 2
+        assert 1 <= ext.iterations <= ext.ceiling
+        assert ext.witnesses
+        for cfg in ext.witnesses:
+            assert classify(cfg).decided_at == ext.iterations
+
+    def test_tightness_at_most_one(self):
+        ext = max_iterations(5, 1)
+        assert 0 < ext.tightness <= 1.0
+
+    def test_witness_limit(self):
+        ext = max_iterations(4, 1, witness_limit=1)
+        assert len(ext.witnesses) == 1
+
+
+class TestFeasibilityProbability:
+    def test_span_zero_is_zero_probability(self):
+        pts = feasibility_probability(5, [0], samples=15, seed=3)
+        assert pts[0].fraction == 0.0
+
+    def test_probability_rises_with_span(self):
+        pts = feasibility_probability(6, [0, 2, 4], samples=30, seed=1)
+        fracs = [p.fraction for p in pts]
+        assert fracs[0] <= fracs[1] <= fracs[2] or fracs[2] > 0.5
+
+    def test_deterministic_for_fixed_seed(self):
+        a = feasibility_probability(5, [1], samples=10, seed=9)
+        b = feasibility_probability(5, [1], samples=10, seed=9)
+        assert [(p.span, p.feasible) for p in a] == [
+            (p.span, p.feasible) for p in b
+        ]
+
+    def test_point_accounting(self):
+        (pt,) = feasibility_probability(4, [2], samples=12, seed=0)
+        assert isinstance(pt, ProbabilityPoint)
+        assert pt.samples == 12
+        assert 0 <= pt.feasible <= 12
+        assert pt.fraction == pt.feasible / 12
+
+    def test_zero_samples_fraction(self):
+        assert ProbabilityPoint(span=1, samples=0, feasible=0).fraction == 0.0
+
+
+class TestHardestTags:
+    def test_objective_matches_election(self):
+        result = hardest_tags(
+            path_edges(4), 4, 2, restarts=2, steps=15, seed=5
+        )
+        assert isinstance(result, TagSearchResult)
+        assert result.objective == election_rounds_objective(result.config)
+        if result.objective > 0:
+            assert elect_leader(result.config).rounds == result.objective
+
+    def test_trajectory_monotone(self):
+        result = hardest_tags(path_edges(4), 4, 2, restarts=2, steps=15, seed=2)
+        assert all(
+            a <= b for a, b in zip(result.trajectory, result.trajectory[1:])
+        )
+
+    def test_deterministic(self):
+        a = hardest_tags(star_edges(5), 5, 2, restarts=2, steps=10, seed=7)
+        b = hardest_tags(star_edges(5), 5, 2, restarts=2, steps=10, seed=7)
+        assert a.objective == b.objective
+        assert a.config == b.config
+
+    def test_beats_or_matches_uniform_baseline(self):
+        """Hill climbing should do at least as well as its own starting
+        points — sanity check that search pressure is upward."""
+        from repro.graphs.tags import uniform_random
+
+        edges, n, span = path_edges(5), 5, 2
+        result = hardest_tags(edges, n, span, restarts=3, steps=25, seed=11)
+        baseline = max(
+            election_rounds_objective(
+                build(edges, uniform_random(range(n), span, s), n=n)
+            )
+            for s in range(5)
+        )
+        assert result.objective >= min(baseline, 1)
+
+    def test_infeasible_objective_zero(self):
+        cfg = build(path_edges(2), {0: 0, 1: 0}, n=2)
+        assert election_rounds_objective(cfg) == 0
+
+    def test_evaluation_budget_counted(self):
+        result = hardest_tags(path_edges(3), 3, 1, restarts=1, steps=10, seed=0)
+        assert result.evaluations >= 1

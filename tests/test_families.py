@@ -1,0 +1,102 @@
+"""Unit tests for the paper's configuration families (Section 4)."""
+
+import pytest
+
+from repro.core.classifier import classify, is_feasible
+from repro.graphs.families import (
+    FOUR_NODE_NAMES,
+    g_m,
+    g_m_center,
+    g_m_names,
+    g_m_size,
+    h_m,
+    s_m,
+)
+
+
+class TestGm:
+    def test_structure(self):
+        cfg = g_m(2)
+        assert cfg.n == g_m_size(2) == 9
+        assert cfg.num_edges == 8  # a path
+        assert cfg.max_degree == 2
+        assert cfg.span == 1
+
+    def test_tags_pattern(self):
+        cfg = g_m(3)
+        tags = [cfg.tag(i) for i in range(cfg.n)]
+        assert tags == [0] * 3 + [1] * 7 + [0] * 3
+
+    def test_center_has_tag_one(self):
+        for m in (2, 3, 5):
+            assert g_m(m).tag(g_m_center(m)) == 1
+
+    def test_names(self):
+        names = g_m_names(2)
+        assert names[0] == "a1"
+        assert names[2] == "b1"
+        assert names[g_m_center(2)] == "b3"  # b_{m+1}
+        assert names[8] == "c1"
+        assert len(names) == 9
+
+    def test_mirror_symmetric_tags(self):
+        cfg = g_m(3)
+        n = cfg.n
+        for i in range(n):
+            assert cfg.tag(i) == cfg.tag(n - 1 - i)
+
+    def test_feasible(self):
+        for m in (2, 3, 4):
+            assert is_feasible(g_m(m))
+
+    def test_m_lower_bound_enforced(self):
+        with pytest.raises(ValueError):
+            g_m(1)
+
+
+class TestHm:
+    def test_structure(self):
+        cfg = h_m(3)
+        assert cfg.n == 4
+        assert [cfg.tag(i) for i in range(4)] == [3, 0, 0, 4]
+        assert cfg.span == 4  # m + 1
+
+    def test_feasible_for_all_m(self):
+        # Lemma 4.2 first part.
+        for m in range(1, 12):
+            assert is_feasible(h_m(m)), f"H_{m}"
+
+    def test_all_four_singletons_after_one_iteration(self):
+        for m in (1, 4, 9):
+            trace = classify(h_m(m))
+            assert trace.decided_at == 1
+            assert trace.num_classes_at(2) == 4
+
+    def test_names_cover_nodes(self):
+        assert set(FOUR_NODE_NAMES) == {0, 1, 2, 3}
+
+    def test_m_lower_bound(self):
+        with pytest.raises(ValueError):
+            h_m(0)
+
+
+class TestSm:
+    def test_structure(self):
+        cfg = s_m(3)
+        assert [cfg.tag(i) for i in range(4)] == [3, 0, 0, 3]
+        assert cfg.span == 3
+
+    def test_infeasible_for_all_m(self):
+        # Proposition 4.5 core fact.
+        for m in range(1, 12):
+            assert not is_feasible(s_m(m)), f"S_{m}"
+
+    def test_differs_from_h_m_only_at_d(self):
+        hm, sm = h_m(5), s_m(5)
+        assert hm.edges == sm.edges
+        diffs = [v for v in hm.nodes if hm.tag(v) != sm.tag(v)]
+        assert diffs == [3]  # node d
+
+    def test_m_lower_bound(self):
+        with pytest.raises(ValueError):
+            s_m(0)

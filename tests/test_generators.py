@@ -1,0 +1,129 @@
+"""Unit tests for graph-shape generators."""
+
+import pytest
+
+from repro.core.configuration import ConfigurationError
+from repro.graphs.generators import (
+    binary_tree_edges,
+    build,
+    caterpillar_edges,
+    complete_configuration,
+    complete_edges,
+    cycle_configuration,
+    cycle_edges,
+    grid_edges,
+    path_configuration,
+    path_edges,
+    random_connected_gnp_edges,
+    random_tree_edges,
+    star_configuration,
+    star_edges,
+)
+
+
+def _is_connected(edges, n):
+    import networkx as nx
+
+    g = nx.Graph()
+    g.add_nodes_from(range(n))
+    g.add_edges_from(edges)
+    return nx.is_connected(g)
+
+
+class TestShapes:
+    def test_path(self):
+        assert path_edges(4) == [(0, 1), (1, 2), (2, 3)]
+        assert path_edges(1) == []
+
+    def test_cycle(self):
+        edges = cycle_edges(4)
+        assert len(edges) == 4
+        assert (3, 0) in [(min(e), max(e))[::-1] for e in edges] or (0, 3) in [
+            (min(e), max(e)) for e in edges
+        ]
+        with pytest.raises(ValueError):
+            cycle_edges(2)
+
+    def test_star(self):
+        edges = star_edges(5)
+        assert all(0 in e for e in edges)
+        assert len(edges) == 4
+
+    def test_complete(self):
+        assert len(complete_edges(5)) == 10
+
+    def test_grid(self):
+        edges = grid_edges(2, 3)
+        assert len(edges) == 2 * 2 + 3 * 1  # horizontal + vertical
+        assert _is_connected(edges, 6)
+        with pytest.raises(ValueError):
+            grid_edges(0, 3)
+
+    def test_binary_tree(self):
+        edges = binary_tree_edges(7)
+        assert len(edges) == 6
+        assert (0, 1) in edges and (0, 2) in edges
+
+    def test_caterpillar(self):
+        edges = caterpillar_edges(3, 2)
+        n = 3 + 6
+        assert len(edges) == 2 + 6
+        assert _is_connected(edges, n)
+        with pytest.raises(ValueError):
+            caterpillar_edges(0, 1)
+
+
+class TestRandomShapes:
+    def test_random_tree_is_tree(self):
+        for seed in range(5):
+            n = 10
+            edges = random_tree_edges(n, seed)
+            assert len(edges) == n - 1
+            assert _is_connected(edges, n)
+
+    def test_random_tree_small(self):
+        assert random_tree_edges(1, 0) == []
+        assert random_tree_edges(2, 0) == [(0, 1)]
+
+    def test_random_tree_deterministic(self):
+        assert random_tree_edges(12, 99) == random_tree_edges(12, 99)
+        assert random_tree_edges(12, 99) != random_tree_edges(12, 100)
+
+    def test_gnp_connected(self):
+        for seed in range(5):
+            edges = random_connected_gnp_edges(12, 0.2, seed)
+            assert _is_connected(edges, 12)
+
+    def test_gnp_density_scales_with_p(self):
+        sparse = random_connected_gnp_edges(20, 0.05, 7)
+        dense = random_connected_gnp_edges(20, 0.8, 7)
+        assert len(sparse) < len(dense)
+
+    def test_gnp_p_validated(self):
+        with pytest.raises(ValueError):
+            random_connected_gnp_edges(5, 1.5, 0)
+
+    def test_gnp_deterministic(self):
+        a = random_connected_gnp_edges(15, 0.3, 5)
+        b = random_connected_gnp_edges(15, 0.3, 5)
+        assert a == b
+
+
+class TestBuilders:
+    def test_build_defaults_to_zero_tags(self):
+        cfg = build(path_edges(3))
+        assert cfg.tags == {0: 0, 1: 0, 2: 0}
+
+    def test_build_with_tags(self):
+        cfg = build(path_edges(2), {0: 1, 1: 0})
+        assert cfg.tag(0) == 1
+
+    def test_configuration_helpers(self):
+        assert path_configuration([0, 1]).n == 2
+        assert cycle_configuration([0, 1, 2]).num_edges == 3
+        assert complete_configuration([0] * 4).max_degree == 3
+        assert star_configuration([0, 1, 1]).degree(0) == 2
+
+    def test_build_disconnected_fails(self):
+        with pytest.raises(ConfigurationError):
+            build([(0, 1)], n=3)

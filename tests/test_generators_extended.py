@@ -1,0 +1,238 @@
+"""Tests for the extended graph generators and tag strategies."""
+
+import pytest
+
+from repro.core.configuration import Configuration
+from repro.graphs.generators import (
+    barbell_edges,
+    build,
+    circulant_edges,
+    complete_bipartite_edges,
+    double_star_edges,
+    hypercube_edges,
+    lollipop_edges,
+    random_regular_edges,
+    spider_edges,
+    torus_edges,
+    wheel_edges,
+)
+from repro.graphs.tags import (
+    alternating,
+    bfs_layers,
+    clustered,
+    single_sleeper,
+    staircase,
+)
+
+
+def as_config(edges, n=None):
+    """Build with all-zero tags; Configuration validates connectivity."""
+    return build(edges, n=n)
+
+
+def degrees(cfg):
+    return sorted(cfg.degree(v) for v in cfg.nodes)
+
+
+class TestHypercube:
+    @pytest.mark.parametrize("dim", [0, 1, 2, 3, 4])
+    def test_size_and_regularity(self, dim):
+        edges = hypercube_edges(dim)
+        n = 1 << dim
+        assert len(edges) == dim * n // 2
+        if dim > 0:
+            cfg = as_config(edges, n=n)
+            assert degrees(cfg) == [dim] * n
+
+    def test_negative_dim_rejected(self):
+        with pytest.raises(ValueError):
+            hypercube_edges(-1)
+
+    def test_q2_is_a_4cycle(self):
+        cfg = as_config(hypercube_edges(2))
+        assert cfg.n == 4 and cfg.num_edges == 4
+        assert degrees(cfg) == [2, 2, 2, 2]
+
+
+class TestTorus:
+    def test_3x3_is_4_regular(self):
+        cfg = as_config(torus_edges(3, 3), n=9)
+        assert degrees(cfg) == [4] * 9
+        assert cfg.num_edges == 18
+
+    def test_rejects_small_dims(self):
+        with pytest.raises(ValueError):
+            torus_edges(2, 3)
+        with pytest.raises(ValueError):
+            torus_edges(3, 2)
+
+    def test_4x5(self):
+        cfg = as_config(torus_edges(4, 5), n=20)
+        assert degrees(cfg) == [4] * 20
+
+
+class TestCompleteBipartite:
+    def test_k23(self):
+        cfg = as_config(complete_bipartite_edges(2, 3), n=5)
+        assert cfg.num_edges == 6
+        assert degrees(cfg) == [2, 2, 2, 3, 3]
+
+    def test_star_special_case(self):
+        cfg = as_config(complete_bipartite_edges(1, 4), n=5)
+        assert degrees(cfg) == [1, 1, 1, 1, 4]
+
+    def test_rejects_empty_part(self):
+        with pytest.raises(ValueError):
+            complete_bipartite_edges(0, 3)
+
+
+class TestWheel:
+    def test_w5(self):
+        cfg = as_config(wheel_edges(5), n=5)
+        assert cfg.degree(0) == 4  # hub
+        assert degrees(cfg) == [3, 3, 3, 3, 4]
+
+    def test_rejects_small(self):
+        with pytest.raises(ValueError):
+            wheel_edges(3)
+
+    def test_w4_is_k4(self):
+        cfg = as_config(wheel_edges(4), n=4)
+        assert cfg.num_edges == 6  # K4
+
+
+class TestCirculant:
+    def test_cycle_as_circulant(self):
+        from repro.graphs.generators import cycle_edges
+
+        assert sorted(circulant_edges(6, [1])) == sorted(
+            tuple(sorted(e)) for e in cycle_edges(6)
+        )
+
+    def test_two_offsets(self):
+        cfg = as_config(circulant_edges(7, [1, 2]), n=7)
+        assert degrees(cfg) == [4] * 7
+
+    def test_rejects_zero_offset(self):
+        with pytest.raises(ValueError):
+            circulant_edges(5, [0])
+
+    def test_offset_modulo(self):
+        assert circulant_edges(5, [6]) == circulant_edges(5, [1])
+
+
+class TestClusterShapes:
+    def test_barbell(self):
+        cfg = as_config(barbell_edges(3), n=6)
+        assert cfg.n == 6
+        assert cfg.num_edges == 3 + 3 + 1
+        assert degrees(cfg) == [2, 2, 2, 2, 3, 3]
+
+    def test_barbell_rejects_small(self):
+        with pytest.raises(ValueError):
+            barbell_edges(2)
+
+    def test_lollipop(self):
+        cfg = as_config(lollipop_edges(4, 3), n=7)
+        assert cfg.n == 7
+        assert cfg.degree(6) == 1  # tail end
+        assert cfg.degree(3) == 4  # clique node holding the tail
+
+    def test_lollipop_rejects_bad(self):
+        with pytest.raises(ValueError):
+            lollipop_edges(2, 1)
+        with pytest.raises(ValueError):
+            lollipop_edges(3, 0)
+
+    def test_double_star(self):
+        cfg = as_config(double_star_edges(2, 3), n=7)
+        assert cfg.degree(0) == 3  # hub + 2 leaves
+        assert cfg.degree(1) == 4  # hub + 3 leaves
+
+    def test_spider(self):
+        cfg = as_config(spider_edges(3, 2), n=7)
+        assert cfg.degree(0) == 3
+        assert degrees(cfg).count(1) == 3  # leg tips
+
+
+class TestRandomRegular:
+    @pytest.mark.parametrize("n,d", [(8, 3), (10, 4), (6, 2)])
+    def test_regular_and_connected(self, n, d):
+        edges = random_regular_edges(n, d, seed=1)
+        cfg = as_config(edges, n=n)  # Configuration checks connectivity
+        assert degrees(cfg) == [d] * n
+
+    def test_deterministic(self):
+        assert random_regular_edges(8, 3, seed=5) == random_regular_edges(
+            8, 3, seed=5
+        )
+
+    def test_rejects_odd_product(self):
+        with pytest.raises(ValueError):
+            random_regular_edges(5, 3, seed=0)
+
+    def test_rejects_degree_too_large(self):
+        with pytest.raises(ValueError):
+            random_regular_edges(4, 4, seed=0)
+
+
+class TestTagStrategies:
+    def test_staircase(self):
+        tags = staircase(range(6), step=2, width=2)
+        assert tags == {0: 0, 1: 0, 2: 2, 3: 2, 4: 4, 5: 4}
+
+    def test_staircase_validation(self):
+        with pytest.raises(ValueError):
+            staircase(range(3), step=-1)
+        with pytest.raises(ValueError):
+            staircase(range(3), width=0)
+
+    def test_alternating(self):
+        tags = alternating(range(5), low=0, high=3)
+        assert tags == {0: 0, 1: 3, 2: 0, 3: 3, 4: 0}
+
+    def test_alternating_validation(self):
+        with pytest.raises(ValueError):
+            alternating(range(3), low=2, high=1)
+
+    def test_bfs_layers(self):
+        cfg = Configuration([(0, 1), (1, 2), (2, 3)], {i: 0 for i in range(4)})
+        tags = bfs_layers(cfg, 0, step=2)
+        assert tags == {0: 0, 1: 2, 2: 4, 3: 6}
+
+    def test_bfs_layers_from_centre(self):
+        cfg = Configuration([(0, 1), (1, 2)], {i: 0 for i in range(3)})
+        assert bfs_layers(cfg, 1) == {0: 1, 1: 0, 2: 1}
+
+    def test_single_sleeper(self):
+        tags = single_sleeper(range(4), late=5)
+        assert tags == {0: 0, 1: 0, 2: 0, 3: 5}
+
+    def test_single_sleeper_custom_index(self):
+        tags = single_sleeper(range(3), sleeper_index=0, late=2)
+        assert tags == {0: 2, 1: 0, 2: 0}
+
+    def test_clustered_deterministic_and_bounded(self):
+        a = clustered(range(10), 3, 4, seed=2)
+        b = clustered(range(10), 3, 4, seed=2)
+        assert a == b
+        assert all(0 <= t <= 4 for t in a.values())
+        assert len(set(a.values())) <= 3
+
+    def test_clustered_validation(self):
+        with pytest.raises(ValueError):
+            clustered(range(3), 0, 1, seed=0)
+        with pytest.raises(ValueError):
+            clustered(range(3), 2, -1, seed=0)
+
+    def test_strategies_feed_configurations(self):
+        """Every strategy's output builds a valid configuration."""
+        edges = [(i, i + 1) for i in range(5)]
+        for tags in (
+            staircase(range(6)),
+            alternating(range(6)),
+            single_sleeper(range(6)),
+            clustered(range(6), 2, 3, seed=1),
+        ):
+            cfg = build(edges, tags, n=6)
+            assert cfg.n == 6

@@ -1,0 +1,147 @@
+"""Unit tests for sparse histories."""
+
+import pytest
+
+from repro.radio.history import History, shifted_view_key
+from repro.radio.model import COLLISION, SILENCE, Message
+
+
+def make(entries):
+    return History.from_entries(entries)
+
+
+class TestBasics:
+    def test_empty(self):
+        h = History()
+        assert len(h) == 0
+        assert list(h) == []
+
+    def test_append_and_index(self):
+        h = make([SILENCE, Message("1"), COLLISION])
+        assert len(h) == 3
+        assert h[0] is SILENCE
+        assert h[1] == Message("1")
+        assert h[2] is COLLISION
+
+    def test_negative_index(self):
+        h = make([SILENCE, Message("1")])
+        assert h[-1] == Message("1")
+        assert h[-2] is SILENCE
+
+    def test_out_of_range(self):
+        h = make([SILENCE])
+        with pytest.raises(IndexError):
+            h[1]
+        with pytest.raises(IndexError):
+            h[-2]
+
+    def test_slicing_rejected(self):
+        h = make([SILENCE, SILENCE])
+        with pytest.raises(TypeError):
+            h[0:1]
+
+    def test_iteration_order(self):
+        entries = [SILENCE, Message("a"), SILENCE, COLLISION]
+        assert make(entries).to_list() == entries
+
+    def test_silence_not_stored(self):
+        h = make([SILENCE] * 1000)
+        assert len(h._events) == 0
+        assert len(h) == 1000
+
+    def test_copy_independent(self):
+        h = make([Message("1")])
+        c = h.copy()
+        c.append(COLLISION)
+        assert len(h) == 1
+        assert len(c) == 2
+        assert h == make([Message("1")])
+
+
+class TestWindows:
+    def test_window_inclusive(self):
+        h = make([SILENCE, Message("1"), COLLISION, SILENCE])
+        assert h.window(1, 2) == [Message("1"), COLLISION]
+        assert h.window(0, 3) == h.to_list()
+
+    def test_window_bounds(self):
+        h = make([SILENCE, SILENCE])
+        with pytest.raises(IndexError):
+            h.window(0, 2)
+        with pytest.raises(IndexError):
+            h.window(-1, 1)
+
+    def test_events_in(self):
+        h = make([SILENCE, Message("1"), SILENCE, COLLISION, Message("2")])
+        assert h.events_in(0, 4) == [
+            (1, Message("1")),
+            (3, COLLISION),
+            (4, Message("2")),
+        ]
+        assert h.events_in(2, 3) == [(3, COLLISION)]
+        assert h.events_in(0, 0) == []
+
+    def test_events_sorted(self):
+        h = make([Message("b"), SILENCE, Message("a")])
+        assert [i for i, _ in h.events()] == [0, 2]
+
+    def test_first_message_round(self):
+        h = make([SILENCE, COLLISION, Message("1"), Message("2")])
+        assert h.first_message_round() == 2
+        assert make([SILENCE, COLLISION]).first_message_round() is None
+        assert History().first_message_round() is None
+
+
+class TestEqualityAndKeys:
+    def test_equality(self):
+        a = make([SILENCE, Message("1")])
+        b = make([SILENCE, Message("1")])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_length_matters(self):
+        assert make([SILENCE]) != make([SILENCE, SILENCE])
+
+    def test_entry_matters(self):
+        assert make([Message("1")]) != make([COLLISION])
+        assert make([Message("1")]) != make([Message("2")])
+
+    def test_not_equal_to_list(self):
+        assert make([SILENCE]) != [SILENCE]
+
+    def test_key_equality_matches_eq(self):
+        a = make([SILENCE, COLLISION, SILENCE])
+        b = make([SILENCE, COLLISION, SILENCE])
+        c = make([SILENCE, SILENCE, COLLISION])
+        assert a.key() == b.key()
+        assert a.key() != c.key()
+
+    def test_prefix_key(self):
+        a = make([SILENCE, Message("1"), COLLISION])
+        b = make([SILENCE, Message("1"), Message("9")])
+        assert a.prefix_key(1) == b.prefix_key(1)
+        assert a.prefix_key(2) != b.prefix_key(2)
+
+    def test_prefix_key_bounds(self):
+        with pytest.raises(IndexError):
+            make([SILENCE]).prefix_key(1)
+
+
+class TestRenderAndViews:
+    def test_render(self):
+        h = make([SILENCE, Message("1"), COLLISION])
+        assert h.render() == ".<1>*"
+
+    def test_shifted_view_key_rebases(self):
+        h = make([Message("w"), SILENCE, Message("1"), COLLISION])
+        inner = make([Message("1"), COLLISION])
+        assert shifted_view_key(h, 2, 3) == inner.key()
+
+    def test_shifted_view_key_empty_window(self):
+        h = make([SILENCE, SILENCE])
+        assert shifted_view_key(h, 1, 0) == (0, ())
+
+    def test_shifted_view_key_bounds(self):
+        h = make([SILENCE])
+        with pytest.raises(IndexError):
+            shifted_view_key(h, 0, 1)

@@ -1,0 +1,128 @@
+"""Integration: the paper's headline claims, executed end to end.
+
+Each test corresponds to a numbered result of the paper; together they
+are the "does the reproduction reproduce" suite (experiments E3–E7 in
+miniature — the benchmarks run the full sweeps).
+"""
+
+import math
+
+from repro.baselines.universal_candidates import (
+    candidate_portfolio,
+    compare_executions,
+    defeat,
+    first_tag0_transmission,
+)
+from repro.core.classifier import classify
+from repro.core.election import elect_leader
+from repro.graphs.families import g_m, g_m_center, g_m_size, h_m, s_m
+
+
+class TestTheorem315:
+    """Feasible => dedicated O(n²σ) election via the canonical DRIP."""
+
+    def test_election_on_families(self):
+        for cfg in (h_m(1), h_m(5), g_m(2), g_m(3)):
+            result = elect_leader(cfg)
+            assert result.elected
+            assert result.within_bound()
+
+    def test_election_time_explicit_budget(self):
+        # done_v = sum over phases of numClasses_j (2σ+1) + σ, plus 1;
+        # with phases <= ceil(n/2) and numClasses <= n (Lemma 3.10).
+        for cfg in (h_m(3), g_m(2)):
+            r = elect_leader(cfg)
+            n, sigma = cfg.n, cfg.span
+            lemma_3_10 = math.ceil(n / 2) * (n * (2 * sigma + 1) + sigma) + 1
+            assert r.rounds <= lemma_3_10
+
+
+class TestProposition41:
+    """G_m (span 1) needs Ω(n) rounds; the proof's m-1 round floor."""
+
+    def test_election_rounds_grow_linearly_in_m(self):
+        rounds = {m: elect_leader(g_m(m)).rounds for m in (2, 4, 6)}
+        # Ω(n): canonical election takes >= m-1 rounds (symmetry radius)
+        for m, r in rounds.items():
+            assert r >= m - 1
+        # and grows with m
+        assert rounds[2] < rounds[4] < rounds[6]
+
+    def test_classifier_needs_m_iterations(self):
+        # the partition refines outward one layer per iteration
+        for m in (2, 3, 5):
+            assert classify(g_m(m)).decided_at >= m
+
+    def test_center_is_unique_leader(self):
+        for m in (2, 4):
+            assert elect_leader(g_m(m)).leader == g_m_center(m)
+
+    def test_span_is_one_but_n_grows(self):
+        for m in (2, 5):
+            cfg = g_m(m)
+            assert cfg.span == 1
+            assert cfg.n == g_m_size(m)
+
+
+class TestLemma42Proposition43:
+    """H_m is feasible; election needs >= m rounds (Ω(σ), n fixed at 4)."""
+
+    def test_feasibility_and_round_floor(self):
+        for m in (1, 2, 4, 8, 16):
+            result = elect_leader(h_m(m))
+            assert result.elected
+            assert result.rounds >= m, f"H_{m}: {result.rounds} < {m}"
+
+    def test_rounds_grow_with_sigma_at_fixed_n(self):
+        rounds = [elect_leader(h_m(m)).rounds for m in (1, 4, 16)]
+        assert rounds[0] < rounds[1] < rounds[2]
+
+
+class TestProposition44:
+    """No universal algorithm for 4-node feasible configurations."""
+
+    def test_adversary_defeats_every_candidate(self):
+        for cand in candidate_portfolio():
+            report = defeat(cand, probe_m=48)
+            assert report.defeated, report.describe()
+
+    def test_defeat_mechanism_matches_proof(self):
+        # the killer's symmetry witnesses hold whenever it doesn't crash
+        for cand in candidate_portfolio():
+            report = defeat(cand, probe_m=48)
+            if not report.crashed:
+                assert report.bc_histories_equal
+                assert report.ad_histories_equal
+
+
+class TestProposition45:
+    """No distributed feasibility decision: H_{t+1} ~ S_{t+1}."""
+
+    def test_feasibility_statuses_differ(self):
+        for m in (1, 3, 7):
+            assert classify(h_m(m)).feasible
+            assert not classify(s_m(m)).feasible
+
+    def test_indistinguishability(self):
+        for cand in candidate_portfolio():
+            t = first_tag0_transmission(cand, probe_m=48)
+            if t is None:
+                continue
+            per_node = compare_executions(h_m(t + 1), s_m(t + 1), cand)
+            assert all(per_node.values()), (cand.name, per_node)
+
+
+class TestLemma34Corollary33:
+    """Classifier terminates within ⌈n/2⌉ iterations; counts monotone."""
+
+    def test_iteration_cap(self):
+        for cfg in (g_m(4), h_m(3), s_m(3)):
+            trace = classify(cfg)
+            assert trace.num_iterations <= math.ceil(cfg.n / 2)
+
+    def test_class_count_monotone(self):
+        for cfg in (g_m(3), s_m(2)):
+            chain = classify(cfg).class_count_chain()
+            assert all(a <= b for a, b in zip(chain, chain[1:]))
+            assert chain[0] == 1
+            assert chain[-1] <= cfg.n

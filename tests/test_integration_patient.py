@@ -1,0 +1,98 @@
+"""Integration: the Lemma 3.12 patient transformation, end to end.
+
+The canonical DRIP is already patient (Lemma 3.6), so wrapping it must
+not change any outcome; wrapping deliberately *impatient* protocols must
+remove forced wakeups while preserving decisions (shifted by σ).
+"""
+
+from conftest import random_config_batch
+
+from repro.core.canonical import CanonicalProtocol
+from repro.core.classifier import classify
+from repro.graphs.families import h_m
+from repro.core.configuration import line_configuration
+from repro.radio.model import SILENCE
+from repro.radio.protocol import (
+    LeaderElectionAlgorithm,
+    ScheduleDRIP,
+    anonymous_factory,
+    make_patient,
+)
+from repro.radio.simulator import simulate
+
+
+class TestPatientCanonical:
+    def test_wrapping_canonical_preserves_election(self):
+        for cfg in (h_m(2), line_configuration([0, 1, 0]), line_configuration([0, 2, 1])):
+            trace = classify(cfg)
+            protocol = CanonicalProtocol.from_trace(trace)
+            algo = protocol.algorithm()
+            wrapped = make_patient(algo, span=trace.config.span)
+
+            budget = 4 * protocol.round_budget(trace.config.span) + 8
+            raw_ex = simulate(trace.config, algo.factory, max_rounds=budget)
+            pat_ex = simulate(trace.config, wrapped.factory, max_rounds=budget)
+
+            raw_leaders = raw_ex.decide_leaders(algo.decision)
+            pat_leaders = pat_ex.decide_leaders(wrapped.decision)
+            assert raw_leaders == pat_leaders
+            assert pat_ex.all_spontaneous()
+
+    def test_wrapping_on_random_feasible_configs(self):
+        hits = 0
+        for cfg in random_config_batch(20, base_seed=2024, n_hi=7):
+            trace = classify(cfg)
+            if not trace.feasible:
+                continue
+            hits += 1
+            protocol = CanonicalProtocol.from_trace(trace)
+            algo = protocol.algorithm()
+            wrapped = make_patient(algo, span=trace.config.span)
+            budget = 4 * protocol.round_budget(trace.config.span) + 8
+            pat_ex = simulate(trace.config, wrapped.factory, max_rounds=budget)
+            assert pat_ex.all_spontaneous()
+            leaders = pat_ex.decide_leaders(wrapped.decision)
+            assert leaders == [trace.leader]
+        assert hits >= 3  # the batch contains feasible configurations
+
+
+class TestPatientImpatient:
+    def test_impatient_beacon_made_patient(self):
+        # beacon at local round 1: on span-2 tags this forces wakeups.
+        algo = LeaderElectionAlgorithm(
+            anonymous_factory(lambda: ScheduleDRIP({1: "b"}, done_round=10)),
+            lambda h: 1 if h.first_message_round() is None else 0,
+            name="beacon",
+        )
+        cfg = line_configuration([0, 2, 2])
+        raw_ex = simulate(cfg, algo.factory)
+        assert not raw_ex.all_spontaneous()
+
+        wrapped = make_patient(algo, span=cfg.span)
+        pat_ex = simulate(cfg, wrapped.factory)
+        assert pat_ex.all_spontaneous()
+        # Claim 2(3): per-node decisions unchanged by the transformation.
+        assert raw_ex.decide_leaders(algo.decision) == pat_ex.decide_leaders(
+            wrapped.decision
+        )
+
+    def test_patient_histories_are_shifted_copies(self):
+        # statement (3) of Claim 2: H_x^pat[s_x .. ] == H_x[0 .. ]
+        algo = LeaderElectionAlgorithm(
+            anonymous_factory(lambda: ScheduleDRIP({2: "z"}, done_round=6)),
+            lambda h: 0,
+            name="z",
+        )
+        cfg = line_configuration([0, 1])
+        span = cfg.span
+        wrapped = make_patient(algo, span=span)
+        raw_ex = simulate(cfg, algo.factory)
+        pat_ex = simulate(cfg, wrapped.factory)
+        from repro.radio.history import shifted_view_key
+        from repro.radio.protocol import patient_span_of
+
+        for v in cfg.nodes:
+            raw_h = raw_ex.histories[v]
+            pat_h = pat_ex.histories[v]
+            s = patient_span_of(pat_h, span)
+            assert shifted_view_key(pat_h, s, len(pat_h) - 1) == raw_h.key()

@@ -1,0 +1,79 @@
+"""Tests for markdown reporting (repro.reporting.markdown)."""
+
+import pytest
+
+from repro.reporting.markdown import (
+    MarkdownDoc,
+    md_check,
+    md_checklist,
+    md_kv,
+    md_section,
+    md_table,
+)
+
+
+class TestTable:
+    def test_basic_shape(self):
+        text = md_table([(1, "a"), (2, "b")], headers=("x", "name"))
+        lines = text.splitlines()
+        assert lines[0] == "| x | name |"
+        assert lines[1] == "| --- | --- |"
+        assert lines[2] == "| 1 | a |"
+        assert len(lines) == 4
+
+    def test_floats_compact(self):
+        text = md_table([(0.123456789,)], headers=("v",))
+        assert "0.1235" in text
+
+    def test_pipe_escaped(self):
+        text = md_table([("a|b",)], headers=("v",))
+        assert "a\\|b" in text
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="width"):
+            md_table([(1, 2, 3)], headers=("a", "b"))
+
+    def test_empty_rows_ok(self):
+        text = md_table([], headers=("a",))
+        assert text.count("\n") == 1
+
+
+class TestBlocks:
+    def test_section_level(self):
+        assert md_section("T", "body").startswith("## T")
+        assert md_section("T", level=3).startswith("### T")
+        with pytest.raises(ValueError):
+            md_section("T", level=0)
+
+    def test_section_skips_empty_blocks(self):
+        assert md_section("T", "", "x") == "## T\n\nx"
+
+    def test_kv(self):
+        out = md_kv([("n", 4), ("sigma", 1)])
+        assert "- **n**: 4" in out and "- **sigma**: 1" in out
+
+    def test_check_marks(self):
+        assert md_check("ok", True).startswith("- ✅")
+        assert md_check("bad", False).startswith("- ❌")
+
+    def test_checklist(self):
+        out = md_checklist([("a", True), ("b", False)])
+        assert out.count("\n") == 1
+
+
+class TestDoc:
+    def test_render_roundtrip(self, tmp_path):
+        doc = MarkdownDoc("Title", preamble="intro")
+        doc.section("S1", "content", level=2)
+        doc.add("tail")
+        text = doc.render()
+        assert text.startswith("# Title\n\nintro")
+        assert "## S1" in text and text.endswith("tail\n")
+        path = tmp_path / "doc.md"
+        doc.write(path)
+        assert path.read_text(encoding="utf-8") == text
+
+    def test_chaining(self):
+        doc = MarkdownDoc("T").section("A").section("B")
+        assert isinstance(doc, MarkdownDoc)
+        assert "## A" in doc.render() and "## B" in doc.render()

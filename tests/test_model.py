@@ -1,0 +1,82 @@
+"""Unit tests for the radio model primitives."""
+
+import pickle
+
+import pytest
+
+from repro.radio.model import (
+    COLLISION,
+    LISTEN,
+    SILENCE,
+    TERMINATE,
+    Message,
+    Transmit,
+    entry_symbol,
+    is_transmit,
+)
+
+
+class TestSentinels:
+    def test_sentinels_are_distinct(self):
+        values = {id(SILENCE), id(COLLISION), id(LISTEN), id(TERMINATE)}
+        assert len(values) == 4
+
+    def test_repr(self):
+        assert repr(SILENCE) == "SILENCE"
+        assert repr(COLLISION) == "COLLISION"
+        assert repr(LISTEN) == "LISTEN"
+        assert repr(TERMINATE) == "TERMINATE"
+
+    def test_pickle_preserves_identity(self):
+        for s in (SILENCE, COLLISION, LISTEN, TERMINATE):
+            assert pickle.loads(pickle.dumps(s)) is s
+
+    def test_sentinel_not_equal_to_message(self):
+        assert SILENCE != Message("1")
+        assert COLLISION != Message("1")
+
+
+class TestMessage:
+    def test_equality_by_payload(self):
+        assert Message("1") == Message("1")
+        assert Message("1") != Message("2")
+        assert Message(1) != Message("1")
+
+    def test_hash_consistent_with_eq(self):
+        assert hash(Message("x")) == hash(Message("x"))
+        assert len({Message("a"), Message("a"), Message("b")}) == 2
+
+    def test_not_equal_to_other_types(self):
+        assert Message("1") != "1"
+        assert (Message("1") == object()) is False
+
+    def test_repr_contains_payload(self):
+        assert "abc" in repr(Message("abc"))
+
+
+class TestTransmit:
+    def test_default_message_is_one(self):
+        assert Transmit().message == "1"
+
+    def test_equality(self):
+        assert Transmit("m") == Transmit("m")
+        assert Transmit("m") != Transmit("n")
+
+    def test_is_transmit(self):
+        assert is_transmit(Transmit("x"))
+        assert not is_transmit(LISTEN)
+        assert not is_transmit(TERMINATE)
+
+    def test_hashable(self):
+        assert len({Transmit("a"), Transmit("a")}) == 1
+
+
+class TestEntrySymbol:
+    def test_symbols(self):
+        assert entry_symbol(SILENCE) == "."
+        assert entry_symbol(COLLISION) == "*"
+        assert entry_symbol(Message("7")) == "<7>"
+
+    def test_rejects_non_entries(self):
+        with pytest.raises(TypeError):
+            entry_symbol("not an entry")

@@ -1,0 +1,86 @@
+"""Tests for parallel batch execution (repro.analysis.parallel)."""
+
+import pytest
+
+from repro.analysis.parallel import (
+    _chunks,
+    default_workers,
+    parallel_cross_model,
+    parallel_decisions,
+    parallel_feasibility,
+    parallel_map,
+)
+from repro.core.classifier import is_feasible
+from repro.graphs.enumeration import enumerate_configurations
+from repro.variants.census import cross_model_row
+
+
+def square(x):  # module-level: picklable
+    return x * x
+
+
+class TestParallelMap:
+    def test_order_preserved_serial(self):
+        assert parallel_map(square, range(10), max_workers=1) == [
+            x * x for x in range(10)
+        ]
+
+    def test_order_preserved_parallel(self):
+        items = list(range(100))
+        assert parallel_map(square, items, max_workers=2, chunksize=7) == [
+            x * x for x in items
+        ]
+
+    def test_empty(self):
+        assert parallel_map(square, [], max_workers=2) == []
+
+    def test_small_input_short_circuits(self):
+        # fewer items than a chunk: runs serially even with workers
+        assert parallel_map(square, [3], max_workers=4, chunksize=16) == [9]
+
+    def test_chunksize_validation(self):
+        with pytest.raises(ValueError):
+            parallel_map(square, [1], chunksize=0)
+
+    def test_chunks_cover_everything(self):
+        items = list(range(23))
+        chunks = _chunks(items, 5)
+        assert [x for c in chunks for x in c] == items
+        assert all(len(c) <= 5 for c in chunks)
+
+    def test_default_workers_positive(self):
+        assert default_workers() >= 1
+
+
+class TestCensusWorkers:
+    @pytest.fixture(scope="class")
+    def configs(self):
+        return list(enumerate_configurations(3, 1))
+
+    def test_feasibility_matches_serial(self, configs):
+        parallel = parallel_feasibility(configs, max_workers=2, chunksize=4)
+        serial = [is_feasible(c) for c in configs]
+        assert parallel == serial
+
+    def test_decisions_structure(self, configs):
+        rows = parallel_decisions(configs, max_workers=1)
+        assert len(rows) == len(configs)
+        for row, cfg in zip(rows, configs):
+            assert row["n"] == cfg.n
+            assert row["feasible"] == is_feasible(cfg)
+            assert row["iterations"] >= 1
+
+    def test_cross_model_matches_serial(self, configs):
+        parallel = parallel_cross_model(
+            configs[:8], max_workers=2, chunksize=2
+        )
+        serial = [cross_model_row(c).feasible for c in configs[:8]]
+        assert parallel == serial
+
+    def test_configuration_pickles_cleanly(self, configs):
+        import pickle
+
+        cfg = configs[-1]
+        clone = pickle.loads(pickle.dumps(cfg))
+        assert clone == cfg
+        assert is_feasible(clone) == is_feasible(cfg)

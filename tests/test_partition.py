@@ -1,0 +1,148 @@
+"""Unit tests for labels, ≺hist ordering and Refine semantics."""
+
+import pytest
+
+from repro.core.configuration import Configuration, line_configuration
+from repro.core.partition import (
+    NULL_LABEL,
+    ONE,
+    STAR,
+    OpCounter,
+    class_members,
+    compute_all_labels,
+    compute_label,
+    label_str,
+    partition_key,
+    refine,
+    singleton_classes,
+    triple_str,
+)
+
+
+class TestOrdering:
+    def test_one_sorts_before_star(self):
+        # Definition 3.1: (a,b,1) precedes (a,b,*)
+        assert (1, 2, ONE) < (1, 2, STAR)
+
+    def test_lexicographic_on_a_then_b(self):
+        assert (1, 9, STAR) < (2, 1, ONE)
+        assert (1, 2, STAR) < (1, 3, ONE)
+
+    def test_rendering(self):
+        assert triple_str((2, 5, ONE)) == "(2,5,1)"
+        assert triple_str((2, 5, STAR)) == "(2,5,*)"
+        assert label_str(NULL_LABEL) == "null"
+        assert label_str(((1, 2, ONE), (1, 3, STAR))) == "(1,2,1)(1,3,*)"
+
+
+class TestComputeLabel:
+    def test_same_class_same_tag_excluded(self):
+        # two nodes, same class and tag: the neighbour tuple is excluded
+        # (simultaneous transmission — nothing received, no collision).
+        cfg = Configuration([(0, 1)], {0: 0, 1: 0})
+        classes = {0: 1, 1: 1}
+        assert compute_label(cfg, 0, classes) == NULL_LABEL
+
+    def test_different_tag_included(self):
+        cfg = Configuration([(0, 1)], {0: 0, 1: 1})  # sigma = 1
+        classes = {0: 1, 1: 1}
+        # b = sigma + 1 + t_w - t_v = 1 + 1 + 1 - 0 = 3 at node 0
+        assert compute_label(cfg, 0, classes) == ((1, 3, ONE),)
+        # and 1 + 1 + 0 - 1 = 1 at node 1
+        assert compute_label(cfg, 1, classes) == ((1, 1, ONE),)
+
+    def test_different_class_included_even_same_tag(self):
+        cfg = Configuration([(0, 1)], {0: 0, 1: 0})
+        classes = {0: 1, 1: 2}
+        assert compute_label(cfg, 0, classes) == ((2, 1, ONE),)
+
+    def test_star_for_duplicate_tuples(self):
+        # centre 0 with two leaves of equal class and tag -> collision mark
+        cfg = Configuration([(0, 1), (0, 2)], {0: 0, 1: 1, 2: 1})
+        classes = {0: 1, 1: 1, 2: 1}
+        label = compute_label(cfg, 0, classes)
+        assert label == ((1, 3, STAR),)
+
+    def test_mixed_one_and_star_sorted(self):
+        # leaves: two at tag 1 (same class) -> STAR; one at tag 2 -> ONE
+        cfg = Configuration(
+            [(0, 1), (0, 2), (0, 3)], {0: 0, 1: 1, 2: 1, 3: 2}
+        )
+        classes = {v: 1 for v in cfg.nodes}
+        label = compute_label(cfg, 0, classes)
+        # sigma = 2: b-values are 2+1+1=4 (twice) and 2+1+2=5
+        assert label == ((1, 4, STAR), (1, 5, ONE))
+
+    def test_triple_count_bounded_by_degree(self):
+        cfg = Configuration(
+            [(0, i) for i in range(1, 6)], {0: 0, **{i: i % 3 for i in range(1, 6)}}
+        )
+        classes = {v: 1 for v in cfg.nodes}
+        assert len(compute_label(cfg, 0, classes)) <= cfg.degree(0)
+
+    def test_op_counter_counts(self):
+        cfg = Configuration([(0, 1), (0, 2)], {0: 0, 1: 1, 2: 1})
+        counter = OpCounter()
+        compute_all_labels(cfg, {v: 1 for v in cfg.nodes}, counter)
+        assert counter.triple_ops > 0
+        assert counter.total == counter.triple_ops + counter.label_ops
+
+
+class TestRefine:
+    def test_splits_by_label(self):
+        nodes = [0, 1, 2]
+        old = {0: 1, 1: 1, 2: 1}
+        labels = {0: ((1, 1, ONE),), 1: ((1, 2, ONE),), 2: ((1, 1, ONE),)}
+        reps = [None, 0]
+        classes, reps, num = refine(nodes, old, labels, reps, 1)
+        assert classes == {0: 1, 1: 2, 2: 1}
+        assert num == 2
+        assert reps[2] == 1
+
+    def test_respects_old_classes(self):
+        # equal labels but different old classes stay separated
+        nodes = [0, 1]
+        old = {0: 1, 1: 2}
+        labels = {0: NULL_LABEL, 1: NULL_LABEL}
+        reps = [None, 0, 1]
+        classes, reps, num = refine(nodes, old, labels, reps, 2)
+        assert classes == {0: 1, 1: 2}
+        assert num == 2
+
+    def test_class_numbers_stable(self):
+        # the representative of each old class keeps its number
+        nodes = [0, 1, 2, 3]
+        old = {0: 1, 1: 2, 2: 1, 3: 2}
+        labels = {0: NULL_LABEL, 1: NULL_LABEL, 2: ((1, 1, ONE),), 3: NULL_LABEL}
+        reps = [None, 0, 1]
+        classes, reps, num = refine(nodes, old, labels, reps, 2)
+        assert classes[0] == 1 and classes[1] == 2 and classes[3] == 2
+        assert classes[2] == 3  # split off into a fresh class
+        assert num == 3
+
+    def test_refinement_never_merges(self):
+        # Observation 3.2: nodes in different classes stay different.
+        nodes = [0, 1]
+        old = {0: 1, 1: 2}
+        labels = {0: ((9, 9, ONE),), 1: ((9, 9, ONE),)}
+        reps = [None, 0, 1]
+        classes, _, _ = refine(nodes, old, labels, reps, 2)
+        assert classes[0] != classes[1]
+
+    def test_counter_metered(self):
+        counter = OpCounter()
+        refine([0, 1], {0: 1, 1: 1}, {0: NULL_LABEL, 1: NULL_LABEL}, [None, 0], 1, counter)
+        assert counter.label_ops > 0
+
+
+class TestPartitionHelpers:
+    def test_class_members(self):
+        assert class_members({0: 1, 1: 2, 2: 1}) == {1: [0, 2], 2: [1]}
+
+    def test_singletons(self):
+        assert singleton_classes({0: 1, 1: 2, 2: 1}) == [2]
+        assert singleton_classes({0: 1, 1: 1}) == []
+
+    def test_partition_key_numbering_independent(self):
+        assert partition_key({0: 1, 1: 2}) == partition_key({0: 5, 1: 3})
+        assert partition_key({0: 1, 1: 1}) != partition_key({0: 1, 1: 2})

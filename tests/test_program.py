@@ -1,0 +1,280 @@
+"""Unit tests for serializable canonical programs (repro.core.program)."""
+
+import json
+
+import pytest
+
+from repro.core.classifier import classify
+from repro.core.canonical import CanonicalProtocol, build_canonical_data
+from repro.core.configuration import Configuration, line_configuration
+from repro.core.program import (
+    FORMAT_VERSION,
+    CanonicalProgram,
+    ProgramFormatError,
+    compile_program,
+    dumps,
+    export_program,
+    import_program,
+    load,
+    loads,
+    program_algorithm,
+    program_drip,
+    program_from_data,
+    program_from_trace,
+    roundtrip_equal,
+    save,
+)
+from repro.graphs.families import g_m, h_m, s_m
+from repro.radio.history import History
+from repro.radio.simulator import simulate
+
+SAMPLES = [
+    h_m(1),
+    h_m(3),
+    s_m(2),
+    g_m(2),
+    line_configuration([0, 1, 0]),
+    line_configuration([0, 2, 1, 0]),
+    Configuration([(0, 1), (1, 2), (2, 0)], {0: 0, 1: 1, 2: 2}),
+]
+
+
+class TestCompilation:
+    def test_compile_matches_trace_data(self):
+        cfg = h_m(2)
+        trace = classify(cfg)
+        data = build_canonical_data(trace)
+        prog = compile_program(cfg)
+        assert prog == program_from_data(data)
+        assert prog == program_from_trace(trace)
+
+    def test_sigma_and_feasibility_propagate(self):
+        prog = compile_program(h_m(5))
+        assert prog.sigma == 6  # tags {0, 0, 5, 6} -> span 6
+        assert prog.feasible
+        assert prog.leader_class is not None
+
+    def test_infeasible_program_has_no_leader_class(self):
+        prog = compile_program(s_m(2))
+        assert not prog.feasible
+        assert prog.leader_class is None
+
+    def test_l1_shape(self):
+        for cfg in SAMPLES:
+            prog = compile_program(cfg)
+            assert prog.lists[0] == ((1, ()),)
+
+    def test_phase_ends_match_canonical_data(self):
+        for cfg in SAMPLES:
+            trace = classify(cfg)
+            data = build_canonical_data(trace)
+            prog = program_from_data(data)
+            assert prog.phase_ends == data.phase_ends
+            assert prog.done_round == data.done_round
+
+    def test_to_canonical_data_is_lossless(self):
+        trace = classify(h_m(2))
+        data = build_canonical_data(trace)
+        back = program_from_data(data).to_canonical_data()
+        assert back.sigma == data.sigma
+        assert back.lists == data.lists
+        assert back.final_list == data.final_list
+        assert back.leader_class == data.leader_class
+        assert back.feasible == data.feasible
+        assert back.phase_ends == data.phase_ends
+
+
+class TestWireFormat:
+    @pytest.mark.parametrize("cfg", SAMPLES, ids=lambda c: f"n{c.n}s{c.span}")
+    def test_roundtrip_identity(self, cfg):
+        assert roundtrip_equal(compile_program(cfg))
+
+    def test_export_is_json_serializable(self):
+        blob = export_program(compile_program(h_m(1)))
+        text = json.dumps(blob)
+        assert json.loads(text) == blob
+
+    def test_dumps_is_deterministic(self):
+        prog = compile_program(g_m(2))
+        assert dumps(prog) == dumps(prog)
+
+    def test_export_has_versioned_header(self):
+        blob = export_program(compile_program(h_m(1)))
+        assert blob["format"] == "repro-canonical-drip"
+        assert blob["version"] == FORMAT_VERSION
+
+    def test_save_load_file(self, tmp_path):
+        prog = compile_program(h_m(2))
+        path = tmp_path / "hm2.json"
+        save(prog, path)
+        assert load(path) == prog
+
+    def test_marks_survive_roundtrip(self):
+        # A star whose leaves share a tag: the centre hears a collision,
+        # so labels contain STAR marks (in the phase lists or in the
+        # terminal-partition list).
+        from repro.graphs.generators import star_configuration
+
+        prog = compile_program(star_configuration([1, 0, 0, 0]))
+        all_entries = [e for entries in prog.lists for e in entries]
+        all_entries += list(prog.final_list)
+        has_star = any(
+            c == 2 for (_, label) in all_entries for (_, _, c) in label
+        )
+        assert has_star
+        assert loads(dumps(prog)) == prog
+
+
+class TestImportValidation:
+    def good(self):
+        return export_program(compile_program(h_m(1)))
+
+    def test_rejects_non_dict(self):
+        with pytest.raises(ProgramFormatError):
+            import_program([1, 2, 3])
+
+    def test_rejects_unknown_format(self):
+        blob = self.good()
+        blob["format"] = "something-else"
+        with pytest.raises(ProgramFormatError, match="format"):
+            import_program(blob)
+
+    def test_rejects_wrong_version(self):
+        blob = self.good()
+        blob["version"] = FORMAT_VERSION + 1
+        with pytest.raises(ProgramFormatError, match="version"):
+            import_program(blob)
+
+    def test_rejects_negative_sigma(self):
+        blob = self.good()
+        blob["sigma"] = -1
+        with pytest.raises(ProgramFormatError, match="sigma"):
+            import_program(blob)
+
+    def test_rejects_non_bool_feasible(self):
+        blob = self.good()
+        blob["feasible"] = "yes"
+        with pytest.raises(ProgramFormatError, match="feasible"):
+            import_program(blob)
+
+    def test_rejects_feasible_without_leader(self):
+        blob = self.good()
+        blob["leader_class"] = None
+        with pytest.raises(ProgramFormatError, match="leader"):
+            import_program(blob)
+
+    def test_rejects_leader_class_out_of_range(self):
+        blob = self.good()
+        blob["leader_class"] = len(blob["final_list"]) + 1
+        with pytest.raises(ProgramFormatError, match="leader_class"):
+            import_program(blob)
+
+    def test_rejects_empty_lists(self):
+        blob = self.good()
+        blob["lists"] = []
+        with pytest.raises(ProgramFormatError, match="lists"):
+            import_program(blob)
+
+    def test_rejects_bad_l1(self):
+        blob = self.good()
+        blob["lists"][0] = [[2, []]]
+        with pytest.raises(ProgramFormatError, match="L_1"):
+            import_program(blob)
+
+    @staticmethod
+    def _first_labeled_entry(blob):
+        """First entry with a non-empty label, searching phase lists then
+        the terminal list."""
+        for entries in list(blob["lists"]) + [blob["final_list"]]:
+            for entry in entries:
+                if entry[1]:
+                    return entry
+        pytest.fail("expected a non-empty label in the exported program")
+
+    def test_rejects_bad_mark(self):
+        blob = export_program(compile_program(g_m(2)))
+        entry = self._first_labeled_entry(blob)
+        entry[1][0][2] = "?"
+        with pytest.raises(ProgramFormatError, match="mark"):
+            import_program(blob)
+
+    def test_rejects_bad_triple_shape(self):
+        blob = export_program(compile_program(h_m(2)))
+        entry = self._first_labeled_entry(blob)
+        entry[1][0] = [1, 2]
+        with pytest.raises(ProgramFormatError, match="triple"):
+            import_program(blob)
+
+    def test_rejects_invalid_json_text(self):
+        with pytest.raises(ProgramFormatError, match="JSON"):
+            loads("{not json")
+
+    def test_rejects_empty_final_list(self):
+        blob = self.good()
+        blob["final_list"] = []
+        with pytest.raises(ProgramFormatError, match="final_list"):
+            import_program(blob)
+
+
+class TestInterpreter:
+    @pytest.mark.parametrize("cfg", SAMPLES, ids=lambda c: f"n{c.n}s{c.span}")
+    def test_program_execution_equals_direct_canonical(self, cfg):
+        """Export → import → interpret must reproduce the exact execution."""
+        trace = classify(cfg)
+        protocol = CanonicalProtocol.from_trace(trace)
+        network = trace.config
+        budget = protocol.round_budget(network.span)
+        direct = simulate(network, protocol.factory, max_rounds=budget)
+
+        prog = loads(dumps(program_from_trace(trace)))
+        via_program = simulate(
+            network, lambda _v: program_drip(prog), max_rounds=budget
+        )
+        for v in network.nodes:
+            assert direct.histories[v] == via_program.histories[v]
+
+    def test_program_algorithm_elects_same_leader(self):
+        cfg = h_m(2)
+        trace = classify(cfg)
+        protocol = CanonicalProtocol.from_trace(trace)
+        network = trace.config
+        algo = program_algorithm(loads(dumps(program_from_trace(trace))))
+        execution = simulate(
+            network, algo.factory, max_rounds=protocol.round_budget(network.span)
+        )
+        leaders = execution.decide_leaders(algo.decision)
+        assert leaders == [trace.leader]
+
+    def test_infeasible_program_elects_nobody(self):
+        cfg = s_m(1)
+        trace = classify(cfg)
+        protocol = CanonicalProtocol.from_trace(trace)
+        network = trace.config
+        algo = program_algorithm(program_from_trace(trace))
+        execution = simulate(
+            network, algo.factory, max_rounds=protocol.round_budget(network.span)
+        )
+        assert execution.decide_leaders(algo.decision) == []
+
+    def test_decision_is_a_function_of_history_only(self):
+        # Identical histories must yield identical decisions.
+        prog = compile_program(h_m(1))
+        algo = program_algorithm(prog)
+        h = History.from_entries([])
+        # An empty history matches nothing; decision must be 0, not an error.
+        assert algo.decision(h) == 0
+
+
+class TestProgramValueSemantics:
+    def test_equality_is_structural(self):
+        a = compile_program(h_m(2))
+        b = compile_program(h_m(2))
+        assert a == b and hash(a) == hash(b)
+
+    def test_distinct_configs_give_distinct_programs(self):
+        assert compile_program(h_m(1)) != compile_program(h_m(2))
+
+    def test_program_is_frozen(self):
+        prog = compile_program(h_m(1))
+        with pytest.raises(AttributeError):
+            prog.sigma = 99

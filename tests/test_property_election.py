@@ -1,0 +1,72 @@
+"""Property tests for the end-to-end election pipeline (Theorem 3.15 and
+Lemma 3.9 on random configurations)."""
+
+from hypothesis import HealthCheck, given, settings
+
+from conftest import configurations
+
+from repro.core.classifier import classify
+from repro.core.election import elect_leader
+from repro.core.partition import partition_key
+
+relaxed = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@relaxed
+@given(configurations(max_n=7, max_span=3))
+def test_election_matches_feasibility(cfg):
+    result = elect_leader(cfg)  # check=True re-verifies internally
+    trace = result.trace
+    if trace.feasible:
+        assert result.elected
+        assert result.leader == trace.leader
+    else:
+        assert result.leaders == []
+
+
+@relaxed
+@given(configurations(max_n=7, max_span=3))
+def test_round_bound(cfg):
+    result = elect_leader(cfg)
+    assert result.within_bound()
+    # exact schedule: done_v == r_P + 1
+    assert result.rounds == result.protocol.expected_done
+
+
+@relaxed
+@given(configurations(max_n=6, max_span=2))
+def test_lemma_3_9_history_partition_equivalence(cfg):
+    result = elect_leader(cfg)
+    trace = result.trace
+    ends = result.protocol.data.phase_ends
+    for j in range(1, trace.num_iterations + 2):
+        if j - 1 >= len(ends):
+            break
+        sim = tuple(tuple(g) for g in result.execution.prefix_partition(ends[j - 1]))
+        cls = partition_key(trace.classes_at(j))
+        assert sim == cls, f"phase boundary j={j}"
+
+
+@relaxed
+@given(configurations(max_n=6, max_span=2))
+def test_all_wakeups_spontaneous(cfg):
+    # Lemma 3.6: the canonical DRIP is patient.
+    result = elect_leader(cfg)
+    assert result.execution.all_spontaneous()
+    trace = result.trace
+    for v in trace.config.nodes:
+        assert result.execution.wake_rounds[v] == trace.config.tag(v)
+
+
+@relaxed
+@given(configurations(max_n=6, max_span=2))
+def test_unique_history_iff_feasible(cfg):
+    result = elect_leader(cfg)
+    unique = result.execution.unique_history_nodes()
+    assert bool(unique) == result.trace.feasible
+    if result.trace.feasible:
+        assert result.leader in unique

@@ -1,0 +1,211 @@
+"""Property tests (hypothesis) for the extension modules: serializable
+programs, closed-form replay, channel variants, wired contrast."""
+
+from hypothesis import HealthCheck, given, settings
+
+from conftest import configurations
+
+from repro.analysis.views import color_refinement, wired_feasible
+from repro.core.classifier import classify
+from repro.core.partition import partition_key
+from repro.core.program import (
+    compile_program,
+    dumps,
+    loads,
+    program_from_trace,
+)
+from repro.core.replay import replay_histories, replay_matches_simulation
+from repro.variants.channels import BEEP, CD, NO_CD
+from repro.variants.refinement import variant_classify
+from repro.wired import wired_elect, wired_election_agrees_with_views
+
+relaxed = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+small = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# ----------------------------------------------------------------------
+# serializable programs
+# ----------------------------------------------------------------------
+@relaxed
+@given(configurations())
+def test_program_roundtrip(cfg):
+    prog = compile_program(cfg)
+    assert loads(dumps(prog)) == prog
+
+
+@relaxed
+@given(configurations())
+def test_program_mirrors_trace(cfg):
+    trace = classify(cfg)
+    prog = program_from_trace(trace)
+    assert prog.feasible == trace.feasible
+    assert prog.sigma == trace.sigma
+    assert prog.num_phases == trace.decided_at
+    data = prog.to_canonical_data()
+    assert data.done_round == prog.done_round
+
+
+# ----------------------------------------------------------------------
+# closed-form replay
+# ----------------------------------------------------------------------
+@small
+@given(configurations(max_n=7, max_span=2))
+def test_replay_equals_simulation(cfg):
+    assert replay_matches_simulation(cfg)
+
+
+@relaxed
+@given(configurations())
+def test_replay_histories_shape(cfg):
+    trace = classify(cfg)
+    histories = replay_histories(trace)
+    assert set(histories) == set(trace.config.nodes)
+    lengths = {len(h) for h in histories.values()}
+    assert len(lengths) == 1  # synchronized local termination (done_v)
+
+
+@relaxed
+@given(configurations())
+def test_replay_history_partition_matches_classifier(cfg):
+    """Lemma 3.9 at the terminal partition: nodes share a terminal class
+    iff they share a terminal history."""
+    trace = classify(cfg)
+    histories = replay_histories(trace)
+    by_history = {}
+    for v in sorted(histories):
+        by_history.setdefault(histories[v].key(), []).append(v)
+    history_partition = sorted(tuple(g) for g in by_history.values())
+    class_partition = sorted(partition_key(trace.final_classes()))
+    assert history_partition == class_partition
+
+
+# ----------------------------------------------------------------------
+# channel variants
+# ----------------------------------------------------------------------
+@relaxed
+@given(configurations())
+def test_cd_refinement_is_classifier(cfg):
+    a = classify(cfg)
+    b = variant_classify(cfg, CD)
+    assert a.decision == b.decision
+    assert a.leader == b.leader
+    assert a.partition_keys() == b.partition_keys()
+
+
+@relaxed
+@given(configurations())
+def test_weak_channels_dominated_by_cd(cfg):
+    cd = variant_classify(cfg, CD).feasible
+    for weak in (NO_CD, BEEP):
+        if variant_classify(cfg, weak).feasible:
+            assert cd
+
+
+@relaxed
+@given(configurations())
+def test_weak_partitions_coarser_stagewise(cfg):
+    """At every common refinement stage j, the weak partition is coarser
+    than the CD partition (each weak block is a union of CD blocks).
+    Final partitions are *not* compared directly: CD may stop early on a
+    singleton while a weak channel keeps refining past that stage."""
+    cd_trace = variant_classify(cfg, CD)
+    for weak in (NO_CD, BEEP):
+        weak_trace = variant_classify(cfg, weak)
+        common = min(weak_trace.num_iterations, cd_trace.num_iterations)
+        for j in range(1, common + 2):
+            cd_blocks = {
+                frozenset(b) for b in partition_key(cd_trace.classes_at(j))
+            }
+            for block in partition_key(weak_trace.classes_at(j)):
+                covered = set()
+                for cb in cd_blocks:
+                    if cb <= set(block):
+                        covered |= cb
+                assert covered == set(block)
+
+
+# ----------------------------------------------------------------------
+# wired contrast
+# ----------------------------------------------------------------------
+@relaxed
+@given(configurations())
+def test_radio_feasible_implies_wired_feasible(cfg):
+    if classify(cfg).feasible:
+        assert wired_feasible(cfg)
+
+
+@small
+@given(configurations(max_n=7, max_span=2))
+def test_distributed_wired_matches_central(cfg):
+    assert wired_election_agrees_with_views(cfg)
+
+
+@relaxed
+@given(configurations())
+def test_wired_refinement_chain_monotone(cfg):
+    chain = color_refinement(cfg).class_count_chain()
+    assert all(a <= b for a, b in zip(chain, chain[1:]))
+    assert chain[-1] <= cfg.n
+
+
+@small
+@given(configurations(max_n=6, max_span=2))
+def test_wired_leader_is_singleton(cfg):
+    result = wired_elect(cfg)
+    if result.elected:
+        vid = result.view_ids[result.leader]
+        assert sum(1 for x in result.view_ids.values() if x == vid) == 1
+
+
+# ----------------------------------------------------------------------
+# isomorphism invariance and fault-free jamming
+# ----------------------------------------------------------------------
+@small
+@given(configurations(max_n=6, max_span=2))
+def test_feasibility_is_isomorphism_invariant(cfg):
+    from repro.analysis.isomorphism import are_isomorphic, canonical_form
+
+    nodes = list(cfg.nodes)
+    mapping = {v: nodes[(i + 1) % len(nodes)] for i, v in enumerate(nodes)}
+    other = cfg.relabel(mapping)
+    assert are_isomorphic(cfg, other)
+    assert canonical_form(cfg) == canonical_form(other)
+    assert classify(cfg).feasible == classify(other).feasible
+
+
+@small
+@given(configurations(max_n=7, max_span=2))
+def test_noop_jammer_is_reference_simulator(cfg):
+    from repro.core.canonical import CanonicalProtocol
+    from repro.radio.faults import jam_nothing, jammed_simulate
+    from repro.radio.simulator import simulate
+
+    trace = classify(cfg)
+    protocol = CanonicalProtocol.from_trace(trace)
+    network = trace.config
+    budget = protocol.round_budget(network.span)
+    ref = simulate(network, protocol.factory, max_rounds=budget)
+    jam = jammed_simulate(
+        network, protocol.factory, jammer=jam_nothing(), max_rounds=budget
+    )
+    assert ref.histories == jam.histories
+    assert ref.done_local == jam.done_local
+
+
+@small
+@given(configurations(max_n=6, max_span=2))
+def test_classifier_no_partition_is_radio_stable(cfg):
+    from repro.analysis.quotient import radio_stable
+
+    trace = classify(cfg)
+    if not trace.feasible:
+        assert radio_stable(trace.config, trace.final_classes())

@@ -1,0 +1,105 @@
+"""Property tests for the sparse history container."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.radio.history import History, shifted_view_key
+from repro.radio.model import COLLISION, SILENCE, Message
+
+entries = st.one_of(
+    st.just(SILENCE),
+    st.just(COLLISION),
+    st.builds(Message, st.sampled_from(["1", "a", "b"])),
+)
+entry_lists = st.lists(entries, max_size=40)
+
+
+@given(entry_lists)
+def test_roundtrip(items):
+    h = History.from_entries(items)
+    assert h.to_list() == items
+    assert len(h) == len(items)
+
+
+@given(entry_lists)
+def test_indexing_matches_list(items):
+    h = History.from_entries(items)
+    for i in range(len(items)):
+        assert h[i] == items[i]
+        assert h[i - len(items)] == items[i]
+
+
+@given(entry_lists, entry_lists)
+def test_equality_iff_same_entries(a, b):
+    ha, hb = History.from_entries(a), History.from_entries(b)
+    assert (ha == hb) == (a == b)
+    if a == b:
+        assert ha.key() == hb.key()
+        assert hash(ha) == hash(hb)
+    else:
+        assert ha.key() != hb.key()
+
+
+@given(entry_lists)
+def test_copy_is_equal_and_independent(items):
+    h = History.from_entries(items)
+    c = h.copy()
+    assert c == h
+    c.append(COLLISION)
+    assert len(c) == len(h) + 1
+
+
+@given(entry_lists, st.data())
+def test_window_matches_slicing(items, data):
+    if not items:
+        return
+    h = History.from_entries(items)
+    lo = data.draw(st.integers(0, len(items) - 1))
+    hi = data.draw(st.integers(lo, len(items) - 1))
+    assert h.window(lo, hi) == items[lo : hi + 1]
+
+
+@given(entry_lists, st.data())
+def test_prefix_key_agrees_with_truncated_history(items, data):
+    if not items:
+        return
+    h = History.from_entries(items)
+    upto = data.draw(st.integers(0, len(items) - 1))
+    truncated = History.from_entries(items[: upto + 1])
+    assert h.prefix_key(upto) == truncated.key()
+
+
+@given(entry_lists, st.data())
+def test_shifted_view_matches_rebuilt_suffix(items, data):
+    if not items:
+        return
+    h = History.from_entries(items)
+    start = data.draw(st.integers(0, len(items) - 1))
+    end = data.draw(st.integers(start, len(items) - 1))
+    rebuilt = History.from_entries(items[start : end + 1])
+    assert shifted_view_key(h, start, end) == rebuilt.key()
+
+
+@given(entry_lists)
+def test_first_message_round(items):
+    h = History.from_entries(items)
+    expected = next(
+        (i for i, e in enumerate(items) if isinstance(e, Message)), None
+    )
+    assert h.first_message_round() == expected
+
+
+@given(entry_lists, st.data())
+def test_events_in_window_subset(items, data):
+    h = History.from_entries(items)
+    if not items:
+        return
+    lo = data.draw(st.integers(0, len(items) - 1))
+    hi = data.draw(st.integers(lo, len(items) - 1))
+    evs = h.events_in(lo, hi)
+    assert all(lo <= i <= hi for i, _ in evs)
+    assert all(items[i] == e for i, e in evs)
+    assert [i for i, _ in evs] == sorted(i for i, _ in evs)
+    # completeness: every non-silent entry in range appears
+    expected = [(i, e) for i, e in enumerate(items) if lo <= i <= hi and e is not SILENCE]
+    assert evs == expected

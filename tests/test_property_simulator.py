@@ -1,0 +1,86 @@
+"""Property tests for the simulator's model invariants."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from conftest import configurations
+
+from repro.radio.model import COLLISION, SILENCE, Message
+from repro.radio.protocol import AlwaysListenDRIP, ScheduleDRIP, anonymous_factory
+from repro.radio.simulator import simulate
+
+relaxed = settings(
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@relaxed
+@given(configurations(max_n=7, max_span=3))
+def test_pure_listeners_wake_at_tags_and_hear_silence(cfg):
+    ex = simulate(cfg, anonymous_factory(lambda: AlwaysListenDRIP(3)))
+    for v in cfg.nodes:
+        assert ex.wake_rounds[v] == cfg.tag(v)
+        assert ex.histories[v].to_list() == [SILENCE] * 4
+    assert ex.all_spontaneous()
+
+
+@relaxed
+@given(configurations(max_n=7, max_span=2), st.integers(1, 4))
+def test_simultaneous_schedule_yields_symmetric_outcome(cfg, tx_round):
+    # Every node transmits at the same local round; reception follows
+    # purely from tag offsets and adjacency.
+    ex = simulate(
+        cfg,
+        anonymous_factory(lambda: ScheduleDRIP({tx_round: "m"}, tx_round + 2)),
+        max_rounds=2 * (cfg.span + tx_round + 5),
+    )
+    for v in cfg.nodes:
+        h = ex.histories[v]
+        # transmitters hear nothing in their own transmission round
+        local_tx = tx_round
+        if ex.wake_rounds[v] + local_tx <= ex.done_global(v):
+            assert h[local_tx] is SILENCE
+        # every entry is a legal value
+        for entry in h:
+            assert entry is SILENCE or entry is COLLISION or isinstance(entry, Message)
+
+
+@relaxed
+@given(configurations(max_n=6, max_span=3))
+def test_forced_wakeups_only_from_single_transmitters(cfg):
+    # all nodes beacon at local round 1: any forced wakeup must carry a
+    # Message entry at H[0]; spontaneous ones silence or collision.
+    ex = simulate(
+        cfg,
+        anonymous_factory(lambda: ScheduleDRIP({1: "b"}, 3)),
+        record_trace=True,
+    )
+    from repro.radio.events import FORCED
+
+    for v in cfg.nodes:
+        h0 = ex.histories[v][0]
+        if ex.wake_kinds[v] == FORCED:
+            assert isinstance(h0, Message)
+            assert ex.wake_rounds[v] <= cfg.tag(v)
+        else:
+            assert ex.wake_rounds[v] == cfg.tag(v)
+            assert not isinstance(h0, Message)
+
+
+@relaxed
+@given(configurations(max_n=6, max_span=2))
+def test_histories_cover_done_round(cfg):
+    ex = simulate(cfg, anonymous_factory(lambda: AlwaysListenDRIP(2)))
+    for v in cfg.nodes:
+        assert len(ex.histories[v]) == ex.done_local[v] + 1
+
+
+@relaxed
+@given(configurations(max_n=6, max_span=2), st.integers(0, 2**31))
+def test_simulation_deterministic(cfg, _salt):
+    a = simulate(cfg, anonymous_factory(lambda: ScheduleDRIP({2: "x"}, 4)))
+    b = simulate(cfg, anonymous_factory(lambda: ScheduleDRIP({2: "x"}, 4)))
+    assert a.histories == b.histories
+    assert a.wake_rounds == b.wake_rounds

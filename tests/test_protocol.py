@@ -1,0 +1,163 @@
+"""Unit tests for DRIP interfaces and the Lemma 3.12 patient wrapper."""
+
+import pytest
+
+from repro.core.configuration import line_configuration
+from repro.radio.history import History
+from repro.radio.model import LISTEN, SILENCE, TERMINATE, Message, Transmit
+from repro.radio.protocol import (
+    AlwaysListenDRIP,
+    FunctionDRIP,
+    LeaderElectionAlgorithm,
+    PatientWrapper,
+    ScheduleDRIP,
+    anonymous_factory,
+    make_patient,
+    patient_span_of,
+)
+from repro.radio.simulator import simulate
+
+
+class TestFunctionDRIP:
+    def test_wraps_callable(self):
+        d = FunctionDRIP(lambda h: TERMINATE if len(h) >= 2 else LISTEN)
+        h = History.from_entries([SILENCE])
+        assert d.decide(h) is LISTEN
+        h.append(SILENCE)
+        assert d.decide(h) is TERMINATE
+
+
+class TestAlwaysListen:
+    def test_horizon(self):
+        d = AlwaysListenDRIP(3)
+        h = History.from_entries([SILENCE])
+        assert d.decide(h) is LISTEN
+        h.append(SILENCE)
+        h.append(SILENCE)
+        assert d.decide(h) is TERMINATE
+
+    def test_invalid_horizon(self):
+        with pytest.raises(ValueError):
+            AlwaysListenDRIP(0)
+
+
+class TestScheduleDRIP:
+    def test_transmits_on_schedule(self):
+        d = ScheduleDRIP({2: "m"}, done_round=4)
+        h = History.from_entries([SILENCE])
+        assert d.decide(h) is LISTEN
+        h.append(SILENCE)
+        assert d.decide(h) == Transmit("m")
+        h.append(SILENCE)
+        assert d.decide(h) is LISTEN
+        h.append(SILENCE)
+        assert d.decide(h) is TERMINATE
+
+    def test_done_must_follow_schedule(self):
+        with pytest.raises(ValueError):
+            ScheduleDRIP({5: "m"}, done_round=5)
+        with pytest.raises(ValueError):
+            ScheduleDRIP({}, done_round=0)
+
+
+class TestPatientWrapper:
+    def test_listens_through_span_without_messages(self):
+        inner = ScheduleDRIP({1: "inner"}, done_round=3)
+        w = PatientWrapper(inner, span=3)
+        h = History.from_entries([SILENCE])
+        # rounds 1..3: listening window (s_w = span = 3)
+        for _ in range(3):
+            assert w.decide(h) is LISTEN
+            h.append(SILENCE)
+        # round 4 = s_w + 1: inner round 1 -> transmit
+        assert w.decide(h) == Transmit("inner")
+
+    def test_message_cuts_wait_short(self):
+        inner = ScheduleDRIP({1: "inner"}, done_round=3)
+        w = PatientWrapper(inner, span=5)
+        h = History.from_entries([SILENCE])
+        assert w.decide(h) is LISTEN  # round 1
+        h.append(Message("wake"))  # message in round 1 -> s_w = 1
+        # round 2 = s_w + 1: inner sees H[0] = (M 'wake') and round 1 fires
+        assert w.decide(h) == Transmit("inner")
+
+    def test_inner_sees_shifted_history(self):
+        seen = []
+
+        def probe(h):
+            seen.append(h.to_list())
+            return TERMINATE
+
+        w = PatientWrapper(FunctionDRIP(probe), span=2)
+        h = History.from_entries([SILENCE, SILENCE, SILENCE])  # rounds 0..2
+        w.decide(h)  # round 3 -> inner round 1 with inner H[0] = outer H[2]
+        assert seen == [[SILENCE]]
+
+    def test_span_zero_passthrough(self):
+        inner = ScheduleDRIP({1: "x"}, done_round=2)
+        w = PatientWrapper(inner, span=0)
+        h = History.from_entries([SILENCE])
+        assert w.decide(h) == Transmit("x")
+
+    def test_negative_span_rejected(self):
+        with pytest.raises(ValueError):
+            PatientWrapper(AlwaysListenDRIP(1), span=-1)
+
+
+class TestPatientSpanOf:
+    def test_no_message(self):
+        h = History.from_entries([SILENCE] * 5)
+        assert patient_span_of(h, 3) == 3
+
+    def test_early_message(self):
+        h = History.from_entries([SILENCE, Message("m"), SILENCE])
+        assert patient_span_of(h, 3) == 1
+
+    def test_late_message_ignored(self):
+        h = History.from_entries([SILENCE] * 4 + [Message("m")])
+        assert patient_span_of(h, 3) == 3
+
+
+class TestMakePatient:
+    def test_patient_execution_has_no_forced_wakeups(self):
+        # An impatient protocol: transmit immediately at local round 1.
+        # On tags [0, 2] the raw protocol would wake node 1 early; the
+        # patient version must not (Claim 1 of Lemma 3.12).
+        raw = LeaderElectionAlgorithm(
+            anonymous_factory(lambda: ScheduleDRIP({1: "go"}, done_round=8)),
+            lambda h: 0,
+            name="impatient",
+        )
+        cfg = line_configuration([0, 2])
+        raw_ex = simulate(cfg, raw.factory)
+        assert not raw_ex.all_spontaneous()
+
+        pat = make_patient(raw, span=cfg.span)
+        pat_ex = simulate(cfg, pat.factory)
+        assert pat_ex.all_spontaneous()
+
+    def test_patient_preserves_decisions(self):
+        # Decision = "I heard a message at some point" -> exactly the
+        # non-transmitting node. Preserved under the wrapper (Claim 2).
+        def decision(h):
+            return 1 if h.first_message_round() is not None else 0
+
+        raw = LeaderElectionAlgorithm(
+            anonymous_factory(lambda: ScheduleDRIP({2: "z"}, done_round=5)),
+            decision,
+            name="hear-detector",
+        )
+        cfg = line_configuration([0, 1])
+        pat = make_patient(raw, span=cfg.span)
+
+        raw_ex = simulate(cfg, raw.factory)
+        pat_ex = simulate(cfg, pat.factory)
+        raw_leaders = raw_ex.decide_leaders(raw.decision)
+        pat_leaders = pat_ex.decide_leaders(pat.decision)
+        assert raw_leaders == pat_leaders
+
+    def test_name_annotated(self):
+        algo = LeaderElectionAlgorithm(
+            anonymous_factory(lambda: AlwaysListenDRIP(2)), lambda h: 0, "x"
+        )
+        assert "patient(x" in make_patient(algo, 2).name

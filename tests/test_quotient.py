@@ -1,0 +1,115 @@
+"""Tests for quotient graphs (repro.analysis.quotient)."""
+
+import pytest
+
+from repro.analysis.quotient import (
+    classifier_quotient,
+    equitability_violations,
+    infeasibility_certificate,
+    quotient_graph,
+    radio_stable,
+)
+from repro.core.classifier import classify, is_feasible
+from repro.core.configuration import Configuration
+from repro.graphs.enumeration import enumerate_configurations
+from repro.graphs.families import g_m, h_m, s_m
+from repro.graphs.generators import (
+    complete_configuration,
+    cycle_configuration,
+    path_configuration,
+)
+
+
+class TestQuotientConstruction:
+    def test_trivial_partition(self):
+        cfg = path_configuration([0, 0, 0])
+        q = quotient_graph(cfg, {0: 1, 1: 1, 2: 1})
+        assert q.num_classes == 1
+        assert q.classes[0].size == 3
+        assert q.classes[0].tag == 0
+        # one class, degrees 1..2 -> non-uniform: (1,1) must be None
+        assert q.degrees[(1, 1)] is None
+        assert not q.is_equitable()
+
+    def test_discrete_partition_is_equitable(self):
+        cfg = path_configuration([0, 1, 2])
+        q = quotient_graph(cfg, {0: 1, 1: 2, 2: 3})
+        assert q.is_equitable()
+        assert q.singleton_classes() == [1, 2, 3]
+
+    def test_mixed_tags_reported_as_none(self):
+        cfg = path_configuration([0, 1, 0])
+        q = quotient_graph(cfg, {0: 1, 1: 1, 2: 1})
+        assert q.classes[0].tag is None
+
+    def test_render_mentions_classes(self):
+        cfg = cycle_configuration([0, 0, 0, 0])
+        q = classifier_quotient(cfg)
+        text = q.render()
+        assert "quotient" in text and "C1" in text
+
+
+class TestClassifierQuotient:
+    def test_no_partitions_are_radio_stable(self):
+        """A classifier No-partition is a refinement fixpoint: one more
+        Partitioner pass splits nothing."""
+        for cfg in enumerate_configurations(4, 1):
+            trace = classify(cfg)
+            if not trace.feasible:
+                assert radio_stable(trace.config, trace.final_classes()), cfg
+
+    def test_radio_stable_need_not_be_equitable(self):
+        """The all-equal-tags star: one class, radio-stable (everyone
+        transmits simultaneously, nobody hears anything), but NOT
+        equitable — the hub's degree differs. This is the paper's model
+        vs the wired model in one example."""
+        star = Configuration(
+            [(0, 3), (1, 3), (2, 3)], {0: 0, 1: 0, 2: 0, 3: 0}
+        )
+        partition = {v: 1 for v in star.nodes}
+        assert radio_stable(star, partition)
+        assert equitability_violations(star, partition)
+
+    def test_wired_fixpoints_are_equitable(self):
+        """Color-refinement fixpoints are equitable partitions."""
+        from repro.analysis.views import color_refinement
+
+        for cfg in enumerate_configurations(4, 1):
+            result = color_refinement(cfg)
+            # densify class ids to 1-based for the quotient helper
+            partition = {v: c + 1 for v, c in result.stable.items()}
+            assert equitability_violations(cfg, partition) == []
+
+    def test_class_tags_uniform_on_fixpoints(self):
+        """Nodes sharing a history share a wakeup round history, hence a
+        tag — classifier classes are always tag-uniform after iteration 1."""
+        for cfg in (s_m(1), s_m(3), cycle_configuration([0, 0, 0, 0])):
+            q = classifier_quotient(cfg)
+            assert all(c.tag is not None for c in q.classes)
+
+    def test_feasible_quotient_has_singleton(self):
+        for cfg in (h_m(1), g_m(2), path_configuration([0, 1, 0])):
+            q = classifier_quotient(cfg)
+            assert q.singleton_classes()
+
+
+class TestCertificates:
+    def test_feasible_has_no_certificate(self):
+        assert infeasibility_certificate(h_m(2)) is None
+
+    def test_infeasible_certificate_properties(self):
+        for cfg in (s_m(2), complete_configuration([0, 0, 0])):
+            q = infeasibility_certificate(cfg)
+            assert q is not None
+            assert radio_stable(q.config, {v: c.index for c in q.classes for v in c.members})
+            assert all(c.size >= 2 for c in q.classes)
+
+    def test_sm_certificate_is_two_pairs(self):
+        q = infeasibility_certificate(s_m(3))
+        sizes = sorted(c.size for c in q.classes)
+        assert sizes == [2, 2]  # {a, d} and {b, c}
+
+    def test_certificate_matches_feasibility_exhaustively(self):
+        for cfg in enumerate_configurations(3, 2):
+            cert = infeasibility_certificate(cfg)
+            assert (cert is None) == is_feasible(cfg)

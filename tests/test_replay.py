@@ -1,0 +1,164 @@
+"""Unit tests for the closed-form canonical replay (repro.core.replay)."""
+
+import pytest
+
+from repro.core.canonical import CanonicalProtocol
+from repro.core.classifier import classify
+from repro.core.configuration import Configuration, line_configuration
+from repro.core.election import elect_leader
+from repro.core.replay import (
+    _phase_events_numpy,
+    _phase_events_python,
+    replay_elect,
+    replay_execution,
+    replay_histories,
+    replay_matches_simulation,
+)
+from repro.core.canonical import build_canonical_data
+from repro.graphs.families import g_m, h_m, s_m
+from repro.graphs.generators import (
+    build,
+    complete_configuration,
+    cycle_configuration,
+    random_connected_gnp_edges,
+    star_configuration,
+)
+from repro.graphs.tags import uniform_random
+from repro.radio.events import SPONTANEOUS
+from repro.radio.simulator import simulate
+
+SAMPLES = [
+    h_m(1),
+    h_m(4),
+    s_m(2),
+    g_m(2),
+    g_m(3),
+    line_configuration([0, 1, 0]),
+    line_configuration([0, 2, 1, 0, 2]),
+    complete_configuration([0, 1, 2, 3]),
+    cycle_configuration([0, 0, 1, 1, 2]),
+    star_configuration([1, 0, 0, 2, 0]),
+]
+
+
+def _simulated(cfg):
+    trace = classify(cfg)
+    protocol = CanonicalProtocol.from_trace(trace)
+    network = trace.config
+    execution = simulate(
+        network, protocol.factory, max_rounds=protocol.round_budget(network.span)
+    )
+    return trace, network, execution
+
+
+class TestAgainstSimulator:
+    @pytest.mark.parametrize("cfg", SAMPLES, ids=lambda c: f"n{c.n}s{c.span}")
+    def test_histories_byte_identical(self, cfg):
+        trace, network, execution = _simulated(cfg)
+        replayed = replay_histories(trace)
+        assert set(replayed) == set(network.nodes)
+        for v in network.nodes:
+            assert replayed[v] == execution.histories[v], f"node {v}"
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_configurations(self, seed):
+        n = 10 + seed
+        edges = random_connected_gnp_edges(n, 0.3, seed)
+        tags = uniform_random(range(n), 3, seed + 100)
+        cfg = build(edges, tags, n=n)
+        assert replay_matches_simulation(cfg)
+
+    def test_python_and_numpy_paths_agree(self):
+        for cfg in SAMPLES:
+            trace = classify(cfg)
+            data = build_canonical_data(trace)
+            py = _phase_events_python(trace, data, trace.config)
+            npv = _phase_events_numpy(trace, data, trace.config)
+            assert py == npv
+
+    def test_vectorized_flag_false_matches(self):
+        cfg = g_m(2)
+        trace = classify(cfg)
+        assert replay_histories(trace, vectorized=False) == replay_histories(
+            trace, vectorized=True
+        )
+
+
+class TestExecutionPackaging:
+    def test_replay_execution_fields(self):
+        cfg = h_m(2)
+        trace, network, execution = _simulated(cfg)
+        rep = replay_execution(trace)
+        assert rep.done_local == execution.done_local
+        assert rep.wake_rounds == execution.wake_rounds
+        assert all(k == SPONTANEOUS for k in rep.wake_kinds.values())
+        assert rep.rounds_elapsed == execution.rounds_elapsed
+        assert rep.history_partition() == execution.history_partition()
+
+    def test_single_node_configuration(self):
+        cfg = Configuration([], {0: 0})
+        trace = classify(cfg)
+        replayed = replay_histories(trace)
+        assert list(replayed) == [0]
+        # single node: classifier says Yes immediately; history all silent
+        assert all(e.__class__.__name__ == "_Sentinel" for e in replayed[0])
+
+
+class TestReplayElection:
+    @pytest.mark.parametrize("m", [1, 2, 3, 8])
+    def test_replay_leader_equals_simulated_leader(self, m):
+        cfg = h_m(m)
+        leaders, _ = replay_elect(cfg)
+        sim = elect_leader(cfg)
+        assert leaders == [sim.leader]
+
+    def test_infeasible_elects_nobody(self):
+        leaders, _ = replay_elect(s_m(3))
+        assert leaders == []
+
+    def test_gm_center_wins(self):
+        from repro.graphs.families import g_m_center
+
+        m = 3
+        leaders, _ = replay_elect(g_m(m))
+        assert leaders == [g_m_center(m)]
+
+    def test_reuses_supplied_trace(self):
+        cfg = h_m(2)
+        trace = classify(cfg)
+        leaders, _ = replay_elect(cfg, trace)
+        assert leaders == [trace.leader]
+
+
+class TestHistoryShapes:
+    def test_history_length_is_done_plus_one(self):
+        cfg = h_m(3)
+        trace = classify(cfg)
+        data = build_canonical_data(trace)
+        for h in replay_histories(trace).values():
+            assert len(h) == data.done_round + 1
+
+    def test_wakeup_entry_is_silence(self):
+        # Canonical executions are patient: H[0] = (∅) for every node.
+        for cfg in SAMPLES:
+            trace = classify(cfg)
+            for h in replay_histories(trace).values():
+                from repro.radio.model import SILENCE
+
+                assert h[0] is SILENCE
+
+    def test_each_node_hears_each_neighbour_once_per_phase(self):
+        """Lemma 3.8: per phase, neighbour transmissions account for all
+        non-silent entries, collisions counted by round."""
+        cfg = h_m(2)
+        trace = classify(cfg)
+        data = build_canonical_data(trace)
+        network = trace.config
+        for v, h in replay_histories(trace).items():
+            for j in range(1, data.num_phases + 1):
+                lo = data.phase_ends[j - 1] + 1
+                hi = data.phase_ends[j]
+                heard = h.events_in(lo, hi)
+                # deg(v) transmissions; those colliding or overlapping v's
+                # own slot reduce the distinct event count.
+                assert len(heard) <= network.degree(v)

@@ -1,0 +1,92 @@
+"""Tests for the labeled round-robin baseline (no collision detection)."""
+
+import pytest
+
+from repro.baselines.round_robin import (
+    RoundRobinDRIP,
+    heard_labels,
+    round_robin_algorithm,
+    round_robin_slots,
+)
+from repro.graphs.generators import build, complete_edges
+from repro.radio.history import History
+from repro.radio.model import LISTEN, TERMINATE, Transmit
+from repro.radio.simulator import simulate
+from repro.variants.channels import NO_CD
+from repro.variants.simulator import variant_simulate
+
+
+def run(n, channel=None):
+    cfg = build(complete_edges(n), n=n) if n > 1 else build([], n=1)
+    algo = round_robin_algorithm(n)
+    if channel is None:
+        execution = simulate(cfg, algo.factory)
+    else:
+        execution = variant_simulate(cfg, algo.factory, channel=channel)
+    return execution, algo
+
+
+class TestDRIPSchedule:
+    def test_transmits_exactly_in_own_slot(self):
+        from repro.radio.model import SILENCE
+
+        drip = RoundRobinDRIP(2, 5)
+        h = History()
+        actions = []
+        for _ in range(6):
+            actions.append(drip.decide(h))  # deciding local round len(h)
+            h.append(SILENCE)
+        # Slot for label 2 is local round 3 (= label + 1).
+        assert actions[3] == Transmit(2)
+        assert actions.count(LISTEN) == 5
+        assert drip.decide(h) is TERMINATE
+
+    def test_label_validation(self):
+        with pytest.raises(ValueError):
+            RoundRobinDRIP(5, 5)
+        with pytest.raises(ValueError):
+            RoundRobinDRIP(-1, 5)
+
+    def test_id_space_validation(self):
+        with pytest.raises(ValueError):
+            round_robin_algorithm(0)
+
+
+class TestElection:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 8, 16])
+    def test_elects_node_zero(self, n):
+        execution, algo = run(n)
+        leaders = execution.decide_leaders(algo.decision)
+        assert leaders == [0]
+
+    @pytest.mark.parametrize("n", [2, 4, 9])
+    def test_works_without_collision_detection(self, n):
+        """The whole point: one transmitter per slot, so the no-CD channel
+        carries exactly the same information."""
+        cd_exec, algo = run(n)
+        nocd_exec, _ = run(n, channel=NO_CD)
+        assert cd_exec.histories == nocd_exec.histories
+        assert nocd_exec.decide_leaders(algo.decision) == [0]
+
+    @pytest.mark.parametrize("n", [2, 5, 10])
+    def test_slot_count(self, n):
+        execution, _ = run(n)
+        assert execution.max_done_local() == round_robin_slots(n)
+
+    def test_every_node_hears_all_other_labels(self, n=6):
+        execution, _ = run(n)
+        for v in range(n):
+            expected = sorted(set(range(n)) - {v})
+            assert heard_labels(execution.histories[v]) == expected
+
+    def test_linear_growth_vs_tree_split(self):
+        """Round robin is Θ(n); tree-split with collision detection is
+        Θ(log n) — the related-work contrast in one assertion."""
+        from repro.baselines.tree_split import tree_split_algorithm
+
+        n = 32
+        rr_exec, _ = run(n)
+        cfg = build(complete_edges(n), n=n)
+        ts = tree_split_algorithm(n)
+        ts_exec = simulate(cfg, ts.factory)
+        assert rr_exec.max_done_local() > 2 * ts_exec.max_done_local()

@@ -1,0 +1,82 @@
+"""Unit tests for sweep measurement and growth-rate fitting."""
+
+import math
+
+import pytest
+
+from repro.analysis.rounds import (
+    SweepPoint,
+    SweepResult,
+    is_linear,
+    is_superlinear,
+    ratio_trend,
+    sweep,
+)
+
+
+class TestSweep:
+    def test_basic_sweep(self):
+        result = sweep("sq", [1, 2, 4, 8], lambda x: x * x, bound=lambda x: 2 * x * x)
+        assert len(result.points) == 4
+        assert result.all_within_bounds()
+        assert result.violations() == []
+
+    def test_violations_detected(self):
+        result = sweep("bad", [1, 2], lambda x: 10 * x, bound=lambda x: x)
+        assert not result.all_within_bounds()
+        assert len(result.violations()) == 2
+
+    def test_no_bound_is_nan_and_within(self):
+        result = sweep("free", [1, 2], lambda x: x)
+        assert result.all_within_bounds()
+        assert math.isnan(result.points[0].bound)
+
+    def test_table_shape(self):
+        result = sweep("t", [1, 2], lambda x: x, bound=lambda x: x + 1)
+        table = result.as_table()
+        assert len(table) == 2
+        assert len(table[0]) == len(result.TABLE_HEADERS)
+
+
+class TestGrowthExponent:
+    def test_linear(self):
+        result = sweep("lin", [2, 4, 8, 16, 32], lambda x: 3 * x)
+        assert abs(result.growth_exponent() - 1.0) < 1e-9
+        assert is_linear(result)
+        assert is_superlinear(result)
+
+    def test_quadratic(self):
+        result = sweep("quad", [2, 4, 8, 16], lambda x: x * x)
+        assert abs(result.growth_exponent() - 2.0) < 1e-9
+        assert not is_linear(result)
+
+    def test_constant(self):
+        result = sweep("const", [2, 4, 8], lambda x: 7)
+        assert abs(result.growth_exponent()) < 1e-9
+        assert not is_superlinear(result)
+
+    def test_needs_two_points(self):
+        result = SweepResult("one", [SweepPoint(x=1, value=1)])
+        with pytest.raises(ValueError):
+            result.growth_exponent()
+
+    def test_zero_points_filtered(self):
+        result = SweepResult(
+            "z",
+            [
+                SweepPoint(x=0, value=0),
+                SweepPoint(x=2, value=4),
+                SweepPoint(x=4, value=16),
+            ],
+        )
+        assert abs(result.growth_exponent() - 2.0) < 1e-9
+
+
+class TestRatioTrend:
+    def test_ratios(self):
+        result = sweep("r", [1, 2], lambda x: x, bound=lambda x: 2 * x)
+        assert ratio_trend(result) == [0.5, 0.5]
+
+    def test_nan_for_missing_bound(self):
+        result = sweep("r", [1], lambda x: x)
+        assert math.isnan(ratio_trend(result)[0])

@@ -1,0 +1,147 @@
+"""Tests for executable symmetry arguments (repro.analysis.symmetry)."""
+
+import pytest
+
+from repro.analysis.symmetry import (
+    forced_non_leaders,
+    gm_pairs_match_automorphisms,
+    gm_proof_pairs,
+    symmetry_pairs,
+    verify_pairwise_symmetry,
+)
+from repro.core.canonical import CanonicalProtocol
+from repro.core.classifier import classify
+from repro.core.configuration import Configuration
+from repro.graphs.enumeration import (
+    enumerate_configurations,
+    enumerate_nonisomorphic_configurations,
+)
+from repro.graphs.families import g_m, h_m, s_m
+from repro.graphs.generators import (
+    cycle_configuration,
+    path_configuration,
+    star_configuration,
+)
+from repro.radio.protocol import AlwaysListenDRIP, ScheduleDRIP, anonymous_factory
+
+
+class TestSymmetryPairs:
+    def test_mirror_path(self):
+        cfg = path_configuration([0, 1, 0])
+        assert symmetry_pairs(cfg) == [(0, 2)]
+
+    def test_rigid_configuration_has_none(self):
+        assert symmetry_pairs(h_m(1)) == []
+        assert symmetry_pairs(path_configuration([0, 1, 2])) == []
+
+    def test_vertex_transitive_cycle(self):
+        cfg = cycle_configuration([0, 0, 0, 0])
+        # every pair of nodes is identified by some rotation/reflection
+        assert len(symmetry_pairs(cfg)) == 6
+
+    def test_sm_family(self):
+        assert symmetry_pairs(s_m(3)) == [(0, 3), (1, 2)]
+
+    def test_forced_non_leaders_blocks_feasibility(self):
+        """If every node is in a symmetry pair, Classifier must say No
+        (the necessary condition, exhaustively)."""
+        for cfg in enumerate_configurations(4, 1):
+            if len(forced_non_leaders(cfg)) == cfg.n:
+                assert not classify(cfg).feasible
+
+    def test_leader_never_in_a_pair(self):
+        for cfg in enumerate_configurations(4, 1):
+            trace = classify(cfg)
+            if trace.feasible:
+                assert trace.leader not in forced_non_leaders(trace.config)
+
+
+class TestGmProofPairs:
+    @pytest.mark.parametrize("m", [2, 3, 4])
+    def test_match_generic_automorphisms(self, m):
+        assert gm_pairs_match_automorphisms(m)
+
+    def test_centre_is_fixed(self):
+        from repro.graphs.families import g_m_center
+
+        m = 3
+        paired = {x for p in gm_proof_pairs(m) for x in p}
+        assert g_m_center(m) not in paired
+
+    def test_small_m_rejected(self):
+        with pytest.raises(ValueError):
+            gm_proof_pairs(1)
+
+
+class TestVerification:
+    def test_canonical_protocol_respects_symmetry(self):
+        """Paired nodes get identical histories under the canonical DRIP
+        — the theorem, executed."""
+        for cfg in (s_m(2), g_m(2), cycle_configuration([0, 1, 0, 1])):
+            trace = classify(cfg)
+            protocol = CanonicalProtocol.from_trace(trace)
+            network = trace.config
+            pairs = symmetry_pairs(network)
+            if not pairs:
+                continue
+            verdict = verify_pairwise_symmetry(
+                network,
+                protocol.factory,
+                pairs,
+                max_rounds=protocol.round_budget(network.span),
+            )
+            assert all(verdict.values()), verdict
+
+    def test_adhoc_protocols_respect_symmetry(self):
+        cfg = star_configuration([0, 0, 0, 0])
+        pairs = symmetry_pairs(cfg)
+        assert pairs  # the leaves are all symmetric
+        for factory in (
+            anonymous_factory(lambda: AlwaysListenDRIP(5)),
+            anonymous_factory(lambda: ScheduleDRIP({2: "x"}, done_round=5)),
+        ):
+            verdict = verify_pairwise_symmetry(cfg, factory, pairs)
+            assert all(verdict.values())
+
+    def test_labeled_protocols_may_break_symmetry(self):
+        """The theorem needs anonymity: a factory that uses node ids can
+        separate paired nodes — confirming the check has teeth. On the
+        4-path with equal tags, (0, 3) is a mirror pair; a labeled
+        protocol in which only node 1 transmits reaches node 0 but not
+        node 3."""
+        cfg = path_configuration([0, 0, 0, 0])
+
+        def labeled_factory(v):
+            if v == 1:
+                return ScheduleDRIP({1: "from-one"}, done_round=4)
+            return AlwaysListenDRIP(4)
+
+        verdict = verify_pairwise_symmetry(cfg, labeled_factory, [(0, 3)])
+        assert verdict[(0, 3)] is False
+
+
+class TestNonIsomorphicEnumeration:
+    def test_counts(self):
+        full = list(enumerate_configurations(4, 1))
+        reps = list(enumerate_nonisomorphic_configurations(4, 1))
+        assert len(full) == 90 and len(reps) == 44
+
+    def test_representatives_pairwise_distinct(self):
+        from repro.analysis.isomorphism import canonical_form
+
+        reps = list(enumerate_nonisomorphic_configurations(3, 2))
+        keys = [canonical_form(c) for c in reps]
+        assert len(keys) == len(set(keys))
+
+    def test_feasible_fraction_differs_from_labeled_count(self):
+        """Dedup changes census statistics — the reason it exists."""
+        from repro.core.classifier import is_feasible
+
+        full = [is_feasible(c) for c in enumerate_configurations(4, 1)]
+        reps = [
+            is_feasible(c)
+            for c in enumerate_nonisomorphic_configurations(4, 1)
+        ]
+        assert sum(full) / len(full) != pytest.approx(
+            sum(reps) / len(reps), abs=1e-9
+        )

@@ -1,0 +1,73 @@
+"""Unit tests for tag strategies."""
+
+import pytest
+
+from repro.graphs.tags import (
+    all_tag_vectors,
+    all_zero,
+    blocks,
+    distinct_tags,
+    mirrored_line_tags,
+    one_early_riser,
+    uniform_random,
+)
+
+
+class TestStrategies:
+    def test_all_zero(self):
+        assert all_zero([2, 0, 1]) == {0: 0, 1: 0, 2: 0}
+
+    def test_distinct(self):
+        assert distinct_tags([5, 3, 9]) == {3: 0, 5: 1, 9: 2}
+
+    def test_uniform_random_in_range_and_deterministic(self):
+        t1 = uniform_random(range(20), 3, seed=42)
+        t2 = uniform_random(range(20), 3, seed=42)
+        assert t1 == t2
+        assert all(0 <= v <= 3 for v in t1.values())
+        assert uniform_random(range(20), 3, seed=43) != t1
+
+    def test_uniform_random_validates_span(self):
+        with pytest.raises(ValueError):
+            uniform_random([0], -1, 0)
+
+    def test_one_early_riser(self):
+        tags = one_early_riser([0, 1, 2], late=2)
+        assert tags == {0: 0, 1: 2, 2: 2}
+        with pytest.raises(ValueError):
+            one_early_riser([0, 1], late=0)
+
+    def test_blocks(self):
+        tags = blocks([0, 1, 2, 3, 4], [2, 3])
+        assert tags == {0: 0, 1: 0, 2: 1, 3: 1, 4: 1}
+        with pytest.raises(ValueError):
+            blocks([0, 1], [3])
+
+    def test_mirrored_line(self):
+        assert mirrored_line_tags([0, 1], [9]) == [0, 1, 9, 1, 0]
+        assert mirrored_line_tags([], [5]) == [5]
+
+
+class TestAllTagVectors:
+    def test_counts(self):
+        # vectors in {0,1}^2 with min 0: 00, 01, 10 -> 3
+        assert len(list(all_tag_vectors(2, 1))) == 3
+        # {0..2}^2 minus those without a 0: 9 - 4 = 5
+        assert len(list(all_tag_vectors(2, 2))) == 5
+
+    def test_all_have_min_zero(self):
+        for vec in all_tag_vectors(3, 2):
+            assert min(vec) == 0
+
+    def test_n_one(self):
+        assert list(all_tag_vectors(1, 3)) == [(0,)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            list(all_tag_vectors(0, 1))
+        with pytest.raises(ValueError):
+            list(all_tag_vectors(1, -1))
+
+    def test_no_duplicates(self):
+        vecs = list(all_tag_vectors(3, 1))
+        assert len(vecs) == len(set(vecs))

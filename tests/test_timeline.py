@@ -1,0 +1,103 @@
+"""Tests for ASCII space-time rendering (repro.reporting.timeline)."""
+
+import pytest
+
+from repro.core.canonical import CanonicalProtocol
+from repro.core.classifier import classify
+from repro.core.configuration import Configuration, line_configuration
+from repro.graphs.families import h_m
+from repro.radio.protocol import AlwaysListenDRIP, ScheduleDRIP
+from repro.radio.simulator import simulate
+from repro.reporting.timeline import (
+    legend,
+    timeline,
+    transmission_density,
+)
+
+
+def canonical_execution(cfg, record_trace=True):
+    trace = classify(cfg)
+    protocol = CanonicalProtocol.from_trace(trace)
+    network = trace.config
+    execution = simulate(
+        network,
+        protocol.factory,
+        max_rounds=protocol.round_budget(network.span),
+        record_trace=record_trace,
+    )
+    return network, protocol, execution
+
+
+class TestTimeline:
+    def test_grid_shape(self):
+        network, _, execution = canonical_execution(h_m(1))
+        text = timeline(execution)
+        lines = text.splitlines()
+        assert len(lines) == 2 + network.n  # header + ruler + one per node
+        widths = {len(line) for line in lines[2:]}
+        assert len(widths) == 1  # aligned rows
+
+    def test_symbols_present_and_sensible(self):
+        network, _, execution = canonical_execution(h_m(2))
+        text = timeline(execution)
+        assert "T" in text  # someone transmitted
+        assert "z" in text  # late wakers slept
+        assert "!" in text  # wakeups marked
+        assert "#" in text or text  # termination may be past the window
+
+    def test_sleep_before_tag(self):
+        network, _, execution = canonical_execution(h_m(3))
+        text = timeline(execution)
+        # node 0 has tag m=3: its row starts with 3 z's then !
+        row0 = next(l for l in text.splitlines() if l.startswith("0 |"))
+        cells = row0.split("|", 1)[1]
+        assert cells[:4] == "zzz!"
+
+    def test_window(self):
+        _, _, execution = canonical_execution(h_m(1))
+        text = timeline(execution, start=2, end=5)
+        row = text.splitlines()[2]
+        assert len(row.split("|", 1)[1]) == 4
+
+    def test_bad_window_rejected(self):
+        _, _, execution = canonical_execution(h_m(1))
+        with pytest.raises(ValueError):
+            timeline(execution, start=5, end=2)
+        with pytest.raises(ValueError):
+            timeline(execution, start=-1)
+
+    def test_without_trace_no_transmit_marks(self):
+        _, _, execution = canonical_execution(h_m(1), record_trace=False)
+        text = timeline(execution)  # must not raise
+        assert "T" not in text  # transmissions indistinguishable from silence
+
+    def test_message_symbol(self):
+        cfg = line_configuration([0, 0])
+
+        def factory(v):
+            if v == 0:
+                return ScheduleDRIP({1: "m"}, done_round=3)
+            return AlwaysListenDRIP(3)
+
+        execution = simulate(cfg, factory, record_trace=True)
+        text = timeline(execution)
+        row1 = next(l for l in text.splitlines() if l.startswith("1 |"))
+        assert "<" in row1
+
+    def test_legend_mentions_all_symbols(self):
+        text = legend()
+        for sym in "z!T.*<#":
+            assert sym in text
+
+
+class TestDensity:
+    def test_canonical_executions_are_sparse(self):
+        _, _, execution = canonical_execution(h_m(8))
+        density = transmission_density(execution)
+        # one transmission per node per phase: far below 50%
+        assert 0 < density < 0.5
+
+    def test_requires_trace(self):
+        _, _, execution = canonical_execution(h_m(1), record_trace=False)
+        with pytest.raises(ValueError):
+            transmission_density(execution)

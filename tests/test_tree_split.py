@@ -1,0 +1,68 @@
+"""Unit tests for the labeled single-hop tree-splitting baseline."""
+
+import pytest
+
+from repro.baselines.tree_split import (
+    TreeSplitDRIP,
+    tree_split_algorithm,
+    tree_split_slot_bound,
+)
+from repro.graphs.generators import complete_configuration
+from repro.radio.simulator import simulate
+
+
+def run(n):
+    algo = tree_split_algorithm(n)
+    cfg = complete_configuration([0] * n)
+    ex = simulate(cfg, algo.factory, max_rounds=200)
+    return ex, ex.decide_leaders(algo.decision)
+
+
+class TestElection:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 8, 13, 16, 31, 64])
+    def test_unique_leader(self, n):
+        ex, leaders = run(n)
+        assert len(leaders) == 1, f"n={n}: leaders={leaders}"
+
+    @pytest.mark.parametrize("n", [2, 4, 8, 16, 32, 64])
+    def test_slots_within_log_bound(self, n):
+        ex, _ = run(n)
+        assert ex.max_done_local() <= tree_split_slot_bound(n)
+
+    def test_slots_grow_logarithmically(self):
+        slots = {n: run(n)[0].max_done_local() for n in (4, 64)}
+        # 16x more nodes should cost only ~ +2 splits (4 slots), not 16x
+        assert slots[64] <= slots[4] + 10
+        assert slots[64] < 4 * slots[4]
+
+    def test_all_terminate_same_round(self):
+        ex, _ = run(8)
+        assert len(set(ex.done_local.values())) == 1
+
+    def test_leader_is_smallest_id_in_left_most_nonempty_path(self):
+        # the algorithm always recurses left on collision, so the winner
+        # is deterministic; for a full range it is node 0 when the left
+        # half keeps containing >= 2 ids until a singleton interval.
+        _, leaders = run(8)
+        assert leaders == [0]
+
+
+class TestValidation:
+    def test_rejects_bad_ids(self):
+        with pytest.raises(ValueError):
+            TreeSplitDRIP(5, 4)
+        with pytest.raises(ValueError):
+            TreeSplitDRIP(-1, 4)
+
+    def test_rejects_small_n(self):
+        with pytest.raises(ValueError):
+            TreeSplitDRIP(0, 1)
+        with pytest.raises(ValueError):
+            tree_split_algorithm(0)
+
+    def test_slot_bound_monotone(self):
+        bounds = [tree_split_slot_bound(n) for n in (1, 2, 4, 8, 16)]
+        assert bounds == sorted(bounds)
+
+    def test_name(self):
+        assert "tree-split" in tree_split_algorithm(4).name

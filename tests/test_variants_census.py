@@ -1,0 +1,99 @@
+"""Tests for cross-model feasibility censuses (repro.variants.census)."""
+
+import pytest
+
+from repro.core.classifier import is_feasible
+from repro.graphs.enumeration import enumerate_configurations
+from repro.graphs.families import h_m
+from repro.variants.census import (
+    CrossModelCensus,
+    cross_model_census,
+    cross_model_row,
+    disagreement_examples,
+    exhaustive_cross_model_census,
+)
+from repro.variants.channels import BEEP, CD, CHANNELS, NO_CD
+
+
+@pytest.fixture(scope="module")
+def census_n4():
+    return exhaustive_cross_model_census(4, 1)
+
+
+class TestRow:
+    def test_row_has_all_channels(self):
+        row = cross_model_row(h_m(1))
+        assert set(row.feasible) == {c.name for c in CHANNELS}
+
+    def test_pattern_order(self):
+        row = cross_model_row(h_m(1))
+        assert row.pattern == tuple(row.feasible[c.name] for c in CHANNELS)
+
+    def test_cd_column_matches_classifier(self):
+        for cfg in enumerate_configurations(3, 1):
+            assert cross_model_row(cfg).feasible["cd"] == is_feasible(cfg)
+
+
+class TestCensusAggregation:
+    def test_counts_sum_consistently(self, census_n4):
+        assert census_n4.total == len(census_n4.rows)
+        for ch in CHANNELS:
+            assert 0 <= census_n4.count(ch) <= census_n4.total
+
+    def test_cd_dominates(self, census_n4):
+        assert census_n4.count(CD) >= census_n4.count(NO_CD)
+        assert census_n4.count(CD) >= census_n4.count(BEEP)
+        assert census_n4.inclusion_holds(NO_CD, CD)
+        assert census_n4.inclusion_holds(BEEP, CD)
+
+    def test_nocd_beep_incomparable(self, census_n4):
+        assert not census_n4.inclusion_holds(NO_CD, BEEP)
+        assert not census_n4.inclusion_holds(BEEP, NO_CD)
+
+    def test_pattern_histogram_totals(self, census_n4):
+        hist = census_n4.pattern_histogram()
+        assert sum(hist.values()) == census_n4.total
+        # impossible patterns never occur: weak-feasible but CD-infeasible
+        for pattern, count in hist.items():
+            cd, nocd, beep = pattern
+            if nocd or beep:
+                assert cd, f"pattern {pattern} violates CD dominance"
+
+    def test_as_table_shape(self, census_n4):
+        table = census_n4.as_table()
+        assert len(table) == len(CHANNELS)
+        assert all(len(row) == 4 for row in table)
+
+    def test_limit_truncates(self):
+        configs = list(enumerate_configurations(3, 1))
+        census = cross_model_census(configs, limit=4)
+        assert census.total == 4
+
+    def test_empty_census(self):
+        census = CrossModelCensus()
+        assert census.total == 0
+        assert census.inclusion_holds(NO_CD, CD)  # vacuous
+
+
+class TestWitnesses:
+    def test_witnesses_verified(self, census_n4):
+        for cfg in census_n4.witnesses(NO_CD, BEEP, limit=2):
+            row = cross_model_row(cfg)
+            assert row.feasible["no-cd"] and not row.feasible["beep"]
+        for cfg in census_n4.witnesses(BEEP, NO_CD, limit=2):
+            row = cross_model_row(cfg)
+            assert row.feasible["beep"] and not row.feasible["no-cd"]
+
+    def test_witness_limit_respected(self, census_n4):
+        assert len(census_n4.witnesses(CD, NO_CD, limit=3)) <= 3
+
+    def test_disagreement_examples_structure(self):
+        examples = disagreement_examples(3, 1, limit=2)
+        assert set(examples) == {
+            "cd_not_nocd",
+            "cd_not_beep",
+            "nocd_not_beep",
+            "beep_not_nocd",
+        }
+        for cfgs in examples.values():
+            assert len(cfgs) <= 2

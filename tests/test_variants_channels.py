@@ -1,0 +1,124 @@
+"""Unit tests for channel semantics (repro.variants.channels)."""
+
+import pickle
+
+import pytest
+
+from repro.core.partition import ONE, STAR
+from repro.radio.model import COLLISION, SILENCE, Message
+from repro.variants.channels import (
+    BEEP,
+    BEEP_ENTRY,
+    BEEP_MARK,
+    CD,
+    CHANNELS,
+    NO_CD,
+    channel_by_name,
+)
+
+
+class TestReception:
+    def test_silence_for_zero_everywhere(self):
+        for ch in CHANNELS:
+            assert ch.entry(0, None) is SILENCE
+
+    def test_cd_entries(self):
+        assert CD.entry(1, "x") == Message("x")
+        assert CD.entry(2, "x") is COLLISION
+        assert CD.entry(5, "x") is COLLISION
+
+    def test_nocd_collision_is_silence(self):
+        assert NO_CD.entry(1, "x") == Message("x")
+        assert NO_CD.entry(2, "x") is SILENCE
+        assert NO_CD.entry(7, "x") is SILENCE
+
+    def test_beep_is_content_free(self):
+        assert BEEP.entry(1, "x") is BEEP_ENTRY
+        assert BEEP.entry(3, "y") is BEEP_ENTRY
+
+    def test_beep_entry_distinct_from_everything(self):
+        assert BEEP_ENTRY is not SILENCE
+        assert BEEP_ENTRY is not COLLISION
+        assert BEEP_ENTRY != Message("beep")
+
+
+class TestWakeups:
+    def test_single_message_wakes_everywhere(self):
+        for ch in CHANNELS:
+            assert ch.wakes(1)
+
+    def test_zero_never_wakes(self):
+        for ch in CHANNELS:
+            assert not ch.wakes(0)
+
+    def test_collision_wakes_only_beeper(self):
+        assert not CD.wakes(2)
+        assert not NO_CD.wakes(2)
+        assert BEEP.wakes(2)
+
+    def test_wake_entries(self):
+        assert CD.wake_entry(1, "m") == Message("m")
+        assert NO_CD.wake_entry(1, "m") == Message("m")
+        assert BEEP.wake_entry(1, "m") is BEEP_ENTRY
+
+    def test_spontaneous_entry_records_noise_only_with_cd(self):
+        assert CD.spontaneous_entry(2) is COLLISION
+        assert NO_CD.spontaneous_entry(2) is SILENCE
+        assert BEEP.spontaneous_entry(0) is SILENCE
+        for ch in CHANNELS:
+            assert ch.spontaneous_entry(0) is SILENCE
+
+
+class TestMarks:
+    def test_cd_marks(self):
+        assert CD.triple_mark(0) is None
+        assert CD.triple_mark(1) == ONE
+        assert CD.triple_mark(2) == STAR
+        assert CD.triple_mark(9) == STAR
+
+    def test_nocd_marks(self):
+        assert NO_CD.triple_mark(1) == ONE
+        assert NO_CD.triple_mark(2) is None
+        assert NO_CD.triple_mark(3) is None
+
+    def test_beep_marks(self):
+        assert BEEP.triple_mark(1) == BEEP_MARK
+        assert BEEP.triple_mark(4) == BEEP_MARK
+        assert BEEP.triple_mark(0) is None
+
+    def test_mark_constants_disjoint(self):
+        assert len({ONE, STAR, BEEP_MARK}) == 3
+
+    def test_entry_mark_roundtrip(self):
+        # Decoding an entry must invert encoding a count, per channel.
+        for ch in CHANNELS:
+            for count in range(4):
+                entry = ch.entry(count, "1")
+                mark = ch.triple_mark(count)
+                if entry is SILENCE:
+                    assert mark is None
+                else:
+                    assert ch.entry_mark(entry) == mark
+
+    def test_entry_mark_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            CD.entry_mark("not an entry")
+
+
+class TestRegistry:
+    def test_lookup_by_name(self):
+        assert channel_by_name("cd") is CD
+        assert channel_by_name("no-cd") is NO_CD
+        assert channel_by_name("beep") is BEEP
+
+    def test_lookup_unknown(self):
+        with pytest.raises(ValueError, match="unknown channel"):
+            channel_by_name("quantum")
+
+    def test_channel_flags(self):
+        assert CD.collision_detection and CD.content_bearing
+        assert not NO_CD.collision_detection and NO_CD.content_bearing
+        assert not BEEP.collision_detection and not BEEP.content_bearing
+
+    def test_beep_entry_pickles_to_identity(self):
+        assert pickle.loads(pickle.dumps(BEEP_ENTRY)) is BEEP_ENTRY

@@ -1,0 +1,174 @@
+"""Tests for the channel-parameterized refinement and canonical protocol."""
+
+import pytest
+
+from repro.core.classifier import classify
+from repro.core.configuration import Configuration, line_configuration
+from repro.core.partition import partition_key
+from repro.graphs.enumeration import enumerate_configurations
+from repro.graphs.families import g_m, h_m, s_m
+from repro.graphs.generators import (
+    build,
+    complete_configuration,
+    random_connected_gnp_edges,
+    star_configuration,
+)
+from repro.graphs.tags import uniform_random
+from repro.variants import (
+    BEEP,
+    CD,
+    CHANNELS,
+    NO_CD,
+    variant_classify,
+    variant_elect,
+    variant_is_feasible,
+)
+
+SAMPLES = [
+    h_m(1),
+    h_m(3),
+    s_m(2),
+    g_m(2),
+    line_configuration([0, 1, 0]),
+    star_configuration([1, 0, 0, 0]),
+    complete_configuration([0, 1, 2]),
+]
+
+
+class TestCDEqualsClassifier:
+    """With the paper's channel the refinement *is* the Classifier."""
+
+    @pytest.mark.parametrize("cfg", SAMPLES, ids=lambda c: f"n{c.n}s{c.span}")
+    def test_same_decision_leader_partitions(self, cfg):
+        a = classify(cfg)
+        b = variant_classify(cfg, CD)
+        assert a.decision == b.decision
+        assert a.decided_at == b.decided_at
+        assert a.leader == b.leader
+        assert a.partition_keys() == b.partition_keys()
+
+    def test_exhaustive_small(self):
+        for cfg in enumerate_configurations(3, 2):
+            assert classify(cfg).feasible == variant_is_feasible(cfg, CD)
+
+
+class TestMonotonicity:
+    """Weaker channels produce coarser partitions, phase by phase."""
+
+    @pytest.mark.parametrize("weak", [NO_CD, BEEP], ids=lambda c: c.name)
+    def test_weak_partition_refines_into_cd(self, weak):
+        for cfg in enumerate_configurations(4, 1):
+            cd_trace = variant_classify(cfg, CD)
+            weak_trace = variant_classify(cfg, weak)
+            # For every common phase index, the weak partition must be
+            # coarser than (or equal to) the CD partition.
+            common = min(weak_trace.num_iterations, cd_trace.num_iterations)
+            for j in range(1, common + 2):
+                weak_blocks = {
+                    frozenset(b)
+                    for b in partition_key(weak_trace.classes_at(j))
+                }
+                cd_blocks = {
+                    frozenset(b) for b in partition_key(cd_trace.classes_at(j))
+                }
+                for wb in weak_blocks:
+                    assert any(cb <= wb for cb in cd_blocks)
+                    # every weak block is a union of CD blocks
+                    covered = set()
+                    for cb in cd_blocks:
+                        if cb <= wb:
+                            covered |= cb
+                    assert covered == wb
+
+    @pytest.mark.parametrize("weak", [NO_CD, BEEP], ids=lambda c: c.name)
+    def test_weak_feasible_implies_cd_feasible(self, weak):
+        for cfg in enumerate_configurations(4, 1):
+            if variant_is_feasible(cfg, weak):
+                assert variant_is_feasible(cfg, CD)
+
+
+class TestSeparations:
+    def test_nocd_and_beep_incomparable_at_n4(self):
+        from repro.variants.census import exhaustive_cross_model_census
+
+        census = exhaustive_cross_model_census(4, 1)
+        assert census.witnesses(NO_CD, BEEP, 1), "no-cd ⊄ beep expected"
+        assert census.witnesses(BEEP, NO_CD, 1), "beep ⊄ no-cd expected"
+
+    def test_star_witness_separates_cd_from_nocd(self):
+        """A 4-node star whose centre hears a collision from its two
+        tag-0 leaves: the collision is information that only exists with
+        collision detection, and the beeping centre still hears a carrier
+        — so this single configuration separates CD and BEEP from NO_CD."""
+        cfg = Configuration(
+            [(0, 3), (1, 3), (2, 3)], {0: 0, 1: 0, 2: 1, 3: 1}
+        )
+        assert variant_is_feasible(cfg, CD)
+        assert variant_is_feasible(cfg, BEEP)
+        assert not variant_is_feasible(cfg, NO_CD)
+
+    def test_all_equal_tags_infeasible_everywhere(self):
+        for ch in CHANNELS:
+            for cfg in (
+                complete_configuration([0, 0, 0]),
+                line_configuration([0, 0]),
+            ):
+                assert not variant_is_feasible(cfg, ch)
+
+    def test_single_node_feasible_everywhere(self):
+        cfg = Configuration([], {0: 0})
+        for ch in CHANNELS:
+            assert variant_is_feasible(cfg, ch)
+
+
+class TestVariantElection:
+    """A refinement Yes must be realizable as a real distributed run."""
+
+    @pytest.mark.parametrize("ch", CHANNELS, ids=lambda c: c.name)
+    def test_elect_families(self, ch):
+        for cfg in (h_m(1), h_m(2), h_m(4), line_configuration([0, 1, 0])):
+            result = variant_elect(cfg, ch)  # check=True raises on mismatch
+            trace = variant_classify(cfg, ch)
+            assert result.elected == trace.feasible
+            if trace.feasible:
+                assert result.leader == trace.leader
+
+    @pytest.mark.parametrize("ch", CHANNELS, ids=lambda c: c.name)
+    def test_elect_exhaustive_n3(self, ch):
+        for cfg in enumerate_configurations(3, 1):
+            variant_elect(cfg, ch)  # internal check asserts prediction
+
+    @pytest.mark.parametrize("ch", CHANNELS, ids=lambda c: c.name)
+    @pytest.mark.parametrize("seed", range(3))
+    def test_elect_random(self, ch, seed):
+        n = 8
+        edges = random_connected_gnp_edges(n, 0.35, seed)
+        tags = uniform_random(range(n), 2, seed + 50)
+        cfg = build(edges, tags, n=n)
+        variant_elect(cfg, ch)
+
+    def test_infeasible_run_elects_nobody(self):
+        result = variant_elect(s_m(2), NO_CD)
+        assert not result.elected
+        assert result.leaders == []
+
+    def test_cd_election_matches_core_election(self):
+        from repro.core.election import elect_leader
+
+        cfg = g_m(2)
+        assert variant_elect(cfg, CD).leader == elect_leader(cfg).leader
+
+
+class TestRefinementShape:
+    def test_class_counts_nondecreasing(self):
+        for ch in CHANNELS:
+            for cfg in SAMPLES:
+                chain = variant_classify(cfg, ch).class_count_chain()
+                assert all(a <= b for a, b in zip(chain, chain[1:]))
+
+    def test_trace_is_normalized(self):
+        cfg = line_configuration([3, 4, 3])
+        for ch in CHANNELS:
+            trace = variant_classify(cfg, ch)
+            assert trace.config.min_tag == 0
+            assert trace.sigma == 1

@@ -1,0 +1,169 @@
+"""Tests for the channel-parameterized simulator (repro.variants.simulator)."""
+
+import pytest
+
+from repro.core.configuration import Configuration, line_configuration
+from repro.radio.history import History
+from repro.radio.model import (
+    COLLISION,
+    LISTEN,
+    SILENCE,
+    TERMINATE,
+    Message,
+    Transmit,
+)
+from repro.radio.protocol import AlwaysListenDRIP, ScheduleDRIP, anonymous_factory
+from repro.radio.simulator import simulate
+from repro.variants.channels import BEEP, BEEP_ENTRY, CD, NO_CD
+from repro.variants.simulator import variant_simulate
+
+
+def beacon_factory(round_=1, horizon=3):
+    """Everyone transmits once at local round ``round_``."""
+    return anonymous_factory(
+        lambda: ScheduleDRIP({round_: "1"}, done_round=horizon)
+    )
+
+
+class TestCDReferenceEquivalence:
+    """channel=CD must reproduce the reference simulator exactly."""
+
+    def test_beacon_on_path(self):
+        cfg = line_configuration([0, 1, 0])
+        ref = simulate(cfg, beacon_factory())
+        var = variant_simulate(cfg, beacon_factory(), channel=CD)
+        assert ref.histories == var.histories
+        assert ref.wake_rounds == var.wake_rounds
+        assert ref.wake_kinds == var.wake_kinds
+        assert ref.done_local == var.done_local
+
+    def test_canonical_execution_on_family(self):
+        from repro.core.canonical import CanonicalProtocol
+        from repro.core.classifier import classify
+        from repro.graphs.families import g_m
+
+        trace = classify(g_m(2))
+        protocol = CanonicalProtocol.from_trace(trace)
+        network = trace.config
+        budget = protocol.round_budget(network.span)
+        ref = simulate(network, protocol.factory, max_rounds=budget)
+        var = variant_simulate(
+            network, protocol.factory, channel=CD, max_rounds=budget
+        )
+        assert ref.histories == var.histories
+
+
+class TestNoCDSemantics:
+    def test_collision_heard_as_silence(self):
+        # Star centre 0 with two leaves transmitting together at local
+        # round 1; all tags 0 so both leaves collide at the centre.
+        cfg = Configuration([(0, 1), (0, 2)], {0: 0, 1: 0, 2: 0})
+
+        def factory(v):
+            if v == 0:
+                return AlwaysListenDRIP(3)
+            return ScheduleDRIP({1: "x"}, done_round=3)
+
+        ref = simulate(cfg, factory)
+        var = variant_simulate(cfg, factory, channel=NO_CD)
+        assert ref.histories[0][1] is COLLISION
+        assert var.histories[0][1] is SILENCE
+
+    def test_single_transmission_still_received(self):
+        cfg = line_configuration([0, 0])
+
+        def factory(v):
+            if v == 0:
+                return ScheduleDRIP({1: "hello"}, done_round=3)
+            return AlwaysListenDRIP(3)
+
+        var = variant_simulate(cfg, factory, channel=NO_CD)
+        assert var.histories[1][1] == Message("hello")
+
+    def test_collision_does_not_wake(self):
+        # Node 3 (tag 9) adjacent to both transmitters: under CD noise
+        # does not wake it either, but here even the entry is silence.
+        cfg = Configuration(
+            [(0, 3), (1, 3), (0, 1)], {0: 0, 1: 0, 3: 9}
+        )
+        factory = beacon_factory(round_=1, horizon=3)
+        var = variant_simulate(cfg, factory, channel=NO_CD)
+        assert var.wake_rounds[3] == 9  # spontaneous, at its tag
+        assert var.wake_kinds[3] == "spontaneous"
+
+
+class TestBeepSemantics:
+    def test_beep_replaces_message(self):
+        cfg = line_configuration([0, 0])
+
+        def factory(v):
+            if v == 0:
+                return ScheduleDRIP({1: "payload"}, done_round=3)
+            return AlwaysListenDRIP(3)
+
+        var = variant_simulate(cfg, factory, channel=BEEP)
+        assert var.histories[1][1] is BEEP_ENTRY
+
+    def test_collision_is_one_beep(self):
+        cfg = Configuration([(0, 1), (0, 2)], {0: 0, 1: 0, 2: 0})
+
+        def factory(v):
+            if v == 0:
+                return AlwaysListenDRIP(3)
+            return ScheduleDRIP({1: "x"}, done_round=3)
+
+        var = variant_simulate(cfg, factory, channel=BEEP)
+        assert var.histories[0][1] is BEEP_ENTRY
+
+    def test_beep_wakes_sleeping_node_even_on_collision(self):
+        cfg = Configuration([(0, 2), (1, 2)], {0: 0, 1: 0, 2: 9})
+        factory = beacon_factory(round_=1, horizon=3)
+        var = variant_simulate(cfg, factory, channel=BEEP)
+        assert var.wake_rounds[2] == 1  # forced by the (colliding) beeps
+        assert var.wake_kinds[2] == "forced"
+        assert var.histories[2][0] is BEEP_ENTRY
+
+    def test_transmitter_hears_nothing(self):
+        cfg = line_configuration([0, 0])
+        factory = beacon_factory(round_=1, horizon=3)
+        var = variant_simulate(cfg, factory, channel=BEEP)
+        # both transmit simultaneously; each hears nothing
+        assert var.histories[0][1] is SILENCE
+        assert var.histories[1][1] is SILENCE
+
+
+class TestErrors:
+    def test_negative_tag_rejected(self):
+        class FakeNet:
+            nodes = (0,)
+
+            def neighbors(self, v):
+                return ()
+
+            def tag(self, v):
+                return -1
+
+        with pytest.raises(ValueError, match="negative"):
+            variant_simulate(FakeNet(), lambda v: AlwaysListenDRIP(1))
+
+    def test_timeout(self):
+        from repro.radio.simulator import SimulationTimeout
+
+        cfg = line_configuration([0, 0])
+        with pytest.raises(SimulationTimeout):
+            variant_simulate(
+                cfg,
+                anonymous_factory(lambda: AlwaysListenDRIP(10_000)),
+                max_rounds=10,
+            )
+
+    def test_protocol_violation(self):
+        from repro.radio.simulator import ProtocolViolation
+
+        class BadDRIP:
+            def decide(self, history):
+                return "transmit please"
+
+        cfg = line_configuration([0, 0])
+        with pytest.raises(ProtocolViolation):
+            variant_simulate(cfg, lambda v: BadDRIP())

@@ -1,0 +1,182 @@
+"""Tests for the wired-model contrast (repro.analysis.views)."""
+
+import pytest
+
+from repro.core.classifier import is_feasible
+from repro.core.configuration import Configuration, line_configuration
+from repro.graphs.enumeration import enumerate_configurations
+from repro.graphs.families import g_m, h_m, s_m
+from repro.graphs.generators import (
+    build,
+    complete_configuration,
+    cycle_configuration,
+    path_configuration,
+    random_connected_gnp_edges,
+    star_configuration,
+)
+from repro.graphs.tags import uniform_random
+from repro.analysis.views import (
+    ContrastCensus,
+    ContrastRow,
+    color_refinement,
+    radio_vs_wired,
+    view_key,
+    view_partition,
+    views_stabilize_like_refinement,
+    wired_feasible,
+)
+
+
+class TestColorRefinement:
+    def test_initial_partition_by_tag_and_degree(self):
+        cfg = path_configuration([0, 0, 0])  # endpoints deg 1, centre deg 2
+        result = color_refinement(cfg)
+        assert result.partition_at(0) == ((0, 2), (1,))
+
+    def test_fixpoint_is_stable(self):
+        for cfg in (h_m(2), g_m(2), s_m(2), complete_configuration([0, 1, 2])):
+            result = color_refinement(cfg)
+            # one more refinement round must not change the partition
+            again = color_refinement(cfg)
+            assert result.stable_partition() == again.stable_partition()
+
+    def test_stabilizes_within_n_rounds(self):
+        for cfg in enumerate_configurations(4, 1):
+            assert color_refinement(cfg).num_rounds <= cfg.n
+
+    def test_class_counts_nondecreasing(self):
+        for cfg in enumerate_configurations(4, 1):
+            chain = color_refinement(cfg).class_count_chain()
+            assert all(a <= b for a, b in zip(chain, chain[1:]))
+
+    def test_complete_same_tags_never_splits(self):
+        cfg = complete_configuration([0, 0, 0, 0])
+        result = color_refinement(cfg)
+        assert len(set(result.stable.values())) == 1
+        assert not wired_feasible(cfg)
+
+    def test_tags_matter(self):
+        cfg = cycle_configuration([0, 0, 0, 0])
+        assert not wired_feasible(cfg)  # vertex-transitive, equal tags
+        cfg2 = cycle_configuration([1, 0, 0, 0])
+        assert wired_feasible(cfg2)  # the early riser is unique
+
+    def test_use_flags(self):
+        # without tags or degrees nothing distinguishes a path's nodes
+        # beyond structure discovered by refinement
+        cfg = path_configuration([5, 0, 0])
+        with_tags = color_refinement(cfg, use_tags=True)
+        without = color_refinement(cfg, use_tags=False)
+        assert len(set(without.stable.values())) <= len(
+            set(with_tags.stable.values())
+        )
+
+    def test_singleton_nodes_sorted_and_correct(self):
+        cfg = star_configuration([0, 0, 0, 1])
+        singles = color_refinement(cfg).singleton_nodes()
+        counts = {}
+        stable = color_refinement(cfg).stable
+        for c in stable.values():
+            counts[c] = counts.get(c, 0) + 1
+        assert singles == sorted(
+            v for v, c in stable.items() if counts[c] == 1
+        )
+
+
+class TestViews:
+    def test_depth_zero_is_tag_degree(self):
+        cfg = path_configuration([0, 1, 0])
+        assert view_key(cfg, 0, 0) == ((0, 1), ())
+        assert view_key(cfg, 1, 0) == ((1, 2), ())
+
+    def test_negative_depth_rejected(self):
+        with pytest.raises(ValueError):
+            view_key(path_configuration([0, 0]), 0, -1)
+
+    def test_symmetric_nodes_share_views(self):
+        cfg = path_configuration([0, 1, 0])
+        for d in range(4):
+            assert view_key(cfg, 0, d) == view_key(cfg, 2, d)
+            assert view_key(cfg, 0, d) != view_key(cfg, 1, d)
+
+    def test_view_partition_refines_with_depth(self):
+        cfg = g_m(2)
+        prev = view_partition(cfg, 0)
+        for d in range(1, 5):
+            cur = view_partition(cfg, d)
+            # every current block is inside some previous block
+            for block in cur:
+                assert any(set(block) <= set(pb) for pb in prev)
+            prev = cur
+
+    @pytest.mark.parametrize(
+        "cfg",
+        [
+            h_m(1),
+            s_m(2),
+            g_m(2),
+            line_configuration([0, 0, 0, 0]),
+            cycle_configuration([0, 1, 0, 1]),
+            star_configuration([2, 0, 1, 0]),
+        ],
+        ids=lambda c: f"n{c.n}s{c.span}",
+    )
+    def test_views_equal_refinement_fixpoint(self, cfg):
+        assert views_stabilize_like_refinement(cfg)
+
+
+class TestRadioVsWired:
+    @pytest.fixture(scope="class")
+    def census(self):
+        return radio_vs_wired(enumerate_configurations(4, 1))
+
+    def test_dominance(self, census):
+        """Radio-feasible ⇒ wired-feasible (intro's 'most adverse' claim)."""
+        assert census.dominance_holds()
+
+    def test_wired_only_exists(self, census):
+        """The inclusion is strict: topology alone can elect in the wired
+        model where the radio model cannot."""
+        examples = census.wired_only_examples()
+        assert examples
+        for cfg in examples:
+            assert wired_feasible(cfg) and not is_feasible(cfg)
+
+    def test_all_zero_tags_radio_infeasible_wired_can_win(self):
+        """With equal tags radio nodes never hear anything (paper §1.1),
+        but a degree asymmetry still elects in the wired model."""
+        broom = Configuration(
+            [(0, 1), (1, 2), (1, 3), (3, 4)], {i: 0 for i in range(5)}
+        )
+        assert not is_feasible(broom)
+        assert wired_feasible(broom)
+
+    def test_counts_partition_total(self, census):
+        kinds = ("both", "wired-only", "radio-only", "neither")
+        assert sum(census.count(k) for k in kinds) == census.total
+
+    def test_random_sample_dominance(self):
+        rows = []
+        for seed in range(10):
+            n = 7
+            edges = random_connected_gnp_edges(n, 0.3, seed)
+            tags = uniform_random(range(n), 2, seed + 31)
+            rows.append(build(edges, tags, n=n))
+        assert radio_vs_wired(rows).dominance_holds()
+
+    def test_limit(self):
+        census = radio_vs_wired(enumerate_configurations(3, 1), limit=5)
+        assert census.total == 5
+
+    def test_row_kind_labels(self):
+        cfg = h_m(1)
+        row = ContrastRow(config=cfg, radio=True, wired=True)
+        assert row.kind == "both"
+        assert ContrastRow(config=cfg, radio=False, wired=True).kind == "wired-only"
+        assert ContrastRow(config=cfg, radio=True, wired=False).kind == "radio-only"
+        assert ContrastRow(config=cfg, radio=False, wired=False).kind == "neither"
+
+    def test_empty_census(self):
+        census = ContrastCensus()
+        assert census.total == 0
+        assert census.dominance_holds()

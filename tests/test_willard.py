@@ -1,0 +1,74 @@
+"""Unit tests for the randomized single-hop baseline."""
+
+import pytest
+
+from repro.baselines.willard import (
+    WillardDRIP,
+    willard_algorithm,
+    willard_expected_slots_bound,
+)
+from repro.graphs.generators import complete_configuration
+from repro.radio.simulator import simulate
+
+
+def run(n, seed):
+    algo = willard_algorithm(seed=seed)
+    cfg = complete_configuration([0] * n)
+    ex = simulate(cfg, algo.factory, max_rounds=50_000)
+    return ex, ex.decide_leaders(algo.decision)
+
+
+class TestElection:
+    @pytest.mark.parametrize("n", [2, 3, 5, 8, 16, 40])
+    def test_unique_leader(self, n):
+        ex, leaders = run(n, seed=7)
+        assert len(leaders) == 1, f"n={n}: {leaders}"
+
+    def test_different_seeds_can_differ_but_always_elect(self):
+        outcomes = set()
+        for seed in range(6):
+            _, leaders = run(8, seed)
+            assert len(leaders) == 1
+            outcomes.add(leaders[0])
+        # randomization: over several seeds, not always the same node
+        assert len(outcomes) >= 2
+
+    def test_all_terminate_same_round(self):
+        ex, _ = run(10, seed=3)
+        assert len(set(ex.done_local.values())) == 1
+
+    def test_deterministic_given_seed(self):
+        a, la = run(12, seed=11)
+        b, lb = run(12, seed=11)
+        assert la == lb
+        assert a.max_done_local() == b.max_done_local()
+
+
+class TestSlotCounts:
+    def test_expected_slots_small(self):
+        # average over seeds stays far below the deterministic log bound
+        ns = [8, 64]
+        means = {}
+        for n in ns:
+            counts = [run(n, seed)[0].max_done_local() for seed in range(10)]
+            means[n] = sum(counts) / len(counts)
+        for n in ns:
+            assert means[n] <= willard_expected_slots_bound(n), means
+
+    def test_bound_helper_monotone_enough(self):
+        assert willard_expected_slots_bound(4) <= willard_expected_slots_bound(2**16)
+
+
+class TestSafetyValve:
+    def test_max_slots_terminates_lone_node(self):
+        # n = 1 cannot elect (no ack partner); the valve stops it.
+        algo = willard_algorithm(seed=1, max_slots=50)
+        cfg = complete_configuration([0])
+        ex = simulate(cfg, algo.factory, max_rounds=200)
+        assert ex.done_local[0] <= 51
+
+    def test_drip_construction(self):
+        import random
+
+        d = WillardDRIP(random.Random(1))
+        assert d._phase == "double"

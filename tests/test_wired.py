@@ -1,0 +1,199 @@
+"""Tests for the wired anonymous message-passing substrate (repro.wired)."""
+
+import pytest
+
+from repro.analysis.views import color_refinement, wired_feasible
+from repro.core.configuration import Configuration, line_configuration
+from repro.graphs.enumeration import enumerate_configurations
+from repro.graphs.families import g_m, h_m, s_m
+from repro.graphs.generators import (
+    build,
+    complete_configuration,
+    cycle_configuration,
+    path_configuration,
+    random_connected_gnp_edges,
+    star_configuration,
+)
+from repro.graphs.tags import uniform_random
+from repro.wired import (
+    ViewExchangeProtocol,
+    WiredSimulator,
+    wired_elect,
+    wired_election_agrees_with_views,
+    wired_simulate,
+)
+from repro.wired.protocols import ViewInterner, ViewState
+from repro.wired.simulator import (
+    WiredNodeProtocol,
+    WiredProtocolViolation,
+    WiredTimeout,
+)
+
+
+class EchoProtocol(WiredNodeProtocol):
+    """Sends a constant, records what it hears, stops after ``rounds``."""
+
+    def __init__(self, degree, payload, rounds=1):
+        self.degree = degree
+        self.payload = payload
+        self.rounds = rounds
+        self.heard = []
+        self._r = 0
+
+    def send(self, round_index):
+        return [self.payload] * self.degree
+
+    def receive(self, round_index, inbox):
+        self.heard.append(list(inbox))
+        self._r += 1
+
+    def done(self):
+        return self._r >= self.rounds
+
+    def output(self):
+        return self.heard
+
+
+class TestSimulator:
+    def test_reliable_simultaneous_delivery(self):
+        cfg = path_configuration([0, 0, 0])
+        execution = wired_simulate(
+            cfg, lambda v, d: EchoProtocol(d, f"from-{v}")
+        )
+        # centre (node 1) hears both endpoints, port-ordered
+        assert execution.outputs[1] == [["from-0", "from-2"]]
+        assert execution.outputs[0] == [["from-1"]]
+
+    def test_port_order_is_sorted_neighbours(self):
+        cfg = Configuration([(0, 5), (0, 3), (0, 9)], {0: 0, 3: 0, 5: 0, 9: 0})
+        execution = wired_simulate(
+            cfg, lambda v, d: EchoProtocol(d, v)
+        )
+        # hub's inbox order follows sorted neighbour ids: 3, 5, 9
+        assert execution.outputs[0] == [[3, 5, 9]]
+
+    def test_message_count_accounting(self):
+        cfg = cycle_configuration([0, 0, 0, 0])
+        execution = wired_simulate(cfg, lambda v, d: EchoProtocol(d, 1, rounds=3))
+        assert execution.total_messages() == 4 * 2 * 3  # n · deg · rounds
+        assert execution.rounds_elapsed == 3
+
+    def test_wrong_message_count_rejected(self):
+        class Bad(EchoProtocol):
+            def send(self, r):
+                return [1]  # wrong width on any node with degree != 1
+
+        cfg = path_configuration([0, 0, 0])
+        with pytest.raises(WiredProtocolViolation):
+            wired_simulate(cfg, lambda v, d: Bad(d, 1))
+
+    def test_timeout(self):
+        class Forever(EchoProtocol):
+            def done(self):
+                return False
+
+        cfg = path_configuration([0, 0])
+        with pytest.raises(WiredTimeout):
+            wired_simulate(cfg, lambda v, d: Forever(d, 1), max_rounds=5)
+
+    def test_empty_network_rejected(self):
+        class NoNodes:
+            nodes = ()
+
+            def neighbors(self, v):
+                return ()
+
+        with pytest.raises(ValueError):
+            WiredSimulator(NoNodes(), lambda v, d: EchoProtocol(d, 1))
+
+
+class TestViewExchange:
+    def test_interner_is_structural(self):
+        interner = ViewInterner()
+        a = interner.intern((0, 2), ())
+        b = interner.intern((0, 2), ())
+        c = interner.intern((1, 2), ())
+        assert a == b != c
+        assert len(interner) == 2
+
+    def test_depth_zero_equals_root_partition(self):
+        cfg = path_configuration([0, 0, 0])
+        result = wired_elect(cfg, horizon=0)
+        # endpoints share (tag 0, deg 1); centre is (tag 0, deg 2)
+        assert result.view_partition() == [[0, 2], [1]]
+
+    def test_symmetric_nodes_share_final_views(self):
+        cfg = path_configuration([0, 1, 0])
+        result = wired_elect(cfg)
+        assert result.view_ids[0] == result.view_ids[2]
+        assert result.view_ids[0] != result.view_ids[1]
+
+    def test_negative_horizon_rejected(self):
+        interner = ViewInterner()
+        with pytest.raises(ValueError):
+            ViewExchangeProtocol((0, 1), 1, -1, interner)
+
+    def test_output_shape(self):
+        cfg = path_configuration([0, 0])
+        result = wired_elect(cfg, horizon=2)
+        for out in result.execution.outputs.values():
+            assert isinstance(out, ViewState)
+            assert out.horizon == 2
+
+
+class TestElection:
+    def test_exhaustive_agreement_with_refinement(self):
+        for cfg in enumerate_configurations(4, 1):
+            assert wired_election_agrees_with_views(cfg)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_agreement(self, seed):
+        n = 9
+        edges = random_connected_gnp_edges(n, 0.3, seed)
+        tags = uniform_random(range(n), 2, seed + 77)
+        cfg = build(edges, tags, n=n)
+        assert wired_election_agrees_with_views(cfg)
+
+    def test_all_zero_broom_elects_distributedly(self):
+        """Radio-infeasible (equal tags) but wired-electable: the degree
+        asymmetry suffices, fully distributed."""
+        broom = Configuration(
+            [(0, 1), (1, 2), (1, 3), (3, 4)], {i: 0 for i in range(5)}
+        )
+        result = wired_elect(broom)
+        assert result.elected
+        assert wired_feasible(broom)
+
+    def test_vertex_transitive_equal_tags_fails(self):
+        cfg = cycle_configuration([0, 0, 0, 0])
+        result = wired_elect(cfg)
+        assert not result.elected
+        assert result.leaders == []
+
+    def test_paper_families(self):
+        # Radio-feasible families are wired-electable too (dominance).
+        for cfg in (h_m(2), g_m(2), line_configuration([0, 1, 0])):
+            assert wired_elect(cfg).elected
+        # S_m is radio-infeasible but its tag asymmetry still gives the
+        # wired model a unique view? S_m = a,b,c,d tags m,0,0,m: mirror
+        # symmetry maps a<->d, b<->c, so no unique view — infeasible in
+        # both models.
+        assert not wired_elect(s_m(2)).elected
+
+    def test_leader_choice_deterministic(self):
+        cfg = g_m(2)
+        a = wired_elect(cfg)
+        b = wired_elect(cfg)
+        assert a.leader == b.leader
+        assert a.view_ids == b.view_ids
+
+    def test_rounds_equal_horizon(self):
+        cfg = complete_configuration([0, 1, 2])
+        result = wired_elect(cfg)
+        assert result.rounds == result.horizon == cfg.n
+
+    def test_star_centre_unique_at_equal_tags(self):
+        cfg = star_configuration([0, 0, 0, 0])
+        result = wired_elect(cfg)
+        assert result.elected
+        assert result.leader == 0  # the hub's degree makes it unique

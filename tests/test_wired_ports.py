@@ -1,0 +1,77 @@
+"""Tests for port-aware views (repro.wired.ports)."""
+
+import pytest
+
+from repro.core.configuration import Configuration
+from repro.graphs.enumeration import enumerate_configurations
+from repro.graphs.families import g_m, h_m
+from repro.graphs.generators import (
+    cycle_configuration,
+    path_configuration,
+    star_configuration,
+)
+from repro.wired.ports import (
+    PortAwareViewProtocol,
+    port_aware_partition,
+    port_aware_view_ids,
+    port_awareness_refines,
+)
+from repro.wired.protocols import ViewInterner
+
+
+class TestProtocol:
+    def test_negative_horizon_rejected(self):
+        with pytest.raises(ValueError):
+            PortAwareViewProtocol((0, 1), 1, -1, ViewInterner())
+
+    def test_depth_zero_partition_by_root(self):
+        cfg = path_configuration([0, 0, 0])
+        assert port_aware_partition(cfg, horizon=0) == [[0, 2], [1]]
+
+    def test_deterministic(self):
+        cfg = g_m(2)
+        assert port_aware_view_ids(cfg) == port_aware_view_ids(cfg)
+
+
+class TestRefinement:
+    def test_refines_on_all_small_configs(self):
+        for cfg in enumerate_configurations(4, 1):
+            assert port_awareness_refines(cfg)
+
+    @pytest.mark.parametrize(
+        "cfg",
+        [h_m(2), g_m(2), star_configuration([0, 0, 1, 0]),
+         cycle_configuration([0, 1, 0, 1])],
+        ids=lambda c: f"n{c.n}s{c.span}",
+    )
+    def test_refines_on_families(self, cfg):
+        assert port_awareness_refines(cfg)
+
+    def test_port_numbering_leaks_order_information(self):
+        """The sorted-id numbering is NOT automorphism-respecting: the
+        path's mirror symmetry sends the centre's port 0 to its port 1,
+        so the two endpoints receive different back-ports and their
+        port-aware views split. This is exactly the adversarial-numbering
+        caveat the module documents — under the true model's worst-case
+        numbering the endpoints would stay symmetric, so port-aware
+        distinguishing power here is an upper bound, not feasibility."""
+        cfg = path_configuration([0, 1, 0])
+        partition = port_aware_partition(cfg)
+        assert [0, 2] not in partition  # split by the numbering
+        assert [[0], [1], [2]] == partition
+
+    def test_port_awareness_strictly_refines_often(self):
+        """Under sorted-id numbering, port-aware views strictly refine the
+        oblivious ones on a majority of small configurations (the
+        numbering acts as an artificial tiebreaker)."""
+        from repro.wired import wired_elect
+
+        strict = 0
+        total = 0
+        for cfg in enumerate_configurations(4, 1):
+            total += 1
+            oblivious = wired_elect(cfg).view_partition()
+            aware = port_aware_partition(cfg)
+            if len(aware) > len(oblivious):
+                strict += 1
+        assert strict > total // 2
