@@ -4,16 +4,25 @@ The paper assumes collision detection (Section 1.1). This experiment
 re-runs the canonical-family refinement under the no-CD and beeping
 channels over an exhaustive small census and asserts the predicted order:
 CD dominates both weaker channels, and no-CD / beeping are incomparable
-(witnesses exist in both directions).
+(witnesses exist in both directions). The engine-cached variant dedupes
+the census up to isomorphism first — channel verdicts are
+isomorphism-invariant, so it must reproduce the exact per-channel counts.
 """
 
 import pytest
 
-from repro.variants.census import exhaustive_cross_model_census
+from repro.engine import ResultCache, cached_evaluate
+from repro.graphs.enumeration import enumerate_configurations
+from repro.variants.census import cross_model_row, exhaustive_cross_model_census
 from repro.variants.channels import BEEP, CD, NO_CD
 from repro.variants.canonical import variant_elect
 from repro.variants.refinement import variant_classify
 from repro.graphs.families import h_m
+
+
+def channel_verdicts(cfg):
+    """Engine-cache evaluator: channel name -> feasibility verdict."""
+    return cross_model_row(cfg).feasible
 
 
 @pytest.mark.benchmark(group="e11-census")
@@ -29,6 +38,26 @@ def test_cross_model_census_n4(benchmark):
     # no-CD and beeping are incomparable
     assert census.witnesses(NO_CD, BEEP, 1)
     assert census.witnesses(BEEP, NO_CD, 1)
+
+
+@pytest.mark.benchmark(group="e11-census")
+def test_cross_model_census_n4_engine_cached(benchmark):
+    direct = exhaustive_cross_model_census(4, 1)
+    cache = ResultCache()
+
+    def cached_counts():
+        counts = {c.name: 0 for c in (CD, NO_CD, BEEP)}
+        for cfg in enumerate_configurations(4, 1):
+            verdicts = cached_evaluate(cfg, cache, channel_verdicts)
+            for name, ok in verdicts.items():
+                counts[name] += ok
+        return counts
+
+    counts = benchmark(cached_counts)
+    for channel in (CD, NO_CD, BEEP):
+        assert counts[channel.name] == direct.count(channel)
+    # the cache collapsed the 90-config census to its isomorphism classes
+    assert len(cache) < direct.total
 
 
 @pytest.mark.benchmark(group="e11-classify")

@@ -15,9 +15,16 @@ from repro.analysis.views import (
     views_stabilize_like_refinement,
     wired_feasible,
 )
+from repro.core.classifier import is_feasible
 from repro.core.configuration import Configuration
+from repro.engine import ResultCache, cached_evaluate
 from repro.graphs.enumeration import enumerate_configurations
 from repro.graphs.families import g_m
+
+
+def contrast_verdicts(cfg):
+    """Engine-cache evaluator: radio and wired feasibility verdicts."""
+    return {"radio": is_feasible(cfg), "wired": wired_feasible(cfg)}
 
 
 @pytest.mark.benchmark(group="e14-contrast")
@@ -28,6 +35,31 @@ def test_exhaustive_contrast_n4(benchmark):
     assert census.dominance_holds()  # radio ⊆ wired, no exceptions
     assert census.count("wired-only") > 0  # strictness witnesses
     assert census.count("both") > 0
+
+
+@pytest.mark.benchmark(group="e14-contrast")
+def test_exhaustive_contrast_n4_engine_cached(benchmark):
+    direct = radio_vs_wired(enumerate_configurations(4, 1))
+    cache = ResultCache()
+
+    def cached_contrast():
+        both = wired_only = neither = 0
+        for cfg in enumerate_configurations(4, 1):
+            v = cached_evaluate(cfg, cache, contrast_verdicts)
+            assert v["wired"] or not v["radio"]  # dominance, per config
+            if v["radio"]:
+                both += 1
+            elif v["wired"]:
+                wired_only += 1
+            else:
+                neither += 1
+        return both, wired_only, neither
+
+    both, wired_only, neither = benchmark(cached_contrast)
+    # identical counts to the uncached census (verdicts are invariants)
+    assert both == direct.count("both")
+    assert wired_only == direct.count("wired-only")
+    assert neither == direct.count("neither")
 
 
 @pytest.mark.benchmark(group="e14-refinement")

@@ -4,12 +4,15 @@ The paper's symmetry-breaking resource, measured: for random connected
 G(n, p) with uniform tags in 0..σ, the probability that the configuration
 is feasible is 0 at σ = 0 (all tags equal — nobody ever hears anything)
 and rises steeply with σ. This is the quantitative face of "time as
-symmetry breaker".
+symmetry breaker". Sampling runs through the engine's canonical-form
+cache, so re-plotting a curve (same seed, or a warm shared cache) skips
+reclassification; the cached curve is asserted identical to a cold one.
 """
 
 import pytest
 
 from repro.analysis.extremal import feasibility_probability
+from repro.engine import ResultCache
 
 
 @pytest.mark.benchmark(group="e15-threshold")
@@ -22,6 +25,25 @@ def test_probability_curve(benchmark):
     assert fracs[1] > 0.3  # a single extra wakeup round already helps a lot
     assert fracs[4] >= fracs[1]  # more span, no worse
     assert fracs[4] > 0.8  # near-certain by span 4 at n = 8
+
+
+@pytest.mark.benchmark(group="e15-threshold-cached")
+def test_probability_curve_warm_cache(benchmark):
+    cold = feasibility_probability(8, [0, 1, 2], samples=30, p=0.3, seed=5)
+    cache = ResultCache()
+    feasibility_probability(8, [0, 1, 2], samples=30, p=0.3, seed=5, cache=cache)
+
+    def warm():
+        return feasibility_probability(
+            8, [0, 1, 2], samples=30, p=0.3, seed=5, cache=cache
+        )
+
+    points = benchmark(warm)
+    # caching never changes the curve (feasibility is iso-invariant)
+    assert [(pt.span, pt.feasible) for pt in points] == [
+        (pt.span, pt.feasible) for pt in cold
+    ]
+    assert cache.stats.hits > 0
 
 
 @pytest.mark.benchmark(group="e15-threshold-size")

@@ -2,14 +2,19 @@
 
 Classifier vs the simulation ground truth (unique canonical history) and
 the automorphism necessary condition, over every 4-node configuration with
-span <= 1 plus a random batch; benchmarks the full-census throughput.
+span <= 1 plus a random batch; benchmarks the full-census throughput,
+both serial and through the canonical-form census engine
+(:mod:`repro.engine`), whose cached path is the default for production
+sweeps.
 """
 
 import pytest
 
 from repro.analysis.automorphisms import has_fixed_node
+from repro.analysis.census import census
 from repro.baselines.bruteforce import simulation_feasible
 from repro.core.classifier import classify, is_feasible
+from repro.engine import EnumerationWorkload, ResultCache, sharded_census
 from repro.graphs.enumeration import enumerate_configurations
 
 from conftest import seeded_config
@@ -47,6 +52,33 @@ def test_random_census_agreement(benchmark):
 
     agree = benchmark(run)
     assert agree == len(configs)
+
+
+@pytest.mark.benchmark(group="e1-census-engine")
+def test_engine_census_matches_serial(benchmark):
+    workload = EnumerationWorkload(4, 1)
+    serial = census(iter(workload))
+
+    def run():
+        return sharded_census(workload, num_shards=4).result
+
+    result = benchmark(run)
+    assert result.rows == serial.rows  # the engine's equality contract
+    assert result.total == 90
+
+
+@pytest.mark.benchmark(group="e1-census-engine")
+def test_engine_census_cached_rerun(benchmark):
+    workload = EnumerationWorkload(4, 1)
+    cache = ResultCache()
+    warm = sharded_census(workload, cache=cache)  # populate once
+
+    def rerun():
+        return sharded_census(workload, num_shards=4, cache=cache)
+
+    run = benchmark(rerun)
+    assert run.stats.classified == 0  # every item a cache hit
+    assert run.result.rows == warm.result.rows
 
 
 @pytest.mark.benchmark(group="e1-census")

@@ -4,36 +4,26 @@ Run with::
 
     pytest benchmarks/ --benchmark-only
 
-Each ``bench_eN_*.py`` module regenerates one experiment from DESIGN.md's
-per-experiment index: it benchmarks the relevant operation *and* asserts
-the paper's qualitative shape (who wins, growth rate, impossibility), so a
-regression in either speed or correctness shows up here.
+Each ``bench_eN_*.py`` module regenerates one experiment from the
+``docs/experiments.md`` index: it benchmarks the relevant operation *and*
+asserts the paper's qualitative shape (who wins, growth rate,
+impossibility), so a regression in either speed or correctness shows up
+here.
+
+The workload builders live in :mod:`repro.engine.workloads` and are
+re-exported here (and in ``tests/conftest.py``) under identical names:
+when pytest collects ``benchmarks/`` and ``tests/`` in one run, both
+directories' ``conftest`` modules compete for the ``conftest`` entry in
+``sys.modules``, and keeping their public helper surface identical makes
+the race harmless.
 """
 
 from __future__ import annotations
 
-import random
-
-from repro.core.configuration import Configuration
-from repro.graphs.generators import build, random_connected_gnp_edges
-from repro.graphs.tags import uniform_random
-
-
-def seeded_config(seed: int, n: int, span: int, p: float = 0.3) -> Configuration:
-    edges = random_connected_gnp_edges(n, p, seed)
-    tags = uniform_random(range(n), span, seed + 1)
-    return build(edges, tags, n=n)
-
-
-def feasible_batch(count: int, seed: int, n: int, span: int, p: float = 0.3):
-    """Reproducible batch of *feasible* random configurations."""
-    from repro.core.classifier import classify
-
-    out = []
-    attempt = 0
-    while len(out) < count and attempt < 50 * count:
-        cfg = seeded_config(seed + attempt, n, span, p)
-        attempt += 1
-        if classify(cfg).feasible:
-            out.append(cfg)
-    return out
+from repro.testing import (  # noqa: F401  (re-exported for bench/test modules)
+    configurations,
+    feasible_batch,
+    make_random_config,
+    random_config_batch,
+    seeded_config,
+)

@@ -5,7 +5,9 @@ arXiv:2002.02641): the synchronous radio model with collision detection,
 the centralized feasibility classifier (Algorithms 1–4), the canonical
 DRIP and dedicated O(n²σ) leader election (Theorem 3.15), the negative
 results of Section 4 as executable experiments, plus graph/tag workload
-generators, analysis tooling and contrast baselines.
+generators, analysis tooling, contrast baselines, and a census engine
+(:mod:`repro.engine`) with canonical-form memoization and sharded,
+resumable sweeps.
 
 Quickstart::
 

@@ -2,7 +2,14 @@
 
 Answers questions like "what fraction of random G(n,p) configurations with
 span σ are feasible?" — the library's analogue of a results table for a
-theory paper, and the workload of experiments E1/E7.
+theory paper, and the workload of experiments E1, E11, E14 and E15.
+
+:func:`census` is the serial reference implementation: one pass, one
+classification per configuration, everything in memory. Production-scale
+sweeps go through :mod:`repro.engine` instead — canonical-form caching,
+sharding, resume — and :func:`random_census` routes there by default;
+the engine is contractually bit-for-bit equal to :func:`census` on the
+same workload (see ``tests/test_engine_pipeline.py``).
 """
 
 from __future__ import annotations
@@ -71,6 +78,16 @@ class CensusResult:
     TABLE_HEADERS = ("group", "configs", "feasible", "fraction", "iters", "rounds")
 
 
+def group_by_n(config: Configuration) -> int:
+    """Census grouping key: configuration size.
+
+    Module-level (not a lambda) so the engine's checkpoint fingerprint —
+    which identifies groupings by definition site — matches between the
+    CLI and :func:`random_census` for the same census.
+    """
+    return config.n
+
+
 def census(
     configs: Iterable[Configuration],
     *,
@@ -98,6 +115,41 @@ def census(
     return result
 
 
+def random_census_run(
+    n_values: Iterable[int],
+    span: int,
+    p: float,
+    samples: int,
+    seed: int,
+    *,
+    measure_rounds: bool = False,
+    num_shards: int = 1,
+    cache=None,
+    max_workers: Optional[int] = 1,
+    checkpoint_dir: Optional[str] = None,
+):
+    """Engine run of the random census, returning the full ``CensusRun``.
+
+    The single construction site for the random-census workload and its
+    engine invocation: :func:`random_census` (which keeps the
+    ``CensusResult``-returning signature) and the CLI (which also wants
+    the run/cache accounting for its footer) both delegate here, so
+    their checkpoints stay interchangeable by construction.
+    """
+    from ..engine import RandomGnpWorkload, sharded_census
+
+    workload = RandomGnpWorkload(list(n_values), span, p, samples, seed)
+    return sharded_census(
+        workload,
+        group_by=group_by_n,
+        measure_rounds=measure_rounds,
+        num_shards=num_shards,
+        cache=cache,
+        max_workers=max_workers,
+        checkpoint_dir=checkpoint_dir,
+    )
+
+
 def random_census(
     n_values: Iterable[int],
     span: int,
@@ -106,9 +158,36 @@ def random_census(
     seed: int,
     *,
     measure_rounds: bool = False,
+    use_engine: bool = True,
+    num_shards: int = 1,
+    cache=None,
+    max_workers: Optional[int] = 1,
+    checkpoint_dir: Optional[str] = None,
 ) -> CensusResult:
     """Census over seeded random connected G(n,p) configurations with
-    uniform random tags in ``0..span``; grouped by n."""
+    uniform random tags in ``0..span``; grouped by n.
+
+    By default the run goes through the :mod:`repro.engine` pipeline
+    (canonical-form caching; optionally sharded, parallel, and
+    checkpointed via the keyword arguments), which returns results
+    identical to the serial path. ``use_engine=False`` forces the
+    one-pass reference implementation — useful only for equality tests.
+    """
+    n_values = list(n_values)
+    if use_engine:
+        return random_census_run(
+            n_values,
+            span,
+            p,
+            samples,
+            seed,
+            measure_rounds=measure_rounds,
+            num_shards=num_shards,
+            cache=cache,
+            max_workers=max_workers,
+            checkpoint_dir=checkpoint_dir,
+        ).result
+
     from ..graphs.generators import build, random_connected_gnp_edges
     from ..graphs.tags import uniform_random
 
@@ -120,4 +199,4 @@ def random_census(
                 tags = uniform_random(range(n), span, base + 1)
                 yield build(edges, tags, n=n)
 
-    return census(configs(), group_by=lambda c: c.n, measure_rounds=measure_rounds)
+    return census(configs(), group_by=group_by_n, measure_rounds=measure_rounds)

@@ -171,6 +171,11 @@ class ProbabilityPoint:
         return self.feasible / self.samples if self.samples else 0.0
 
 
+def _feasible_record(cfg: Configuration) -> Dict[str, bool]:
+    """Engine-cache evaluator: the bare feasibility verdict."""
+    return {"feasible": classify(cfg).feasible}
+
+
 def feasibility_probability(
     n: int,
     spans: Sequence[int],
@@ -178,6 +183,7 @@ def feasibility_probability(
     samples: int = 100,
     p: float = 0.3,
     seed: int = 0,
+    cache=None,
 ) -> List[ProbabilityPoint]:
     """P(feasible) for random connected G(n, p) with uniform tags per span.
 
@@ -185,7 +191,17 @@ def feasibility_probability(
     accidental symmetries. Span 0 forces all tags equal, where only the
     single-node configuration is feasible — the paper's opening
     observation — so the first point is (essentially) zero.
+
+    Classification goes through a canonical-form result cache
+    (:mod:`repro.engine`): isomorphic samples are classified once, and a
+    caller-supplied ``cache`` (optionally disk-backed) makes repeated
+    curves near-free. Feasibility is isomorphism-invariant, so the curve
+    is identical with or without caching.
     """
+    from ..engine import ResultCache, cached_evaluate
+
+    if cache is None:
+        cache = ResultCache()
     points = []
     for si, span in enumerate(spans):
         hits = 0
@@ -194,7 +210,7 @@ def feasibility_probability(
             edges = random_connected_gnp_edges(n, p, s)
             tags = uniform_random(range(n), span, s + 1)
             cfg = build(edges, tags, n=n)
-            if classify(cfg).feasible:
+            if cached_evaluate(cfg, cache, _feasible_record)["feasible"]:
                 hits += 1
         points.append(ProbabilityPoint(span=span, samples=samples, feasible=hits))
     return points

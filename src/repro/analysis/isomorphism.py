@@ -10,7 +10,8 @@ module provides:
   with degree/tag pruning; fine for census-scale n);
 * :func:`canonical_form` — a canonical representative key, equal for two
   configurations iff they are isomorphic (computed by brute-force minimum
-  over tag/degree-compatible relabelings, with refinement pruning);
+  over tag/degree-compatible relabelings, with refinement pruning); it
+  also backs the census engine's cache keys (:mod:`repro.engine.keys`);
 * :func:`dedupe` — collapse an iterable of configurations to isomorphism
   class representatives;
 * invariance checks used by the property tests: feasibility, the leader's

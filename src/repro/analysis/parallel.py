@@ -2,8 +2,12 @@
 
 Feasibility censuses are embarrassingly parallel: every configuration is
 classified independently. This module provides process-pool wrappers with
-deterministic output ordering, so the large exhaustive/random censuses
-(E1, E11, E14, E15) can use all cores without changing any result.
+deterministic output ordering, so batch classification can use all cores
+without changing any result. The census pipeline in
+:mod:`repro.engine.pipeline` layers on :func:`parallel_map` — it fans
+cache *misses* out over the pool while the canonical-form cache absorbs
+duplicates — and is the entry point the big censuses (E1, E11, E14, E15)
+use; the wrappers below remain the direct, cache-free path (E19).
 
 Design notes (per the HPC guides this repository follows):
 

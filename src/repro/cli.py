@@ -1,11 +1,20 @@
 """Command-line interface.
 
+Commands: ``classify`` (feasibility of one configuration), ``elect``
+(dedicated election), ``census`` (engine-backed random census),
+``defeat`` (Prop 4.4 adversary), ``program`` (canonical-DRIP export/run),
+``variants`` (cross-model census), ``wired`` (radio vs wired contrast),
+``minspan`` (least feasible span), ``timeline`` (space-time grid),
+``quotient`` (classifier quotient / symmetry skeleton).
+
 ::
 
     repro-radio classify --line 0,1,0
     repro-radio classify --family hm:3
     repro-radio elect --family gm:2 --verbose
     repro-radio census --n 6,8,10 --span 2 --p 0.3 --samples 20 --seed 1
+    repro-radio census --n 8 --samples 200 --shards 8 --workers 4 \\
+        --cache census.jsonl --checkpoint ckpt/
     repro-radio defeat
 
 (Also runnable as ``python -m repro.cli ...``.)
@@ -92,18 +101,33 @@ def cmd_elect(args: argparse.Namespace) -> int:
 
 
 def cmd_census(args: argparse.Namespace) -> int:
-    """Feasibility census over random configurations."""
-    from .analysis.census import random_census
+    """Feasibility census over random configurations (engine-backed)."""
+    from .analysis.census import random_census_run
+    from .engine import ResultCache
 
+    if args.shards < 1:
+        raise SystemExit("census: --shards must be >= 1")
     ns = [int(x) for x in args.n.split(",")]
-    result = random_census(
-        ns,
-        span=args.span,
-        p=args.p,
-        samples=args.samples,
-        seed=args.seed,
-        measure_rounds=args.rounds,
-    )
+    try:
+        cache = ResultCache(args.cache) if args.cache else ResultCache()
+    except OSError as exc:
+        raise SystemExit(f"census: cannot use cache file {args.cache!r}: {exc}")
+    try:
+        run = random_census_run(
+            ns,
+            span=args.span,
+            p=args.p,
+            samples=args.samples,
+            seed=args.seed,
+            measure_rounds=args.rounds,
+            num_shards=args.shards,
+            cache=cache,
+            max_workers=args.workers,
+            checkpoint_dir=args.checkpoint,
+        )
+    except OSError as exc:
+        raise SystemExit(f"census: cache/checkpoint I/O failed: {exc}")
+    result = run.result
     print(
         format_table(
             result.TABLE_HEADERS,
@@ -114,6 +138,8 @@ def cmd_census(args: argparse.Namespace) -> int:
             ),
         )
     )
+    print(f"  {run.describe()}")
+    print(f"  {cache.describe()}")
     return 0
 
 
@@ -347,6 +373,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--samples", type=int, default=20)
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--rounds", action="store_true", help="measure election rounds")
+    p.add_argument(
+        "--shards", type=int, default=1, help="split the workload into N shards"
+    )
+    p.add_argument(
+        "--cache", help="JSONL classification cache file (reused across runs)"
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool workers for cache misses (default serial)",
+    )
+    p.add_argument(
+        "--checkpoint", help="directory for per-shard resume checkpoints"
+    )
     p.set_defaults(func=cmd_census)
 
     p = sub.add_parser("defeat", help="run the Prop 4.4 universal-algorithm adversary")

@@ -1,0 +1,86 @@
+"""Census engine: canonical-form memoization + sharded parallel pipeline.
+
+The engine turns the library's feasibility censuses (E1, E11, E14, E15)
+from throwaway sweeps into accumulating, resumable artifacts:
+
+* :mod:`repro.engine.keys` — canonical keys that collapse tag-preserving
+  isomorphic configurations to one cache entry;
+* :mod:`repro.engine.cache` — an in-memory LRU with an optional
+  append-only JSONL store, so repeated and resumed censuses are
+  near-free;
+* :mod:`repro.engine.workloads` — deterministic, slice-regenerable
+  workload descriptions (random G(n, p) sweeps, exhaustive
+  enumerations) that shards can regenerate without materializing the
+  population;
+* :mod:`repro.engine.pipeline` — the sharded census runner layered on
+  :mod:`repro.analysis.parallel`, with per-shard checkpoints and
+  bit-for-bit equality with the serial
+  :func:`repro.analysis.census.census` path.
+
+Quickstart::
+
+    >>> from repro.engine import RandomGnpWorkload, ResultCache, sharded_census
+    >>> workload = RandomGnpWorkload([6, 8], span=2, p=0.3, samples=10, seed=1)
+    >>> cache = ResultCache()                      # add path=... to persist
+    >>> run = sharded_census(workload, num_shards=4, cache=cache)
+    >>> run.result.total
+    20
+    >>> rerun = sharded_census(workload, num_shards=4, cache=cache)
+    >>> rerun.stats.classified                     # second run: all cache hits
+    0
+"""
+
+from .cache import CacheStats, ResultCache
+from .keys import (
+    CANONICAL_N_LIMIT,
+    Keyer,
+    canonical_key,
+    default_keyer,
+    labeled_key,
+)
+from .pipeline import (
+    CensusRun,
+    EngineStats,
+    ShardSpec,
+    cached_evaluate,
+    census_record,
+    plan_shards,
+    sharded_census,
+)
+from .workloads import (
+    EnumerationWorkload,
+    RandomGnpWorkload,
+    SequenceWorkload,
+    Workload,
+    as_workload,
+    feasible_batch,
+    make_random_config,
+    random_config_batch,
+    seeded_config,
+)
+
+__all__ = [
+    "CANONICAL_N_LIMIT",
+    "CacheStats",
+    "CensusRun",
+    "EngineStats",
+    "EnumerationWorkload",
+    "Keyer",
+    "RandomGnpWorkload",
+    "ResultCache",
+    "SequenceWorkload",
+    "ShardSpec",
+    "Workload",
+    "as_workload",
+    "cached_evaluate",
+    "canonical_key",
+    "census_record",
+    "default_keyer",
+    "feasible_batch",
+    "labeled_key",
+    "make_random_config",
+    "plan_shards",
+    "random_config_batch",
+    "seeded_config",
+    "sharded_census",
+]

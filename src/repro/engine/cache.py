@@ -1,0 +1,163 @@
+"""Classification result cache: in-memory LRU plus optional JSONL store.
+
+The cache maps canonical keys (:mod:`repro.engine.keys`) to small
+JSON-serializable record dicts holding isomorphism-invariant
+classification facts. For the census pipeline the record shape is::
+
+    {"feasible": bool, "iterations": int, "rounds": int | None}
+
+but the cache itself is record-agnostic, so other evaluators (e.g. the
+cross-model verdicts of E11 or the wired contrast of E14) can reuse it —
+one cache instance (and one disk file) per evaluator, since keys carry no
+evaluator namespace.
+
+Persistence is append-only JSON lines: one ``{"key": ..., "record": ...}``
+object per line. Appending is crash-tolerant (a truncated final line is
+ignored on load), re-opening a file replays it into memory, and two runs
+appending the same key are harmless — the last line wins. This is what
+makes repeated and resumed censuses near-free: the second run's lookups
+hit either the LRU or the replayed file and skip classification entirely.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    loaded: int = 0  #: entries replayed from the on-disk store at open
+
+    @property
+    def lookups(self) -> int:
+        """Total number of :meth:`ResultCache.get` calls."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when unused)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class ResultCache:
+    """LRU cache of classification records, optionally JSONL-backed.
+
+    Parameters
+    ----------
+    path:
+        optional JSON-lines file. Existing entries are replayed into
+        memory on construction; every :meth:`put` appends one line.
+    max_entries:
+        in-memory LRU capacity; ``None`` means unbounded. Eviction only
+        drops the in-memory copy — evicted entries persist on disk and
+        are *not* transparently reloaded (the engine treats the file as
+        a replay log, not a random-access store).
+    """
+
+    def __init__(
+        self, path: Optional[str] = None, *, max_entries: Optional[int] = None
+    ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1 or None")
+        self.path = path
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[str, Dict]" = OrderedDict()
+        self._fh = None  #: lazily-opened append handle for the JSONL store
+        if path and os.path.exists(path):
+            self._replay(path)
+
+    def _replay(self, path: str) -> None:
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    obj = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # truncated trailing line from a crashed run
+                if isinstance(obj, dict) and "key" in obj and "record" in obj:
+                    self._store(obj["key"], obj["record"])
+        self.stats.loaded = len(self._entries)
+
+    def _store(self, key: str, record: Dict) -> None:
+        if key in self._entries:
+            self._entries.pop(key)
+        self._entries[key] = record
+        if self.max_entries is not None and len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def __len__(self) -> int:
+        """Number of in-memory entries."""
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        """Membership test that does not touch the stats counters."""
+        return key in self._entries
+
+    def peek(self, key: str) -> Optional[Dict]:
+        """The record for ``key`` without touching LRU order or stats."""
+        return self._entries.get(key)
+
+    def get(self, key: str) -> Optional[Dict]:
+        """The record for ``key``, refreshing its LRU position; None on miss."""
+        record = self._entries.get(key)
+        if record is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return record
+
+    def put(self, key: str, record: Dict) -> None:
+        """Insert (or overwrite) a record; appends to the JSONL store.
+
+        The store handle is opened once and kept line-buffered, so each
+        record costs one write, each line hits the file as soon as it is
+        complete, and a crash mid-write leaves at most one truncated
+        trailing line (which :meth:`_replay` skips).
+        """
+        self._store(key, record)
+        if self.path:
+            if self._fh is None:
+                self._fh = open(self.path, "a", encoding="utf-8", buffering=1)
+            self._fh.write(
+                json.dumps(
+                    {"key": key, "record": record},
+                    separators=(",", ":"),
+                    sort_keys=True,
+                )
+                + "\n"
+            )
+
+    def close(self) -> None:
+        """Close the JSONL store handle (reopened lazily on next put)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __del__(self):
+        try:
+            self.close()
+        except Exception:  # pragma: no cover - interpreter-shutdown noise
+            pass
+
+    def describe(self) -> str:
+        """One-line human summary (used by the CLI's stats footer)."""
+        s = self.stats
+        return (
+            f"cache: {len(self)} entries, {s.hits} hits / {s.misses} misses "
+            f"(hit rate {s.hit_rate:.1%})"
+            + (f", {s.loaded} loaded from {self.path}" if self.path else "")
+        )

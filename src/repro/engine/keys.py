@@ -1,0 +1,91 @@
+"""Canonical-form keying for the census engine.
+
+Census workloads are full of isomorphic duplicates: a random G(n, p)
+sweep regenerates the same small tagged graphs under different node
+labelings, and every classifier-relevant quantity (feasibility, the
+refinement iteration count, the dedicated election round count) is
+invariant under tag-preserving isomorphism. Keying cache entries by a
+canonical form therefore lets the engine classify each isomorphism class
+exactly once.
+
+Two keyers are provided:
+
+* :func:`canonical_key` — a digest of
+  :func:`repro.analysis.isomorphism.canonical_form`; equal for two
+  configurations iff they are tag-preserving isomorphic (after
+  :meth:`~repro.core.configuration.Configuration.normalize`). This is the
+  engine default. Canonicalization is exponential in the worst case but
+  profile-pruned; census-scale configurations (n ≲ 10) key in
+  microseconds-to-milliseconds.
+* :func:`labeled_key` — a digest of the exact labeled structure, with no
+  isomorphism collapse. O(n + m); use it when the population is already
+  deduplicated or when n is too large to canonicalize.
+
+Keys are short hex strings so they serialize verbatim into the JSONL
+cache (:mod:`repro.engine.cache`) and shard checkpoints.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Callable
+
+from ..analysis.isomorphism import canonical_form
+from ..core.configuration import Configuration
+
+#: Signature of a keyer: configuration -> stable string key.
+Keyer = Callable[[Configuration], str]
+
+
+def _digest(payload: object) -> str:
+    """Stable short hex digest of a JSON-serializable payload."""
+    blob = json.dumps(payload, separators=(",", ":"), sort_keys=True)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:32]
+
+
+def canonical_key(cfg: Configuration) -> str:
+    """Key equal for two configurations iff they are isomorphic.
+
+    The key digests the lexicographically minimal relabeled
+    ``(n, tag vector, edge set)`` of the normalized configuration, so
+    relabeled and tag-shifted copies of the same network collapse to one
+    cache entry.
+    """
+    n, tagvec, edges = canonical_form(cfg)
+    return _digest([n, list(tagvec), [list(e) for e in edges]])
+
+
+#: Largest n for which :func:`default_keyer` pays the canonicalization
+#: cost; beyond it the exponential worst case stops being hypothetical.
+CANONICAL_N_LIMIT = 10
+
+
+def default_keyer(cfg: Configuration) -> str:
+    """Size-aware keyer: canonical up to :data:`CANONICAL_N_LIMIT`, labeled
+    beyond it.
+
+    Small configurations — where isomorphic duplicates are common and
+    canonicalization is cheap — get full isomorphism collapse; large ones
+    fall back to the linear-time exact key (duplicates there are rare
+    anyway, and correctness never depends on which keyer runs).
+    """
+    if cfg.n <= CANONICAL_N_LIMIT:
+        return canonical_key(cfg)
+    return labeled_key(cfg)
+
+
+def labeled_key(cfg: Configuration) -> str:
+    """Exact-structure key: no isomorphism collapse, linear time.
+
+    Tag shifts are still collapsed (the configuration is normalized
+    first) because shifted configurations are operationally identical.
+    """
+    cfg = cfg.normalize()
+    return _digest(
+        [
+            cfg.n,
+            [[v, cfg.tag(v)] for v in cfg.nodes],
+            [list(e) for e in cfg.edges],
+        ]
+    )

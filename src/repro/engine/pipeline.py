@@ -1,0 +1,424 @@
+"""Sharded, cached, resumable census pipeline.
+
+The pipeline splits a :class:`~repro.engine.workloads.Workload` into
+deterministic contiguous shards, classifies each shard through the
+canonical-form cache (misses optionally fanned out over
+:func:`repro.analysis.parallel.parallel_map`), and streams only the
+*aggregated* per-shard rows to the merger — memory is bounded by one
+shard plus the row table, never by the population size.
+
+Guarantees:
+
+* **Equality** — for any shard count, worker count, and cache state, the
+  merged :class:`~repro.analysis.census.CensusResult` equals what the
+  serial :func:`repro.analysis.census.census` produces on the same
+  workload, row for row. This holds because every cached quantity
+  (feasibility, refinement iterations, election rounds) is invariant
+  under the tag-preserving isomorphisms the canonical key collapses.
+* **Resume** — with a ``checkpoint_dir``, each finished shard writes an
+  atomic JSON checkpoint; a re-run loads matching checkpoints instead of
+  recomputing, so an interrupted census continues where it stopped and a
+  completed one replays instantly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from ..analysis.census import CensusResult, CensusRow
+from ..analysis.parallel import parallel_map
+from ..core.classifier import classify
+from ..core.configuration import Configuration
+from ..core.election import elect_leader
+from .cache import ResultCache
+from .keys import Keyer, default_keyer
+from .workloads import Workload, as_workload
+
+#: Default grouping, matching :func:`repro.analysis.census.census`.
+GroupBy = Callable[[Configuration], object]
+
+_CHECKPOINT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# shard planning
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard: the half-open item range ``[start, stop)`` of a workload."""
+
+    index: int
+    start: int
+    stop: int
+
+    @property
+    def size(self) -> int:
+        """Number of workload items in the shard."""
+        return self.stop - self.start
+
+
+def plan_shards(total: int, num_shards: int) -> List[ShardSpec]:
+    """Split ``total`` items into ``num_shards`` balanced contiguous shards.
+
+    Deterministic: shard sizes differ by at most one, larger shards
+    first. Empty shards are dropped, so asking for more shards than
+    items is harmless.
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+    base, extra = divmod(total, num_shards)
+    shards: List[ShardSpec] = []
+    start = 0
+    for i in range(num_shards):
+        size = base + (1 if i < extra else 0)
+        if size == 0:
+            break
+        shards.append(ShardSpec(index=i, start=start, stop=start + size))
+        start += size
+    return shards
+
+
+# ----------------------------------------------------------------------
+# classification records
+# ----------------------------------------------------------------------
+def census_record(cfg: Configuration, measure_rounds: bool = False) -> Dict:
+    """Isomorphism-invariant classification record for one configuration.
+
+    The record carries exactly what census aggregation needs: the
+    feasibility verdict, the classifier iteration count, and (when
+    ``measure_rounds``) the dedicated election round count for feasible
+    configurations. Node identities (e.g. the leader) are deliberately
+    excluded — they are not isomorphism-invariant.
+    """
+    trace = classify(cfg)
+    rounds: Optional[int] = None
+    if measure_rounds and trace.feasible:
+        rounds = elect_leader(trace.config, trace=trace).rounds
+    return {
+        "feasible": trace.feasible,
+        "iterations": trace.num_iterations,
+        "rounds": rounds,
+    }
+
+
+def _record_sufficient(record: Optional[Dict], measure_rounds: bool) -> bool:
+    """Whether a cached record answers this census's questions.
+
+    A record missing the census fields — e.g. one written by a foreign
+    evaluator into a shared cache file, against the one-cache-per-
+    evaluator convention — counts as insufficient, so the pipeline
+    reclassifies and overwrites instead of crashing on it.
+    """
+    if record is None or "feasible" not in record or "iterations" not in record:
+        return False
+    if not measure_rounds or not record["feasible"]:
+        return True
+    return record.get("rounds") is not None
+
+
+def cached_evaluate(
+    cfg: Configuration,
+    cache: ResultCache,
+    evaluator: Callable[[Configuration], Dict],
+    *,
+    keyer: Keyer = default_keyer,
+) -> Dict:
+    """Evaluate ``cfg`` through the cache, keyed up to isomorphism.
+
+    Generic entry point for non-census evaluators (cross-model verdicts,
+    wired contrast, ...): ``evaluator`` must return a JSON-serializable
+    dict of isomorphism-invariant facts, and one cache instance must be
+    dedicated to one evaluator.
+    """
+    key = keyer(cfg)
+    record = cache.get(key)
+    if record is None:
+        record = evaluator(cfg)
+        cache.put(key, record)
+    return record
+
+
+# ----------------------------------------------------------------------
+# group-key serialization (census groups are ints / tuples of ints)
+# ----------------------------------------------------------------------
+def _encode_group(group: object) -> object:
+    if isinstance(group, tuple):
+        return {"t": [_encode_group(g) for g in group]}
+    return {"v": group}
+
+
+def _decode_group(obj: object) -> object:
+    if isinstance(obj, dict) and "t" in obj:
+        return tuple(_decode_group(g) for g in obj["t"])
+    return obj["v"]
+
+
+# ----------------------------------------------------------------------
+# the pipeline
+# ----------------------------------------------------------------------
+@dataclass
+class EngineStats:
+    """What a census run actually did (the cache/shard accounting)."""
+
+    total_configs: int = 0
+    classified: int = 0  #: evaluator calls actually executed
+    cache_hits: int = 0  #: items answered from pre-existing records
+    deduped: int = 0  #: same-shard isomorphic duplicates of a fresh miss
+    shards_total: int = 0
+    shards_resumed: int = 0  #: shards replayed from checkpoints
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of items answered without a fresh classification
+        (cache hits plus same-shard isomorphism dedup)."""
+        return (
+            (self.cache_hits + self.deduped) / self.total_configs
+            if self.total_configs
+            else 0.0
+        )
+
+
+@dataclass
+class CensusRun:
+    """A completed engine census: the result plus run accounting."""
+
+    result: CensusResult
+    stats: EngineStats = field(default_factory=EngineStats)
+    cache: Optional[ResultCache] = None
+
+    def describe(self) -> str:
+        """One-line run summary for CLI footers and logs."""
+        s = self.stats
+        return (
+            f"engine: {s.total_configs} configs, {s.classified} classified, "
+            f"{s.cache_hits} cache hits, {s.deduped} deduped "
+            f"({s.hit_rate:.1%} unclassified), "
+            f"{s.shards_total} shard(s), {s.shards_resumed} resumed"
+        )
+
+
+def _shard_rows(result_rows: Dict[object, CensusRow]) -> List[Dict]:
+    return [
+        {
+            "group": _encode_group(row.group),
+            "total": row.total,
+            "feasible": row.feasible,
+            "iterations_sum": row.iterations_sum,
+            "rounds_sum": row.rounds_sum,
+        }
+        for row in result_rows.values()
+    ]
+
+
+def _checkpoint_path(checkpoint_dir: str, shard: ShardSpec) -> str:
+    return os.path.join(checkpoint_dir, f"shard-{shard.index:05d}.json")
+
+
+def _load_checkpoint(
+    path: str, shard: ShardSpec, fingerprint: Dict
+) -> Optional[List[Dict]]:
+    """Shard rows from a checkpoint, or None if absent/stale/mismatched."""
+    if not os.path.exists(path):
+        return None
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            obj = json.load(fh)
+    except (OSError, json.JSONDecodeError):
+        return None
+    expected = {
+        "version": _CHECKPOINT_VERSION,
+        "shard": shard.index,
+        "start": shard.start,
+        "stop": shard.stop,
+        **fingerprint,
+    }
+    if any(obj.get(k) != v for k, v in expected.items()):
+        return None
+    return obj.get("rows")
+
+
+def _write_checkpoint(
+    path: str, shard: ShardSpec, fingerprint: Dict, rows: List[Dict]
+) -> None:
+    payload = {
+        "version": _CHECKPOINT_VERSION,
+        "shard": shard.index,
+        "start": shard.start,
+        "stop": shard.stop,
+        **fingerprint,
+        "rows": rows,
+    }
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, separators=(",", ":"), sort_keys=True)
+    os.replace(tmp, path)  # atomic: a crashed run never half-writes
+
+
+def _merge_rows(result: CensusResult, rows: List[Dict]) -> None:
+    for r in rows:
+        group = _decode_group(r["group"])
+        row = result.rows.setdefault(group, CensusRow(group=group))
+        row.total += r["total"]
+        row.feasible += r["feasible"]
+        row.iterations_sum += r["iterations_sum"]
+        row.rounds_sum += r["rounds_sum"]
+
+
+def _classify_shard(
+    shard: ShardSpec,
+    workload: Workload,
+    cache: ResultCache,
+    group_by: GroupBy,
+    measure_rounds: bool,
+    keyer: Keyer,
+    max_workers: Optional[int],
+    chunksize: int,
+    stats: EngineStats,
+) -> Dict[object, CensusRow]:
+    """Classify one shard through the cache; return its aggregated rows."""
+    items: List[Tuple[object, str]] = []  # (group, key) per item, in order
+    pending: "Dict[str, Configuration]" = {}  # first config per missing key
+    # Records are pinned locally for the duration of the shard: a bounded
+    # LRU may evict an entry between lookup and aggregation, so the cache
+    # is never re-consulted for a record already seen this shard.
+    records_by_key: Dict[str, Dict] = {}
+    for cfg in workload.generate(shard.start, shard.stop):
+        normalized = cfg.normalize()
+        key = keyer(normalized)
+        if key in records_by_key:  # duplicate of an already-hit key
+            stats.cache_hits += 1
+        elif key in pending:  # rides on a classification queued this shard
+            stats.deduped += 1
+        else:
+            record = cache.get(key)
+            if _record_sufficient(record, measure_rounds):
+                records_by_key[key] = record
+                stats.cache_hits += 1
+            else:
+                pending[key] = normalized
+        items.append((group_by(normalized), key))
+
+    if pending:
+        keys = list(pending)
+        worker = partial(census_record, measure_rounds=measure_rounds)
+        records = parallel_map(
+            worker,
+            [pending[k] for k in keys],
+            max_workers=max_workers,
+            chunksize=chunksize,
+        )
+        for key, record in zip(keys, records):
+            records_by_key[key] = record
+            cache.put(key, record)
+        stats.classified += len(keys)
+
+    rows: Dict[object, CensusRow] = {}
+    for group, key in items:
+        record = records_by_key[key]
+        row = rows.setdefault(group, CensusRow(group=group))
+        row.total += 1
+        row.iterations_sum += record["iterations"]
+        if record["feasible"]:
+            row.feasible += 1
+            if measure_rounds:
+                row.rounds_sum += record["rounds"]
+    return rows
+
+
+def sharded_census(
+    workload,
+    *,
+    group_by: Optional[GroupBy] = None,
+    measure_rounds: bool = False,
+    num_shards: int = 1,
+    cache: Optional[ResultCache] = None,
+    keyer: Keyer = default_keyer,
+    max_workers: Optional[int] = 1,
+    chunksize: int = 16,
+    checkpoint_dir: Optional[str] = None,
+) -> CensusRun:
+    """Run a census through the sharded, cached engine pipeline.
+
+    Parameters
+    ----------
+    workload:
+        a :class:`~repro.engine.workloads.Workload`, or any iterable of
+        configurations (materialized into a
+        :class:`~repro.engine.workloads.SequenceWorkload`).
+    group_by:
+        aggregation key, applied to the *normalized* configuration;
+        defaults to ``(n, span)`` like the serial census. Must be
+        JSON-serializable (ints / strings / tuples thereof) when
+        checkpointing.
+    num_shards:
+        how many contiguous shards to split the workload into. Shard
+        boundaries never change results — only checkpoint granularity
+        and peak memory.
+    cache:
+        shared :class:`~repro.engine.cache.ResultCache`; a private
+        in-memory cache is created when omitted, so even a one-shot run
+        gets intra-run isomorphism dedup.
+    max_workers / chunksize:
+        forwarded to :func:`repro.analysis.parallel.parallel_map` for
+        cache-miss classification; ``max_workers=1`` (the default) stays
+        serial in-process.
+    checkpoint_dir:
+        directory for per-shard resume checkpoints; created if missing.
+        Checkpoints embed the workload description, the census options,
+        and the grouping's definition site, and are ignored on mismatch.
+        Caveat: two *different* lambdas defined at the same source site
+        (or two SequenceWorkloads whose fingerprints collide) cannot be
+        told apart — point distinct censuses at distinct directories.
+    """
+    workload = as_workload(workload)
+    if group_by is None:
+        group_by = lambda c: (c.n, c.span)  # noqa: E731
+    if cache is None:
+        cache = ResultCache()
+    total = len(workload)
+    shards = plan_shards(total, num_shards)
+    stats = EngineStats(total_configs=total, shards_total=len(shards))
+    fingerprint: Dict = {}
+    if checkpoint_dir:
+        # workload.describe() may be O(population) (SequenceWorkload
+        # digests its members), so only fingerprint when checkpointing
+        fingerprint = {
+            "workload": workload.describe(),
+            "measure_rounds": measure_rounds,
+            # identify the grouping by definition site: different call
+            # sites (module + qualname) always fingerprint differently,
+            # so a resume with a different grouping recomputes instead
+            # of replaying rows aggregated under the old one
+            "group_by": f"{group_by.__module__}.{group_by.__qualname__}",
+        }
+        os.makedirs(checkpoint_dir, exist_ok=True)
+
+    result = CensusResult()
+    for shard in shards:
+        rows: Optional[List[Dict]] = None
+        path = _checkpoint_path(checkpoint_dir, shard) if checkpoint_dir else None
+        if path:
+            rows = _load_checkpoint(path, shard, fingerprint)
+        if rows is not None:
+            stats.shards_resumed += 1
+        else:
+            shard_rows = _classify_shard(
+                shard,
+                workload,
+                cache,
+                group_by,
+                measure_rounds,
+                keyer,
+                max_workers,
+                chunksize,
+                stats,
+            )
+            rows = _shard_rows(shard_rows)
+            if path:
+                _write_checkpoint(path, shard, fingerprint, rows)
+        _merge_rows(result, rows)
+    return CensusRun(result=result, stats=stats, cache=cache)

@@ -1,0 +1,229 @@
+"""Deterministic, slice-regenerable census workloads.
+
+A *workload* is a finite, deterministic sequence of configurations that
+can be regenerated from any index range: ``len(w)`` gives its size and
+``w.generate(start, stop)`` yields exactly the items a full enumeration
+would yield at positions ``start .. stop-1``. That property is what lets
+the sharded pipeline (:mod:`repro.engine.pipeline`) hold only one shard
+in memory at a time and resume an interrupted run without replaying the
+work that already checkpointed: a shard is fully described by its index
+range, never by materialized configurations.
+
+The module also hosts the seeded single-configuration builders shared by
+the test and benchmark harnesses (``seeded_config`` and friends), so both
+``conftest.py`` files re-export one implementation instead of shadowing
+each other.
+"""
+
+from __future__ import annotations
+
+import random
+from itertools import islice
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+from ..core.configuration import Configuration
+from ..graphs.generators import build, random_connected_gnp_edges
+from ..graphs.tags import uniform_random
+
+
+# ----------------------------------------------------------------------
+# seeded single-configuration builders (shared by tests and benchmarks)
+# ----------------------------------------------------------------------
+def seeded_config(seed: int, n: int, span: int, p: float = 0.3) -> Configuration:
+    """One seeded random connected G(n, p) configuration with uniform tags."""
+    edges = random_connected_gnp_edges(n, p, seed)
+    tags = uniform_random(range(n), span, seed + 1)
+    return build(edges, tags, n=n)
+
+
+def make_random_config(
+    seed: int, n_lo: int = 3, n_hi: int = 10, span_hi: int = 3, p: float = 0.35
+) -> Configuration:
+    """One seeded random configuration with randomized size and span."""
+    rng = random.Random(seed)
+    n = rng.randint(n_lo, n_hi)
+    span = rng.randint(0, span_hi)
+    edges = random_connected_gnp_edges(n, p, rng.randrange(2**31))
+    tags = uniform_random(range(n), span, rng.randrange(2**31))
+    return build(edges, tags, n=n)
+
+
+def random_config_batch(
+    count: int, base_seed: int = 1234, **kw
+) -> List[Configuration]:
+    """A reproducible batch of :func:`make_random_config` configurations."""
+    return [make_random_config(base_seed + i, **kw) for i in range(count)]
+
+
+def feasible_batch(
+    count: int, seed: int, n: int, span: int, p: float = 0.3
+) -> List[Configuration]:
+    """Reproducible batch of *feasible* random configurations."""
+    from ..core.classifier import classify
+
+    out: List[Configuration] = []
+    attempt = 0
+    while len(out) < count and attempt < 50 * count:
+        cfg = seeded_config(seed + attempt, n, span, p)
+        attempt += 1
+        if classify(cfg).feasible:
+            out.append(cfg)
+    return out
+
+
+# ----------------------------------------------------------------------
+# workload protocol
+# ----------------------------------------------------------------------
+class Workload:
+    """A finite deterministic configuration sequence, regenerable by slice.
+
+    Subclasses implement :meth:`__len__` and :meth:`generate`; two calls
+    to ``generate`` with the same range must yield equal configurations
+    (this is the contract shard resume relies on).
+    """
+
+    def __len__(self) -> int:
+        """Total number of configurations in the workload."""
+        raise NotImplementedError
+
+    def generate(self, start: int, stop: int) -> Iterator[Configuration]:
+        """Yield the configurations at flat positions ``start .. stop-1``."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Short human-readable label for logs and checkpoints."""
+        return f"{type(self).__name__}({len(self)} configs)"
+
+    def __iter__(self) -> Iterator[Configuration]:
+        """Iterate the full workload in order."""
+        return self.generate(0, len(self))
+
+
+class RandomGnpWorkload(Workload):
+    """Seeded random connected G(n, p) configurations with uniform tags.
+
+    Item order and seeding match
+    :func:`repro.analysis.census.random_census` exactly — ``samples``
+    configurations per entry of ``n_values``, n-major — so an engine
+    census over this workload is comparable row-for-row with the serial
+    path.
+    """
+
+    def __init__(
+        self,
+        n_values: Sequence[int],
+        span: int,
+        p: float,
+        samples: int,
+        seed: int,
+    ) -> None:
+        self.n_values = list(n_values)
+        self.span = span
+        self.p = p
+        self.samples = samples
+        self.seed = seed
+
+    def __len__(self) -> int:
+        """``len(n_values) * samples``."""
+        return len(self.n_values) * self.samples
+
+    def _item(self, index: int) -> Configuration:
+        n = self.n_values[index // self.samples]
+        s = index % self.samples
+        base = self.seed + 7919 * s + 104729 * n
+        edges = random_connected_gnp_edges(n, self.p, base)
+        tags = uniform_random(range(n), self.span, base + 1)
+        return build(edges, tags, n=n)
+
+    def generate(self, start: int, stop: int) -> Iterator[Configuration]:
+        """Regenerate items ``start .. stop-1`` from their seeds."""
+        for i in range(start, min(stop, len(self))):
+            yield self._item(i)
+
+    def describe(self) -> str:
+        """e.g. ``gnp(n=[6, 8], span=2, p=0.3, 20/n, seed=1)``."""
+        return (
+            f"gnp(n={self.n_values}, span={self.span}, p={self.p}, "
+            f"{self.samples}/n, seed={self.seed})"
+        )
+
+
+class EnumerationWorkload(Workload):
+    """Every configuration with ``n`` nodes and tags ``0..max_tag``.
+
+    Wraps :func:`repro.graphs.enumeration.enumerate_configurations`;
+    slicing re-enumerates from the start and skips (enumeration order is
+    deterministic), trading CPU for the bounded memory the pipeline
+    needs. Fine at the small n where exhaustive censuses are feasible.
+    """
+
+    def __init__(self, n: int, max_tag: int, *, labeled: bool = False) -> None:
+        from ..graphs.enumeration import count_configurations
+
+        self.n = n
+        self.max_tag = max_tag
+        self.labeled = labeled
+        self._count = count_configurations(n, max_tag, labeled=labeled)
+
+    def __len__(self) -> int:
+        """:func:`repro.graphs.enumeration.count_configurations`."""
+        return self._count
+
+    def generate(self, start: int, stop: int) -> Iterator[Configuration]:
+        """Re-enumerate deterministically and yield positions start..stop-1."""
+        from ..graphs.enumeration import enumerate_configurations
+
+        it = enumerate_configurations(self.n, self.max_tag, labeled=self.labeled)
+        return islice(it, start, min(stop, self._count))
+
+    def describe(self) -> str:
+        """e.g. ``enum(n=4, tags 0..1)`` (``labeled`` noted when set)."""
+        suffix = ", labeled" if self.labeled else ""
+        return f"enum(n={self.n}, tags 0..{self.max_tag}{suffix})"
+
+
+class SequenceWorkload(Workload):
+    """An in-memory configuration sequence (already materialized)."""
+
+    def __init__(
+        self, configs: Iterable[Configuration], *, label: Optional[str] = None
+    ) -> None:
+        self.configs = list(configs)
+        self.label = label
+        self._digest: Optional[str] = None
+
+    def __len__(self) -> int:
+        """Number of stored configurations."""
+        return len(self.configs)
+
+    def generate(self, start: int, stop: int) -> Iterator[Configuration]:
+        """Yield the stored slice."""
+        return iter(self.configs[start:stop])
+
+    def describe(self) -> str:
+        """Label (if given) plus a content digest.
+
+        Unlike the seeded workloads, a sequence is not identified by its
+        parameters, so the description digests the exact labeled
+        structure of every member — two different populations of the
+        same size can never fingerprint alike, which is what checkpoint
+        validation relies on. Computed once and memoized.
+        """
+        if self._digest is None:
+            import hashlib
+
+            from .keys import labeled_key
+
+            h = hashlib.sha256()
+            for cfg in self.configs:
+                h.update(labeled_key(cfg).encode("ascii"))
+            self._digest = h.hexdigest()[:16]
+        name = self.label or "sequence"
+        return f"{name}({len(self)} configs, {self._digest})"
+
+
+def as_workload(obj) -> Workload:
+    """Coerce a Workload, sequence, or iterable of configurations."""
+    if isinstance(obj, Workload):
+        return obj
+    return SequenceWorkload(obj)

@@ -1,0 +1,54 @@
+"""Test-support utilities shared by the test and benchmark harnesses.
+
+Hosts the hypothesis strategy for random configurations (guarded —
+hypothesis is an optional extra) and re-exports the seeded workload
+builders of :mod:`repro.engine.workloads`, so both ``tests/conftest.py``
+and ``benchmarks/conftest.py`` can expose one implementation under
+identical names instead of shadowing each other when pytest collects
+both directories in a single run.
+"""
+
+from __future__ import annotations
+
+from .core.configuration import Configuration
+from .engine.workloads import (  # noqa: F401  (re-exported)
+    feasible_batch,
+    make_random_config,
+    random_config_batch,
+    seeded_config,
+)
+
+try:
+    from hypothesis import strategies as st
+
+    @st.composite
+    def configurations(draw, max_n: int = 8, max_span: int = 3):
+        """Random connected tagged graphs: a random spanning tree plus a
+        random subset of extra edges, with uniform tags."""
+        n = draw(st.integers(min_value=1, max_value=max_n))
+        # random spanning tree: attach node i to a uniform earlier node
+        edges = set()
+        for i in range(1, n):
+            parent = draw(st.integers(min_value=0, max_value=i - 1))
+            edges.add((parent, i))
+        # optional extra edges
+        if n >= 3:
+            extras = draw(
+                st.lists(
+                    st.tuples(
+                        st.integers(0, n - 1), st.integers(0, n - 1)
+                    ),
+                    max_size=n,
+                )
+            )
+            for u, v in extras:
+                if u != v:
+                    edges.add((min(u, v), max(u, v)))
+        tags = {
+            i: draw(st.integers(min_value=0, max_value=max_span))
+            for i in range(n)
+        }
+        return Configuration(sorted(edges), tags)
+
+except ImportError:  # pragma: no cover - hypothesis is an install extra
+    configurations = None

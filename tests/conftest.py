@@ -1,14 +1,24 @@
-"""Shared fixtures, helpers and hypothesis strategies for the test suite."""
+"""Shared fixtures, helpers and hypothesis strategies for the test suite.
+
+The seeded workload builders live in :mod:`repro.engine.workloads`; they
+are re-exported here (and in ``benchmarks/conftest.py``) under identical
+names so that a combined ``tests`` + ``benchmarks`` collection — where
+both ``conftest`` modules race for the same ``sys.modules`` slot — keeps
+every ``from conftest import ...`` working no matter which file wins.
+"""
 
 from __future__ import annotations
-
-import random
 
 import pytest
 
 from repro.core.configuration import Configuration, line_configuration
-from repro.graphs.generators import build, random_connected_gnp_edges
-from repro.graphs.tags import uniform_random
+from repro.testing import (  # noqa: F401  (re-exported for test modules)
+    configurations,
+    feasible_batch,
+    make_random_config,
+    random_config_batch,
+    seeded_config,
+)
 
 
 # ----------------------------------------------------------------------
@@ -40,64 +50,7 @@ def small_path():
 
 @pytest.fixture
 def sym_path():
-    """Path 0-1-2 with tags 0,1... (0,0,0): all-same tags — infeasible?
-    No: the middle node has degree 2, but tags are equal so no one ever
-    transmits distinctively. Kept as the all-zero path."""
+    """Path 0-1-2 with all-zero tags: every node wakes in the same round,
+    so nobody's history ever differs — kept as the canonical infeasible
+    path (the classifier rejects it immediately)."""
     return line_configuration([0, 0, 0])
-
-
-# ----------------------------------------------------------------------
-# random configuration generation (seeded, library-independent of tests)
-# ----------------------------------------------------------------------
-def make_random_config(seed: int, n_lo=3, n_hi=10, span_hi=3, p=0.35) -> Configuration:
-    """One seeded random connected configuration."""
-    rng = random.Random(seed)
-    n = rng.randint(n_lo, n_hi)
-    span = rng.randint(0, span_hi)
-    edges = random_connected_gnp_edges(n, p, rng.randrange(2**31))
-    tags = uniform_random(range(n), span, rng.randrange(2**31))
-    return build(edges, tags, n=n)
-
-
-def random_config_batch(count: int, base_seed: int = 1234, **kw):
-    """A reproducible batch of random configurations."""
-    return [make_random_config(base_seed + i, **kw) for i in range(count)]
-
-
-# ----------------------------------------------------------------------
-# hypothesis strategies
-# ----------------------------------------------------------------------
-try:
-    from hypothesis import strategies as st
-
-    @st.composite
-    def configurations(draw, max_n: int = 8, max_span: int = 3):
-        """Random connected tagged graphs: a random spanning tree plus a
-        random subset of extra edges, with uniform tags."""
-        n = draw(st.integers(min_value=1, max_value=max_n))
-        # random spanning tree: attach node i to a uniform earlier node
-        edges = set()
-        for i in range(1, n):
-            parent = draw(st.integers(min_value=0, max_value=i - 1))
-            edges.add((parent, i))
-        # optional extra edges
-        if n >= 3:
-            extras = draw(
-                st.lists(
-                    st.tuples(
-                        st.integers(0, n - 1), st.integers(0, n - 1)
-                    ),
-                    max_size=n,
-                )
-            )
-            for u, v in extras:
-                if u != v:
-                    edges.add((min(u, v), max(u, v)))
-        tags = {
-            i: draw(st.integers(min_value=0, max_value=max_span))
-            for i in range(n)
-        }
-        return Configuration(sorted(edges), tags)
-
-except ImportError:  # pragma: no cover - hypothesis is an install extra
-    configurations = None

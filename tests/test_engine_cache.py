@@ -1,0 +1,193 @@
+"""Engine cache correctness: canonical keying, LRU, JSONL persistence.
+
+The load-bearing property: classifying a configuration and a relabeled
+isomorph of it produces ONE cache entry and identical reports — that is
+what makes the canonical-form memoization sound.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.core.classifier import classify
+from repro.core.configuration import Configuration
+from repro.engine import (
+    ResultCache,
+    cached_evaluate,
+    canonical_key,
+    census_record,
+    default_keyer,
+    labeled_key,
+)
+from repro.engine.keys import CANONICAL_N_LIMIT
+
+from conftest import random_config_batch
+
+
+def relabel(cfg: Configuration, perm) -> Configuration:
+    """Apply a node permutation (dict old -> new) to a configuration."""
+    return Configuration(
+        [(perm[u], perm[v]) for u, v in cfg.edges],
+        {perm[v]: cfg.tag(v) for v in cfg.nodes},
+    )
+
+
+# ----------------------------------------------------------------------
+# keys
+# ----------------------------------------------------------------------
+class TestKeys:
+    def test_relabeled_isomorph_same_canonical_key(self):
+        cfg = Configuration([(0, 1), (1, 2), (2, 3), (1, 3)], {0: 0, 1: 1, 2: 0, 3: 2})
+        iso = relabel(cfg, {0: 3, 1: 0, 2: 2, 3: 1})
+        assert canonical_key(cfg) == canonical_key(iso)
+
+    def test_tag_shift_same_key(self):
+        cfg = Configuration([(0, 1), (1, 2)], {0: 1, 1: 2, 2: 1})
+        shifted = Configuration([(0, 1), (1, 2)], {0: 0, 1: 1, 2: 0})
+        assert canonical_key(cfg) == canonical_key(shifted)
+        assert labeled_key(cfg) == labeled_key(shifted)
+
+    def test_non_isomorphic_different_key(self):
+        path = Configuration([(0, 1), (1, 2)], {0: 0, 1: 1, 2: 0})
+        triangle = Configuration([(0, 1), (1, 2), (0, 2)], {0: 0, 1: 1, 2: 0})
+        other_tags = Configuration([(0, 1), (1, 2)], {0: 1, 1: 0, 2: 0})
+        assert canonical_key(path) != canonical_key(triangle)
+        assert canonical_key(path) != canonical_key(other_tags)
+
+    def test_labeled_key_does_not_collapse_isomorphs(self):
+        cfg = Configuration([(0, 1), (1, 2)], {0: 0, 1: 1, 2: 2})
+        iso = relabel(cfg, {0: 2, 1: 1, 2: 0})
+        assert labeled_key(cfg) != labeled_key(iso)
+        assert canonical_key(cfg) == canonical_key(iso)
+
+    def test_default_keyer_switches_on_size(self):
+        small = Configuration([(0, 1)], {0: 0, 1: 1})
+        assert default_keyer(small) == canonical_key(small)
+        big_n = CANONICAL_N_LIMIT + 2
+        big = Configuration(
+            [(i, i + 1) for i in range(big_n - 1)],
+            {i: i % 2 for i in range(big_n)},
+        )
+        assert default_keyer(big) == labeled_key(big)
+
+    def test_canonical_key_random_isomorph_batch(self):
+        import random
+
+        for i, cfg in enumerate(random_config_batch(10, base_seed=77, n_hi=6)):
+            nodes = list(cfg.nodes)
+            shuffled = list(nodes)
+            random.Random(i).shuffle(shuffled)
+            iso = relabel(cfg, dict(zip(nodes, shuffled)))
+            assert canonical_key(cfg) == canonical_key(iso)
+
+
+# ----------------------------------------------------------------------
+# cache behavior
+# ----------------------------------------------------------------------
+class TestResultCache:
+    def test_isomorph_yields_one_entry_and_identical_report(self):
+        cfg = Configuration([(0, 1), (1, 2), (2, 3)], {0: 0, 1: 1, 2: 0, 3: 2})
+        iso = relabel(cfg, {0: 2, 1: 3, 2: 1, 3: 0})
+        cache = ResultCache()
+        rec_a = cached_evaluate(cfg, cache, census_record)
+        rec_b = cached_evaluate(iso, cache, census_record)
+        assert len(cache) == 1  # one canonical entry for the pair
+        assert rec_a is rec_b  # literally the same cached record
+        # and the cached verdict matches a fresh classification of both
+        assert rec_a["feasible"] == classify(cfg).feasible == classify(iso).feasible
+        assert rec_a["iterations"] == classify(iso).num_iterations
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_lru_eviction(self):
+        cache = ResultCache(max_entries=2)
+        cache.put("a", {"x": 1})
+        cache.put("b", {"x": 2})
+        assert cache.get("a") == {"x": 1}  # refresh a; b is now LRU
+        cache.put("c", {"x": 3})
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache
+        assert cache.stats.evictions == 1
+
+    def test_put_overwrites_without_growth(self):
+        cache = ResultCache()
+        cache.put("k", {"v": 1})
+        cache.put("k", {"v": 2})
+        assert len(cache) == 1
+        assert cache.peek("k") == {"v": 2}
+
+    def test_jsonl_round_trip(self, tmp_path):
+        path = str(tmp_path / "cache.jsonl")
+        c1 = ResultCache(path)
+        c1.put("k1", {"feasible": True, "iterations": 2, "rounds": None})
+        c1.put("k2", {"feasible": False, "iterations": 1, "rounds": None})
+        c2 = ResultCache(path)
+        assert len(c2) == 2
+        assert c2.stats.loaded == 2
+        assert c2.get("k1") == {"feasible": True, "iterations": 2, "rounds": None}
+
+    def test_truncated_trailing_line_ignored(self, tmp_path):
+        path = str(tmp_path / "cache.jsonl")
+        c1 = ResultCache(path)
+        c1.put("k1", {"v": 1})
+        c1.put("k2", {"v": 2})
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"key": "k3", "record"')  # crashed mid-append
+        c2 = ResultCache(path)
+        assert len(c2) == 2
+        assert "k3" not in c2
+
+    def test_last_line_wins_on_duplicate_keys(self, tmp_path):
+        path = str(tmp_path / "cache.jsonl")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps({"key": "k", "record": {"v": 1}}) + "\n")
+            fh.write(json.dumps({"key": "k", "record": {"v": 2}}) + "\n")
+        assert ResultCache(path).peek("k") == {"v": 2}
+
+    def test_persistent_handle_flushes_per_line(self, tmp_path):
+        path = str(tmp_path / "cache.jsonl")
+        writer = ResultCache(path)
+        writer.put("k1", {"v": 1})
+        # line-buffered handle: the record is on disk before close()
+        assert len(ResultCache(path)) == 1
+        writer.put("k2", {"v": 2})
+        writer.close()
+        assert len(ResultCache(path)) == 2
+        writer.put("k3", {"v": 3})  # handle reopens lazily after close
+        assert len(ResultCache(path)) == 3
+
+    def test_bad_max_entries_rejected(self):
+        with pytest.raises(ValueError):
+            ResultCache(max_entries=0)
+
+
+# ----------------------------------------------------------------------
+# the headline: repeat census >= 5x faster through the cache
+# ----------------------------------------------------------------------
+def test_repeated_census_at_least_5x_faster():
+    """Acceptance gate: the second run of the same workload through the
+    engine is >= 5x faster than the first, because every configuration is
+    answered from the canonical-form cache without classification or
+    election. The workload uses sizable spans so the classified work
+    dominates the irreducible warm-path cost (workload regeneration plus
+    keying); the warm time is the best of three runs to shield the ratio
+    from scheduler noise."""
+    from repro.engine import RandomGnpWorkload, sharded_census
+
+    workload = RandomGnpWorkload([24], span=30, p=0.15, samples=12, seed=3)
+    cache = ResultCache()
+
+    t0 = time.perf_counter()
+    first = sharded_census(workload, cache=cache, measure_rounds=True)
+    cold = time.perf_counter() - t0
+
+    warm = float("inf")
+    for _ in range(3):
+        t0 = time.perf_counter()
+        second = sharded_census(workload, cache=cache, measure_rounds=True)
+        warm = min(warm, time.perf_counter() - t0)
+        assert second.result.rows == first.result.rows
+        assert second.stats.classified == 0  # pure cache hits
+
+    assert cold / warm >= 5.0, f"cold={cold:.4f}s warm={warm:.4f}s"

@@ -1,0 +1,344 @@
+"""Sharded census pipeline: equality with the serial path, resume, CLI.
+
+The pipeline's contract is bit-for-bit equality with
+:func:`repro.analysis.census.census` for every shard count, worker
+count, cache state, and resume history — these tests pin that contract,
+including on the rendered table bytes.
+"""
+
+import os
+
+import pytest
+
+from repro.analysis.census import census, random_census
+from repro.engine import (
+    EnumerationWorkload,
+    RandomGnpWorkload,
+    ResultCache,
+    SequenceWorkload,
+    as_workload,
+    plan_shards,
+    sharded_census,
+)
+from repro.reporting.tables import format_table
+
+from conftest import random_config_batch
+
+
+def render(result) -> str:
+    """The census table bytes (what the CLI prints)."""
+    return format_table(result.TABLE_HEADERS, result.as_table())
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return RandomGnpWorkload([5, 6, 7], span=2, p=0.3, samples=8, seed=11)
+
+
+@pytest.fixture(scope="module")
+def serial(workload):
+    return census(iter(workload), measure_rounds=True)
+
+
+# ----------------------------------------------------------------------
+# shard planning
+# ----------------------------------------------------------------------
+class TestPlanShards:
+    def test_balanced_contiguous_cover(self):
+        shards = plan_shards(10, 3)
+        assert [(s.start, s.stop) for s in shards] == [(0, 4), (4, 7), (7, 10)]
+        assert [s.index for s in shards] == [0, 1, 2]
+
+    def test_more_shards_than_items(self):
+        shards = plan_shards(2, 5)
+        assert [(s.start, s.stop) for s in shards] == [(0, 1), (1, 2)]
+
+    def test_single_shard(self):
+        (s,) = plan_shards(7, 1)
+        assert (s.start, s.stop, s.size) == (0, 7, 7)
+
+    def test_zero_items(self):
+        assert plan_shards(0, 4) == []
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            plan_shards(10, 0)
+
+
+# ----------------------------------------------------------------------
+# workloads
+# ----------------------------------------------------------------------
+class TestWorkloads:
+    def test_random_workload_slices_match_full_iteration(self, workload):
+        full = list(workload)
+        assert len(full) == len(workload) == 24
+        sliced = list(workload.generate(0, 10)) + list(workload.generate(10, 24))
+        assert sliced == full
+
+    def test_random_workload_matches_serial_census_order(self, workload):
+        # same seeding formula as random_census -> comparable row-for-row
+        direct = random_census(
+            [5, 6, 7], span=2, p=0.3, samples=8, seed=11, use_engine=False
+        )
+        engine = sharded_census(workload, group_by=lambda c: c.n, num_shards=4)
+        assert engine.result.rows == direct.rows
+
+    def test_enumeration_workload_slices(self):
+        w = EnumerationWorkload(3, 1)
+        assert list(w.generate(2, 5)) == list(w)[2:5]
+
+    def test_as_workload_coerces_sequences(self):
+        batch = random_config_batch(4, base_seed=9, n_hi=5)
+        w = as_workload(batch)
+        assert isinstance(w, SequenceWorkload)
+        assert list(w) == batch
+        assert as_workload(w) is w
+
+
+# ----------------------------------------------------------------------
+# equality with the serial census
+# ----------------------------------------------------------------------
+class TestEquality:
+    @pytest.mark.parametrize("num_shards", [1, 2, 5, 24, 100])
+    def test_any_shard_count_bit_for_bit(self, workload, serial, num_shards):
+        run = sharded_census(workload, num_shards=num_shards, measure_rounds=True)
+        assert run.result.rows == serial.rows
+        assert render(run.result) == render(serial)  # byte-identical table
+
+    def test_parallel_workers_bit_for_bit(self, workload, serial):
+        run = sharded_census(
+            workload, num_shards=3, max_workers=2, measure_rounds=True
+        )
+        assert run.result.rows == serial.rows
+        assert render(run.result) == render(serial)
+
+    def test_warm_cache_bit_for_bit(self, workload, serial):
+        cache = ResultCache()
+        sharded_census(workload, cache=cache, measure_rounds=True)
+        run = sharded_census(
+            workload, num_shards=7, cache=cache, measure_rounds=True
+        )
+        assert run.stats.classified == 0
+        assert render(run.result) == render(serial)
+
+    def test_rounds_upgrade_on_cached_entries(self, workload, serial):
+        # a cache populated WITHOUT rounds must transparently upgrade
+        cache = ResultCache()
+        sharded_census(workload, cache=cache, measure_rounds=False)
+        run = sharded_census(workload, cache=cache, measure_rounds=True)
+        assert run.result.rows == serial.rows
+
+    def test_foreign_cache_records_self_heal(self, workload, serial):
+        # a cache polluted by a different evaluator's records (against
+        # the one-cache-per-evaluator convention) is reclassified and
+        # overwritten, not crashed on
+        from repro.analysis.extremal import _feasible_record
+        from repro.engine import cached_evaluate
+
+        cache = ResultCache()
+        for cfg in workload:
+            cached_evaluate(cfg, cache, _feasible_record)
+        run = sharded_census(workload, cache=cache, measure_rounds=True)
+        assert run.stats.classified > 0
+        assert render(run.result) == render(serial)
+
+    def test_bounded_lru_cache_still_exact(self, workload, serial):
+        # an aggressively bounded LRU forces evictions mid-run; the
+        # pipeline pins shard records locally, so results stay exact
+        run = sharded_census(
+            workload,
+            num_shards=3,
+            cache=ResultCache(max_entries=2),
+            measure_rounds=True,
+        )
+        assert render(run.result) == render(serial)
+
+    def test_exhaustive_population_with_dedup(self):
+        w = EnumerationWorkload(4, 1)
+        direct = census(iter(w))
+        run = sharded_census(w, num_shards=6)
+        assert run.result.rows == direct.rows
+        # the canonical cache classified strictly fewer than total configs,
+        # and every item is accounted for exactly once
+        assert run.stats.classified < run.stats.total_configs
+        assert (
+            run.stats.classified + run.stats.cache_hits + run.stats.deduped
+            == run.stats.total_configs
+        )
+
+    def test_random_census_engine_default_equals_reference(self):
+        kw = dict(span=2, p=0.3, samples=6, seed=4)
+        reference = random_census([5, 6], use_engine=False, **kw)
+        engine = random_census([5, 6], **kw)  # default: engine path
+        sharded = random_census([5, 6], num_shards=3, max_workers=2, **kw)
+        assert render(engine) == render(reference) == render(sharded)
+
+
+# ----------------------------------------------------------------------
+# resume semantics
+# ----------------------------------------------------------------------
+class TestResume:
+    def test_full_resume_replays_checkpoints(self, tmp_path, workload, serial):
+        ckpt = str(tmp_path / "ckpt")
+        first = sharded_census(
+            workload, num_shards=4, checkpoint_dir=ckpt, measure_rounds=True
+        )
+        assert sorted(os.listdir(ckpt)) == [
+            f"shard-{i:05d}.json" for i in range(4)
+        ]
+        resumed = sharded_census(
+            workload,
+            num_shards=4,
+            checkpoint_dir=ckpt,
+            cache=ResultCache(),  # fresh cache: rows come from checkpoints
+            measure_rounds=True,
+        )
+        assert resumed.stats.shards_resumed == 4
+        assert resumed.stats.classified == 0
+        assert render(resumed.result) == render(first.result) == render(serial)
+
+    def test_partial_resume_recomputes_missing_shard(
+        self, tmp_path, workload, serial
+    ):
+        ckpt = str(tmp_path / "ckpt")
+        sharded_census(
+            workload, num_shards=4, checkpoint_dir=ckpt, measure_rounds=True
+        )
+        os.remove(os.path.join(ckpt, "shard-00002.json"))  # "interrupted" run
+        resumed = sharded_census(
+            workload,
+            num_shards=4,
+            checkpoint_dir=ckpt,
+            cache=ResultCache(),
+            measure_rounds=True,
+        )
+        assert resumed.stats.shards_resumed == 3
+        assert resumed.stats.classified > 0
+        assert render(resumed.result) == render(serial)
+
+    def test_mismatched_options_invalidate_checkpoints(self, tmp_path, workload):
+        ckpt = str(tmp_path / "ckpt")
+        sharded_census(
+            workload, num_shards=2, checkpoint_dir=ckpt, measure_rounds=True
+        )
+        # different measure_rounds -> fingerprints differ -> recompute
+        rerun = sharded_census(
+            workload, num_shards=2, checkpoint_dir=ckpt, measure_rounds=False
+        )
+        assert rerun.stats.shards_resumed == 0
+
+    def test_different_group_by_invalidates_checkpoints(self, tmp_path, workload):
+        ckpt = str(tmp_path / "ckpt")
+        sharded_census(workload, num_shards=2, checkpoint_dir=ckpt)
+        rerun = sharded_census(
+            workload, num_shards=2, checkpoint_dir=ckpt, group_by=lambda c: c.n
+        )
+        # grouping changed -> fingerprints differ -> rows recomputed
+        assert rerun.stats.shards_resumed == 0
+        assert set(rerun.result.rows) == {5, 6, 7}
+
+    def test_different_sequence_population_invalidates_checkpoints(
+        self, tmp_path
+    ):
+        ckpt = str(tmp_path / "ckpt")
+        pop_a = SequenceWorkload(random_config_batch(8, base_seed=1, n_hi=5))
+        pop_b = SequenceWorkload(random_config_batch(8, base_seed=99, n_hi=5))
+        sharded_census(pop_a, num_shards=2, checkpoint_dir=ckpt)
+        rerun = sharded_census(pop_b, num_shards=2, checkpoint_dir=ckpt)
+        # same size, different configs -> content digest differs -> recompute
+        assert rerun.stats.shards_resumed == 0
+        assert rerun.result.rows == census(iter(pop_b)).rows
+
+    def test_enumeration_labeled_flag_changes_fingerprint(self):
+        plain = EnumerationWorkload(3, 1)
+        labeled = EnumerationWorkload(3, 1, labeled=True)
+        assert plain.describe() != labeled.describe()
+
+    def test_different_shard_count_ignores_stale_files(self, tmp_path, workload, serial):
+        ckpt = str(tmp_path / "ckpt")
+        sharded_census(
+            workload, num_shards=4, checkpoint_dir=ckpt, measure_rounds=True
+        )
+        rerun = sharded_census(
+            workload, num_shards=3, checkpoint_dir=ckpt, measure_rounds=True
+        )
+        # shard ranges moved, so old files fail validation, results stay right
+        assert render(rerun.result) == render(serial)
+
+    def test_corrupt_checkpoint_recomputed(self, tmp_path, workload, serial):
+        ckpt = str(tmp_path / "ckpt")
+        sharded_census(
+            workload, num_shards=2, checkpoint_dir=ckpt, measure_rounds=True
+        )
+        with open(os.path.join(ckpt, "shard-00000.json"), "w") as fh:
+            fh.write("{not json")
+        rerun = sharded_census(
+            workload, num_shards=2, checkpoint_dir=ckpt, measure_rounds=True
+        )
+        assert rerun.stats.shards_resumed == 1
+        assert render(rerun.result) == render(serial)
+
+
+# ----------------------------------------------------------------------
+# CLI integration
+# ----------------------------------------------------------------------
+class TestCli:
+    def run_census(self, capsys, *extra):
+        from repro.cli import main
+
+        assert (
+            main(
+                [
+                    "census",
+                    "--n",
+                    "5,6",
+                    "--span",
+                    "2",
+                    "--samples",
+                    "6",
+                    "--seed",
+                    "2",
+                    *extra,
+                ]
+            )
+            == 0
+        )
+        return capsys.readouterr().out
+
+    def test_census_sharded_output_matches_plain(self, capsys, tmp_path):
+        plain = self.run_census(capsys)
+        sharded = self.run_census(
+            capsys, "--shards", "3", "--cache", str(tmp_path / "c.jsonl")
+        )
+        table = lambda out: [  # noqa: E731
+            line for line in out.splitlines() if line.startswith(("|", "+"))
+        ]
+        assert table(plain) == table(sharded)
+        assert "engine:" in sharded and "cache:" in sharded
+
+    def test_census_cache_reuse_across_invocations(self, capsys, tmp_path):
+        cache = str(tmp_path / "c.jsonl")
+        self.run_census(capsys, "--cache", cache)
+        out = self.run_census(capsys, "--cache", cache)
+        assert "0 classified" in out  # second CLI run fully cache-served
+
+    def test_census_checkpoint_resume(self, capsys, tmp_path):
+        ckpt = str(tmp_path / "ckpt")
+        self.run_census(capsys, "--shards", "2", "--checkpoint", ckpt)
+        out = self.run_census(capsys, "--shards", "2", "--checkpoint", ckpt)
+        assert "2 resumed" in out
+
+    def test_cli_checkpoints_resumable_from_api(self, capsys, tmp_path):
+        # CLI and random_census share group_by_n, so their checkpoint
+        # fingerprints are interchangeable for the same census
+        from repro.analysis.census import group_by_n
+
+        ckpt = str(tmp_path / "ckpt")
+        self.run_census(capsys, "--shards", "2", "--checkpoint", ckpt)
+        run = sharded_census(
+            RandomGnpWorkload([5, 6], span=2, p=0.3, samples=6, seed=2),
+            group_by=group_by_n,
+            num_shards=2,
+            checkpoint_dir=ckpt,
+        )
+        assert run.stats.shards_resumed == 2

@@ -14,6 +14,7 @@ from pathlib import Path
 import pytest
 
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+SRC = Path(__file__).resolve().parent.parent / "src"
 
 #: scripts executed with no arguments
 PLAIN_SCRIPTS = [
@@ -31,6 +32,12 @@ PLAIN_SCRIPTS = [
 
 def run_example(name: str, *args: str) -> subprocess.CompletedProcess:
     env = dict(os.environ)
+    # The scripts run with cwd=examples, so a relative PYTHONPATH entry
+    # (the usual `PYTHONPATH=src pytest` invocation) would not resolve;
+    # prepend the absolute src/ directory.
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(SRC)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
     return subprocess.run(
         [sys.executable, str(EXAMPLES / name), *args],
         capture_output=True,
