@@ -644,8 +644,8 @@ def main() -> None:
         "that generated this file.\n\n"
         "**Generated by** `python examples/generate_experiments_md.py` — "
         "do not edit by hand. The pytest-benchmark files in `benchmarks/` "
-        "re-run every experiment with statistical timing; see DESIGN.md "
-        "for the experiment ↔ module ↔ bench index.",
+        "re-run every experiment with statistical timing; see "
+        "`docs/experiments.md` for the experiment ↔ module ↔ claim index.",
     )
     for fn in (e1, e2, e3, e4, e5, e6, e7, e8, e9, e10, e11, e12, e13, e14, e15, e16, e17, e18):
         start = time.perf_counter()

@@ -5,9 +5,11 @@ arXiv:2002.02641): the synchronous radio model with collision detection,
 the centralized feasibility classifier (Algorithms 1–4), the canonical
 DRIP and dedicated O(n²σ) leader election (Theorem 3.15), the negative
 results of Section 4 as executable experiments, plus graph/tag workload
-generators, analysis tooling, contrast baselines, and a census engine
+generators, analysis tooling, contrast baselines, a census engine
 (:mod:`repro.engine`) with canonical-form memoization and sharded,
-resumable sweeps.
+resumable sweeps, and a batch classification service
+(:mod:`repro.service`) that serves ``decide``/``elect`` over HTTP with
+request coalescing and backpressure.
 
 Quickstart::
 
@@ -48,10 +50,25 @@ from .radio import (
     make_patient,
     simulate,
 )
-
 __version__ = "1.0.0"
 
+#: Service-layer re-exports, resolved lazily (PEP 562): the asyncio +
+#: http.server stack should not tax `import repro` for consumers that
+#: only want decide/elect — the same discipline that keeps repro.engine
+#: out of the top-level import.
+_SERVICE_EXPORTS = ("BatchClassifier", "Ticket", "serial_report")
+
+
+def __getattr__(name):
+    """Lazy attribute hook for the service-layer re-exports."""
+    if name in _SERVICE_EXPORTS:
+        from . import service
+
+        return getattr(service, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 __all__ = [
+    "BatchClassifier",
     "COLLISION",
     "CanonicalProtocol",
     "ClassifierTrace",
@@ -67,6 +84,7 @@ __all__ = [
     "RadioSimulator",
     "SILENCE",
     "TERMINATE",
+    "Ticket",
     "Transmit",
     "__version__",
     "classify",
@@ -77,5 +95,6 @@ __all__ = [
     "is_feasible",
     "line_configuration",
     "make_patient",
+    "serial_report",
     "simulate",
 ]

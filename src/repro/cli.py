@@ -2,10 +2,11 @@
 
 Commands: ``classify`` (feasibility of one configuration), ``elect``
 (dedicated election), ``census`` (engine-backed random census),
-``defeat`` (Prop 4.4 adversary), ``program`` (canonical-DRIP export/run),
-``variants`` (cross-model census), ``wired`` (radio vs wired contrast),
-``minspan`` (least feasible span), ``timeline`` (space-time grid),
-``quotient`` (classifier quotient / symmetry skeleton).
+``serve`` (batch classification HTTP service), ``defeat`` (Prop 4.4
+adversary), ``program`` (canonical-DRIP export/run), ``variants``
+(cross-model census), ``wired`` (radio vs wired contrast), ``minspan``
+(least feasible span), ``timeline`` (space-time grid), ``quotient``
+(classifier quotient / symmetry skeleton).
 
 ::
 
@@ -15,6 +16,7 @@ Commands: ``classify`` (feasibility of one configuration), ``elect``
     repro-radio census --n 6,8,10 --span 2 --p 0.3 --samples 20 --seed 1
     repro-radio census --n 8 --samples 200 --shards 8 --workers 4 \\
         --cache census.jsonl --checkpoint ckpt/
+    repro-radio serve --port 8765 --cache service.jsonl
     repro-radio defeat
 
 (Also runnable as ``python -m repro.cli ...``.)
@@ -140,6 +142,31 @@ def cmd_census(args: argparse.Namespace) -> int:
     )
     print(f"  {run.describe()}")
     print(f"  {cache.describe()}")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Serve batch classification over HTTP (see docs/service.md)."""
+    from .engine import ResultCache
+    from .service import BatchClassifier, make_server
+    from .service.server import run_server
+
+    try:
+        cache = ResultCache(args.cache) if args.cache else ResultCache()
+    except OSError as exc:
+        raise SystemExit(f"serve: cannot use cache file {args.cache!r}: {exc}")
+    classifier = BatchClassifier(
+        cache,
+        max_batch=args.max_batch,
+        max_pending=args.max_pending,
+        batch_window=args.batch_window,
+        max_workers=args.workers,
+    )
+    try:
+        server = make_server(args.host, args.port, classifier)
+    except OSError as exc:
+        raise SystemExit(f"serve: cannot bind {args.host}:{args.port}: {exc}")
+    run_server(server)
     return 0
 
 
@@ -389,6 +416,41 @@ def build_parser() -> argparse.ArgumentParser:
         "--checkpoint", help="directory for per-shard resume checkpoints"
     )
     p.set_defaults(func=cmd_census)
+
+    p = sub.add_parser(
+        "serve", help="serve batch classification over HTTP (JSON endpoint)"
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8765, help="0 picks a free port")
+    p.add_argument(
+        "--cache", help="JSONL classification cache file (shared with census)"
+    )
+    p.add_argument(
+        "--max-batch", type=int, default=64, help="max requests per engine batch"
+    )
+    p.add_argument(
+        "--max-pending",
+        type=int,
+        default=1024,
+        help="cold-miss queue bound; submits beyond it block (backpressure)",
+    )
+    p.add_argument(
+        "--batch-window",
+        type=float,
+        default=0.002,
+        help="seconds to wait for stragglers when forming a batch",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "process-pool workers for cache misses (default serial; "
+            "pool startup is paid per cold batch — only worth it for "
+            "large, expensive cold batches)"
+        ),
+    )
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("defeat", help="run the Prop 4.4 universal-algorithm adversary")
     p.add_argument("--probe-m", type=int, default=64)

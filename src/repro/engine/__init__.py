@@ -42,9 +42,11 @@ from .pipeline import (
     CensusRun,
     EngineStats,
     ShardSpec,
+    batch_records,
     cached_evaluate,
     census_record,
     plan_shards,
+    record_sufficient,
     sharded_census,
 )
 from .workloads import (
@@ -72,6 +74,7 @@ __all__ = [
     "ShardSpec",
     "Workload",
     "as_workload",
+    "batch_records",
     "cached_evaluate",
     "canonical_key",
     "census_record",
@@ -81,6 +84,7 @@ __all__ = [
     "make_random_config",
     "plan_shards",
     "random_config_batch",
+    "record_sufficient",
     "seeded_config",
     "sharded_census",
 ]

@@ -27,7 +27,7 @@ import json
 import os
 from dataclasses import dataclass, field
 from functools import partial
-from typing import Callable, Dict, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..analysis.census import CensusResult, CensusRow
 from ..analysis.parallel import parallel_map
@@ -105,13 +105,15 @@ def census_record(cfg: Configuration, measure_rounds: bool = False) -> Dict:
     }
 
 
-def _record_sufficient(record: Optional[Dict], measure_rounds: bool) -> bool:
-    """Whether a cached record answers this census's questions.
+def record_sufficient(record: Optional[Dict], measure_rounds: bool) -> bool:
+    """Whether a cached record answers a census/service question.
 
     A record missing the census fields — e.g. one written by a foreign
     evaluator into a shared cache file, against the one-cache-per-
-    evaluator convention — counts as insufficient, so the pipeline
-    reclassifies and overwrites instead of crashing on it.
+    evaluator convention — counts as insufficient, so callers reclassify
+    and overwrite instead of crashing on it. A record cached without
+    election rounds is likewise insufficient for a ``measure_rounds``
+    consumer (the "rounds upgrade" path).
     """
     if record is None or "feasible" not in record or "iterations" not in record:
         return False
@@ -268,6 +270,92 @@ def _merge_rows(result: CensusResult, rows: List[Dict]) -> None:
         row.rounds_sum += r["rounds_sum"]
 
 
+def batch_records(
+    configs,
+    cache: ResultCache,
+    *,
+    measure_rounds: bool = False,
+    keyer: Keyer = default_keyer,
+    precomputed_keys: Optional[Sequence[str]] = None,
+    max_workers: Optional[int] = 1,
+    chunksize: int = 16,
+    stats: Optional[EngineStats] = None,
+) -> List[Dict]:
+    """Classification records for a batch, in input order, through the cache.
+
+    This is the engine's batch-lookup hook — the coalescing core shared by
+    the sharded census pipeline and the batch classification service
+    (:mod:`repro.service`). Each configuration is normalized and keyed
+    (:mod:`repro.engine.keys`); duplicate keys inside the batch are
+    coalesced to one classification; keys with a sufficient cached record
+    are answered without work; the remaining *unique* misses are
+    classified via :func:`census_record` — serially, or fanned out over
+    :func:`repro.analysis.parallel.parallel_map` — and written back to
+    the cache.
+
+    ``configs`` may be any iterable (a list, a workload slice, a
+    generator); it is consumed once, one configuration at a time.
+    Returns one :func:`census_record`-shaped dict per input configuration
+    (cached records are returned by reference; treat them as read-only).
+    Record values are deterministic and independent of batch composition,
+    cache state, and worker count. When ``stats`` is given, its
+    ``cache_hits`` / ``deduped`` / ``classified`` counters are updated
+    with this batch's accounting.
+
+    ``precomputed_keys`` skips normalization and keying for callers that
+    already paid for both (keying is the expensive step for canonical
+    keys): a sequence parallel to ``configs``, whose configurations must
+    then already be normalized. The batch classification service uses
+    this — requests are keyed once at submit time, never again.
+    """
+    if stats is None:
+        stats = EngineStats()
+    keys: List[str] = []  # key per item, in input order
+    pending: "Dict[str, Configuration]" = {}  # first config per missing key
+    # Records are pinned locally for the duration of the batch: a bounded
+    # LRU may evict an entry between lookup and result assembly, so the
+    # cache is never re-consulted for a record already seen this batch.
+    records_by_key: Dict[str, Dict] = {}
+
+    def keyed_items():
+        if precomputed_keys is None:
+            for cfg in configs:
+                normalized = cfg.normalize()
+                yield normalized, keyer(normalized)
+        else:
+            yield from zip(configs, precomputed_keys)
+
+    for normalized, key in keyed_items():
+        if key in records_by_key:  # duplicate of an already-hit key
+            stats.cache_hits += 1
+        elif key in pending:  # rides on a classification queued this batch
+            stats.deduped += 1
+        else:
+            record = cache.get(key)
+            if record_sufficient(record, measure_rounds):
+                records_by_key[key] = record
+                stats.cache_hits += 1
+            else:
+                pending[key] = normalized
+        keys.append(key)
+
+    if pending:
+        missing = list(pending)
+        worker = partial(census_record, measure_rounds=measure_rounds)
+        records = parallel_map(
+            worker,
+            [pending[k] for k in missing],
+            max_workers=max_workers,
+            chunksize=chunksize,
+        )
+        for key, record in zip(missing, records):
+            records_by_key[key] = record
+            cache.put(key, record)
+        stats.classified += len(missing)
+
+    return [records_by_key[key] for key in keys]
+
+
 def _classify_shard(
     shard: ShardSpec,
     workload: Workload,
@@ -280,45 +368,29 @@ def _classify_shard(
     stats: EngineStats,
 ) -> Dict[object, CensusRow]:
     """Classify one shard through the cache; return its aggregated rows."""
-    items: List[Tuple[object, str]] = []  # (group, key) per item, in order
-    pending: "Dict[str, Configuration]" = {}  # first config per missing key
-    # Records are pinned locally for the duration of the shard: a bounded
-    # LRU may evict an entry between lookup and aggregation, so the cache
-    # is never re-consulted for a record already seen this shard.
-    records_by_key: Dict[str, Dict] = {}
-    for cfg in workload.generate(shard.start, shard.stop):
-        normalized = cfg.normalize()
-        key = keyer(normalized)
-        if key in records_by_key:  # duplicate of an already-hit key
-            stats.cache_hits += 1
-        elif key in pending:  # rides on a classification queued this shard
-            stats.deduped += 1
-        else:
-            record = cache.get(key)
-            if _record_sufficient(record, measure_rounds):
-                records_by_key[key] = record
-                stats.cache_hits += 1
-            else:
-                pending[key] = normalized
-        items.append((group_by(normalized), key))
+    # Stream the shard through batch_records: it consumes configurations
+    # one at a time, so per-shard memory stays at the (group, key-string)
+    # level plus the unique cache misses — never the materialized shard.
+    groups: List[object] = []
 
-    if pending:
-        keys = list(pending)
-        worker = partial(census_record, measure_rounds=measure_rounds)
-        records = parallel_map(
-            worker,
-            [pending[k] for k in keys],
-            max_workers=max_workers,
-            chunksize=chunksize,
-        )
-        for key, record in zip(keys, records):
-            records_by_key[key] = record
-            cache.put(key, record)
-        stats.classified += len(keys)
+    def shard_stream():
+        for cfg in workload.generate(shard.start, shard.stop):
+            normalized = cfg.normalize()
+            groups.append(group_by(normalized))
+            yield normalized
+
+    records = batch_records(
+        shard_stream(),
+        cache,
+        measure_rounds=measure_rounds,
+        keyer=keyer,
+        max_workers=max_workers,
+        chunksize=chunksize,
+        stats=stats,
+    )
 
     rows: Dict[object, CensusRow] = {}
-    for group, key in items:
-        record = records_by_key[key]
+    for group, record in zip(groups, records):
         row = rows.setdefault(group, CensusRow(group=group))
         row.total += 1
         row.iterations_sum += record["iterations"]

@@ -1,0 +1,520 @@
+"""Batch classification core: asyncio dispatcher + sync facade.
+
+The service turns many independent ``decide``/``elect`` requests into
+few engine calls:
+
+1. **Warm hits** — every submitted configuration is normalized and keyed
+   (:mod:`repro.engine.keys`); if the shared
+   :class:`~repro.engine.cache.ResultCache` already holds a sufficient
+   record the ticket resolves immediately, with no queueing or
+   classification.
+2. **Batching** — cold misses enter a *bounded* :class:`asyncio.Queue`.
+   A single dispatcher coroutine drains it into batches (up to
+   ``max_batch`` items, waiting at most ``batch_window`` seconds for
+   stragglers) and classifies each batch through the engine's
+   batch-lookup hook :func:`repro.engine.batch_records` — which
+   coalesces duplicate keys inside the batch, answers records cached
+   since submission, classifies only the unique remainder (optionally
+   fanned out over the process pool), and writes results back to the
+   cache for every later request.
+3. **Backpressure** — when the queue holds ``max_pending`` items,
+   ``submit`` blocks (the async core awaits; the sync facade's
+   ``submit`` call does not return) until the dispatcher drains. Memory
+   is bounded by ``max_pending`` plus one in-flight batch; producers are
+   slowed instead of the process growing without bound.
+
+Determinism: record values come from :func:`repro.engine.census_record`
+via the cache, so a response is a pure function of the configuration and
+mode — independent of batch composition, arrival order, cache warmth,
+and worker count — and bit-for-bit equal to serial
+:func:`repro.core.feasibility.decide` / ``elect`` reports
+(:func:`repro.service.schema.serial_report`).
+
+    >>> from repro.core.configuration import Configuration
+    >>> from repro.service import BatchClassifier
+    >>> with BatchClassifier() as svc:
+    ...     tickets = [svc.submit(Configuration([(0, 1)], {0: 0, 1: s}))
+    ...                for s in (1, 2, 3)]
+    ...     [t.result()["feasible"] for t in tickets]
+    [True, True, True]
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..core.configuration import Configuration
+from ..engine.cache import ResultCache
+from ..engine.keys import Keyer, default_keyer
+from ..engine.pipeline import EngineStats, batch_records, record_sufficient
+from .schema import MODES, record_to_report
+
+
+class ServiceClosedError(RuntimeError):
+    """Submit was called on a closed :class:`BatchClassifier`."""
+
+
+@dataclass
+class ServiceStats:
+    """Accounting for one classifier instance.
+
+    ``engine`` carries the cache/coalescing counters
+    (:class:`~repro.engine.pipeline.EngineStats`); the remaining fields
+    count service-level events.
+    """
+
+    engine: EngineStats = field(default_factory=EngineStats)
+    submitted: int = 0  #: tickets issued
+    fast_hits: int = 0  #: resolved at submit time, bypassing the queue
+    batches: int = 0  #: dispatcher batches executed
+    largest_batch: int = 0  #: most items ever drained into one batch
+
+    def describe(self) -> str:
+        """One-line summary for CLI footers and ``/stats``."""
+        e = self.engine
+        return (
+            f"service: {self.submitted} requests, {self.fast_hits} fast hits, "
+            f"{self.batches} batch(es) (largest {self.largest_batch}), "
+            f"{e.classified} classified, {e.cache_hits} cache hits, "
+            f"{e.deduped} coalesced"
+        )
+
+
+@dataclass(frozen=True)
+class Ticket:
+    """Handle for one submitted request (submit/gather semantics)."""
+
+    mode: str
+    key: str
+    future: Future  #: resolves to the engine record dict
+
+    def result(self, timeout: Optional[float] = None) -> Dict:
+        """Block until classified; returns the engine record.
+
+        The record is a *copy*: the cache's entry is shared by every
+        coalesced request (and by census runs against the same file),
+        so callers get a dict they may freely mutate without poisoning
+        anyone else's responses.
+        """
+        return dict(self.future.result(timeout))
+
+    def report(self, timeout: Optional[float] = None) -> Dict:
+        """Block until classified; returns the mode-shaped wire report."""
+        return record_to_report(self.result(timeout), self.mode)
+
+    def done(self) -> bool:
+        """True once the record is available (or the request failed)."""
+        return self.future.done()
+
+
+@dataclass(frozen=True)
+class _Item:
+    """One queued cold miss."""
+
+    config: Configuration  #: normalized
+    key: str
+    measure_rounds: bool
+    future: Future
+
+
+class _AsyncBatchCore:
+    """The asyncio side: bounded queue + dispatcher loop.
+
+    Runs entirely on one event loop (the facade hosts it on a daemon
+    thread). Results travel through thread-safe
+    :class:`concurrent.futures.Future` objects so synchronous callers
+    can wait on them directly; async callers can wrap a ticket's future
+    with :func:`asyncio.wrap_future`.
+    """
+
+    def __init__(
+        self,
+        cache: ResultCache,
+        stats: ServiceStats,
+        *,
+        keyer: Keyer,
+        max_batch: int,
+        max_pending: int,
+        batch_window: float,
+        max_workers: Optional[int],
+        chunksize: int,
+    ) -> None:
+        self.cache = cache
+        self.stats = stats
+        self.keyer = keyer
+        self.max_batch = max_batch
+        self.max_pending = max_pending
+        self.batch_window = batch_window
+        self.max_workers = max_workers
+        self.chunksize = chunksize
+        # Created lazily on the loop thread (see _ensure_queue): on
+        # Python 3.9 an asyncio.Queue binds the *constructing* thread's
+        # event loop, so building it here — on the facade's caller
+        # thread — would wire it to the wrong loop (or none at all).
+        self.queue: "Optional[asyncio.Queue[Optional[_Item]]]" = None
+        self._stop_requested = False
+        # Enqueue coroutines currently executing (possibly suspended on
+        # a full queue). The dispatcher only exits when a requested stop
+        # finds no in-flight producer and an empty queue: a sentinel can
+        # overtake the later puts of a backpressure-suspended
+        # enqueue_many (each re-await joins the waiter FIFO behind it),
+        # so "saw the sentinel" alone must never terminate the loop.
+        self._inflight = 0
+
+    @contextmanager
+    def _track_inflight(self):
+        """Count a producer as in-flight for the scope, releasing the
+        shutdown wake-up sentinel when the last one finishes.
+
+        This is the subtle half of the drained-shutdown contract (see
+        :meth:`run`): the dispatcher may be parked in ``queue.get()``
+        waiting for in-flight producers to finish, so the last one out
+        must wake it.
+        """
+        self._inflight += 1
+        try:
+            yield
+        finally:
+            self._inflight -= 1
+            if self._stop_requested and self._inflight == 0:
+                try:
+                    self._ensure_queue().put_nowait(None)
+                except asyncio.QueueFull:
+                    pass  # dispatcher is mid-drain and will re-check
+
+    def _ensure_queue(self) -> "asyncio.Queue[Optional[_Item]]":
+        """The pending queue, created on first use.
+
+        Only ever called from coroutines running on the dispatcher's
+        loop, so the queue always binds that loop regardless of which
+        thread built the facade (and of the Python version's Queue
+        loop-binding behavior).
+        """
+        if self.queue is None:
+            self.queue = asyncio.Queue(maxsize=self.max_pending)
+        return self.queue
+
+    async def enqueue(self, config: Configuration, mode: str) -> Ticket:
+        """Key a request; resolve warm hits inline, queue cold misses.
+
+        Awaits — exerting backpressure on the submitter — while the
+        pending queue is full.
+        """
+        with self._track_inflight():
+            normalized = config.normalize()
+            key = self.keyer(normalized)
+            measure_rounds = mode == "elect"
+            future: Future = Future()
+            self.stats.submitted += 1
+            record = self.cache.get(key)
+            if record_sufficient(record, measure_rounds):
+                self.stats.fast_hits += 1
+                self.stats.engine.cache_hits += 1
+                future.set_result(record)
+            else:
+                await self._ensure_queue().put(
+                    _Item(normalized, key, measure_rounds, future)
+                )
+            return Ticket(mode=mode, key=key, future=future)
+
+    async def enqueue_many(
+        self, configs: Sequence[Configuration], mode: str
+    ) -> List[Ticket]:
+        """Vectorized :meth:`enqueue`: one loop round-trip for a whole
+        batch of requests (the facade's ``submit_many`` fast path).
+
+        Holds its own in-flight guard for the *whole* batch: the
+        per-item counter in :meth:`enqueue` drops to zero between
+        items, which would otherwise let a concurrent shutdown conclude
+        that no producer is mid-batch.
+        """
+        with self._track_inflight():
+            return [await self.enqueue(cfg, mode) for cfg in configs]
+
+    async def _drain_batch(self, first: _Item) -> List[_Item]:
+        """Collect up to ``max_batch`` items, waiting ``batch_window``
+        for stragglers after the queue momentarily empties."""
+        batch = [first]
+        queue = self._ensure_queue()
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.batch_window
+        while len(batch) < self.max_batch:
+            try:
+                item = queue.get_nowait()
+            except asyncio.QueueEmpty:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    break
+                try:
+                    item = await asyncio.wait_for(queue.get(), remaining)
+                except asyncio.TimeoutError:
+                    break
+            if item is None:  # shutdown sentinel mid-drain: note and finish
+                self._stop_requested = True
+                break
+            batch.append(item)
+        return batch
+
+    def _classify(self, batch: Sequence[_Item]) -> None:
+        """Classify one drained batch and resolve its futures.
+
+        ``decide`` and ``elect`` items are classified in separate
+        sub-batches so a cheap decision request never pays for another
+        request's election simulation. The elect sub-batch runs first:
+        a rounds-bearing record satisfies a later decide lookup of the
+        same key, while the reverse order would classify such a key
+        twice (once without rounds, once upgrading).
+        """
+        self.stats.batches += 1
+        self.stats.largest_batch = max(self.stats.largest_batch, len(batch))
+        for measure_rounds in (True, False):
+            group = [it for it in batch if it.measure_rounds is measure_rounds]
+            if not group:
+                continue
+            try:
+                # configs were normalized and keyed at submit time;
+                # precomputed_keys spares re-canonicalizing every miss
+                records = batch_records(
+                    [it.config for it in group],
+                    self.cache,
+                    measure_rounds=measure_rounds,
+                    keyer=self.keyer,
+                    precomputed_keys=[it.key for it in group],
+                    max_workers=self.max_workers,
+                    chunksize=self.chunksize,
+                    stats=self.stats.engine,
+                )
+            except Exception as exc:  # classification bug: fail the group
+                for it in group:
+                    if not it.future.done():
+                        it.future.set_exception(exc)
+                continue
+            for it, record in zip(group, records):
+                it.future.set_result(record)
+
+    async def run(self) -> None:
+        """Dispatcher loop: drain, classify, repeat until drained shutdown.
+
+        A consumed sentinel only *requests* the stop; the loop exits
+        when the request coincides with an empty queue and no in-flight
+        enqueue — so a producer suspended on a full queue (whose later
+        puts the sentinel can overtake) always gets drained and every
+        issued ticket resolves.
+        """
+        queue = self._ensure_queue()
+        while True:
+            first = await queue.get()
+            if first is not None:
+                batch = await self._drain_batch(first)
+                # batch_records classifies synchronously; for census-
+                # scale configurations a batch is milliseconds, and one
+                # batch at a time is exactly the backpressure contract.
+                self._classify(batch)
+            else:
+                self._stop_requested = True
+            if self._stop_requested and self._inflight == 0 and queue.empty():
+                break
+
+
+class BatchClassifier:
+    """Synchronous facade over the asyncio batch core.
+
+    Owns a daemon thread running an event loop, a shared
+    :class:`~repro.engine.cache.ResultCache` (pass one to persist or
+    share with a census), and the dispatcher. Thread-safe: any number of
+    threads may ``submit`` concurrently (the HTTP server does exactly
+    that), and their requests coalesce into common batches.
+
+    Parameters
+    ----------
+    cache:
+        shared result cache; a private in-memory one is created when
+        omitted. Use a JSONL-backed cache to persist across restarts —
+        the records are the same shape the census pipeline writes, so a
+        census run pre-warms the service and vice versa.
+    max_batch:
+        most requests classified in one engine call.
+    max_pending:
+        bound of the cold-miss queue; submits beyond it block
+        (backpressure) until the dispatcher catches up.
+    batch_window:
+        seconds the dispatcher waits for stragglers after the queue runs
+        dry — the latency price paid for larger, better-coalesced
+        batches. 0 dispatches immediately.
+    max_workers / chunksize:
+        forwarded to :func:`repro.engine.batch_records` for cache-miss
+        classification (``max_workers=1`` stays serial in-process).
+        Caveat: each cold batch with more than ``chunksize`` unique
+        misses spins up a fresh process pool, whose startup cost runs
+        on the dispatcher and delays every queued request — worth it
+        only when single-configuration classification is expensive
+        (large n) and cold batches are big; duplicate-heavy or warm
+        traffic should stay serial.
+    keyer:
+        request coalescing granularity; the default collapses
+        tag-preserving isomorphs up to
+        :data:`~repro.engine.keys.CANONICAL_N_LIMIT`.
+    """
+
+    def __init__(
+        self,
+        cache: Optional[ResultCache] = None,
+        *,
+        max_batch: int = 64,
+        max_pending: int = 1024,
+        batch_window: float = 0.002,
+        max_workers: Optional[int] = 1,
+        chunksize: int = 16,
+        keyer: Keyer = default_keyer,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        if batch_window < 0:
+            raise ValueError("batch_window must be >= 0")
+        self.cache = cache if cache is not None else ResultCache()
+        self.stats = ServiceStats()
+        self._closed = False
+        # Serializes submits against close(): a submit that passed the
+        # closed check must finish scheduling before the sentinel can be
+        # queued, or its coroutine could land on a stopped loop and its
+        # ticket would never resolve.
+        self._submit_lock = threading.Lock()
+        self._loop = asyncio.new_event_loop()
+        self._core = _AsyncBatchCore(
+            self.cache,
+            self.stats,
+            keyer=keyer,
+            max_batch=max_batch,
+            max_pending=max_pending,
+            batch_window=batch_window,
+            max_workers=max_workers,
+            chunksize=chunksize,
+        )
+        self._thread = threading.Thread(
+            target=self._run_loop, name="repro-service-dispatch", daemon=True
+        )
+        self._thread.start()
+
+    def _run_loop(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        self._loop.run_until_complete(self._core.run())
+
+    # ------------------------------------------------------------------
+    # submit / gather
+    # ------------------------------------------------------------------
+    def _schedule(self, mode: str, coro) -> "Future":
+        """Validate the mode, guard against close, schedule ``coro``.
+
+        The lock covers only closed-check + scheduling, NOT the result
+        wait: call_soon_threadsafe is FIFO (and queue waiters are
+        FIFO), so an enqueue scheduled before close()'s sentinel lands
+        ahead of it, while a backpressure-blocked submit never stalls
+        other submitters or close(). The returned handle's ``result()``
+        blocks while the pending queue is full — that is the
+        backpressure surface of :meth:`submit`/:meth:`submit_many`.
+        """
+        if mode not in MODES:
+            coro.close()
+            raise ValueError(f'unknown mode {mode!r} (choose "decide" or "elect")')
+        with self._submit_lock:
+            if self._closed:
+                coro.close()
+                raise ServiceClosedError("BatchClassifier is closed")
+            return asyncio.run_coroutine_threadsafe(coro, self._loop)
+
+    def submit(self, config: Configuration, *, mode: str = "decide") -> Ticket:
+        """Submit one configuration; returns a :class:`Ticket`.
+
+        Returns as soon as the request is keyed and either resolved
+        (warm hit) or enqueued — blocking only when the pending queue is
+        full. ``mode`` is ``"decide"`` or ``"elect"``.
+        """
+        return self._schedule(mode, self._core.enqueue(config, mode)).result()
+
+    def submit_many(
+        self, configs: Iterable[Configuration], *, mode: str = "decide"
+    ) -> List[Ticket]:
+        """Submit a whole batch with one loop round-trip.
+
+        Semantically identical to calling :meth:`submit` per item, but
+        the keying/lookup loop runs on the dispatcher's event loop in
+        one hop — this is the high-throughput path for warm
+        duplicate-heavy workloads, where per-request thread handoff
+        would otherwise dominate (the E20 benchmark measures exactly
+        this). Blocks while the pending queue is full, like
+        :meth:`submit`.
+        """
+        configs = list(configs)
+        return self._schedule(
+            mode, self._core.enqueue_many(configs, mode)
+        ).result()
+
+    def gather(self, tickets: Iterable[Ticket], timeout: Optional[float] = None
+               ) -> List[Dict]:
+        """Engine records for ``tickets``, in ticket order (blocking)."""
+        return [t.result(timeout) for t in tickets]
+
+    def classify_many(
+        self,
+        configs: Iterable[Configuration],
+        *,
+        mode: str = "decide",
+        timeout: Optional[float] = None,
+    ) -> List[Dict]:
+        """Submit a whole batch and gather its records, in input order."""
+        return self.gather(self.submit_many(configs, mode=mode), timeout)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self, timeout: Optional[float] = None) -> None:
+        """Stop accepting work, drain the dispatcher, join the thread.
+
+        Idempotent. Already-submitted tickets still resolve — the
+        shutdown sentinel queues *behind* pending items (the submit
+        lock guarantees no submit is mid-schedule when it is sent, so
+        no ticket can land behind the sentinel and hang). With the
+        default ``timeout=None`` the call blocks until the drain is
+        complete; with a finite timeout it may return while the
+        dispatcher is still draining — the dispatcher is never aborted
+        mid-drain, so pending tickets still resolve, but the (daemon)
+        loop thread is then left to finish on its own and its loop is
+        not closed.
+        """
+        with self._submit_lock:
+            if self._closed:
+                return
+            self._closed = True
+
+        async def _sentinel() -> None:
+            await self._core._ensure_queue().put(None)
+
+        try:
+            asyncio.run_coroutine_threadsafe(
+                _sentinel(), self._loop
+            ).result(timeout)
+        except FuturesTimeoutError:
+            pass  # the put stays scheduled; the dispatcher will see it
+        self._thread.join(timeout)
+        if not self._thread.is_alive():
+            self._loop.close()
+
+    def __enter__(self) -> "BatchClassifier":
+        """Context-manager entry: the classifier itself."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Context-manager exit: :meth:`close`."""
+        self.close()
+
+    def describe(self) -> str:
+        """One-line stats summary (service + cache)."""
+        return f"{self.stats.describe()}; {self.cache.describe()}"

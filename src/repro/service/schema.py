@@ -1,0 +1,216 @@
+"""Wire format of the batch classification service.
+
+One *request* names a configuration and a mode; one *response* carries
+the isomorphism-invariant report for it. The formats are plain JSON so
+any HTTP client (curl, urllib, a browser) can talk to ``repro-radio
+serve``, and the same dictionaries are what the importable
+:class:`~repro.service.batcher.BatchClassifier` consumes and produces.
+
+Request object::
+
+    {"edges": [[0, 1], [1, 2]],        # undirected edges (node-id pairs)
+     "tags":  {"0": 0, "1": 1, "2": 0},# node -> wakeup tag (or a list)
+     "mode":  "decide"}                # "decide" (default) or "elect"
+
+``tags`` may be a mapping (JSON object keys are strings; numeric keys
+are coerced back to ints so they match the integer edge endpoints) or a
+list ``[t_0, .., t_{n-1}]`` tagging nodes ``0..n-1``. The shorthand
+``{"line": [0, 1, 0]}`` builds a tagged path via
+:func:`repro.core.configuration.line_configuration`.
+
+Response object::
+
+    {"ok": true, "mode": "decide", "key": "<canonical key>",
+     "n": 3, "span": 1,
+     "report": {"feasible": true, "decision": "Yes", "iterations": 1}}
+
+``mode: "elect"`` adds ``"elected"`` and ``"rounds"`` (the dedicated
+election's local termination round ``done_v``; ``null`` when
+infeasible). Reports carry only **isomorphism-invariant** facts — the
+same convention as the census engine's cache (see
+``docs/architecture.md``): the leader's *identity* moves under the
+tag-preserving isomorphisms that request coalescing collapses, so it is
+deliberately not part of the wire format. Callers who need the concrete
+leader node run :func:`repro.core.feasibility.elect` locally.
+
+Failures are ``{"ok": false, "error": "<message>"}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..core.configuration import (
+    Configuration,
+    ConfigurationError,
+    line_configuration,
+)
+
+#: The two service modes: feasibility decision, or decision + dedicated
+#: election round count.
+MODES = ("decide", "elect")
+
+
+class RequestError(ValueError):
+    """A request object is malformed (bad JSON shape or configuration)."""
+
+
+@dataclass(frozen=True)
+class ServiceRequest:
+    """One parsed classification request: a configuration plus a mode."""
+
+    config: Configuration
+    mode: str = "decide"
+
+    @property
+    def elect(self) -> bool:
+        """True when the request asks for election rounds."""
+        return self.mode == "elect"
+
+
+def _coerce_node(key: str) -> object:
+    """Map a JSON object key back to a node id (ints stay ints)."""
+    try:
+        return int(key)
+    except (TypeError, ValueError):
+        return key
+
+
+def config_from_json(obj: Dict) -> Configuration:
+    """Build a :class:`Configuration` from a request-shaped dict.
+
+    Accepts ``{"edges": ..., "tags": ...}`` or the ``{"line": [...]}``
+    shorthand; raises :class:`RequestError` on anything malformed
+    (including disconnected graphs, self-loops, or negative tags — the
+    :class:`Configuration` validators run here).
+    """
+    if not isinstance(obj, dict):
+        raise RequestError(f"request must be a JSON object, got {type(obj).__name__}")
+    if "line" in obj:
+        tags = obj["line"]
+        if not isinstance(tags, list) or not all(isinstance(t, int) for t in tags):
+            raise RequestError('"line" must be a list of integer tags')
+        try:
+            return line_configuration(tags)
+        except ConfigurationError as exc:
+            raise RequestError(str(exc)) from exc
+    if "edges" not in obj or "tags" not in obj:
+        raise RequestError('request needs "edges" and "tags" (or "line")')
+    edges = obj["edges"]
+    tags = obj["tags"]
+    if not isinstance(edges, list):
+        raise RequestError('"edges" must be a list of node pairs')
+    if isinstance(tags, list):
+        tag_map = {i: t for i, t in enumerate(tags)}
+    elif isinstance(tags, dict):
+        tag_map = {_coerce_node(k): t for k, t in tags.items()}
+    else:
+        raise RequestError('"tags" must be a list or an object')
+    try:
+        return Configuration([tuple(e) for e in edges], tag_map)
+    except (ConfigurationError, TypeError) as exc:
+        raise RequestError(str(exc)) from exc
+
+
+def config_to_json(cfg: Configuration) -> Dict:
+    """Request-shaped dict for ``cfg`` (round-trips via
+    :func:`config_from_json`)."""
+    return {
+        "edges": [list(e) for e in cfg.edges],
+        "tags": {str(v): t for v, t in sorted(cfg.tags.items())},
+    }
+
+
+def parse_request(obj: Dict) -> ServiceRequest:
+    """Parse one request object; raises :class:`RequestError` when bad."""
+    config = config_from_json(obj)  # raises for non-dict obj
+    mode = obj.get("mode", "decide")
+    if mode not in MODES:
+        raise RequestError(f'unknown mode {mode!r} (choose "decide" or "elect")')
+    return ServiceRequest(config=config, mode=mode)
+
+
+def record_to_report(record: Dict, mode: str) -> Dict:
+    """Shape an engine record into the mode's wire report.
+
+    The record is :func:`repro.engine.census_record`'s dict. ``decide``
+    reports carry feasibility, the paper's Yes/No decision string, and
+    the classifier iteration count; ``elect`` adds the election outcome
+    and round count. A record that was cached with rounds still yields a
+    rounds-free ``decide`` report, so responses never depend on what
+    else warmed the cache.
+    """
+    feasible = bool(record["feasible"])
+    report = {
+        "feasible": feasible,
+        "decision": "Yes" if feasible else "No",
+        "iterations": record["iterations"],
+    }
+    if mode == "elect":
+        report["elected"] = feasible
+        report["rounds"] = record["rounds"] if feasible else None
+    return report
+
+
+def response_for(request: ServiceRequest, key: str, record: Dict) -> Dict:
+    """Assemble the success response for a classified request.
+
+    ``n`` and ``span`` are invariant under normalization (it only
+    shifts tags), so the raw request configuration is read directly.
+    """
+    cfg = request.config
+    return {
+        "ok": True,
+        "mode": request.mode,
+        "key": key,
+        "n": cfg.n,
+        "span": cfg.span,
+        "report": record_to_report(record, request.mode),
+    }
+
+
+def error_response(message: str) -> Dict:
+    """Assemble the failure response for a rejected request."""
+    return {"ok": False, "error": message}
+
+
+def serial_report(config: Configuration, mode: str = "decide") -> Dict:
+    """The reference report: what serial ``decide``/``elect`` produce.
+
+    This is the service's correctness oracle — batched, coalesced, and
+    cached responses must be bit-for-bit equal to it (the E20 benchmark
+    gate and the service tests assert exactly that).
+    """
+    from ..core.feasibility import decide, elect
+
+    rep = decide(config)
+    report = {
+        "feasible": rep.feasible,
+        "decision": rep.decision,
+        "iterations": rep.iterations,
+    }
+    if mode == "elect":
+        report["elected"] = rep.feasible
+        report["rounds"] = (
+            elect(config, trace=rep.trace).rounds if rep.feasible else None
+        )
+    return report
+
+
+def requests_from_body(obj: object) -> List[Dict]:
+    """Split a POST body into individual request objects.
+
+    A body is either one request object or ``{"requests": [...]}``;
+    raises :class:`RequestError` for anything else. Individual items are
+    *not* validated here — the server parses them one by one so a bad
+    item yields a per-item error instead of failing the whole batch.
+    """
+    if isinstance(obj, dict) and "requests" in obj:
+        batch = obj["requests"]
+        if not isinstance(batch, list):
+            raise RequestError('"requests" must be a list')
+        return batch
+    if isinstance(obj, dict):
+        return [obj]
+    raise RequestError("body must be a request object or {\"requests\": [...]}")

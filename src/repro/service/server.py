@@ -1,0 +1,253 @@
+"""``repro-radio serve``: a stdlib JSON endpoint over the batch classifier.
+
+The server is a :class:`http.server.ThreadingHTTPServer` (one thread per
+connection, no third-party dependencies) whose handlers all talk to one
+shared :class:`~repro.service.batcher.BatchClassifier` — so concurrent
+HTTP clients are coalesced into common classification batches, and every
+response is served from (or written to) the same canonical-form cache.
+
+Routes:
+
+* ``POST /classify`` — body is one request object or
+  ``{"requests": [...]}`` (see :mod:`repro.service.schema`); responds
+  with one response object or ``{"ok": true, "responses": [...]}``.
+  Item-level failures (malformed configuration) become per-item
+  ``{"ok": false, ...}`` entries — one bad request never fails a batch.
+* ``GET /healthz`` — liveness: ``{"ok": true, "service": ...}``.
+* ``GET /stats`` — the service/cache accounting counters.
+
+Walkthroughs (curl and a Python client) live in ``docs/service.md``.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional, Tuple
+
+from .batcher import BatchClassifier, ServiceClosedError, Ticket
+from .schema import (
+    MODES,
+    RequestError,
+    error_response,
+    parse_request,
+    requests_from_body,
+    response_for,
+)
+
+#: Largest accepted POST body, in bytes (8 MiB): bounds per-connection
+#: memory the same way ``max_pending`` bounds the classification queue.
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class ClassificationServer(ThreadingHTTPServer):
+    """HTTP server owning the shared classifier.
+
+    ``daemon_threads`` is set so hung clients never block shutdown.
+    """
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        classifier: BatchClassifier,
+        *,
+        quiet: bool = False,
+    ) -> None:
+        self.classifier = classifier
+        self.quiet = quiet
+        super().__init__(address, ClassificationHandler)
+
+
+class ClassificationHandler(BaseHTTPRequestHandler):
+    """Request handler: JSON in, JSON out, never HTML errors."""
+
+    server_version = "repro-radio-serve/1.0"
+    #: HTTP/1.1 for keep-alive: _send_json always sets Content-Length,
+    #: so persistent connections are safe, and warm high-throughput
+    #: clients skip the per-request TCP handshake.
+    protocol_version = "HTTP/1.1"
+    server: ClassificationServer  # narrowed for the route methods
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def log_message(self, format: str, *args) -> None:
+        """Route access logs to stderr unless the server is quiet."""
+        if not self.server.quiet:
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload: Dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> Optional[bytes]:
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            length = -1
+        if length < 0:
+            self._send_json(400, error_response("bad Content-Length"))
+            return None
+        if length > MAX_BODY_BYTES:
+            self._send_json(
+                413, error_response(f"body exceeds {MAX_BODY_BYTES} bytes")
+            )
+            return None
+        return self.rfile.read(length)
+
+    # ------------------------------------------------------------------
+    # routes
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:
+        """``/healthz`` and ``/stats``."""
+        if self.path == "/healthz":
+            self._send_json(
+                200, {"ok": True, "service": self.server_version}
+            )
+        elif self.path == "/stats":
+            svc = self.server.classifier
+            e = svc.stats.engine
+            self._send_json(
+                200,
+                {
+                    "ok": True,
+                    "requests": svc.stats.submitted,
+                    "fast_hits": svc.stats.fast_hits,
+                    "batches": svc.stats.batches,
+                    "largest_batch": svc.stats.largest_batch,
+                    "classified": e.classified,
+                    "cache_hits": e.cache_hits,
+                    "coalesced": e.deduped,
+                    "cache_entries": len(svc.cache),
+                    "summary": svc.describe(),
+                },
+            )
+        else:
+            self._send_json(404, error_response(f"no route {self.path!r}"))
+
+    def do_POST(self) -> None:
+        """``/classify``: parse, submit, gather, respond."""
+        if self.path != "/classify":
+            self._send_json(404, error_response(f"no route {self.path!r}"))
+            return
+        raw = self._read_body()
+        if raw is None:
+            return
+        try:
+            body = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            self._send_json(400, error_response(f"invalid JSON: {exc}"))
+            return
+        try:
+            items = requests_from_body(body)
+        except RequestError as exc:
+            self._send_json(400, error_response(str(exc)))
+            return
+        batched = isinstance(body, dict) and "requests" in body
+
+        # Parse everything first, then submit each mode's well-formed
+        # items in ONE submit_many call — the whole HTTP batch crosses
+        # into the dispatcher with one thread handoff per mode and
+        # coalesces into the same classification batch. Bad items turn
+        # into per-item errors without sinking their batch.
+        parsed: List[Optional[object]] = []  # ServiceRequest | None
+        responses: List[Optional[Dict]] = []
+        for obj in items:
+            try:
+                parsed.append(parse_request(obj))
+                responses.append(None)  # filled from the ticket below
+            except (RequestError, ValueError) as exc:
+                parsed.append(None)
+                responses.append(error_response(str(exc)))
+
+        tickets: Dict[int, Ticket] = {}
+        for mode in MODES:
+            index = [
+                i
+                for i, request in enumerate(parsed)
+                if request is not None and request.mode == mode
+            ]
+            if index:
+                try:
+                    batch = self.server.classifier.submit_many(
+                        [parsed[i].config for i in index], mode=mode
+                    )
+                except ServiceClosedError:
+                    self._send_json(
+                        503, error_response("service is shutting down")
+                    )
+                    return
+                tickets.update(zip(index, batch))
+
+        server_faults = set()  # indices whose failure is ours, not the client's
+        for i, request in enumerate(parsed):
+            if request is None:
+                continue
+            ticket = tickets[i]
+            try:
+                record = ticket.result()
+            except Exception as exc:  # classification failure: per-item error
+                responses[i] = error_response(f"classification failed: {exc}")
+                server_faults.add(i)
+                continue
+            responses[i] = response_for(request, ticket.key, record)
+
+        if batched:
+            self._send_json(200, {"ok": True, "responses": responses})
+        elif responses and responses[0].get("ok"):
+            self._send_json(200, responses[0])
+        elif responses:
+            # a classification fault is the server's failure (500); a
+            # request the parser rejected is the client's (400)
+            self._send_json(500 if 0 in server_faults else 400, responses[0])
+        else:
+            self._send_json(400, error_response("empty request"))
+
+
+def make_server(
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    classifier: Optional[BatchClassifier] = None,
+    *,
+    quiet: bool = False,
+) -> ClassificationServer:
+    """Bind a :class:`ClassificationServer` (``port=0`` picks a free port).
+
+    The caller drives it: ``serve_forever()`` to run, ``shutdown()`` +
+    ``server_close()`` to stop (and close the classifier).
+    """
+    if classifier is None:
+        classifier = BatchClassifier()
+    return ClassificationServer((host, port), classifier, quiet=quiet)
+
+
+def run_server(server: ClassificationServer) -> None:
+    """Serve a bound :class:`ClassificationServer` until Ctrl-C, with
+    banner and graceful teardown (separate from :func:`make_server` so
+    callers can distinguish bind failures from serving failures)."""
+    bound_host, bound_port = server.server_address[:2]
+    print(f"repro-radio serve: listening on http://{bound_host}:{bound_port}")
+    print("  POST /classify   GET /healthz   GET /stats   (Ctrl-C to stop)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.shutdown()
+        server.server_close()
+        server.classifier.close()
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    classifier: Optional[BatchClassifier] = None,
+) -> None:
+    """Blocking convenience entry point: bind and serve until Ctrl-C."""
+    run_server(make_server(host, port, classifier))

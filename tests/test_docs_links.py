@@ -1,0 +1,102 @@
+"""Internal links and anchors in the docs resolve.
+
+Checks every markdown link in ``README.md`` and ``docs/**/*.md``:
+relative paths must exist in the repository, and fragment links
+(``file.md#section`` or ``#section``) must name a real heading in the
+target file, using GitHub's heading-slug rules. External links
+(http/https/mailto) are out of scope — CI must not depend on the
+network.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+DOC_FILES = sorted([ROOT / "README.md", *(ROOT / "docs").rglob("*.md")])
+
+#: inline markdown links: [text](target) — images share the syntax.
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_FENCE = re.compile(r"^```.*?^```[ \t]*$", re.MULTILINE | re.DOTALL)
+_HEADING = re.compile(r"^#{1,6}[ \t]+(.+?)[ \t]*$", re.MULTILINE)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: strip markup, lowercase, drop punctuation,
+    spaces to hyphens."""
+    text = re.sub(r"[`*_]", "", heading)
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # linked headings
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(path: Path):
+    """All anchor slugs of a markdown file (with GitHub's -1, -2
+    deduplication for repeated headings)."""
+    text = _FENCE.sub("", path.read_text(encoding="utf-8"))
+    slugs = set()
+    counts = {}
+    for match in _HEADING.finditer(text):
+        slug = github_slug(match.group(1))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def doc_links():
+    """Yield (source, target, fragment) for every internal link."""
+    out = []
+    for path in DOC_FILES:
+        text = _FENCE.sub("", path.read_text(encoding="utf-8"))
+        for match in _LINK.finditer(text):
+            target = match.group(1)
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, mailto:, ...
+                continue
+            target, _, fragment = target.partition("#")
+            out.append((path.relative_to(ROOT).as_posix(), target, fragment))
+    return out
+
+
+LINKS = doc_links()
+
+
+def test_docs_have_internal_links():
+    """Extraction sanity: the docs set is cross-linked; if the regex
+    rots to zero matches every per-link test silently vanishes."""
+    assert len(LINKS) >= 10
+    sources = {src for src, _, _ in LINKS}
+    assert "README.md" in sources
+
+
+@pytest.mark.parametrize(
+    "source,target,fragment",
+    LINKS,
+    ids=[f"{s}->{t or '#'}{('#' + f) if f else ''}" for s, t, f in LINKS],
+)
+def test_internal_link_resolves(source, target, fragment):
+    source_path = ROOT / source
+    resolved = (
+        source_path if not target else (source_path.parent / target).resolve()
+    )
+    assert resolved.exists(), f"{source}: broken link target {target!r}"
+    if fragment:
+        assert resolved.suffix == ".md", (
+            f"{source}: anchor on non-markdown target {target!r}"
+        )
+        slugs = heading_slugs(resolved)
+        assert fragment in slugs, (
+            f"{source}: anchor #{fragment} not in {target or source}; "
+            f"available: {sorted(slugs)}"
+        )
+
+
+def test_readme_docs_index_covers_docs_dir():
+    """Every markdown file under docs/ is reachable from the README's
+    Docs index — new docs must join the navigable set."""
+    readme = (ROOT / "README.md").read_text(encoding="utf-8")
+    for path in (ROOT / "docs").rglob("*.md"):
+        rel = path.relative_to(ROOT).as_posix()
+        assert rel in readme, f"{rel} is not linked from README.md"

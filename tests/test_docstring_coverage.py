@@ -86,6 +86,36 @@ def test_engine_public_api_documented():
     assert not missing, f"undocumented repro.engine exports: {missing}"
 
 
+def test_service_package_is_covered():
+    """The service layer must be walked by this gate: its modules appear
+    in the collected module list (a silent pkgutil skip would exempt the
+    whole package from the docstring requirement)."""
+    service_modules = {m for m in MODULES if m.startswith("repro.service")}
+    assert service_modules >= {
+        "repro.service",
+        "repro.service.batcher",
+        "repro.service.schema",
+        "repro.service.server",
+    }
+
+
+def test_service_public_api_documented():
+    """Every name exported from ``repro.service`` has a docstring (the
+    serving layer is the public face of the system; its API is
+    documentation-critical — docs/api.md and docs/service.md build on
+    these docstrings)."""
+    import repro.service as service
+
+    missing = []
+    for name in service.__all__:
+        obj = getattr(service, name)
+        if (inspect.isclass(obj) or inspect.isfunction(obj)) and not inspect.getdoc(
+            obj
+        ):
+            missing.append(name)
+    assert not missing, f"undocumented repro.service exports: {missing}"
+
+
 def test_public_methods_documented():
     missing = []
     for mod, attr, obj in public_items():
