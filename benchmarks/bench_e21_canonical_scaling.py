@@ -1,0 +1,218 @@
+"""E21 — Refinement canonical labeling: oracle agreement + scaling gate.
+
+The acceptance gates of the `repro.canon` subsystem:
+
+1. **Bit-for-bit oracle agreement** — on an exhaustive small-n sweep
+   (every enumerated configuration up to n = 6, plus every connected
+   7-node shape under a fixed set of tag vectors), the refinement
+   canonizer returns the *identical* ``(n, tags, edges)`` tuple the
+   brute-force enumeration defines. Not "same equivalence classes":
+   the same bytes, so every cache key, checkpoint, and JSONL store
+   written by the old path stays valid.
+2. **≥ 5× canonization speedup** on an n = 12–16 random workload — the
+   territory where the seed's ``default_keyer`` gave up and fell back
+   to ``labeled_key`` (the old ``CANONICAL_N_LIMIT = 10`` ceiling).
+   The workload is filtered to configurations whose brute-force search
+   space (the product of profile-class factorials) is large enough to
+   measure but small enough to finish, so both sides are timed
+   honestly on identical inputs.
+3. **The ceiling is gone** — ``default_keyer`` now collapses relabeled
+   isomorphs far above n = 10, and configurations whose brute-force
+   space is astronomically out of reach (``G_12``: n = 49, ~10^46
+   relabelings) canonize in milliseconds.
+"""
+
+import math
+import random
+import time
+from collections import Counter
+
+import pytest
+
+from repro.analysis.isomorphism import canonical_form
+from repro.canon import canonize
+from repro.core.configuration import Configuration
+from repro.engine import EngineStats, ResultCache, batch_records, default_keyer
+from repro.graphs.enumeration import connected_graphs, enumerate_configurations
+from repro.graphs.families import g_m
+
+from conftest import seeded_config
+
+#: ISSUE acceptance threshold: refinement canonizer vs brute-force oracle.
+SPEEDUP_FLOOR = 5.0
+
+#: The seed's brute-force keying ceiling, kept for the gate's framing.
+OLD_CANONICAL_N_LIMIT = 10
+
+#: Tag vectors used for the n = 7 shape sweep: the uniform vector keeps
+#: every profile class maximal (the brute force's worst case — this is
+#: where regular shapes cost it 7! relabelings), the alternating and
+#: mixed vectors exercise asymmetric seeds.
+N7_TAG_VECTORS = [
+    (0, 0, 0, 0, 0, 0, 0),
+    (0, 1, 0, 1, 0, 1, 0),
+    (0, 1, 1, 0, 2, 0, 0),
+]
+
+
+def bruteforce_space(cfg: Configuration) -> int:
+    """Number of relabelings the brute-force oracle enumerates: the
+    product of the factorials of the (tag, degree) profile class sizes."""
+    cfg = cfg.normalize()
+    counts = Counter((cfg.tag(v), cfg.degree(v)) for v in cfg.nodes)
+    space = 1
+    for k in counts.values():
+        space *= math.factorial(k)
+    return space
+
+
+def relabeled(cfg: Configuration, seed: int) -> Configuration:
+    """A seeded random relabeling of ``cfg``."""
+    nodes = list(cfg.nodes)
+    shuffled = list(nodes)
+    random.Random(seed).shuffle(shuffled)
+    return cfg.relabel(dict(zip(nodes, shuffled)))
+
+
+def speedup_workload():
+    """n = 12–16 random configurations the old keyer refused to canonize.
+
+    Seeded and filtered deterministically: spans 0–1 keep profile
+    classes fat (that is what makes brute force slow), and the
+    search-space window keeps the oracle measurable without letting one
+    unlucky configuration run the benchmark off a cliff.
+    """
+    out = []
+    for s in range(48):
+        cfg = seeded_config(s, 12 + (s % 5), s % 2, 0.35)
+        if 5_000 <= bruteforce_space(cfg) <= 60_000:
+            out.append(cfg)
+    return out
+
+
+@pytest.fixture(scope="module")
+def workload():
+    configs = speedup_workload()
+    assert len(configs) >= 6, "deterministic filter must keep a real sample"
+    return configs
+
+
+# ----------------------------------------------------------------------
+# gate 1: bit-for-bit oracle agreement, exhaustively
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("n,max_tag", [(1, 3), (2, 3), (3, 2), (4, 2), (5, 1), (6, 1)])
+def test_exhaustive_agreement_up_to_n6(n, max_tag):
+    count = 0
+    for cfg in enumerate_configurations(n, max_tag):
+        assert canonical_form(cfg, strategy="refinement") == canonical_form(
+            cfg, strategy="bruteforce"
+        )
+        count += 1
+    assert count > 0
+
+
+def test_exhaustive_shape_agreement_at_n7():
+    """Every connected 7-node shape, under uniform / alternating / mixed
+    tag vectors — including the regular shapes where the oracle pays the
+    full 7! — agrees bit for bit."""
+    shapes = connected_graphs(7)
+    assert len(shapes) == 853
+    for edges in shapes:
+        for vec in N7_TAG_VECTORS:
+            cfg = Configuration(edges, {i: vec[i] for i in range(7)})
+            assert canonical_form(cfg, strategy="refinement") == canonical_form(
+                cfg, strategy="bruteforce"
+            )
+
+
+# ----------------------------------------------------------------------
+# gate 2: >= 5x speedup where the old path struggles
+# ----------------------------------------------------------------------
+def test_canonization_speedup_at_least_5x(workload):
+    """Cold refinement canonization beats the brute-force oracle ≥ 5×
+    in total wall time on the n = 12–16 workload, with identical
+    output. Canon times are summed over three passes (best pass used)
+    to shield the ratio from scheduler noise; the oracle runs once —
+    its times are tens of milliseconds per configuration and stable."""
+    t0 = time.perf_counter()
+    oracle = [canonical_form(c, strategy="bruteforce") for c in workload]
+    oracle_time = time.perf_counter() - t0
+
+    canon_time = float("inf")
+    for _ in range(3):
+        t0 = time.perf_counter()
+        forms = [canonize(c, use_memo=False).form for c in workload]
+        canon_time = min(canon_time, time.perf_counter() - t0)
+    assert forms == oracle  # same bytes, not merely same classes
+
+    speedup = oracle_time / canon_time
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"canon {canon_time:.4f}s vs bruteforce {oracle_time:.4f}s "
+        f"= {speedup:.1f}x < {SPEEDUP_FLOOR}x "
+        f"(workload: {len(workload)} configs, spaces "
+        f"{[bruteforce_space(c) for c in workload]})"
+    )
+
+
+def test_untouchable_for_bruteforce_canonizes_in_milliseconds():
+    """G_12 (n = 49) has ~10^46 profile-respecting relabelings — the
+    oracle could never finish — yet the search canonizes it fast,
+    collapses a relabeling, and discovers the mirror symmetry."""
+    cfg = g_m(12)
+    assert bruteforce_space(cfg) > 10**40
+    t0 = time.perf_counter()
+    lab = canonize(cfg, use_memo=False)
+    elapsed = time.perf_counter() - t0
+    assert elapsed < 1.0, f"n=49 canonization took {elapsed:.3f}s"
+    assert canonize(relabeled(cfg, 3), use_memo=False).form == lab.form
+    assert not lab.is_rigid  # the mirror automorphism
+
+
+# ----------------------------------------------------------------------
+# gate 3: default_keyer collapses isomorphs above the old ceiling
+# ----------------------------------------------------------------------
+def test_default_keyer_collapses_above_old_limit(workload):
+    """The engine's default keyer — hence census caching and service
+    coalescing — now collapses relabeled, tag-shifted isomorphs at
+    n = 12–16, where the seed fell back to the non-collapsing
+    labeled_key."""
+    for cfg in workload:
+        assert cfg.n > OLD_CANONICAL_N_LIMIT
+        iso = relabeled(cfg, 7).shift_tags(2)
+        assert default_keyer(cfg) == default_keyer(iso)
+
+
+def test_batch_records_coalesces_large_isomorph_traffic(workload):
+    """End to end through the engine's batch hook: 3 relabeled copies of
+    each large configuration cost exactly one classification each."""
+    cfg_batch = [relabeled(c, s) for c in workload[:4] for s in range(3)]
+    stats = EngineStats()
+    records = batch_records(cfg_batch, ResultCache(), stats=stats)
+    assert stats.classified == 4
+    assert stats.cache_hits + stats.deduped == len(cfg_batch) - 4
+    for i in range(0, len(records), 3):
+        assert records[i] == records[i + 1] == records[i + 2]
+
+
+# ----------------------------------------------------------------------
+# timing harness
+# ----------------------------------------------------------------------
+@pytest.mark.benchmark(group="e21-canonization")
+def test_bruteforce_canonization_timing(benchmark, workload):
+    # a slice keeps the oracle's repeated benchmark rounds affordable;
+    # the speedup gate above times the full workload once
+    benchmark(lambda: [canonical_form(c, strategy="bruteforce") for c in workload[:3]])
+
+
+@pytest.mark.benchmark(group="e21-canonization")
+def test_refinement_canonization_timing(benchmark, workload):
+    benchmark(lambda: [canonize(c, use_memo=False).form for c in workload[:3]])
+
+
+@pytest.mark.benchmark(group="e21-warm-keying")
+def test_warm_memoized_keying_timing(benchmark, workload):
+    """The service's steady state: repeat keying of warm configurations
+    rides the canonization memo at O(n + m) per request."""
+    for cfg in workload:
+        default_keyer(cfg)  # warm the memo outside the timer
+    benchmark(lambda: [default_keyer(c) for c in workload])

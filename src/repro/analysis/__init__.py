@@ -2,6 +2,7 @@
 round-complexity measurement."""
 
 from .automorphisms import (
+    automorphism_generators,
     automorphism_orbits,
     fixed_nodes,
     has_fixed_node,
@@ -28,7 +29,13 @@ from .extremal import (
     max_iterations,
     min_feasible_span,
 )
-from .isomorphism import are_isomorphic, canonical_form, dedupe, orbit_of
+from .isomorphism import (
+    are_isomorphic,
+    canonical_form,
+    dedupe,
+    find_isomorphism,
+    orbit_of,
+)
 from .parallel import (
     parallel_cross_model,
     parallel_decisions,
@@ -79,6 +86,7 @@ __all__ = [
     "ValidationReport",
     "all_ok",
     "are_isomorphic",
+    "automorphism_generators",
     "automorphism_orbits",
     "canonical_form",
     "census",
@@ -87,6 +95,7 @@ __all__ = [
     "dedupe",
     "equitability_violations",
     "feasibility_probability",
+    "find_isomorphism",
     "fixed_nodes",
     "forced_non_leaders",
     "gm_proof_pairs",

@@ -10,6 +10,15 @@ the same orbit have *identical histories under every protocol*. Hence:
 stuck without a global symmetry — so this is a *necessary* condition. The
 test-suite uses it as ground truth for the "No" direction and as a
 cross-check of the classifier's "Yes" answers.)
+
+Orbit structure (:func:`automorphism_orbits`, :func:`fixed_nodes`,
+:func:`is_rigid`) is computed from the *generators* the canonical
+labeling search discovers as a byproduct (:mod:`repro.canon`): the
+generating set is provably complete, so a union-find closure over it
+yields the exact orbit partition without enumerating the group — whose
+order can be exponential. Full enumeration
+(:func:`tag_preserving_automorphisms`, backed by networkx's VF2) remains
+available for callers that need every automorphism explicitly.
 """
 
 from __future__ import annotations
@@ -40,14 +49,36 @@ def tag_preserving_automorphisms(
             return
 
 
+def automorphism_generators(config: Configuration) -> List[Dict[object, object]]:
+    """Generators of the tag-preserving automorphism group.
+
+    A (typically tiny) generating set discovered by the canonical
+    labeling search — an empty list means the configuration is rigid.
+    Memoized with the canonization itself.
+    """
+    from ..canon import automorphism_generators as canon_generators
+
+    return [dict(g) for g in canon_generators(config)]
+
+
 def fixed_nodes(config: Configuration, *, limit: int = None) -> List[object]:
-    """Nodes fixed by *every* tag-preserving automorphism (sorted)."""
-    fixed: Set[object] = set(config.nodes)
-    for phi in tag_preserving_automorphisms(config, limit=limit):
-        fixed = {v for v in fixed if phi[v] == v}
-        if not fixed:
-            break
-    return sorted(fixed)
+    """Nodes fixed by *every* tag-preserving automorphism (sorted).
+
+    A node is fixed by the whole group iff its orbit is a singleton, so
+    the exact answer falls out of the generator-derived orbit partition.
+    ``limit`` preserves the legacy truncated-enumeration mode (an
+    over-approximation from the first ``limit`` automorphisms only).
+    """
+    if limit is not None:
+        fixed: Set[object] = set(config.nodes)
+        for phi in tag_preserving_automorphisms(config, limit=limit):
+            fixed = {v for v in fixed if phi[v] == v}
+            if not fixed:
+                break
+        return sorted(fixed)
+    return sorted(
+        orbit[0] for orbit in automorphism_orbits(config) if len(orbit) == 1
+    )
 
 
 def automorphism_orbits(config: Configuration) -> List[List[object]]:
@@ -56,6 +87,10 @@ def automorphism_orbits(config: Configuration) -> List[List[object]]:
     Nodes in the same orbit necessarily share histories under every DRIP,
     so the orbit partition refines *into* the classifier's final partition
     ... conversely every classifier class is a union of orbits.
+
+    Computed as the union-find closure of the canonizer's generator set:
+    ``u`` and ``v`` share an orbit iff some product of generators maps
+    one to the other, and the discovered set generates the full group.
     """
     parent: Dict[object, object] = {v: v for v in config.nodes}
 
@@ -70,7 +105,7 @@ def automorphism_orbits(config: Configuration) -> List[List[object]]:
         if ru != rv:
             parent[ru] = rv
 
-    for phi in tag_preserving_automorphisms(config):
+    for phi in automorphism_generators(config):
         for v, w in phi.items():
             union(v, w)
     groups: Dict[object, List[object]] = {}
@@ -85,7 +120,12 @@ def has_fixed_node(config: Configuration) -> bool:
 
 
 def is_rigid(config: Configuration) -> bool:
-    """True iff the identity is the only tag-preserving automorphism."""
-    autos = tag_preserving_automorphisms(config, limit=2)
-    count = sum(1 for _ in autos)
-    return count == 1
+    """True iff the identity is the only tag-preserving automorphism.
+
+    Equivalent to every orbit being a singleton (if no generator moves
+    anything, the generated group is trivial), so this reads the
+    canonizer's generator set instead of running a VF2 enumeration.
+    """
+    from ..canon import canonize
+
+    return canonize(config).is_rigid

@@ -6,12 +6,18 @@ operationally identical (every anonymous protocol behaves the same up to
 renaming), so censuses that enumerate labeled graphs overcount. This
 module provides:
 
-* :func:`are_isomorphic` — tag-preserving isomorphism test (backtracking
-  with degree/tag pruning; fine for census-scale n);
+* :func:`are_isomorphic` — tag-preserving isomorphism test: a
+  refinement-certificate prefilter (:mod:`repro.canon.invariants`)
+  answers most negatives in near-linear time, canonical-form equality
+  decides the rest exactly;
 * :func:`canonical_form` — a canonical representative key, equal for two
-  configurations iff they are isomorphic (computed by brute-force minimum
-  over tag/degree-compatible relabelings, with refinement pruning); it
-  also backs the census engine's cache keys (:mod:`repro.engine.keys`);
+  configurations iff they are isomorphic. The default
+  ``strategy="refinement"`` delegates to :mod:`repro.canon` (color
+  refinement + individualization search); ``strategy="bruteforce"``
+  keeps the original minimum-over-relabelings enumeration as an oracle.
+  Both return the identical ``(n, tag vector, edge set)`` tuple — the
+  E21 benchmark gates the agreement — and the tuple backs the census
+  engine's cache keys (:mod:`repro.engine.keys`);
 * :func:`dedupe` — collapse an iterable of configurations to isomorphism
   class representatives;
 * invariance checks used by the property tests: feasibility, the leader's
@@ -25,10 +31,20 @@ from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from ..core.configuration import Configuration
 
+#: The two canonical-form strategies: the refinement-based canonizer
+#: (:mod:`repro.canon`, the default) and the original brute-force
+#: enumeration kept as a correctness oracle.
+STRATEGIES = ("refinement", "bruteforce")
+
 
 def _signature(cfg: Configuration) -> Tuple:
     """Cheap isomorphism invariant: sorted (tag, degree, neighbour tag
-    multiset) per node, plus size and edge count."""
+    multiset) per node, plus size and edge count.
+
+    Strictly weaker than the 1-WL certificate; kept for the degenerate
+    one-round view it documents and for the property tests that pin the
+    certificate as a refinement of it.
+    """
     per_node = sorted(
         (
             cfg.tag(v),
@@ -41,66 +57,74 @@ def _signature(cfg: Configuration) -> Tuple:
 
 
 def are_isomorphic(a: Configuration, b: Configuration) -> bool:
-    """Tag-preserving isomorphism test."""
-    if _signature(a) != _signature(b):
+    """Tag-preserving isomorphism test.
+
+    The refinement certificate proves most non-isomorphic pairs apart
+    without any search; pairs it cannot separate are decided exactly by
+    canonical-form equality (memoized, so repeated tests against the
+    same configurations stay cheap).
+    """
+    from ..canon import may_be_isomorphic
+
+    if not may_be_isomorphic(a, b):
         return False
-    return _find_mapping(a, b) is not None
+    return canonical_form(a) == canonical_form(b)
 
 
-def _find_mapping(
+def find_isomorphism(
     a: Configuration, b: Configuration
 ) -> Optional[Dict[object, object]]:
-    """Backtracking search for a tag-preserving isomorphism a → b."""
-    a_nodes = sorted(a.nodes, key=lambda v: (-a.degree(v), a.tag(v)))
-    b_by_profile: Dict[Tuple, List[object]] = {}
-    for w in b.nodes:
-        b_by_profile.setdefault((b.tag(w), b.degree(w)), []).append(w)
+    """A tag-preserving isomorphism ``a → b`` as a node map, or ``None``.
 
-    mapping: Dict[object, object] = {}
-    used: set = set()
+    Composed from the two canonical labelings (``a``'s canonical slot
+    of a node equals ``b``'s canonical slot of its image), so callers
+    who need the witness mapping — not just the boolean — reuse the
+    memoized canonization instead of a fresh backtracking search.
+    """
+    from ..canon import canonize
 
-    def candidates(v) -> List[object]:
-        return b_by_profile.get((a.tag(v), a.degree(v)), [])
-
-    def consistent(v, w) -> bool:
-        for u in a.neighbors(v):
-            if u in mapping:
-                if mapping[u] not in b.neighbors(w):
-                    return False
-        # non-neighbours must stay non-neighbours (simple graphs: implied
-        # by edge counts once all nodes are mapped, but pruning here
-        # keeps the search shallow)
-        for u, x in mapping.items():
-            if (u in a.neighbors(v)) != (x in b.neighbors(w)):
-                return False
-        return True
-
-    def extend(i: int) -> bool:
-        if i == len(a_nodes):
-            return True
-        v = a_nodes[i]
-        for w in candidates(v):
-            if w in used or not consistent(v, w):
-                continue
-            mapping[v] = w
-            used.add(w)
-            if extend(i + 1):
-                return True
-            del mapping[v]
-            used.discard(w)
-        return False
-
-    return dict(mapping) if extend(0) else None
+    if not are_isomorphic(a, b):
+        return None
+    la, lb = canonize(a), canonize(b)
+    slot_to_b = {slot: v for v, slot in lb.mapping.items()}
+    return {v: slot_to_b[slot] for v, slot in la.mapping.items()}
 
 
-def canonical_form(cfg: Configuration) -> Tuple:
+def canonical_form(cfg: Configuration, *, strategy: str = "refinement") -> Tuple:
     """Canonical key: equal for two configurations iff isomorphic.
 
-    Computed as the lexicographic minimum, over all tag/degree-profile
-    compatible relabelings to ``0..n−1``, of ``(tag vector, edge set)``.
-    Exponential in the worst case but heavily pruned by profiles;
-    intended for census-scale configurations (n ≲ 8).
+    The key is the lexicographic minimum, over all relabelings to
+    ``0..n−1`` compatible with the sorted ``(tag, degree)`` profile
+    layout, of ``(n, tag vector, edge set)`` for the normalized
+    configuration.
+
+    ``strategy`` selects how the minimum is found:
+
+    * ``"refinement"`` (default) — :mod:`repro.canon`'s
+      individualization–refinement search with bound and
+      automorphism-orbit pruning; near-linear on the workloads the
+      engine serves, memoized across calls.
+    * ``"bruteforce"`` — the original profile-pruned enumeration of
+      every compatible relabeling; worst-case exponential in the
+      largest profile class. Kept as the oracle the E21 benchmark and
+      the property tests compare against (n ≲ 10 territory).
+
+    Both strategies return the identical tuple.
     """
+    if strategy == "refinement":
+        from ..canon import canonical_form as refined_form
+
+        return refined_form(cfg)
+    if strategy != "bruteforce":
+        raise ValueError(
+            f"unknown strategy {strategy!r} (choose {' or '.join(STRATEGIES)})"
+        )
+    return _bruteforce_canonical_form(cfg)
+
+
+def _bruteforce_canonical_form(cfg: Configuration) -> Tuple:
+    """The original oracle: minimum over every profile-compatible
+    relabeling (exponential in the largest profile class)."""
     cfg = cfg.normalize()
     nodes = list(cfg.nodes)
     n = len(nodes)
@@ -156,12 +180,19 @@ def canonical_form(cfg: Configuration) -> Tuple:
     return best
 
 
-def dedupe(configs: Iterable[Configuration]) -> List[Configuration]:
-    """Representatives of each isomorphism class, in first-seen order."""
+def dedupe(
+    configs: Iterable[Configuration], *, strategy: str = "refinement"
+) -> List[Configuration]:
+    """Representatives of each isomorphism class, in first-seen order.
+
+    ``strategy`` is forwarded to :func:`canonical_form`; both settings
+    produce identical representative lists (the keys are equal tuples),
+    differing only in how fast the keys are computed.
+    """
     seen = set()
     out: List[Configuration] = []
     for cfg in configs:
-        key = canonical_form(cfg)
+        key = canonical_form(cfg, strategy=strategy)
         if key not in seen:
             seen.add(key)
             out.append(cfg)
@@ -169,10 +200,14 @@ def dedupe(configs: Iterable[Configuration]) -> List[Configuration]:
 
 
 def orbit_of(cfg: Configuration, v: object) -> List[object]:
-    """The set of nodes some tag-preserving automorphism maps ``v`` to."""
-    from .automorphisms import tag_preserving_automorphisms
+    """The set of nodes some tag-preserving automorphism maps ``v`` to.
 
-    out = {v}
-    for auto in tag_preserving_automorphisms(cfg):
-        out.add(auto[v])
-    return sorted(out)
+    Read off the orbit partition derived from the canonizer's
+    automorphism generators — no group enumeration.
+    """
+    from .automorphisms import automorphism_orbits
+
+    for orbit in automorphism_orbits(cfg):
+        if v in orbit:
+            return orbit
+    raise KeyError(f"{v!r} is not a node of the configuration")

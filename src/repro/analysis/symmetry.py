@@ -33,12 +33,30 @@ def symmetry_pairs(
     config: Configuration, *, limit: Optional[int] = None
 ) -> List[Tuple[object, object]]:
     """Unordered pairs ``{u, v}`` with ``u ≠ v`` mapped to each other by
-    some tag-preserving automorphism (sorted, deduplicated)."""
+    some tag-preserving automorphism (sorted, deduplicated).
+
+    ``u`` is mapped to ``v`` by *some* automorphism exactly when the two
+    share an automorphism orbit, so the exact answer is every
+    within-orbit pair of the generator-derived orbit partition
+    (:func:`repro.analysis.automorphisms.automorphism_orbits`) — no
+    group enumeration. Passing ``limit`` preserves the legacy truncated
+    VF2 enumeration (an under-approximation from the first ``limit``
+    automorphisms).
+    """
+    if limit is not None:
+        pairs = set()
+        for auto in tag_preserving_automorphisms(config, limit=limit):
+            for u, v in auto.items():
+                if u != v:
+                    pairs.add((min(u, v), max(u, v)))
+        return sorted(pairs)
+    from .automorphisms import automorphism_orbits
+
     pairs = set()
-    for auto in tag_preserving_automorphisms(config, limit=limit):
-        for u, v in auto.items():
-            if u != v:
-                pairs.add((min(u, v), max(u, v)))
+    for orbit in automorphism_orbits(config):
+        for i, u in enumerate(orbit):
+            for v in orbit[i + 1:]:
+                pairs.add((u, v))
     return sorted(pairs)
 
 

@@ -1,0 +1,73 @@
+"""Refinement-based canonical labeling (the post-``n ≤ 10`` canonizer).
+
+``repro.canon`` replaces brute-force canonical-form enumeration — the
+worst-case-exponential step that forced the census engine to stop
+collapsing isomorphic duplicates above ``n = 10`` — with the classic
+canonization stack used by practical graph-canonization tools:
+
+* :mod:`repro.canon.refine` — 1-WL color refinement over
+  ``(tag, degree)`` seeds: the coarsest equitable partition, computed in
+  near-linear time, with canonical (invariant) color ids;
+* :mod:`repro.canon.canonize` — individualization–refinement search
+  with bound and automorphism-orbit pruning, returning the exact same
+  ``(n, tags, edges)`` canonical tuple as the brute-force oracle, plus
+  generators of the tag-preserving automorphism group, behind a
+  configuration-equality memo;
+* :mod:`repro.canon.invariants` — the refinement certificate: a cheap
+  invariant prefilter for isomorphism tests and a cache-key fallback.
+
+Consumers: :mod:`repro.analysis.isomorphism` (``canonical_form`` /
+``are_isomorphic`` / ``dedupe`` delegate here; the old enumeration
+survives as ``strategy="bruteforce"``), :mod:`repro.engine.keys`
+(``default_keyer`` now canonizes at every ``n``),
+:mod:`repro.analysis.automorphisms` and :mod:`repro.analysis.symmetry`
+(orbit structure from discovered generators), and through the keyer the
+batch service's request coalescing. Design notes: ``docs/canon.md``.
+
+    >>> from repro.canon import canonical_form, canonize
+    >>> from repro.core.configuration import line_configuration
+    >>> a = line_configuration([0, 1, 0])
+    >>> b = line_configuration([0, 1, 0]).relabel({0: 2, 1: 1, 2: 0})
+    >>> canonical_form(a) == canonical_form(b)
+    True
+    >>> canonize(a).generators      # the mirror automorphism
+    ({0: 2, 1: 1, 2: 0},)
+"""
+
+from .canonize import (
+    CanonicalLabeling,
+    automorphism_generators,
+    canonical_form,
+    canonize,
+    clear_memo,
+    memo_info,
+)
+from .invariants import certificate, certificate_key, may_be_isomorphic
+from .refine import (
+    IndexedGraph,
+    equitable_partition,
+    index_graph,
+    refine_colors,
+    refinement_trace,
+    seed_colors,
+    stable_coloring,
+)
+
+__all__ = [
+    "CanonicalLabeling",
+    "IndexedGraph",
+    "automorphism_generators",
+    "canonical_form",
+    "canonize",
+    "certificate",
+    "certificate_key",
+    "clear_memo",
+    "equitable_partition",
+    "index_graph",
+    "may_be_isomorphic",
+    "memo_info",
+    "refine_colors",
+    "refinement_trace",
+    "seed_colors",
+    "stable_coloring",
+]

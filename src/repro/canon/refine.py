@@ -1,0 +1,173 @@
+"""1-WL color refinement over ``(tag, degree)`` seeds.
+
+The workhorse of the canonical-labeling subsystem: *color refinement*
+(the 1-dimensional Weisfeiler–Leman algorithm) starts from the
+isomorphism-invariant seed coloring ``(tag, degree)`` and repeatedly
+re-colors every node by the multiset of its neighbours' colors until the
+partition stabilizes. The result is the coarsest *equitable* partition
+refining the seeds: any two nodes in the same final cell have, for every
+cell ``D``, the same number of neighbours in ``D``.
+
+Two properties make this the right primitive here:
+
+* **Invariance** — color ids are assigned by the rank of each
+  signature among the round's sorted distinct signatures, so isomorphic
+  configurations get identical color vectors (up to the isomorphism).
+  That makes the final coloring a cheap certificate
+  (:mod:`repro.canon.invariants`) and a sound automorphism invariant:
+  no tag-preserving automorphism maps nodes of different stable colors
+  to each other.
+* **Cost** — each round is ``O(m log n)`` and there are at most ``n``
+  rounds; in practice the partition stabilizes in a handful.
+
+Refinement alone does not canonize (regular-ish graphs keep coarse
+cells); :mod:`repro.canon.canonize` layers an individualization search
+on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..core.configuration import Configuration
+
+
+@dataclass(frozen=True)
+class IndexedGraph:
+    """A configuration re-indexed to ``0..n-1`` (sorted node order).
+
+    The canon algorithms work on dense integer indices; this is the one
+    translation layer. ``nodes[i]`` recovers the original node id of
+    index ``i``; ``tags``/``adj`` are indexed by position.
+    """
+
+    nodes: Tuple[object, ...]
+    tags: Tuple[int, ...]
+    adj: Tuple[Tuple[int, ...], ...]
+
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return len(self.nodes)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges."""
+        return sum(len(a) for a in self.adj) // 2
+
+
+def index_graph(cfg: Configuration) -> IndexedGraph:
+    """Normalize ``cfg`` and re-index its nodes to ``0..n-1``.
+
+    Normalization (shifting the smallest tag to 0) happens here so every
+    canon entry point treats tag-shifted copies identically, matching
+    the convention of :func:`repro.analysis.isomorphism.canonical_form`.
+    """
+    cfg = cfg.normalize()
+    nodes = tuple(cfg.nodes)
+    pos = {v: i for i, v in enumerate(nodes)}
+    return IndexedGraph(
+        nodes=nodes,
+        tags=tuple(cfg.tag(v) for v in nodes),
+        adj=tuple(
+            tuple(sorted(pos[w] for w in cfg.neighbors(v))) for v in nodes
+        ),
+    )
+
+
+def seed_colors(graph: IndexedGraph) -> List[int]:
+    """Initial invariant coloring: the rank of ``(tag, degree)`` among
+    the sorted distinct profiles (ascending, matching the brute-force
+    canonical form's slot ordering)."""
+    profiles = [(graph.tags[v], len(graph.adj[v])) for v in range(graph.n)]
+    rank = {p: i for i, p in enumerate(sorted(set(profiles)))}
+    return [rank[p] for p in profiles]
+
+
+def refine_colors(
+    graph: IndexedGraph, colors: List[int]
+) -> Tuple[List[int], int]:
+    """Run 1-WL refinement from ``colors`` to the stable partition.
+
+    Returns ``(stable_colors, rounds)``. Color ids stay canonical: each
+    round assigns new ids by the rank of ``(old color, sorted neighbour
+    color multiset)`` among the round's sorted distinct signatures, so
+    the output depends only on the isomorphism class of the seeded
+    graph — never on node identities.
+    """
+    colors = list(colors)
+    rounds = 0
+    num_colors = len(set(colors))
+    while True:
+        signatures = [
+            (colors[v], tuple(sorted(colors[w] for w in graph.adj[v])))
+            for v in range(graph.n)
+        ]
+        rank = {s: i for i, s in enumerate(sorted(set(signatures)))}
+        new_colors = [rank[s] for s in signatures]
+        new_num = len(rank)
+        if new_num == num_colors:
+            # refinement only ever splits cells; an unchanged count
+            # means an unchanged partition (ids may be renumbered, but
+            # rank order preserves the cell structure)
+            return new_colors, rounds
+        colors, num_colors = new_colors, new_num
+        rounds += 1
+
+
+def refinement_trace(graph: IndexedGraph) -> Tuple:
+    """The full 1-WL trace: one sorted signature multiset per round.
+
+    Round 0 records the sorted ``(tag, degree)`` profile multiset; each
+    later round records the sorted multiset of ``(color, neighbour
+    color multiset)`` signatures (colors being the previous round's
+    invariant rank ids). The trace is isomorphism-invariant, and it
+    retains the *structure* of every round — unlike the final color
+    ids alone, whose ranks can coincide numerically for graphs whose
+    refinement histories differ. This is what makes it a sound and
+    usefully sharp certificate (:mod:`repro.canon.invariants`).
+    """
+    colors = seed_colors(graph)
+    trace: List[Tuple] = [
+        tuple(
+            sorted((graph.tags[v], len(graph.adj[v])) for v in range(graph.n))
+        )
+    ]
+    num_colors = len(set(colors))
+    while True:
+        signatures = [
+            (colors[v], tuple(sorted(colors[w] for w in graph.adj[v])))
+            for v in range(graph.n)
+        ]
+        trace.append(tuple(sorted(signatures)))
+        rank = {s: i for i, s in enumerate(sorted(set(signatures)))}
+        colors = [rank[s] for s in signatures]
+        if len(rank) == num_colors:
+            return tuple(trace)
+        num_colors = len(rank)
+
+
+def stable_coloring(cfg: Configuration) -> Tuple[IndexedGraph, List[int]]:
+    """Index ``cfg`` and refine its seed coloring to stability."""
+    graph = index_graph(cfg)
+    colors, _ = refine_colors(graph, seed_colors(graph))
+    return graph, colors
+
+
+def equitable_partition(cfg: Configuration) -> List[List[object]]:
+    """The coarsest equitable partition refining ``(tag, degree)``.
+
+    Cells are returned as sorted lists of *original* node ids, ordered
+    by their (canonical) stable color — so two isomorphic
+    configurations produce cell structures that correspond under any
+    isomorphism. Nodes in one cell are exactly the nodes 1-WL cannot
+    tell apart; every tag-preserving automorphism orbit is contained in
+    some cell (the converse fails for regular-ish graphs, which is why
+    canonization still needs a search).
+    """
+    graph, colors = stable_coloring(cfg)
+    cells: Dict[int, List[object]] = {}
+    for v in range(graph.n):
+        cells.setdefault(colors[v], []).append(graph.nodes[v])
+    return [sorted(cells[c]) for c in sorted(cells)]

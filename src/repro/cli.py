@@ -109,6 +109,8 @@ def cmd_census(args: argparse.Namespace) -> int:
 
     if args.shards < 1:
         raise SystemExit("census: --shards must be >= 1")
+    if args.compact_cache and not args.cache:
+        raise SystemExit("census: --compact-cache requires --cache")
     ns = [int(x) for x in args.n.split(",")]
     try:
         cache = ResultCache(args.cache) if args.cache else ResultCache()
@@ -142,6 +144,20 @@ def cmd_census(args: argparse.Namespace) -> int:
     )
     print(f"  {run.describe()}")
     print(f"  {cache.describe()}")
+    if args.compact_cache:
+        try:
+            dropped = cache.compact()
+        except OSError as exc:
+            raise SystemExit(f"census: cache compaction failed: {exc}")
+        print(
+            f"  compacted {args.cache}: dropped {dropped} superseded "
+            f"line(s), {len(cache)} live key(s)"
+        )
+    if args.stats:
+        engine_counts = sorted(run.stats.as_dict().items())
+        cache_counts = sorted(cache.stats.as_dict().items())
+        print(kv_block("Engine stats", engine_counts))
+        print(kv_block("Cache stats", cache_counts))
     return 0
 
 
@@ -414,6 +430,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--checkpoint", help="directory for per-shard resume checkpoints"
+    )
+    p.add_argument(
+        "--compact-cache",
+        action="store_true",
+        help=(
+            "after the census, atomically rewrite the --cache JSONL "
+            "store dropping superseded duplicate keys"
+        ),
+    )
+    p.add_argument(
+        "--stats",
+        action="store_true",
+        help="print detailed engine/cache hit, miss and collapse counters",
     )
     p.set_defaults(func=cmd_census)
 

@@ -4,7 +4,8 @@ The engine turns the library's feasibility censuses (E1, E11, E14, E15)
 from throwaway sweeps into accumulating, resumable artifacts:
 
 * :mod:`repro.engine.keys` — canonical keys that collapse tag-preserving
-  isomorphic configurations to one cache entry;
+  isomorphic configurations to one cache entry, at any size, via the
+  refinement canonizer (:mod:`repro.canon`);
 * :mod:`repro.engine.cache` — an in-memory LRU with an optional
   append-only JSONL store, so repeated and resumed censuses are
   near-free;
@@ -32,9 +33,9 @@ Quickstart::
 
 from .cache import CacheStats, ResultCache
 from .keys import (
-    CANONICAL_N_LIMIT,
     Keyer,
     canonical_key,
+    certificate_key,
     default_keyer,
     labeled_key,
 )
@@ -62,7 +63,6 @@ from .workloads import (
 )
 
 __all__ = [
-    "CANONICAL_N_LIMIT",
     "CacheStats",
     "CensusRun",
     "EngineStats",
@@ -78,6 +78,7 @@ __all__ = [
     "cached_evaluate",
     "canonical_key",
     "census_record",
+    "certificate_key",
     "default_keyer",
     "feasible_batch",
     "labeled_key",

@@ -36,6 +36,7 @@ class CacheStats:
     misses: int = 0
     evictions: int = 0
     loaded: int = 0  #: entries replayed from the on-disk store at open
+    compacted: int = 0  #: superseded JSONL lines dropped by :meth:`ResultCache.compact`
 
     @property
     def lookups(self) -> int:
@@ -46,6 +47,18 @@ class CacheStats:
     def hit_rate(self) -> float:
         """Fraction of lookups served from cache (0.0 when unused)."""
         return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> Dict:
+        """JSON-ready counter dict (census ``--stats`` and service
+        response ``meta`` print/ship exactly this)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hit_rate, 4),
+            "evictions": self.evictions,
+            "loaded": self.loaded,
+            "compacted": self.compacted,
+        }
 
 
 class ResultCache:
@@ -140,6 +153,58 @@ class ResultCache:
                 )
                 + "\n"
             )
+
+    def compact(self) -> int:
+        """Atomically rewrite the JSONL store, dropping superseded lines.
+
+        The append-only store accumulates one line per :meth:`put`, so a
+        key overwritten k times (the census "rounds upgrade", repeated
+        runs appending the same population) occupies k lines of which
+        only the last matters. Compaction replays the *file* (not the
+        in-memory LRU, which may have evicted entries the disk still
+        holds), writes one line per live key — in first-appearance
+        order, each with its last-written record — to a temp file, and
+        atomically replaces the store (``os.replace``), so a crash
+        mid-compaction leaves the original intact. Unparseable lines
+        (crashed half-appends) are dropped too.
+
+        Returns the number of lines dropped (also accumulated in
+        ``stats.compacted``). A cache with no store is a no-op.
+        """
+        if not self.path or not os.path.exists(self.path):
+            return 0
+        live: "OrderedDict[str, Dict]" = OrderedDict()
+        lines = 0
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                if not line.strip():
+                    continue
+                lines += 1
+                try:
+                    obj = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if isinstance(obj, dict) and "key" in obj and "record" in obj:
+                    # dict insertion order keeps first appearance, the
+                    # overwrite keeps the last record — exactly replay's
+                    # last-line-wins semantics
+                    live[obj["key"]] = obj["record"]
+        self.close()  # the stale append handle must not outlive the rewrite
+        tmp = self.path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            for key, record in live.items():
+                fh.write(
+                    json.dumps(
+                        {"key": key, "record": record},
+                        separators=(",", ":"),
+                        sort_keys=True,
+                    )
+                    + "\n"
+                )
+        os.replace(tmp, self.path)
+        dropped = lines - len(live)
+        self.stats.compacted += dropped
+        return dropped
 
     def close(self) -> None:
         """Close the JSONL store handle (reopened lazily on next put)."""

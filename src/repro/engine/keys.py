@@ -8,18 +8,30 @@ invariant under tag-preserving isomorphism. Keying cache entries by a
 canonical form therefore lets the engine classify each isomorphism class
 exactly once.
 
-Two keyers are provided:
+Three keyers are provided:
 
 * :func:`canonical_key` — a digest of
   :func:`repro.analysis.isomorphism.canonical_form`; equal for two
   configurations iff they are tag-preserving isomorphic (after
-  :meth:`~repro.core.configuration.Configuration.normalize`). This is the
-  engine default. Canonicalization is exponential in the worst case but
-  profile-pruned; census-scale configurations (n ≲ 10) key in
-  microseconds-to-milliseconds.
+  :meth:`~repro.core.configuration.Configuration.normalize`). This is
+  the engine default at **every** size: the refinement-based canonizer
+  (:mod:`repro.canon`) replaced the brute-force enumeration that used
+  to cap canonical keying at n = 10, and a configuration-equality memo
+  makes repeat keying of warm traffic O(n + m).
+* :func:`certificate_key` — a digest of the 1-WL refinement
+  certificate (:func:`repro.canon.certificate_key` re-exported):
+  near-linear, collapses relabelings and everything 1-WL can prove
+  equivalent, but may merge distinct isomorphism classes the exact key
+  separates. An escape hatch for adversarially symmetric populations
+  where even the searched canonization is too slow.
 * :func:`labeled_key` — a digest of the exact labeled structure, with no
   isomorphism collapse. O(n + m); use it when the population is already
-  deduplicated or when n is too large to canonicalize.
+  deduplicated.
+
+Correctness never depends on which keyer runs — a weaker keyer only
+means fewer cache hits (``certificate_key`` is the one exception: it
+may *over*-collapse 1-WL-equivalent non-isomorphic configurations, so
+it is opt-in and never the default).
 
 Keys are short hex strings so they serialize verbatim into the JSONL
 cache (:mod:`repro.engine.cache`) and shard checkpoints.
@@ -32,6 +44,7 @@ import json
 from typing import Callable
 
 from ..analysis.isomorphism import canonical_form
+from ..canon import certificate_key as _certificate_key
 from ..core.configuration import Configuration
 
 #: Signature of a keyer: configuration -> stable string key.
@@ -50,29 +63,35 @@ def canonical_key(cfg: Configuration) -> str:
     The key digests the lexicographically minimal relabeled
     ``(n, tag vector, edge set)`` of the normalized configuration, so
     relabeled and tag-shifted copies of the same network collapse to one
-    cache entry.
+    cache entry — at any n, via :mod:`repro.canon`.
     """
     n, tagvec, edges = canonical_form(cfg)
     return _digest([n, list(tagvec), [list(e) for e in edges]])
 
 
-#: Largest n for which :func:`default_keyer` pays the canonicalization
-#: cost; beyond it the exponential worst case stops being hypothetical.
-CANONICAL_N_LIMIT = 10
+def certificate_key(cfg: Configuration) -> str:
+    """Near-linear 1-WL certificate key (may over-collapse; opt-in).
+
+    Re-exported from :func:`repro.canon.certificate_key` so engine
+    callers can pick it as a ``keyer`` without importing the canon
+    package directly.
+    """
+    return _certificate_key(cfg)
 
 
 def default_keyer(cfg: Configuration) -> str:
-    """Size-aware keyer: canonical up to :data:`CANONICAL_N_LIMIT`, labeled
-    beyond it.
+    """The engine's default keyer: canonical at every size.
 
-    Small configurations — where isomorphic duplicates are common and
-    canonicalization is cheap — get full isomorphism collapse; large ones
-    fall back to the linear-time exact key (duplicates there are rare
-    anyway, and correctness never depends on which keyer runs).
+    Historically this switched to :func:`labeled_key` above
+    ``CANONICAL_N_LIMIT = 10`` because brute-force canonization is
+    exponential; the refinement canonizer removed the ceiling, so
+    isomorphic duplicates now collapse at any n and the constant is
+    gone. (The canonizer's worst case is still exponential on
+    pathologically symmetric regular graphs — pick
+    :func:`certificate_key` or :func:`labeled_key` explicitly if a
+    workload ever lives there.)
     """
-    if cfg.n <= CANONICAL_N_LIMIT:
-        return canonical_key(cfg)
-    return labeled_key(cfg)
+    return canonical_key(cfg)
 
 
 def labeled_key(cfg: Configuration) -> str:

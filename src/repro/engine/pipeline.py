@@ -183,6 +183,20 @@ class EngineStats:
             else 0.0
         )
 
+    def as_dict(self) -> Dict:
+        """JSON-ready counter dict: hits, collapses (``coalesced``), and
+        fresh classifications — the engine half of census ``--stats``
+        output and service response ``meta``."""
+        return {
+            "total_configs": self.total_configs,
+            "classified": self.classified,
+            "cache_hits": self.cache_hits,
+            "coalesced": self.deduped,
+            "hit_rate": round(self.hit_rate, 4),
+            "shards_total": self.shards_total,
+            "shards_resumed": self.shards_resumed,
+        }
+
 
 @dataclass
 class CensusRun:

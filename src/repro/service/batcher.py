@@ -85,6 +85,16 @@ class ServiceStats:
             f"{e.deduped} coalesced"
         )
 
+    def as_dict(self) -> Dict:
+        """JSON-ready service-level counters (nested under ``service``
+        in response ``meta``)."""
+        return {
+            "submitted": self.submitted,
+            "fast_hits": self.fast_hits,
+            "batches": self.batches,
+            "largest_batch": self.largest_batch,
+        }
+
 
 @dataclass(frozen=True)
 class Ticket:
@@ -358,8 +368,9 @@ class BatchClassifier:
         traffic should stay serial.
     keyer:
         request coalescing granularity; the default collapses
-        tag-preserving isomorphs up to
-        :data:`~repro.engine.keys.CANONICAL_N_LIMIT`.
+        tag-preserving isomorphs at any size via the refinement
+        canonizer (:mod:`repro.canon`), whose memo makes repeat keying
+        of warm traffic O(n + m).
     """
 
     def __init__(
@@ -518,3 +529,21 @@ class BatchClassifier:
     def describe(self) -> str:
         """One-line stats summary (service + cache)."""
         return f"{self.stats.describe()}; {self.cache.describe()}"
+
+    def meta(self) -> Dict:
+        """The hit/miss/collapse accounting shipped in response ``meta``.
+
+        Three nested counter groups: ``service`` (requests, fast hits,
+        batches), ``engine`` (classifications, cache hits, isomorphism
+        coalescing), and ``cache`` (the shared
+        :class:`~repro.engine.cache.CacheStats` counters plus the
+        current entry count). Values are cumulative for this classifier
+        instance — a snapshot taken when the response is assembled, so
+        clients can watch their own traffic turn into cache hits.
+        """
+        cache = dict(self.cache.stats.as_dict(), entries=len(self.cache))
+        return {
+            "service": self.stats.as_dict(),
+            "engine": self.stats.engine.as_dict(),
+            "cache": cache,
+        }

@@ -33,7 +33,11 @@ tag-preserving isomorphisms that request coalescing collapses, so it is
 deliberately not part of the wire format. Callers who need the concrete
 leader node run :func:`repro.core.feasibility.elect` locally.
 
-Failures are ``{"ok": false, "error": "<message>"}``.
+Failures are ``{"ok": false, "error": "<message>"}``. The HTTP server
+additionally attaches a ``meta`` object — the classifier's cumulative
+cache hit/miss and isomorphism-coalescing counters
+(:meth:`~repro.service.batcher.BatchClassifier.meta`) — to every
+successful response (top level for batches).
 """
 
 from __future__ import annotations

@@ -13,6 +13,9 @@ Routes:
   with one response object or ``{"ok": true, "responses": [...]}``.
   Item-level failures (malformed configuration) become per-item
   ``{"ok": false, ...}`` entries — one bad request never fails a batch.
+  Successful responses carry a ``meta`` object with the classifier's
+  cumulative hit/miss/collapse counters
+  (:meth:`~repro.service.batcher.BatchClassifier.meta`).
 * ``GET /healthz`` — liveness: ``{"ok": true, "service": ...}``.
 * ``GET /stats`` — the service/cache accounting counters.
 
@@ -198,10 +201,15 @@ class ClassificationHandler(BaseHTTPRequestHandler):
                 continue
             responses[i] = response_for(request, ticket.key, record)
 
+        # hit/miss/collapse accounting rides on every successful
+        # response (snapshot at assembly time; see BatchClassifier.meta)
+        meta = self.server.classifier.meta()
         if batched:
-            self._send_json(200, {"ok": True, "responses": responses})
+            self._send_json(
+                200, {"ok": True, "responses": responses, "meta": meta}
+            )
         elif responses and responses[0].get("ok"):
-            self._send_json(200, responses[0])
+            self._send_json(200, dict(responses[0], meta=meta))
         elif responses:
             # a classification fault is the server's failure (500); a
             # request the parser rejected is the client's (400)

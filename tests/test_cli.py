@@ -1,5 +1,7 @@
 """Unit tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -55,6 +57,31 @@ class TestCensus:
         out = capsys.readouterr().out
         assert "census" in out.lower()
         assert " 4 |" in out and " 5 |" in out  # one row per size
+
+    def test_stats_flag_prints_counters(self, capsys):
+        assert main(
+            ["census", "--n", "4", "--samples", "3", "--seed", "2", "--stats"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Engine stats" in out and "Cache stats" in out
+        assert "coalesced" in out and "misses" in out
+
+    def test_compact_cache_flag(self, tmp_path, capsys):
+        cache = str(tmp_path / "census.jsonl")
+        base = ["census", "--n", "4", "--samples", "3", "--seed", "2", "--cache", cache]
+        assert main(base) == 0
+        # the --rounds rerun upgrades every record: superseded lines appear
+        assert main(base + ["--rounds", "--compact-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "compacted" in out and "dropped" in out
+        with open(cache, encoding="utf-8") as fh:
+            lines = [line for line in fh if line.strip()]
+        keys = [json.loads(line)["key"] for line in lines]
+        assert len(keys) == len(set(keys))  # no superseded duplicates left
+
+    def test_compact_cache_requires_cache(self):
+        with pytest.raises(SystemExit):
+            main(["census", "--n", "4", "--samples", "2", "--compact-cache"])
 
 
 class TestDefeat:

@@ -86,6 +86,36 @@ def test_engine_public_api_documented():
     assert not missing, f"undocumented repro.engine exports: {missing}"
 
 
+def test_canon_package_is_covered():
+    """The canonical-labeling subsystem must be walked by this gate: its
+    modules appear in the collected module list (a silent pkgutil skip
+    would exempt the whole package from the docstring requirement)."""
+    canon_modules = {m for m in MODULES if m.startswith("repro.canon")}
+    assert canon_modules >= {
+        "repro.canon",
+        "repro.canon.canonize",
+        "repro.canon.invariants",
+        "repro.canon.refine",
+    }
+
+
+def test_canon_public_api_documented():
+    """Every name exported from ``repro.canon`` has a docstring (the
+    canonizer backs the engine's cache keys and the service's request
+    coalescing; its API is documentation-critical — docs/canon.md
+    builds on these docstrings)."""
+    import repro.canon as canon
+
+    missing = []
+    for name in canon.__all__:
+        obj = getattr(canon, name)
+        if (inspect.isclass(obj) or inspect.isfunction(obj)) and not inspect.getdoc(
+            obj
+        ):
+            missing.append(name)
+    assert not missing, f"undocumented repro.canon exports: {missing}"
+
+
 def test_service_package_is_covered():
     """The service layer must be walked by this gate: its modules appear
     in the collected module list (a silent pkgutil skip would exempt the

@@ -18,12 +18,16 @@ from repro.engine import (
     cached_evaluate,
     canonical_key,
     census_record,
+    certificate_key,
     default_keyer,
     labeled_key,
 )
-from repro.engine.keys import CANONICAL_N_LIMIT
 
 from conftest import random_config_batch
+
+#: The seed's brute-force canonization ceiling; the refinement canonizer
+#: removed it, and the tests below pin that keying collapses beyond it.
+OLD_CANONICAL_N_LIMIT = 10
 
 
 def relabel(cfg: Configuration, perm) -> Configuration:
@@ -62,15 +66,28 @@ class TestKeys:
         assert labeled_key(cfg) != labeled_key(iso)
         assert canonical_key(cfg) == canonical_key(iso)
 
-    def test_default_keyer_switches_on_size(self):
+    def test_default_keyer_is_canonical_at_every_size(self):
         small = Configuration([(0, 1)], {0: 0, 1: 1})
         assert default_keyer(small) == canonical_key(small)
-        big_n = CANONICAL_N_LIMIT + 2
+        big_n = OLD_CANONICAL_N_LIMIT + 2
         big = Configuration(
             [(i, i + 1) for i in range(big_n - 1)],
             {i: i % 2 for i in range(big_n)},
         )
-        assert default_keyer(big) == labeled_key(big)
+        # above the seed's brute-force ceiling, the keyer still canonizes
+        assert default_keyer(big) == canonical_key(big)
+        # ... and therefore collapses relabeled isomorphs the old
+        # labeled-key fallback kept apart
+        iso = relabel(big, {i: (i * 7 + 3) % big_n for i in range(big_n)})
+        assert default_keyer(big) == default_keyer(iso)
+        assert labeled_key(big) != labeled_key(iso)
+
+    def test_certificate_key_collapses_isomorphs(self):
+        cfg = Configuration([(0, 1), (1, 2), (2, 3)], {0: 0, 1: 1, 2: 0, 3: 2})
+        iso = relabel(cfg, {0: 3, 1: 1, 2: 0, 3: 2})
+        assert certificate_key(cfg) == certificate_key(iso)
+        other = Configuration([(0, 1), (1, 2), (2, 3)], {0: 2, 1: 1, 2: 0, 3: 0})
+        assert certificate_key(cfg) != certificate_key(other)
 
     def test_canonical_key_random_isomorph_batch(self):
         import random
@@ -160,6 +177,52 @@ class TestResultCache:
     def test_bad_max_entries_rejected(self):
         with pytest.raises(ValueError):
             ResultCache(max_entries=0)
+
+
+# ----------------------------------------------------------------------
+# compaction
+# ----------------------------------------------------------------------
+class TestCompact:
+    def test_compact_drops_superseded_lines(self, tmp_path):
+        path = str(tmp_path / "cache.jsonl")
+        cache = ResultCache(path)
+        cache.put("a", {"v": 1})
+        cache.put("b", {"v": 1})
+        cache.put("a", {"v": 2})  # supersedes the first "a" line
+        cache.put("a", {"v": 3})
+        assert cache.compact() == 2
+        assert cache.stats.compacted == 2
+        with open(path, encoding="utf-8") as fh:
+            lines = [json.loads(line) for line in fh if line.strip()]
+        assert [ln["key"] for ln in lines] == ["a", "b"]  # first-seen order
+        assert lines[0]["record"] == {"v": 3}  # ... with the last record
+        replayed = ResultCache(path)
+        assert replayed.peek("a") == {"v": 3}
+        assert replayed.peek("b") == {"v": 1}
+
+    def test_compact_keeps_entries_evicted_from_memory(self, tmp_path):
+        """Compaction replays the file, not the LRU: a disk entry whose
+        memory copy was evicted must survive the rewrite."""
+        path = str(tmp_path / "cache.jsonl")
+        cache = ResultCache(path, max_entries=1)
+        cache.put("a", {"v": 1})
+        cache.put("b", {"v": 2})  # evicts "a" from memory only
+        assert "a" not in cache
+        assert cache.compact() == 0
+        assert ResultCache(path).peek("a") == {"v": 1}
+
+    def test_compact_drops_truncated_lines_and_appends_still_work(self, tmp_path):
+        path = str(tmp_path / "cache.jsonl")
+        cache = ResultCache(path)
+        cache.put("k", {"v": 1})
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"key": "x", "rec')  # crashed half-append
+        assert cache.compact() == 1
+        cache.put("k2", {"v": 2})  # handle reopens lazily post-compaction
+        assert len(ResultCache(path)) == 2
+
+    def test_compact_without_store_is_noop(self):
+        assert ResultCache().compact() == 0
 
 
 # ----------------------------------------------------------------------

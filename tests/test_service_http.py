@@ -101,6 +101,30 @@ class TestClassifyRoute:
         got = [r["report"] for r in body["responses"]]
         assert got == [serial_report(line_configuration(ln)) for ln in lines]
 
+    def test_responses_carry_meta_counters(self, base_url):
+        """Every successful /classify response ships the classifier's
+        cumulative hit/miss/collapse counters under ``meta`` (single and
+        batched shapes both), and duplicate traffic shows up there."""
+        line = {"line": [0, 2, 1, 0]}
+        status, single = fetch(base_url, "/classify", line)
+        assert status == 200
+        meta = single["meta"]
+        assert set(meta) == {"service", "engine", "cache"}
+        status, batched = fetch(base_url, "/classify", {"requests": [line] * 4})
+        assert status == 200
+        meta2 = batched["meta"]
+        # four isomorphic duplicates later: submissions grew, the cache
+        # entry count did not, and hits/coalescing account for them all
+        assert meta2["service"]["submitted"] == meta["service"]["submitted"] + 4
+        assert meta2["cache"]["entries"] == meta["cache"]["entries"]
+        served = (
+            meta2["service"]["fast_hits"]
+            + meta2["engine"]["cache_hits"]
+            + meta2["engine"]["coalesced"]
+        )
+        assert served >= 4
+        assert meta2["engine"]["classified"] == meta["engine"]["classified"]
+
     def test_malformed_json_is_400(self, base_url):
         status, body = fetch(base_url, "/classify", raw=b"{nope")
         assert status == 400 and not body["ok"]
