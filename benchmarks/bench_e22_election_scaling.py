@@ -1,0 +1,194 @@
+"""E22 — Pluggable simulation backends: equality gate + election scaling.
+
+The acceptance gates of the ``repro.radio.backends`` subsystem:
+
+1. **Bit-for-bit equality** — on paper families, random configurations,
+   fault injection and variant channels, the event-driven ``fast``
+   backend produces the *identical*
+   :class:`~repro.radio.events.ExecutionResult` the per-round
+   ``reference`` oracle produces: histories (sparse entries and
+   lengths), wake rounds and kinds, ``done_local``, ``rounds_elapsed``
+   and the full per-round trace.
+2. **≥ 5× election speedup** — on the adversarial ``G_m`` family (the
+   paper's Ω(n) lower-bound instances, where canonical executions are
+   thousands of near-silent rounds), compiling the schedule and
+   skipping silence beats walking every (round, node) pair by at least
+   ``SPEEDUP_FLOOR`` in wall time.
+3. **Elections at n ≥ 100** — the full dedicated-election pipeline
+   (classify + simulate + decide) completes on ``G_25`` (n = 101)
+   inside a strict time cap, a scale at which ISSUE 4's motivation
+   ("elections at n in the hundreds") becomes routine.
+"""
+
+import time
+
+import pytest
+
+from repro.core.canonical import CanonicalProtocol
+from repro.core.classifier import classify
+from repro.core.election import elect_leader
+from repro.graphs.families import g_m, g_m_center, h_m
+from repro.radio.faults import jam_rounds, jammed_simulate
+from repro.radio.simulator import simulate
+from repro.variants.canonical import VariantCanonicalProtocol
+from repro.variants.channels import CHANNELS
+from repro.variants.refinement import variant_classify
+from repro.variants.simulator import variant_simulate
+
+from conftest import seeded_config
+
+#: ISSUE acceptance threshold: fast vs reference election simulation.
+SPEEDUP_FLOOR = 5.0
+
+#: Wall-clock cap for a complete n >= 100 election (classify included).
+N100_TIME_CAP = 2.0
+
+#: Timed workload: the lower-bound family at n = 161 — Θ(n) phases,
+#: thousands of rounds, every one of them near-silent.
+TIMED_M = 40
+
+
+def canonical_workload(cfg):
+    trace = classify(cfg)
+    protocol = CanonicalProtocol.from_trace(trace)
+    network = trace.config
+    return network, protocol
+
+
+def run_backend(network, protocol, backend, record_trace=False):
+    return simulate(
+        network,
+        protocol.factory,
+        max_rounds=protocol.round_budget(network.span),
+        record_trace=record_trace,
+        backend=backend,
+    )
+
+
+# ----------------------------------------------------------------------
+# gate 1: bit-for-bit ExecutionResult equality
+# ----------------------------------------------------------------------
+EQUALITY_CASES = {
+    "hm-8": lambda: h_m(8),
+    "gm-4": lambda: g_m(4),
+    "random-n18": lambda: seeded_config(5, 18, 3),
+    "random-n24": lambda: seeded_config(11, 24, 3),
+}
+
+
+@pytest.mark.parametrize("case", sorted(EQUALITY_CASES))
+def test_backends_bit_for_bit_equal(case):
+    """Histories, wake rounds/kinds, done_local and trace all coincide."""
+    network, protocol = canonical_workload(EQUALITY_CASES[case]())
+    ref = run_backend(network, protocol, "reference", record_trace=True)
+    fast = run_backend(network, protocol, "fast", record_trace=True)
+    assert ref == fast
+
+
+def test_backends_equal_under_faults_and_channels():
+    """The equality contract extends to jammed and variant-channel runs."""
+    cfg = h_m(3)
+    network, protocol = canonical_workload(cfg)
+    budget = protocol.round_budget(network.span)
+    jammer_rounds = [1, 4, 9]
+    ref = jammed_simulate(
+        network, protocol.factory, jammer=jam_rounds(jammer_rounds),
+        max_rounds=budget, record_trace=True, backend="reference",
+    )
+    fast = jammed_simulate(
+        network, protocol.factory, jammer=jam_rounds(jammer_rounds),
+        max_rounds=budget, record_trace=True, backend="fast",
+    )
+    assert ref == fast
+    for channel in CHANNELS:
+        trace = variant_classify(cfg, channel)
+        vproto = VariantCanonicalProtocol.from_trace(trace, channel)
+        vnet = trace.config
+        vbudget = vproto.round_budget(vnet.span)
+        vref = variant_simulate(
+            vnet, vproto.factory, channel=channel, max_rounds=vbudget,
+            record_trace=True, backend="reference",
+        )
+        vfast = variant_simulate(
+            vnet, vproto.factory, channel=channel, max_rounds=vbudget,
+            record_trace=True, backend="fast",
+        )
+        assert vref == vfast, f"divergence under channel {channel.name}"
+
+
+# ----------------------------------------------------------------------
+# gate 2: >= 5x election speedup
+# ----------------------------------------------------------------------
+def test_election_speedup_at_least_5x():
+    """Event-driven execution beats the per-round loop ≥ 5× on G_40
+    (n = 161), with identical output. Fast times are the best of three
+    passes to shield the ratio from scheduler noise; the reference runs
+    once — it is hundreds of milliseconds and stable."""
+    network, protocol = canonical_workload(g_m(TIMED_M))
+
+    t0 = time.perf_counter()
+    ref = run_backend(network, protocol, "reference")
+    ref_time = time.perf_counter() - t0
+
+    fast_time = float("inf")
+    for _ in range(3):
+        t0 = time.perf_counter()
+        fast = run_backend(network, protocol, "fast")
+        fast_time = min(fast_time, time.perf_counter() - t0)
+    assert ref == fast  # same execution, not merely same leader
+
+    speedup = ref_time / fast_time
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"fast {fast_time:.4f}s vs reference {ref_time:.4f}s "
+        f"= {speedup:.1f}x < {SPEEDUP_FLOOR}x "
+        f"({fast.backend_stats.describe()})"
+    )
+    # the win comes from skipping silence, not from doing less work
+    assert fast.backend_stats.rounds_skipped > 0
+    assert fast.backend_stats.decisions < ref.backend_stats.decisions / 10
+
+
+# ----------------------------------------------------------------------
+# gate 3: elections at n >= 100 under a strict time cap
+# ----------------------------------------------------------------------
+def test_election_feasible_at_n_over_100():
+    """The full pipeline elects on G_25 (n = 101) within the cap, and
+    the winner is the centre node the theory isolates."""
+    cfg = g_m(25)
+    assert cfg.n >= 100
+    t0 = time.perf_counter()
+    result = elect_leader(cfg, backend="fast")
+    elapsed = time.perf_counter() - t0
+    assert result.elected
+    assert result.leader == g_m_center(25)
+    assert result.within_bound()
+    assert elapsed < N100_TIME_CAP, (
+        f"n={cfg.n} election took {elapsed:.2f}s >= {N100_TIME_CAP}s "
+        f"({result.backend_stats.describe()})"
+    )
+
+
+# ----------------------------------------------------------------------
+# timing rows (pytest-benchmark; informational)
+# ----------------------------------------------------------------------
+BENCH_CASES = {
+    "gm-12": lambda: g_m(12),
+    "gm-25": lambda: g_m(25),
+    "hm-64": lambda: h_m(64),
+}
+
+
+@pytest.mark.benchmark(group="e22-reference")
+@pytest.mark.parametrize("case", sorted(BENCH_CASES))
+def test_reference_path(benchmark, case):
+    network, protocol = canonical_workload(BENCH_CASES[case]())
+    execution = benchmark(run_backend, network, protocol, "reference")
+    assert execution.max_done_local() > 0
+
+
+@pytest.mark.benchmark(group="e22-fast")
+@pytest.mark.parametrize("case", sorted(BENCH_CASES))
+def test_fast_path(benchmark, case):
+    network, protocol = canonical_workload(BENCH_CASES[case]())
+    execution = benchmark(run_backend, network, protocol, "fast")
+    assert execution.max_done_local() > 0

@@ -42,10 +42,12 @@ from .radio import (
     SILENCE,
     TERMINATE,
     DRIP,
+    Commitment,
     History,
     LeaderElectionAlgorithm,
     Message,
     RadioSimulator,
+    ScheduleOblivious,
     Transmit,
     make_patient,
     simulate,
@@ -72,6 +74,7 @@ __all__ = [
     "COLLISION",
     "CanonicalProtocol",
     "ClassifierTrace",
+    "Commitment",
     "Configuration",
     "ConfigurationError",
     "DRIP",
@@ -83,6 +86,7 @@ __all__ = [
     "Message",
     "RadioSimulator",
     "SILENCE",
+    "ScheduleOblivious",
     "TERMINATE",
     "Ticket",
     "Transmit",

@@ -179,6 +179,7 @@ def first_tag0_transmission(
     algorithm: LeaderElectionAlgorithm,
     probe_m: int = 64,
     max_rounds: int = 500_000,
+    backend: str = "auto",
 ) -> Optional[int]:
     """Global round of the first transmission by a tag-0 node (b or c)
     when ``algorithm`` runs on the probe configuration ``H_{probe_m}``.
@@ -190,7 +191,11 @@ def first_tag0_transmission(
     cfg = h_m(probe_m)
     try:
         execution = simulate(
-            cfg, algorithm.factory, max_rounds=max_rounds, record_trace=True
+            cfg,
+            algorithm.factory,
+            max_rounds=max_rounds,
+            record_trace=True,
+            backend=backend,
         )
     except (SimulationTimeout, CanonicalMatchError):
         return None
@@ -204,9 +209,10 @@ def defeat(
     algorithm: LeaderElectionAlgorithm,
     probe_m: int = 64,
     max_rounds: int = 500_000,
+    backend: str = "auto",
 ) -> DefeatReport:
     """Run the Proposition 4.4 adversary against one candidate."""
-    t = first_tag0_transmission(algorithm, probe_m, max_rounds)
+    t = first_tag0_transmission(algorithm, probe_m, max_rounds, backend)
     # A candidate whose tag-0 nodes never transmit dies on any H_m (all-
     # silent symmetric histories); use H_1 as the killer then.
     killer = h_m((t + 1) if t is not None else 1)
@@ -214,7 +220,9 @@ def defeat(
     leaders: List[object] = []
     bc_equal = ad_equal = False
     try:
-        execution = simulate(killer, algorithm.factory, max_rounds=max_rounds)
+        execution = simulate(
+            killer, algorithm.factory, max_rounds=max_rounds, backend=backend
+        )
         leaders = execution.decide_leaders(algorithm.decision)
         bc_equal = execution.histories[B] == execution.histories[C]
         ad_equal = execution.histories[A] == execution.histories[D]

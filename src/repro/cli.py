@@ -70,6 +70,21 @@ def _add_config_args(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_backend_arg(p: argparse.ArgumentParser) -> None:
+    from .radio.backends import BACKEND_NAMES
+
+    p.add_argument(
+        "--backend",
+        choices=BACKEND_NAMES,
+        default="auto",
+        help=(
+            "simulation backend: the per-round reference loop, the "
+            "event-driven fast executor, or auto (fast when the protocol "
+            "is schedule-oblivious; see docs/simulation.md)"
+        ),
+    )
+
+
 def cmd_classify(args: argparse.Namespace) -> int:
     """Decide feasibility of one configuration (Theorem 3.17)."""
     cfg = _parse_config(args)
@@ -94,11 +109,15 @@ def cmd_classify(args: argparse.Namespace) -> int:
 def cmd_elect(args: argparse.Namespace) -> int:
     """Run the dedicated election algorithm (Theorem 3.15)."""
     cfg = _parse_config(args)
-    result = elect_leader(cfg)
+    result = elect_leader(cfg, backend=args.backend)
     print(result.describe())
-    if args.verbose and result.elected:
-        leader_history = result.execution.histories[result.leader]
-        print(f"leader history: {leader_history.render()}")
+    if args.verbose:
+        stats = result.backend_stats
+        if stats is not None:
+            print(f"  {stats.describe()}")
+        if result.elected:
+            leader_history = result.execution.histories[result.leader]
+            print(f"leader history: {leader_history.render()}")
     return 0 if result.elected or not result.trace.feasible else 1
 
 
@@ -193,7 +212,7 @@ def cmd_defeat(args: argparse.Namespace) -> int:
     rows = []
     all_defeated = True
     for cand in candidate_portfolio():
-        rep = defeat(cand, probe_m=args.probe_m)
+        rep = defeat(cand, probe_m=args.probe_m, backend=args.backend)
         all_defeated &= rep.defeated
         rows.append(
             (
@@ -407,6 +426,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("elect", help="run the dedicated election algorithm")
     _add_config_args(p)
     p.add_argument("-v", "--verbose", action="store_true")
+    _add_backend_arg(p)
     p.set_defaults(func=cmd_elect)
 
     p = sub.add_parser("census", help="feasibility census over random configs")
@@ -483,6 +503,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("defeat", help="run the Prop 4.4 universal-algorithm adversary")
     p.add_argument("--probe-m", type=int, default=64)
+    _add_backend_arg(p)
     p.set_defaults(func=cmd_defeat)
 
     p = sub.add_parser(

@@ -36,7 +36,12 @@ from typing import Dict, List, Optional, Tuple
 
 from ..radio.history import History
 from ..radio.model import LISTEN, TERMINATE, Action, Message, Transmit
-from ..radio.protocol import DRIP, LeaderElectionAlgorithm
+from ..radio.protocol import (
+    DRIP,
+    Commitment,
+    LeaderElectionAlgorithm,
+    ScheduleOblivious,
+)
 from .partition import Label, ONE, STAR
 from .trace import ClassifierTrace
 
@@ -196,7 +201,34 @@ def final_class_of(data: CanonicalData, history: History) -> Optional[int]:
 # ----------------------------------------------------------------------
 # the protocol
 # ----------------------------------------------------------------------
-class CanonicalDRIP(DRIP):
+def canonical_commitment(drip, history: History) -> Commitment:
+    """The next commitment of a canonical-style DRIP (shared with the
+    channel variants).
+
+    The canonical schedule is oblivious *phase-wise*: once the phase-``j``
+    ``tBlock`` match is made (which needs history only through
+    ``r_{j-1}``), the node's single transmission round of the phase is
+    fixed and nothing heard mid-phase changes it (Lemma 3.8). So from any
+    local round the node can promise: its phase transmission if still
+    ahead, termination after the last phase, or a re-query at the next
+    phase boundary.
+    """
+    data = drip.data
+    i = len(history)
+    ends = data.phase_ends
+    if i > ends[-1]:
+        return Commitment.terminate(i)
+    j = bisect_left(ends, i)
+    tb = drip._tblock(j, history)
+    t = ends[j - 1] + (tb - 1) * data.block_width + data.sigma + 1
+    if i <= t:
+        return Commitment.transmit(t, CANONICAL_MESSAGE)
+    if j < data.num_phases:
+        return Commitment.recheck(ends[j] + 1)
+    return Commitment.terminate(ends[-1] + 1)
+
+
+class CanonicalDRIP(DRIP, ScheduleOblivious):
     """Per-node executor of ``D_G``.
 
     The per-round action is O(1) arithmetic on the phase schedule; the
@@ -244,6 +276,10 @@ class CanonicalDRIP(DRIP):
         if pos + 1 == data.sigma + 1 and block + 1 == self._tblock(j, history):
             return Transmit(CANONICAL_MESSAGE)
         return LISTEN
+
+    def next_commitment(self, history: History) -> Commitment:
+        """Compiled schedule for the fast backend (phase-wise oblivious)."""
+        return canonical_commitment(self, history)
 
 
 class CanonicalProtocol:

@@ -54,6 +54,12 @@ class ElectionResult:
         """Global rounds elapsed until the last node terminated."""
         return self.execution.rounds_elapsed
 
+    @property
+    def backend_stats(self):
+        """:class:`~repro.radio.backends.base.BackendStats` of the
+        simulation that ran this election (None for replayed results)."""
+        return self.execution.backend_stats
+
     def round_bound(self, constant: int = 2) -> int:
         """An explicit O(n²σ) budget: phases ≤ ⌈n/2⌉, blocks ≤ n per
         phase, ``2σ+1`` rounds per block plus σ per phase (Lemma 3.10).
@@ -90,6 +96,7 @@ def elect_leader(
     trace: Optional[ClassifierTrace] = None,
     record_trace: bool = False,
     check: bool = True,
+    backend: str = "auto",
 ) -> ElectionResult:
     """Run the dedicated leader election algorithm of Theorem 3.15.
 
@@ -108,6 +115,10 @@ def elect_leader(
         verify the theory-predicted outcome (unique leader iff feasible,
         leader identity, all-spontaneous wakeups, synchronized ``done_v``)
         and raise :class:`ElectionError` on violation.
+    backend:
+        simulation backend knob (``"reference" | "fast" | "auto"``); the
+        canonical DRIP is schedule-oblivious, so ``"auto"`` runs the
+        event-driven fast backend.
     """
     if trace is None:
         trace = classify(config)
@@ -118,6 +129,7 @@ def elect_leader(
         protocol.factory,
         max_rounds=protocol.round_budget(network.span),
         record_trace=record_trace,
+        backend=backend,
     )
     leaders = execution.decide_leaders(protocol.decision)
     result = ElectionResult(

@@ -199,11 +199,16 @@ def _phase_events_numpy(
 # ----------------------------------------------------------------------
 # cross-validation helper
 # ----------------------------------------------------------------------
-def replay_matches_simulation(config: Configuration) -> bool:
-    """True iff the replay agrees with the round-by-round simulator.
+def replay_matches_simulation(
+    config: Configuration, backend: str = "reference"
+) -> bool:
+    """True iff the replay agrees with the simulator.
 
     Compares terminal histories node-for-node; used by tests and the E12
-    ablation as a hard correctness gate before timing anything.
+    ablation as a hard correctness gate before timing anything. The
+    ``backend`` knob selects which executor to validate against — the
+    closed-form replay is an *independent* prediction of the execution,
+    so it triangulates both backends against the theory.
     """
     from ..radio.simulator import simulate
     from .canonical import CanonicalProtocol
@@ -215,6 +220,7 @@ def replay_matches_simulation(config: Configuration) -> bool:
         network,
         protocol.factory,
         max_rounds=protocol.round_budget(network.span),
+        backend=backend,
     )
     replayed = replay_histories(trace)
     return all(

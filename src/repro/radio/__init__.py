@@ -5,8 +5,11 @@ the synchronous radio communication model with collision detection
 (:mod:`~repro.radio.model`), sparse node histories
 (:mod:`~repro.radio.history`), the DRIP protocol abstraction and the
 Lemma 3.12 patient transformation (:mod:`~repro.radio.protocol`), the
-round-based simulator (:mod:`~repro.radio.simulator`) and execution
-records (:mod:`~repro.radio.events`).
+pluggable simulation backends (:mod:`~repro.radio.backends`: the
+per-round ``reference`` oracle and the event-driven ``fast`` executor),
+the simulator facade (:mod:`~repro.radio.simulator`), fault injection
+(:mod:`~repro.radio.faults`) and execution records
+(:mod:`~repro.radio.events`).
 """
 
 from .events import FORCED, SPONTANEOUS, ExecutionResult, RoundRecord
@@ -26,14 +29,25 @@ from .model import (
 from .protocol import (
     DRIP,
     AlwaysListenDRIP,
+    Commitment,
     FunctionDRIP,
     LeaderElectionAlgorithm,
     PatientWrapper,
     ProgramFactory,
     ScheduleDRIP,
+    ScheduleOblivious,
     anonymous_factory,
     make_patient,
     patient_span_of,
+)
+from .backends import (
+    BACKEND_NAMES,
+    BackendStats,
+    BackendUnsupported,
+    FastBackend,
+    ReferenceBackend,
+    SimulationSpec,
+    resolve_backend,
 )
 from .simulator import (
     DEFAULT_MAX_ROUNDS,
@@ -44,6 +58,7 @@ from .simulator import (
 )
 
 from .faults import (
+    ExplicitJamSchedule,
     JammedRadioSimulator,
     jam_nothing,
     jam_pairs,
@@ -54,11 +69,17 @@ from .faults import (
 __all__ = [
     "Action",
     "AlwaysListenDRIP",
+    "BACKEND_NAMES",
+    "BackendStats",
+    "BackendUnsupported",
     "COLLISION",
+    "Commitment",
     "DEFAULT_MAX_ROUNDS",
     "DRIP",
     "ExecutionResult",
+    "ExplicitJamSchedule",
     "FORCED",
+    "FastBackend",
     "FunctionDRIP",
     "History",
     "HistoryEntry",
@@ -70,10 +91,13 @@ __all__ = [
     "ProgramFactory",
     "ProtocolViolation",
     "RadioSimulator",
+    "ReferenceBackend",
     "RoundRecord",
     "SILENCE",
     "SPONTANEOUS",
     "ScheduleDRIP",
+    "ScheduleOblivious",
+    "SimulationSpec",
     "SimulationTimeout",
     "TERMINATE",
     "Transmit",
@@ -86,6 +110,7 @@ __all__ = [
     "jammed_simulate",
     "make_patient",
     "patient_span_of",
+    "resolve_backend",
     "shifted_view_key",
     "simulate",
 ]

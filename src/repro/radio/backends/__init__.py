@@ -1,0 +1,81 @@
+"""Pluggable simulation backends for the radio substrate.
+
+Two executors share one contract — bit-for-bit
+:class:`~repro.radio.events.ExecutionResult` equality:
+
+* :class:`~repro.radio.backends.reference.ReferenceBackend` — the
+  paper-faithful per-round, per-node loop (the oracle; supports every
+  workload, including adaptive protocols, variant channels and opaque
+  jam schedules);
+* :class:`~repro.radio.backends.fast.FastBackend` — the event-driven,
+  schedule-compiled executor for
+  :class:`~repro.radio.protocol.ScheduleOblivious` protocols; it skips
+  provably silent round stretches and does O(events) work instead of
+  O(rounds × n).
+
+:func:`resolve_backend` maps the user-facing knob
+(``"reference" | "fast" | "auto"``) to an executor for a given
+:class:`~repro.radio.backends.base.SimulationSpec`; ``"auto"`` picks the
+fast path exactly when the spec supports it. See ``docs/simulation.md``.
+"""
+
+from __future__ import annotations
+
+from .base import (
+    DEFAULT_MAX_ROUNDS,
+    BackendStats,
+    BackendUnsupported,
+    ProtocolViolation,
+    SimulationBackend,
+    SimulationSpec,
+    SimulationTimeout,
+    budget_exceeded,
+    silent_neutral,
+)
+from .fast import FastBackend
+from .reference import ReferenceBackend
+
+#: Accepted values of every ``backend=`` knob.
+BACKEND_NAMES = ("reference", "fast", "auto")
+
+_REFERENCE = ReferenceBackend()
+_FAST = FastBackend()
+
+
+def resolve_backend(name: str, spec: SimulationSpec) -> SimulationBackend:
+    """Map a backend knob value to the executor that will run ``spec``.
+
+    ``"reference"`` and ``"fast"`` are explicit requests (``"fast"``
+    raises :class:`BackendUnsupported` if the spec cannot run
+    event-driven); ``"auto"`` selects the fast backend exactly when the
+    spec supports it and falls back to the reference loop otherwise.
+    """
+    if name == "reference":
+        return _REFERENCE
+    if name == "fast":
+        reason = FastBackend.why_unsupported(spec)
+        if reason is not None:
+            raise BackendUnsupported(f"fast backend: {reason}")
+        return _FAST
+    if name == "auto":
+        return _REFERENCE if FastBackend.why_unsupported(spec) else _FAST
+    raise ValueError(
+        f"unknown backend {name!r}; choose from {BACKEND_NAMES}"
+    )
+
+
+__all__ = [
+    "BACKEND_NAMES",
+    "BackendStats",
+    "BackendUnsupported",
+    "DEFAULT_MAX_ROUNDS",
+    "FastBackend",
+    "ProtocolViolation",
+    "ReferenceBackend",
+    "SimulationBackend",
+    "SimulationSpec",
+    "SimulationTimeout",
+    "budget_exceeded",
+    "resolve_backend",
+    "silent_neutral",
+]

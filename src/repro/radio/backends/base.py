@@ -1,0 +1,249 @@
+"""Shared substrate of the pluggable simulation backends.
+
+Every radio-model executor in the repository — the paper-faithful
+per-round loop, the event-driven fast path, the channel variants and the
+jamming adversary — consumes the same normalized problem description, a
+:class:`SimulationSpec`, and produces the same
+:class:`~repro.radio.events.ExecutionResult`. This module holds that
+spec, the :class:`SimulationBackend` interface, the execution statistics
+record, and the diagnostic round-budget machinery all synchronous
+executors (including the wired one) share.
+
+The contract between backends is *bit-for-bit equality*: for any spec a
+backend supports, its ``ExecutionResult`` — histories, wake rounds and
+kinds, ``done_local``, ``rounds_elapsed`` and the optional trace — must
+equal the reference backend's exactly. The equivalence suite in
+``tests/test_backends.py`` and the E22 benchmark gate enforce this.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..events import ExecutionResult
+from ..model import COLLISION, SILENCE, Message
+from ..protocol import DRIP, ProgramFactory, ScheduleOblivious
+
+#: Default ceiling on simulated global rounds; prevents broken protocols
+#: from hanging the test suite. Callers with legitimately long executions
+#: pass an explicit ``max_rounds``.
+DEFAULT_MAX_ROUNDS = 1_000_000
+
+#: Node lifecycle states shared by the backends.
+ASLEEP, AWAKE, DONE = 0, 1, 2
+
+
+class SimulationTimeout(RuntimeError):
+    """Raised when a simulation exceeds its round budget.
+
+    Diagnostic attributes (all ``None`` when raised without them):
+    ``round_reached`` — the global round at which the budget ran out;
+    ``awake`` / ``asleep`` / ``terminated`` — node counts at that round.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        round_reached: Optional[int] = None,
+        awake: Optional[int] = None,
+        asleep: Optional[int] = None,
+        terminated: Optional[int] = None,
+    ) -> None:
+        super().__init__(message)
+        self.round_reached = round_reached
+        self.awake = awake
+        self.asleep = asleep
+        self.terminated = terminated
+
+
+class ProtocolViolation(RuntimeError):
+    """Raised when a DRIP returns something that is not a valid action,
+    or breaks the :class:`~repro.radio.protocol.ScheduleOblivious`
+    commitment contract."""
+
+
+class BackendUnsupported(RuntimeError):
+    """An explicitly requested backend cannot execute this workload."""
+
+
+def budget_exceeded(
+    max_rounds: int,
+    round_reached: int,
+    *,
+    awake: int,
+    asleep: int,
+    terminated: int,
+    timeout_cls: type = SimulationTimeout,
+) -> SimulationTimeout:
+    """Build the diagnostic timeout every synchronous executor raises.
+
+    The message reports how far the execution got and what the node
+    population looked like, so a timeout is debuggable without rerunning
+    under a trace.
+    """
+    return timeout_cls(
+        f"simulation exceeded its budget of {max_rounds} global round(s) "
+        f"(reached round {round_reached}: {awake} awake, {asleep} asleep, "
+        f"{terminated} terminated)",
+        round_reached=round_reached,
+        awake=awake,
+        asleep=asleep,
+        terminated=terminated,
+    )
+
+
+@dataclass
+class BackendStats:
+    """Execution accounting one backend run leaves behind.
+
+    ``rounds_simulated`` counts global rounds the backend actually
+    processed; ``rounds_skipped`` counts rounds it proved silent and
+    jumped over (always 0 for the reference backend); ``decisions``
+    counts ``DRIP.decide`` consultations.
+    """
+
+    backend: str
+    rounds_elapsed: int = 0
+    rounds_simulated: int = 0
+    rounds_skipped: int = 0
+    decisions: int = 0
+
+    def describe(self) -> str:
+        """One-line human-readable summary (used by ``elect --verbose``)."""
+        return (
+            f"backend={self.backend}: {self.rounds_elapsed} round(s) total, "
+            f"{self.rounds_simulated} simulated, {self.rounds_skipped} "
+            f"skipped, {self.decisions} protocol decision(s)"
+        )
+
+
+class SimulationSpec:
+    """Normalized, backend-independent description of one simulation.
+
+    Construction performs all input validation (sorted node order,
+    adjacency, non-negative wakeup tags, per-node program instantiation),
+    so every backend starts from identical data. ``channel`` is ``None``
+    for the paper's collision-detection model or a
+    :class:`~repro.variants.channels.Channel`-shaped object; ``jammer``
+    is ``None`` or a ``(global_round, node) -> bool`` schedule.
+    """
+
+    __slots__ = (
+        "nodes",
+        "adj",
+        "tags",
+        "programs",
+        "channel",
+        "jammer",
+        "max_rounds",
+        "record_trace",
+        "effective_jams",
+        "stats",
+    )
+
+    def __init__(
+        self,
+        network,
+        factory: ProgramFactory,
+        *,
+        channel=None,
+        jammer: Optional[Callable[[int, object], bool]] = None,
+        max_rounds: int = DEFAULT_MAX_ROUNDS,
+        record_trace: bool = False,
+    ) -> None:
+        self.nodes: List[object] = sorted(network.nodes)
+        if not self.nodes:
+            raise ValueError("network has no nodes")
+        self.adj: Dict[object, Tuple[object, ...]] = {
+            v: tuple(sorted(network.neighbors(v))) for v in self.nodes
+        }
+        self.tags: Dict[object, int] = {v: network.tag(v) for v in self.nodes}
+        for v, t in self.tags.items():
+            if t < 0:
+                raise ValueError(f"negative wakeup tag at node {v!r}")
+        self.programs: Dict[object, DRIP] = {v: factory(v) for v in self.nodes}
+        self.channel = channel
+        self.jammer = jammer
+        self.max_rounds = max_rounds
+        self.record_trace = record_trace
+        #: (round, node) pairs where jamming actually changed an entry
+        #: (populated by the executing backend when ``jammer`` is set).
+        self.effective_jams: List[Tuple[int, object]] = []
+        #: :class:`BackendStats` of the last run on this spec.
+        self.stats: Optional[BackendStats] = None
+
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return len(self.nodes)
+
+    def oblivious(self) -> bool:
+        """True iff every node's program exposes a compiled schedule."""
+        return all(
+            isinstance(p, ScheduleOblivious) for p in self.programs.values()
+        )
+
+
+class SimulationBackend(ABC):
+    """One strategy for executing a :class:`SimulationSpec`.
+
+    Implementations must be stateless between runs: all per-run outputs
+    land in the returned :class:`~repro.radio.events.ExecutionResult`
+    and on the spec (``stats``, ``effective_jams``).
+    """
+
+    #: CLI / knob name of the backend.
+    name = "abstract"
+
+    @abstractmethod
+    def run(self, spec: SimulationSpec) -> ExecutionResult:
+        """Execute the spec to completion and return the result."""
+
+    @staticmethod
+    def why_unsupported(spec: SimulationSpec) -> Optional[str]:
+        """Reason this backend cannot run ``spec``, or None if it can."""
+        return None
+
+
+def jammed_listener_entries(channel, count: int, payload):
+    """``(jammed, honest)`` entries of a jammed, listening, awake node.
+
+    A jammed round sounds like a ``>= 2``-transmitter round rendered
+    through the channel: ``(∗)`` under collision detection, silence
+    without it, a carrier when beeping. ``honest`` is what the un-jammed
+    round would have recorded — the pair differing is what makes a jam
+    *effective*. Shared by both backends so the rendering rules cannot
+    drift apart.
+    """
+    if channel is None:
+        if count >= 2:
+            honest = COLLISION
+        elif count == 1:
+            honest = Message(payload)
+        else:
+            honest = SILENCE
+        return COLLISION, honest
+    return channel.entry(2, None), channel.entry(count, payload)
+
+
+def jammed_spontaneous_entry(channel, count: int):
+    """``H[0]`` of a node waking spontaneously in a jammed round (the jam
+    sounds like a ``>= 2``-transmitter round). Shared by both backends."""
+    if channel is None:
+        return COLLISION
+    return channel.spontaneous_entry(max(count, 2))
+
+
+def silent_neutral(channel) -> bool:
+    """True when ``channel`` treats transmission-free rounds as silence.
+
+    The fast backend may skip a round only if, with zero transmitting
+    neighbours, every listener records ``(∅)`` and no sleeper wakes —
+    true of the paper's model and of every shipped variant channel.
+    """
+    if channel is None:
+        return True
+    return channel.entry(0, None) is SILENCE and not channel.wakes(0)

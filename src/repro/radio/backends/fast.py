@@ -1,0 +1,368 @@
+"""The fast backend: event-driven, schedule-compiled execution.
+
+Canonical-DRIP executions are Θ(n²σ) global rounds long and almost all
+of those rounds are *provably* silent: each node transmits once per
+phase, in a round fixed by its phase-start ``tBlock`` match, and listens
+otherwise (Lemma 3.8). The reference loop still pays a ``decide`` call
+per node per round. This backend instead *compiles* each node's
+transmission timetable through the optional
+:class:`~repro.radio.protocol.ScheduleOblivious` interface and executes
+only the rounds in which something can happen:
+
+* a committed transmission or termination falls due,
+* a node's wakeup tag arrives,
+* a commitment expires and the protocol must be re-queried
+  (``RECHECK`` — e.g. a canonical phase boundary), or
+* the jam schedule names the round.
+
+Everything between consecutive events is a silent stretch: every awake
+node records ``(∅)``, which the sparse
+:class:`~repro.radio.history.History` stores as nothing but length — so
+skipping costs a single integer update per node, batched at the end.
+Nodes are re-indexed to dense ints ``0..n-1`` on entry so all per-node
+state lives in flat lists instead of dicts keyed by arbitrary ids.
+
+The contract is bit-for-bit :class:`~repro.radio.events.ExecutionResult`
+equality with :class:`~repro.radio.backends.reference.ReferenceBackend`,
+including trace records for the skipped rounds; committed actions are
+re-validated against ``decide`` when they fall due, so a protocol that
+breaks its commitment contract fails loudly instead of silently
+diverging.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Tuple
+
+from ..events import FORCED, SPONTANEOUS, ExecutionResult, RoundRecord
+from ..history import History
+from ..model import COLLISION, LISTEN, SILENCE, TERMINATE, Message, Transmit
+from ..protocol import Commitment, ScheduleOblivious
+from .base import (
+    ASLEEP,
+    AWAKE,
+    DONE,
+    BackendStats,
+    BackendUnsupported,
+    ProtocolViolation,
+    SimulationBackend,
+    SimulationSpec,
+    budget_exceeded,
+    jammed_listener_entries,
+    jammed_spontaneous_entry,
+    silent_neutral,
+)
+
+#: Heap event kinds (break round ties deterministically).
+_EV_NODE, _EV_WAKE, _EV_JAM = 0, 1, 2
+
+
+def _validated(program: ScheduleOblivious, history: History) -> Commitment:
+    """Query a program's next commitment and check the progress rules."""
+    com = program.next_commitment(history)
+    i = len(history)
+    if not isinstance(com, Commitment):
+        raise ProtocolViolation(
+            f"next_commitment returned {com!r}, not a Commitment"
+        )
+    if com.kind == Commitment.RECHECK:
+        if com.round <= i:
+            raise ProtocolViolation(
+                f"RECHECK at local round {com.round} makes no progress "
+                f"(history already has {i} round(s))"
+            )
+    elif com.kind in (Commitment.TRANSMIT, Commitment.TERMINATE):
+        if com.round < i:
+            raise ProtocolViolation(
+                f"{com.kind} commitment for past local round {com.round} "
+                f"(history already has {i} round(s))"
+            )
+    else:
+        raise ProtocolViolation(f"unknown commitment kind {com.kind!r}")
+    return com
+
+
+class FastBackend(SimulationBackend):
+    """Event-driven execution of a :class:`SimulationSpec`.
+
+    Requires every program to implement
+    :class:`~repro.radio.protocol.ScheduleOblivious`, a silent-neutral
+    channel, and a jam schedule that exposes its rounds (see
+    :meth:`why_unsupported`). Work is O(events), not O(rounds × n).
+    """
+
+    name = "fast"
+
+    @staticmethod
+    def why_unsupported(spec: SimulationSpec) -> Optional[str]:
+        """Reason this spec cannot run event-driven, or None if it can."""
+        for v, p in spec.programs.items():
+            if not isinstance(p, ScheduleOblivious):
+                return (
+                    f"program of node {v!r} ({type(p).__name__}) does not "
+                    "implement ScheduleOblivious"
+                )
+        if not silent_neutral(spec.channel):
+            return (
+                f"channel {spec.channel!r} is not silent-neutral "
+                "(transmission-free rounds are observable)"
+            )
+        if spec.jammer is not None and not hasattr(spec.jammer, "event_rounds"):
+            return (
+                "jam schedule does not expose event_rounds(); only "
+                "explicit schedules (jam_pairs / jam_rounds) can be "
+                "executed event-driven"
+            )
+        return None
+
+    # ------------------------------------------------------------------
+    def run(self, spec: SimulationSpec) -> ExecutionResult:
+        """Execute until every node has terminated; return the result."""
+        reason = self.why_unsupported(spec)
+        if reason is not None:
+            raise BackendUnsupported(f"fast backend: {reason}")
+
+        nodes = spec.nodes
+        n = len(nodes)
+        index = {v: i for i, v in enumerate(nodes)}
+        # Dense re-index: node ids are sorted, so the int order matches
+        # the reference backend's node iteration order exactly.
+        adj: List[Tuple[int, ...]] = [
+            tuple(index[w] for w in spec.adj[v]) for v in nodes
+        ]
+        tags = [spec.tags[v] for v in nodes]
+        programs = [spec.programs[v] for v in nodes]
+        channel = spec.channel
+        jammer = spec.jammer
+
+        state = [ASLEEP] * n
+        wake_round = [-1] * n
+        wake_kind: List[Optional[str]] = [None] * n
+        done_local = [-1] * n
+        histories = [History() for _ in range(n)]
+        pending: List[Optional[Commitment]] = [None] * n
+
+        heap: List[Tuple[int, int, int]] = [
+            (tags[i], _EV_WAKE, i) for i in range(n)
+        ]
+        if jammer is not None:
+            heap.extend(
+                (rr, _EV_JAM, -1) for rr in jammer.event_rounds() if rr >= 0
+            )
+        heapq.heapify(heap)
+
+        remaining = n
+        trace: Optional[List[RoundRecord]] = [] if spec.record_trace else None
+        last_round = -1
+        sim_rounds = 0
+        decisions = 0
+        max_rounds = spec.max_rounds
+
+        def counts() -> Tuple[int, int, int]:
+            awake = sum(1 for s in state if s == AWAKE)
+            done = sum(1 for s in state if s == DONE)
+            return awake, n - awake - done, done
+
+        while remaining:
+            if not heap:
+                # No future event can change any state: the reference
+                # loop would idle through silence to the budget.
+                awake, asleep, done = counts()
+                raise budget_exceeded(
+                    max_rounds,
+                    max_rounds,
+                    awake=awake,
+                    asleep=asleep,
+                    terminated=done,
+                )
+            r = heap[0][0]
+            if r >= max_rounds:
+                # State is frozen between events, so the counts here are
+                # exactly what the reference loop sees at round
+                # ``max_rounds``.
+                awake, asleep, done = counts()
+                raise budget_exceeded(
+                    max_rounds,
+                    max_rounds,
+                    awake=awake,
+                    asleep=asleep,
+                    terminated=done,
+                )
+
+            due: List[int] = []
+            wake_due: List[int] = []
+            jam_round = False
+            while heap and heap[0][0] == r:
+                _, kind, i = heapq.heappop(heap)
+                if kind == _EV_NODE:
+                    due.append(i)
+                elif kind == _EV_WAKE:
+                    if state[i] == ASLEEP:
+                        wake_due.append(i)
+                else:
+                    jam_round = True
+
+            if trace is not None:
+                for q in range(last_round + 1, r):
+                    trace.append(RoundRecord(global_round=q))
+
+            # --- 1. decisions of nodes whose commitment falls due -------
+            transmitters: Dict[int, object] = {}
+            terminating: List[int] = []
+            for i in sorted(due):
+                if state[i] != AWAKE:
+                    continue
+                local = r - wake_round[i]
+                histories[i].extend_silent(local)
+                com = pending[i]
+                if com.kind == Commitment.RECHECK:
+                    com = _validated(programs[i], histories[i])
+                    pending[i] = com
+                    if com.kind == Commitment.RECHECK or com.round > local:
+                        heapq.heappush(
+                            heap, (wake_round[i] + com.round, _EV_NODE, i)
+                        )
+                        continue
+                # Commitment due now — decide() stays the ground truth.
+                action = programs[i].decide(histories[i])
+                decisions += 1
+                if action is TERMINATE:
+                    terminating.append(i)
+                elif isinstance(action, Transmit):
+                    transmitters[i] = action.message
+                elif action is LISTEN:
+                    raise ProtocolViolation(
+                        f"node {nodes[i]!r} committed to {com.kind} in local "
+                        f"round {local} but decided to listen — it broke the "
+                        "ScheduleOblivious contract"
+                    )
+                else:
+                    raise ProtocolViolation(
+                        f"node {nodes[i]!r} returned invalid action "
+                        f"{action!r} in local round {local}"
+                    )
+
+            # --- 2. reception ------------------------------------------
+            recv_count: Dict[int, int] = {}
+            recv_msg: Dict[int, object] = {}
+            for ti, msg in transmitters.items():
+                for u in adj[ti]:
+                    recv_count[u] = recv_count.get(u, 0) + 1
+                    recv_msg[u] = msg
+
+            # --- 3. non-silent entries of awake listeners ---------------
+            # On a jammed round every awake node may be affected;
+            # otherwise only nodes with a transmitting neighbour can
+            # record anything (silent-neutrality of the channel).
+            candidates = range(n) if jam_round else recv_count
+            for i in candidates:
+                if state[i] != AWAKE or i in transmitters:
+                    continue
+                local = r - wake_round[i]
+                if jam_round and jammer(r, nodes[i]):
+                    entry, honest = jammed_listener_entries(
+                        channel, recv_count.get(i, 0), recv_msg.get(i)
+                    )
+                    if entry != honest:
+                        spec.effective_jams.append((r, nodes[i]))
+                elif channel is None:
+                    k = recv_count.get(i, 0)
+                    if k == 0:
+                        entry = SILENCE
+                    elif k == 1:
+                        entry = Message(recv_msg[i])
+                    else:
+                        entry = COLLISION
+                else:
+                    entry = channel.entry(recv_count.get(i, 0), recv_msg.get(i))
+                histories[i].set_entry(local, entry)
+
+            # --- 4. terminations ----------------------------------------
+            for i in terminating:
+                state[i] = DONE
+                local = r - wake_round[i]
+                histories[i].extend_silent(local + 1)  # H[0..done] inclusive
+                done_local[i] = local
+                pending[i] = None
+                remaining -= 1
+
+            # --- 5. wakeups (forced by message, else spontaneous at tag) -
+            wakeups: List[Tuple[object, str]] = []
+            new_awake: List[int] = []
+            for i, k in recv_count.items():
+                if state[i] != ASLEEP:
+                    continue
+                wakes = k == 1 if channel is None else channel.wakes(k)
+                if not wakes or (jam_round and jammer(r, nodes[i])):
+                    continue
+                state[i] = AWAKE
+                wake_round[i] = r
+                wake_kind[i] = FORCED
+                if channel is None:
+                    entry = Message(recv_msg[i])
+                else:
+                    entry = channel.wake_entry(k, recv_msg.get(i))
+                histories[i].set_entry(0, entry)
+                wakeups.append((nodes[i], FORCED))
+                new_awake.append(i)
+            for i in sorted(wake_due):
+                if state[i] != ASLEEP:
+                    continue  # woken forced earlier in this very round
+                state[i] = AWAKE
+                wake_round[i] = r
+                wake_kind[i] = SPONTANEOUS
+                k = recv_count.get(i, 0)
+                if jam_round and jammer(r, nodes[i]):
+                    entry = jammed_spontaneous_entry(channel, k)
+                elif channel is None:
+                    entry = COLLISION if k >= 2 else SILENCE
+                else:
+                    entry = channel.spontaneous_entry(k)
+                histories[i].set_entry(0, entry)
+                wakeups.append((nodes[i], SPONTANEOUS))
+                new_awake.append(i)
+
+            # --- 6. refresh commitments of nodes that acted or woke ------
+            for i in sorted(new_awake + list(transmitters)):
+                histories[i].extend_silent(r + 1 - wake_round[i])
+                com = _validated(programs[i], histories[i])
+                pending[i] = com
+                heapq.heappush(heap, (wake_round[i] + com.round, _EV_NODE, i))
+
+            if trace is not None:
+                trace.append(
+                    RoundRecord(
+                        global_round=r,
+                        transmitters={
+                            nodes[i]: m for i, m in transmitters.items()
+                        },
+                        wakeups=wakeups,
+                        terminated=[nodes[i] for i in terminating],
+                    )
+                )
+            last_round = r
+            sim_rounds += 1
+
+        # --- batch-materialize the result -------------------------------
+        rounds_elapsed = last_round + 1
+        result_histories: Dict[object, History] = {}
+        for i, v in enumerate(nodes):
+            histories[i].extend_silent(done_local[i] + 1)
+            result_histories[v] = histories[i]
+        spec.stats = BackendStats(
+            backend=self.name,
+            rounds_elapsed=rounds_elapsed,
+            rounds_simulated=sim_rounds,
+            rounds_skipped=rounds_elapsed - sim_rounds,
+            decisions=decisions,
+        )
+        return ExecutionResult(
+            histories=result_histories,
+            wake_rounds={nodes[i]: wake_round[i] for i in range(n)},
+            wake_kinds={nodes[i]: wake_kind[i] for i in range(n)},
+            done_local={nodes[i]: done_local[i] for i in range(n)},
+            rounds_elapsed=rounds_elapsed,
+            trace=trace,
+            backend_stats=spec.stats,
+        )

@@ -1,0 +1,207 @@
+"""The reference backend: the paper-faithful per-round, per-node loop.
+
+This is the oracle every other executor is measured against. It walks
+every global round and consults every awake node's DRIP, implementing
+the communication model of Section 1.1/2.1 exactly — generalized over
+two orthogonal knobs that used to live in forked copies of this loop:
+
+* ``spec.channel`` — ``None`` for the paper's collision-detection model,
+  or a :class:`~repro.variants.channels.Channel` delegating what a
+  listener records, what wakes a sleeper, and the wakeup-round entry;
+* ``spec.jammer`` — ``None`` or a ``(round, node) -> bool`` schedule; a
+  jammed, listening, awake node records ``(∗)`` no matter what was on
+  the air, and jamming suppresses message-forced wakeups (noise is not
+  a message).
+
+With both knobs off this is byte-identical to the historical
+``RadioSimulator`` loop; with a channel it reproduces the variant
+simulator; with a jammer the fault-injection simulator. The three used
+to be separate copies — they are now one loop with two branches.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..events import FORCED, SPONTANEOUS, ExecutionResult, RoundRecord
+from ..history import History
+from ..model import COLLISION, LISTEN, SILENCE, TERMINATE, Message, Transmit
+from .base import (
+    ASLEEP,
+    AWAKE,
+    DONE,
+    BackendStats,
+    ProtocolViolation,
+    SimulationBackend,
+    SimulationSpec,
+    budget_exceeded,
+    jammed_listener_entries,
+    jammed_spontaneous_entry,
+)
+
+
+class ReferenceBackend(SimulationBackend):
+    """Per-round, per-node execution of a :class:`SimulationSpec`.
+
+    Supports every spec; O(global rounds × n) work.
+    """
+
+    name = "reference"
+
+    def run(self, spec: SimulationSpec) -> ExecutionResult:
+        """Execute until every node has terminated; return the result."""
+        nodes = spec.nodes
+        adj = spec.adj
+        tags = spec.tags
+        programs = spec.programs
+        channel = spec.channel
+        jammer = spec.jammer
+
+        state: Dict[object, int] = {v: ASLEEP for v in nodes}
+        histories: Dict[object, History] = {v: History() for v in nodes}
+        wake_rounds: Dict[object, int] = {}
+        wake_kinds: Dict[object, str] = {}
+        done_local: Dict[object, int] = {}
+        trace: Optional[List[RoundRecord]] = [] if spec.record_trace else None
+        decisions = 0
+
+        remaining = len(nodes)  # nodes not yet DONE
+        # Nodes sorted by tag let us wake spontaneously without a full scan.
+        by_tag = sorted(nodes, key=lambda v: (tags[v], v))
+        next_spont = 0  # index into by_tag of the next candidate wakeup
+
+        r = 0
+        while remaining:
+            if r >= spec.max_rounds:
+                awake = sum(1 for s in state.values() if s == AWAKE)
+                done = len(nodes) - remaining
+                raise budget_exceeded(
+                    spec.max_rounds,
+                    r,
+                    awake=awake,
+                    asleep=remaining - awake,
+                    terminated=done,
+                )
+
+            # --- 1. collect decisions of awake nodes (local round >= 1) ---
+            transmitters: Dict[object, object] = {}
+            terminating: List[object] = []
+            for v in nodes:
+                if state[v] != AWAKE or wake_rounds[v] == r:
+                    continue
+                action = programs[v].decide(histories[v])
+                decisions += 1
+                if action is LISTEN:
+                    continue
+                if action is TERMINATE:
+                    terminating.append(v)
+                elif isinstance(action, Transmit):
+                    transmitters[v] = action.message
+                else:
+                    raise ProtocolViolation(
+                        f"node {v!r} returned invalid action {action!r} "
+                        f"in local round {len(histories[v])}"
+                    )
+
+            # --- 2. compute what each node receives ---------------------
+            recv_count: Dict[object, int] = {}
+            recv_msg: Dict[object, object] = {}
+            for t, msg in transmitters.items():
+                for u in adj[t]:
+                    recv_count[u] = recv_count.get(u, 0) + 1
+                    recv_msg[u] = msg
+
+            # --- 3. record history entries for awake nodes --------------
+            for v in nodes:
+                if state[v] != AWAKE or wake_rounds[v] == r:
+                    continue
+                if v in transmitters:
+                    entry = SILENCE  # transmitters are immune to jamming
+                elif jammer is not None and jammer(r, v):
+                    entry, honest = jammed_listener_entries(
+                        channel, recv_count.get(v, 0), recv_msg.get(v)
+                    )
+                    if entry != honest:
+                        # an entry the un-jammed round would not have had
+                        spec.effective_jams.append((r, v))
+                elif channel is None:
+                    k = recv_count.get(v, 0)
+                    if k == 0:
+                        entry = SILENCE
+                    elif k == 1:
+                        entry = Message(recv_msg[v])
+                    else:
+                        entry = COLLISION
+                else:
+                    entry = channel.entry(recv_count.get(v, 0), recv_msg.get(v))
+                histories[v].append(entry)
+
+            # --- 4. terminations ----------------------------------------
+            for v in terminating:
+                state[v] = DONE
+                done_local[v] = len(histories[v]) - 1  # the terminate round
+                remaining -= 1
+
+            # --- 5. wakeups (forced by message, else spontaneous at tag) -
+            wakeups: List[Tuple[object, str]] = []
+            for v, k in recv_count.items():
+                if state[v] != ASLEEP:
+                    continue
+                wakes = k == 1 if channel is None else channel.wakes(k)
+                if not wakes or (jammer is not None and jammer(r, v)):
+                    # jamming suppresses the message, so a jammed sleeping
+                    # node is NOT woken (noise is not a message)
+                    continue
+                state[v] = AWAKE
+                wake_rounds[v] = r
+                wake_kinds[v] = FORCED
+                if channel is None:
+                    histories[v].append(Message(recv_msg[v]))
+                else:
+                    histories[v].append(channel.wake_entry(k, recv_msg.get(v)))
+                wakeups.append((v, FORCED))
+            while next_spont < len(by_tag) and tags[by_tag[next_spont]] <= r:
+                v = by_tag[next_spont]
+                next_spont += 1
+                if state[v] != ASLEEP:
+                    continue  # woke up forced in this or an earlier round
+                state[v] = AWAKE
+                wake_rounds[v] = r
+                wake_kinds[v] = SPONTANEOUS
+                k = recv_count.get(v, 0)
+                if jammer is not None and jammer(r, v):
+                    entry = jammed_spontaneous_entry(channel, k)
+                elif channel is None:
+                    entry = COLLISION if k >= 2 else SILENCE
+                else:
+                    entry = channel.spontaneous_entry(k)
+                histories[v].append(entry)
+                wakeups.append((v, SPONTANEOUS))
+
+            if trace is not None:
+                trace.append(
+                    RoundRecord(
+                        global_round=r,
+                        transmitters=dict(transmitters),
+                        wakeups=wakeups,
+                        terminated=list(terminating),
+                    )
+                )
+            r += 1
+
+        spec.stats = BackendStats(
+            backend=self.name,
+            rounds_elapsed=r,
+            rounds_simulated=r,
+            rounds_skipped=0,
+            decisions=decisions,
+        )
+        return ExecutionResult(
+            histories=histories,
+            wake_rounds=wake_rounds,
+            wake_kinds=wake_kinds,
+            done_local=done_local,
+            rounds_elapsed=r,
+            trace=trace,
+            backend_stats=spec.stats,
+        )

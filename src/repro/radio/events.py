@@ -57,6 +57,10 @@ class ExecutionResult:
         total number of global rounds simulated (0-based last round + 1).
     trace:
         list of :class:`RoundRecord` when trace recording was enabled.
+    backend_stats:
+        :class:`~repro.radio.backends.base.BackendStats` of the run that
+        produced this result, or None (e.g. closed-form replay). Not part
+        of the equality contract — backends legitimately differ here.
     """
 
     __slots__ = (
@@ -66,6 +70,7 @@ class ExecutionResult:
         "done_local",
         "rounds_elapsed",
         "trace",
+        "backend_stats",
     )
 
     def __init__(
@@ -76,6 +81,7 @@ class ExecutionResult:
         done_local: Dict[object, int],
         rounds_elapsed: int,
         trace: Optional[List[RoundRecord]] = None,
+        backend_stats=None,
     ) -> None:
         self.histories = histories
         self.wake_rounds = wake_rounds
@@ -83,6 +89,32 @@ class ExecutionResult:
         self.done_local = done_local
         self.rounds_elapsed = rounds_elapsed
         self.trace = trace
+        self.backend_stats = backend_stats
+
+    def __eq__(self, other: object) -> bool:
+        """Bit-for-bit execution equality: histories (sparse entries and
+        length), wakeup rounds/kinds, termination rounds, total rounds and
+        the trace must all coincide. ``backend_stats`` is excluded — it
+        describes how the result was computed, not what happened."""
+        if not isinstance(other, ExecutionResult):
+            return NotImplemented
+        return (
+            self.rounds_elapsed == other.rounds_elapsed
+            and self.histories == other.histories
+            and self.wake_rounds == other.wake_rounds
+            and self.wake_kinds == other.wake_kinds
+            and self.done_local == other.done_local
+            and self.trace == other.trace
+        )
+
+    def __ne__(self, other: object) -> bool:
+        eq = self.__eq__(other)
+        return NotImplemented if eq is NotImplemented else not eq
+
+    #: Results are deeply mutable containers compared by value; a hash
+    #: consistent with ``__eq__`` cannot be stable, so they are
+    #: deliberately unhashable.
+    __hash__ = None
 
     # ------------------------------------------------------------------
     # derived queries

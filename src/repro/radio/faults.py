@@ -9,6 +9,15 @@ with collision detection that is indistinguishable from a real
 collision). Transmitters are unaffected (they hear nothing anyway), and
 jamming noise does not wake sleeping nodes (noise is not a message).
 
+Jamming is executed by the shared backend core
+(:mod:`repro.radio.backends`): the jam schedule rides on the
+:class:`~repro.radio.backends.base.SimulationSpec` and both backends
+apply identical semantics. The schedules built by :func:`jam_pairs` and
+:func:`jam_rounds` are *explicit* — they know their jammed rounds — so
+the event-driven ``fast`` backend can treat each jammed round as an
+event and still skip everything in between; an opaque callable schedule
+forces the ``reference`` loop.
+
 Uses include the robustness experiments in the test suite: the canonical
 DRIP survives jamming confined to provably-silent rounds (the trailing σ
 listen rounds of each phase) but is derailed by a single jammed round
@@ -18,47 +27,75 @@ every bit of the history.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+from typing import Callable, Iterable, List, Optional, Set, Tuple
 
-from .events import FORCED, SPONTANEOUS, ExecutionResult, RoundRecord
-from .history import History
-from .model import COLLISION, LISTEN, SILENCE, TERMINATE, Message, Transmit
+from .backends import SimulationSpec, resolve_backend
+from .events import ExecutionResult
 from .protocol import ProgramFactory
 from .simulator import (
     DEFAULT_MAX_ROUNDS,
-    ProtocolViolation,
-    SimulationTimeout,
+    ProtocolViolation,  # noqa: F401  (re-exported for compatibility)
+    SimulationTimeout,  # noqa: F401  (re-exported for compatibility)
 )
 
 #: A jam schedule decides whether reception at ``node`` in ``global_round``
-#: is jammed. Sets of pairs and callables are both accepted.
+#: is jammed. Explicit schedules (sets of pairs / rounds) and opaque
+#: callables are both accepted.
 JamSchedule = Callable[[int, object], bool]
 
 
-def jam_pairs(pairs: Iterable[Tuple[int, object]]) -> JamSchedule:
+class ExplicitJamSchedule:
+    """A jam schedule with a known, finite set of jammed rounds.
+
+    Callable like any :data:`JamSchedule`; additionally exposes
+    :meth:`event_rounds`, which lets the fast backend schedule each
+    jammed round as an execution event. The invariant callers must keep:
+    ``fn(r, v)`` is False for every ``r`` outside ``rounds``.
+    """
+
+    __slots__ = ("_fn", "_rounds")
+
+    def __init__(
+        self, fn: JamSchedule, rounds: Iterable[int]
+    ) -> None:
+        self._fn = fn
+        self._rounds: Tuple[int, ...] = tuple(sorted(set(rounds)))
+
+    def __call__(self, global_round: int, node: object) -> bool:
+        """True when reception at ``node`` in ``global_round`` is jammed."""
+        return self._fn(global_round, node)
+
+    def event_rounds(self) -> Tuple[int, ...]:
+        """Sorted global rounds in which jamming may occur."""
+        return self._rounds
+
+
+def jam_pairs(pairs: Iterable[Tuple[int, object]]) -> ExplicitJamSchedule:
     """Schedule from explicit ``(global_round, node)`` pairs."""
     table: Set[Tuple[int, object]] = set(pairs)
-    return lambda r, v: (r, v) in table
+    return ExplicitJamSchedule(
+        lambda r, v: (r, v) in table, (r for r, _ in table)
+    )
 
 
-def jam_rounds(rounds: Iterable[int]) -> JamSchedule:
+def jam_rounds(rounds: Iterable[int]) -> ExplicitJamSchedule:
     """Schedule jamming every node in the given global rounds."""
     table = set(rounds)
-    return lambda r, v: r in table
+    return ExplicitJamSchedule(lambda r, v: r in table, table)
 
 
-def jam_nothing() -> JamSchedule:
+def jam_nothing() -> ExplicitJamSchedule:
     """The failure-free schedule (reference)."""
-    return lambda r, v: False
+    return ExplicitJamSchedule(lambda r, v: False, ())
 
 
 class JammedRadioSimulator:
-    """The reference radio simulator plus an adversarial jammer.
+    """The radio simulator plus an adversarial jammer.
 
     Identical semantics to :class:`repro.radio.simulator.RadioSimulator`
     except that a jammed, listening, awake node records ``(∗)`` no matter
     what was actually on the air. With :func:`jam_nothing` the execution
-    is identical to the reference simulator (asserted in tests).
+    is identical to the un-jammed simulator (asserted in tests).
     """
 
     def __init__(
@@ -69,143 +106,25 @@ class JammedRadioSimulator:
         jammer: Optional[JamSchedule] = None,
         max_rounds: int = DEFAULT_MAX_ROUNDS,
         record_trace: bool = False,
+        backend: str = "auto",
     ) -> None:
-        self._nodes: List[object] = sorted(network.nodes)
-        if not self._nodes:
-            raise ValueError("network has no nodes")
-        self._adj: Dict[object, Tuple[object, ...]] = {
-            v: tuple(sorted(network.neighbors(v))) for v in self._nodes
-        }
-        self._tags: Dict[object, int] = {v: network.tag(v) for v in self._nodes}
-        for v, t in self._tags.items():
-            if t < 0:
-                raise ValueError(f"negative wakeup tag at node {v!r}")
-        self._programs = {v: factory(v) for v in self._nodes}
-        self._jammer = jammer if jammer is not None else jam_nothing()
-        self._max_rounds = max_rounds
-        self._record_trace = record_trace
-        #: (round, node) pairs where jamming actually changed an entry.
-        self.effective_jams: List[Tuple[int, object]] = []
+        self._spec = SimulationSpec(
+            network,
+            factory,
+            jammer=jammer if jammer is not None else jam_nothing(),
+            max_rounds=max_rounds,
+            record_trace=record_trace,
+        )
+        self._backend = backend
+
+    @property
+    def effective_jams(self) -> List[Tuple[int, object]]:
+        """(round, node) pairs where jamming actually changed an entry."""
+        return self._spec.effective_jams
 
     def run(self) -> ExecutionResult:
         """Execute until every node terminates (jamming applied)."""
-        nodes = self._nodes
-        adj = self._adj
-        tags = self._tags
-        programs = self._programs
-        jammed = self._jammer
-
-        ASLEEP, AWAKE, DONE = 0, 1, 2
-        state: Dict[object, int] = {v: ASLEEP for v in nodes}
-        histories: Dict[object, History] = {v: History() for v in nodes}
-        wake_rounds: Dict[object, int] = {}
-        wake_kinds: Dict[object, str] = {}
-        done_local: Dict[object, int] = {}
-        trace: Optional[List[RoundRecord]] = [] if self._record_trace else None
-
-        remaining = len(nodes)
-        by_tag = sorted(nodes, key=lambda v: (tags[v], v))
-        next_spont = 0
-
-        r = 0
-        while remaining:
-            if r > self._max_rounds:
-                raise SimulationTimeout(
-                    f"jammed simulation exceeded {self._max_rounds} rounds"
-                )
-
-            transmitters: Dict[object, object] = {}
-            terminating: List[object] = []
-            for v in nodes:
-                if state[v] != AWAKE or wake_rounds[v] == r:
-                    continue
-                action = programs[v].decide(histories[v])
-                if action is LISTEN:
-                    continue
-                if action is TERMINATE:
-                    terminating.append(v)
-                elif isinstance(action, Transmit):
-                    transmitters[v] = action.message
-                else:
-                    raise ProtocolViolation(
-                        f"node {v!r} returned invalid action {action!r}"
-                    )
-
-            recv_count: Dict[object, int] = {}
-            recv_msg: Dict[object, object] = {}
-            for t, msg in transmitters.items():
-                for u in adj[t]:
-                    recv_count[u] = recv_count.get(u, 0) + 1
-                    recv_msg[u] = msg
-
-            for v in nodes:
-                if state[v] != AWAKE or wake_rounds[v] == r:
-                    continue
-                if v in transmitters:
-                    entry = SILENCE  # transmitters are immune to jamming
-                elif jammed(r, v):
-                    entry = COLLISION
-                    if recv_count.get(v, 0) < 2:
-                        # a real collision would have sounded the same;
-                        # only silence/message rounds are actually altered
-                        self.effective_jams.append((r, v))
-                else:
-                    k = recv_count.get(v, 0)
-                    if k == 0:
-                        entry = SILENCE
-                    elif k == 1:
-                        entry = Message(recv_msg[v])
-                    else:
-                        entry = COLLISION
-                histories[v].append(entry)
-
-            for v in terminating:
-                state[v] = DONE
-                done_local[v] = len(histories[v]) - 1
-                remaining -= 1
-
-            wakeups: List[Tuple[object, str]] = []
-            for v, k in recv_count.items():
-                # jamming suppresses the message, so a jammed sleeping
-                # node is NOT woken (noise is not a message)
-                if state[v] == ASLEEP and k == 1 and not jammed(r, v):
-                    state[v] = AWAKE
-                    wake_rounds[v] = r
-                    wake_kinds[v] = FORCED
-                    histories[v].append(Message(recv_msg[v]))
-                    wakeups.append((v, FORCED))
-            while next_spont < len(by_tag) and tags[by_tag[next_spont]] <= r:
-                v = by_tag[next_spont]
-                next_spont += 1
-                if state[v] != ASLEEP:
-                    continue
-                state[v] = AWAKE
-                wake_rounds[v] = r
-                wake_kinds[v] = SPONTANEOUS
-                k = recv_count.get(v, 0)
-                noisy = k >= 2 or jammed(r, v)
-                histories[v].append(COLLISION if noisy else SILENCE)
-                wakeups.append((v, SPONTANEOUS))
-
-            if trace is not None:
-                trace.append(
-                    RoundRecord(
-                        global_round=r,
-                        transmitters=dict(transmitters),
-                        wakeups=wakeups,
-                        terminated=list(terminating),
-                    )
-                )
-            r += 1
-
-        return ExecutionResult(
-            histories=histories,
-            wake_rounds=wake_rounds,
-            wake_kinds=wake_kinds,
-            done_local=done_local,
-            rounds_elapsed=r,
-            trace=trace,
-        )
+        return resolve_backend(self._backend, self._spec).run(self._spec)
 
 
 def jammed_simulate(
@@ -215,6 +134,7 @@ def jammed_simulate(
     jammer: Optional[JamSchedule] = None,
     max_rounds: int = DEFAULT_MAX_ROUNDS,
     record_trace: bool = False,
+    backend: str = "auto",
 ) -> ExecutionResult:
     """One-shot convenience wrapper around :class:`JammedRadioSimulator`."""
     return JammedRadioSimulator(
@@ -223,4 +143,5 @@ def jammed_simulate(
         jammer=jammer,
         max_rounds=max_rounds,
         record_trace=record_trace,
+        backend=backend,
     ).run()

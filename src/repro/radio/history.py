@@ -47,6 +47,28 @@ class History:
             self._events[self._length] = entry
         self._length += 1
 
+    def set_entry(self, i: int, entry: HistoryEntry) -> None:
+        """Record ``entry`` for local round ``i`` (>= the current length),
+        implicitly filling the rounds in between with silence.
+
+        The sparse-write primitive of the event-driven simulation
+        backend: silence stores nothing, so out-of-order-in-time but
+        forward-only writes cost O(1) regardless of the gap.
+        """
+        if i < self._length:
+            raise IndexError(
+                f"round {i} already recorded (history length {self._length})"
+            )
+        if entry is not SILENCE:
+            self._events[i] = entry
+        self._length = i + 1
+
+    def extend_silent(self, length: int) -> None:
+        """Append silent rounds until ``len(self) >= length`` (no-op when
+        already that long) — O(1), silence is never stored."""
+        if self._length < length:
+            self._length = length
+
     def copy(self) -> "History":
         """Independent copy (same entries and length)."""
         h = History()

@@ -37,6 +37,85 @@ class DRIP(ABC):
         """
 
 
+class Commitment:
+    """A :class:`ScheduleOblivious` protocol's promise about its future.
+
+    Three kinds exist, each anchored at a local ``round``:
+
+    * ``TRANSMIT`` — the node listens in every local round before
+      ``round`` and transmits ``message`` in ``round``;
+    * ``TERMINATE`` — the node listens before ``round`` and terminates
+      in ``round``;
+    * ``RECHECK`` — the node listens through ``round - 1``; its behaviour
+      from ``round`` on depends on history entries it has not seen yet,
+      so the executor must query it again once ``H[0 .. round-1]`` is
+      known.
+
+    The binding contract that makes event-driven execution sound:
+    ``TRANSMIT``/``TERMINATE`` commitments are *unconditional* — they
+    hold no matter which entries are appended to the history before
+    ``round``.
+    """
+
+    TRANSMIT = "transmit"
+    TERMINATE = "terminate"
+    RECHECK = "recheck"
+
+    __slots__ = ("kind", "round", "message")
+
+    def __init__(self, kind: str, round_: int, message: object = None) -> None:
+        self.kind = kind
+        self.round = round_
+        self.message = message
+
+    @classmethod
+    def transmit(cls, round_: int, message: object) -> "Commitment":
+        """Commit to transmitting ``message`` in local round ``round_``."""
+        return cls(cls.TRANSMIT, round_, message)
+
+    @classmethod
+    def terminate(cls, round_: int) -> "Commitment":
+        """Commit to terminating in local round ``round_``."""
+        return cls(cls.TERMINATE, round_)
+
+    @classmethod
+    def recheck(cls, round_: int) -> "Commitment":
+        """Listen through ``round_ - 1``; query again at ``round_``."""
+        return cls(cls.RECHECK, round_)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.kind == self.TRANSMIT:
+            return f"Commitment.transmit({self.round}, {self.message!r})"
+        return f"Commitment.{self.kind}({self.round})"
+
+
+class ScheduleOblivious(ABC):
+    """Optional DRIP capability: a precomputable transmission timetable.
+
+    A protocol is *schedule-oblivious* when, at any point, it can promise
+    its next observable action (transmission or termination) as a pure
+    function of the history prefix it has already seen — listening in
+    every round up to that action regardless of what it hears in between.
+    The canonical DRIP is the prime example: within a phase its single
+    transmission round is fixed by the phase-start ``tBlock`` match, and
+    nothing heard mid-phase changes it (Lemma 3.8).
+
+    Implementations keep :meth:`DRIP.decide` as the ground truth; the
+    fast simulation backend uses :meth:`next_commitment` only to *skip*
+    provably silent rounds and re-validates each committed action against
+    ``decide`` when it falls due.
+    """
+
+    @abstractmethod
+    def next_commitment(self, history: History) -> Commitment:
+        """The node's next :class:`Commitment` given ``H[0..len-1]``.
+
+        The returned round is node-local and must be ``>= len(history)``
+        (strictly greater for ``RECHECK``, which would otherwise make no
+        progress).
+        """
+
+
 class FunctionDRIP(DRIP):
     """Wrap a plain callable ``history -> action`` as a DRIP."""
 
@@ -49,7 +128,7 @@ class FunctionDRIP(DRIP):
         return self._fn(history)
 
 
-class AlwaysListenDRIP(DRIP):
+class AlwaysListenDRIP(DRIP, ScheduleOblivious):
     """Listen forever until ``horizon`` rounds pass, then terminate.
 
     Useful as a null protocol in tests and impossibility experiments.
@@ -66,6 +145,10 @@ class AlwaysListenDRIP(DRIP):
         if len(history) >= self.horizon:
             return TERMINATE
         return LISTEN
+
+    def next_commitment(self, history: History) -> Commitment:
+        """Unconditional: listen until ``horizon``, then terminate."""
+        return Commitment.terminate(max(len(history), self.horizon))
 
 
 #: A program factory maps a node id to the DRIP instance that node runs.
@@ -183,7 +266,7 @@ def make_patient(
     )
 
 
-class ScheduleDRIP(DRIP):
+class ScheduleDRIP(DRIP, ScheduleOblivious):
     """Transmit fixed messages on a fixed local-round schedule, then stop.
 
     ``schedule`` maps local round -> message payload. The node listens in
@@ -209,3 +292,12 @@ class ScheduleDRIP(DRIP):
         if i in self.schedule:
             return Transmit(self.schedule[i])
         return LISTEN
+
+    def next_commitment(self, history: History) -> Commitment:
+        """Unconditional: the whole timetable is hard-coded up front."""
+        i = len(history)
+        upcoming = [t for t in self.schedule if t >= i]
+        if upcoming:
+            t = min(upcoming)
+            return Commitment.transmit(t, self.schedule[t])
+        return Commitment.terminate(max(i, self.done_round))

@@ -19,6 +19,16 @@ implements the communication model of the paper's Section 1.1/2.1 exactly:
   history only (the per-node ``DRIP`` objects returned by the program
   factory).
 
+Since the backend refactor the actual execution lives in
+:mod:`repro.radio.backends`: the semantics above are implemented by the
+``reference`` backend (the per-round oracle loop), and
+:class:`~repro.radio.protocol.ScheduleOblivious` protocols can run on
+the event-driven ``fast`` backend instead — bit-for-bit the same
+:class:`~repro.radio.events.ExecutionResult`, orders of magnitude fewer
+operations on sparse executions. The ``backend=`` knob accepts
+``"reference"``, ``"fast"`` or ``"auto"`` (the default: fast exactly
+when every program is schedule-oblivious).
+
 The simulator accepts any "network" object exposing ``nodes`` (iterable of
 sortable ids), ``neighbors(v)`` and ``tag(v)`` —
 :class:`repro.core.configuration.Configuration` satisfies this protocol.
@@ -26,27 +36,25 @@ sortable ids), ``neighbors(v)`` and ``tag(v)`` —
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from .backends import (
+    DEFAULT_MAX_ROUNDS,
+    BackendUnsupported,
+    ProtocolViolation,
+    SimulationSpec,
+    SimulationTimeout,
+    resolve_backend,
+)
+from .events import ExecutionResult
+from .protocol import ProgramFactory
 
-from .events import FORCED, SPONTANEOUS, ExecutionResult, RoundRecord
-from .history import History
-from .model import COLLISION, LISTEN, SILENCE, TERMINATE, Message, Transmit
-from .protocol import DRIP, ProgramFactory
-
-#: Default ceiling on simulated global rounds; prevents broken protocols
-#: from hanging the test suite. Callers with legitimately long executions
-#: pass an explicit ``max_rounds``.
-DEFAULT_MAX_ROUNDS = 1_000_000
-
-_ASLEEP, _AWAKE, _DONE = 0, 1, 2
-
-
-class SimulationTimeout(RuntimeError):
-    """Raised when a simulation exceeds its round budget."""
-
-
-class ProtocolViolation(RuntimeError):
-    """Raised when a DRIP returns something that is not a valid action."""
+__all__ = [
+    "DEFAULT_MAX_ROUNDS",
+    "BackendUnsupported",
+    "ProtocolViolation",
+    "RadioSimulator",
+    "SimulationTimeout",
+    "simulate",
+]
 
 
 class RadioSimulator:
@@ -60,9 +68,13 @@ class RadioSimulator:
         maps node id -> :class:`~repro.radio.protocol.DRIP` instance.
         Anonymous protocols ignore the id.
     max_rounds:
-        hard cap on global rounds (raises :class:`SimulationTimeout`).
+        hard cap on global rounds (raises :class:`SimulationTimeout`
+        when round ``max_rounds`` would start with nodes still active).
     record_trace:
         keep per-round :class:`~repro.radio.events.RoundRecord` objects.
+    backend:
+        ``"reference"``, ``"fast"`` or ``"auto"`` (default) — see
+        :mod:`repro.radio.backends`.
     """
 
     def __init__(
@@ -72,138 +84,24 @@ class RadioSimulator:
         *,
         max_rounds: int = DEFAULT_MAX_ROUNDS,
         record_trace: bool = False,
+        backend: str = "auto",
     ) -> None:
-        self._nodes: List[object] = sorted(network.nodes)
-        if not self._nodes:
-            raise ValueError("network has no nodes")
-        self._adj: Dict[object, Tuple[object, ...]] = {
-            v: tuple(sorted(network.neighbors(v))) for v in self._nodes
-        }
-        self._tags: Dict[object, int] = {v: network.tag(v) for v in self._nodes}
-        for v, t in self._tags.items():
-            if t < 0:
-                raise ValueError(f"negative wakeup tag at node {v!r}")
-        self._programs: Dict[object, DRIP] = {v: factory(v) for v in self._nodes}
-        self._max_rounds = max_rounds
-        self._record_trace = record_trace
+        self._spec = SimulationSpec(
+            network,
+            factory,
+            max_rounds=max_rounds,
+            record_trace=record_trace,
+        )
+        self._backend = backend
 
-    # ------------------------------------------------------------------
+    @property
+    def spec(self) -> SimulationSpec:
+        """The normalized workload description handed to the backend."""
+        return self._spec
+
     def run(self) -> ExecutionResult:
         """Execute until every node has terminated; return the result."""
-        nodes = self._nodes
-        adj = self._adj
-        tags = self._tags
-        programs = self._programs
-
-        state: Dict[object, int] = {v: _ASLEEP for v in nodes}
-        histories: Dict[object, History] = {v: History() for v in nodes}
-        wake_rounds: Dict[object, int] = {}
-        wake_kinds: Dict[object, str] = {}
-        done_local: Dict[object, int] = {}
-        trace: Optional[List[RoundRecord]] = [] if self._record_trace else None
-
-        remaining = len(nodes)  # nodes not yet DONE
-        # Nodes sorted by tag let us wake spontaneously without a full scan.
-        by_tag = sorted(nodes, key=lambda v: (tags[v], v))
-        next_spont = 0  # index into by_tag of the next candidate wakeup
-
-        r = 0
-        while remaining:
-            if r > self._max_rounds:
-                raise SimulationTimeout(
-                    f"simulation exceeded {self._max_rounds} rounds "
-                    f"({remaining} node(s) still active)"
-                )
-
-            # --- 1. collect decisions of awake nodes (local round >= 1) ---
-            transmitters: Dict[object, object] = {}
-            terminating: List[object] = []
-            for v in nodes:
-                if state[v] != _AWAKE or wake_rounds[v] == r:
-                    continue
-                action = programs[v].decide(histories[v])
-                if action is LISTEN:
-                    continue
-                if action is TERMINATE:
-                    terminating.append(v)
-                elif isinstance(action, Transmit):
-                    transmitters[v] = action.message
-                else:
-                    raise ProtocolViolation(
-                        f"node {v!r} returned invalid action {action!r} "
-                        f"in local round {len(histories[v])}"
-                    )
-
-            # --- 2. compute what each node receives ---------------------
-            recv_count: Dict[object, int] = {}
-            recv_msg: Dict[object, object] = {}
-            for t, msg in transmitters.items():
-                for u in adj[t]:
-                    recv_count[u] = recv_count.get(u, 0) + 1
-                    recv_msg[u] = msg
-
-            # --- 3. record history entries for awake nodes --------------
-            for v in nodes:
-                if state[v] != _AWAKE or wake_rounds[v] == r:
-                    continue
-                if v in transmitters:
-                    entry = SILENCE
-                else:
-                    k = recv_count.get(v, 0)
-                    if k == 0:
-                        entry = SILENCE
-                    elif k == 1:
-                        entry = Message(recv_msg[v])
-                    else:
-                        entry = COLLISION
-                histories[v].append(entry)
-
-            # --- 4. terminations ----------------------------------------
-            for v in terminating:
-                state[v] = _DONE
-                done_local[v] = len(histories[v]) - 1  # the terminate round
-                remaining -= 1
-
-            # --- 5. wakeups (forced by message, else spontaneous at tag) -
-            wakeups: List[Tuple[object, str]] = []
-            for v, k in recv_count.items():
-                if state[v] == _ASLEEP and k == 1:
-                    state[v] = _AWAKE
-                    wake_rounds[v] = r
-                    wake_kinds[v] = FORCED
-                    histories[v].append(Message(recv_msg[v]))
-                    wakeups.append((v, FORCED))
-            while next_spont < len(by_tag) and tags[by_tag[next_spont]] <= r:
-                v = by_tag[next_spont]
-                next_spont += 1
-                if state[v] != _ASLEEP:
-                    continue  # woke up forced in this or an earlier round
-                state[v] = _AWAKE
-                wake_rounds[v] = r
-                wake_kinds[v] = SPONTANEOUS
-                k = recv_count.get(v, 0)
-                histories[v].append(COLLISION if k >= 2 else SILENCE)
-                wakeups.append((v, SPONTANEOUS))
-
-            if trace is not None:
-                trace.append(
-                    RoundRecord(
-                        global_round=r,
-                        transmitters=dict(transmitters),
-                        wakeups=wakeups,
-                        terminated=list(terminating),
-                    )
-                )
-            r += 1
-
-        return ExecutionResult(
-            histories=histories,
-            wake_rounds=wake_rounds,
-            wake_kinds=wake_kinds,
-            done_local=done_local,
-            rounds_elapsed=r,
-            trace=trace,
-        )
+        return resolve_backend(self._backend, self._spec).run(self._spec)
 
 
 def simulate(
@@ -212,8 +110,13 @@ def simulate(
     *,
     max_rounds: int = DEFAULT_MAX_ROUNDS,
     record_trace: bool = False,
+    backend: str = "auto",
 ) -> ExecutionResult:
     """One-shot convenience wrapper around :class:`RadioSimulator`."""
     return RadioSimulator(
-        network, factory, max_rounds=max_rounds, record_trace=record_trace
+        network,
+        factory,
+        max_rounds=max_rounds,
+        record_trace=record_trace,
+        backend=backend,
     ).run()

@@ -21,6 +21,7 @@ from ..core.canonical import (
     CanonicalMatchError,
     ListEntry,
     build_canonical_data,
+    canonical_commitment,
     match_entry,
 )
 from ..core.configuration import Configuration
@@ -28,7 +29,12 @@ from ..core.partition import Label
 from ..core.trace import ClassifierTrace
 from ..radio.history import History
 from ..radio.model import LISTEN, TERMINATE, Action, Transmit
-from ..radio.protocol import DRIP, LeaderElectionAlgorithm
+from ..radio.protocol import (
+    DRIP,
+    Commitment,
+    LeaderElectionAlgorithm,
+    ScheduleOblivious,
+)
 from .channels import CD, Channel
 from .refinement import variant_classify
 from .simulator import variant_simulate
@@ -54,7 +60,7 @@ def variant_observed_triples(
     return tuple(out)
 
 
-class VariantCanonicalDRIP(DRIP):
+class VariantCanonicalDRIP(DRIP, ScheduleOblivious):
     """Per-node executor of the canonical-style protocol for a channel."""
 
     __slots__ = ("data", "channel", "_tblocks")
@@ -102,6 +108,11 @@ class VariantCanonicalDRIP(DRIP):
         if pos + 1 == data.sigma + 1 and block + 1 == self._tblock(j, history):
             return Transmit(CANONICAL_MESSAGE)
         return LISTEN
+
+    def next_commitment(self, history: History) -> Commitment:
+        """Compiled schedule for the fast backend: the timetable is the
+        canonical one — only the observation decoding is per-channel."""
+        return canonical_commitment(self, history)
 
 
 @dataclass

@@ -1,27 +1,32 @@
 """Channel-parameterized synchronous radio simulator.
 
-Structurally the same round loop as :class:`repro.radio.simulator.
+Semantically the same execution as :class:`repro.radio.simulator.
 RadioSimulator`, but every reception decision is delegated to a
 :class:`~repro.variants.channels.Channel`: what a listener records, what
 wakes a sleeping node, and what the wakeup round's ``H[0]`` entry is.
 Instantiated with :data:`~repro.variants.channels.CD` it reproduces the
 reference simulator execution-for-execution (tested), which is the
 correctness anchor for the two weaker channels.
+
+Since the backend refactor this module no longer carries its own round
+loop: the channel rides on the shared
+:class:`~repro.radio.backends.base.SimulationSpec` and execution is
+delegated to :mod:`repro.radio.backends` — including the event-driven
+``fast`` path when the protocols are
+:class:`~repro.radio.protocol.ScheduleOblivious` (all shipped channels
+are silent-neutral, so round-skipping stays sound).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
-
-from ..radio.events import FORCED, SPONTANEOUS, ExecutionResult, RoundRecord
-from ..radio.history import History
-from ..radio.model import LISTEN, SILENCE, TERMINATE, Transmit
+from ..radio.backends import (
+    DEFAULT_MAX_ROUNDS,
+    SimulationSpec,
+    resolve_backend,
+)
+from ..radio.events import ExecutionResult
 from ..radio.protocol import ProgramFactory
 from .channels import CD, Channel
-
-DEFAULT_MAX_ROUNDS = 1_000_000
-
-_ASLEEP, _AWAKE, _DONE = 0, 1, 2
 
 
 class VariantRadioSimulator:
@@ -35,130 +40,20 @@ class VariantRadioSimulator:
         channel: Channel = CD,
         max_rounds: int = DEFAULT_MAX_ROUNDS,
         record_trace: bool = False,
+        backend: str = "auto",
     ) -> None:
-        self._nodes: List[object] = sorted(network.nodes)
-        if not self._nodes:
-            raise ValueError("network has no nodes")
-        self._adj: Dict[object, Tuple[object, ...]] = {
-            v: tuple(sorted(network.neighbors(v))) for v in self._nodes
-        }
-        self._tags: Dict[object, int] = {v: network.tag(v) for v in self._nodes}
-        for v, t in self._tags.items():
-            if t < 0:
-                raise ValueError(f"negative wakeup tag at node {v!r}")
-        self._programs = {v: factory(v) for v in self._nodes}
-        self._channel = channel
-        self._max_rounds = max_rounds
-        self._record_trace = record_trace
+        self._spec = SimulationSpec(
+            network,
+            factory,
+            channel=channel,
+            max_rounds=max_rounds,
+            record_trace=record_trace,
+        )
+        self._backend = backend
 
     def run(self) -> ExecutionResult:
         """Execute until every node terminates under the channel."""
-        from ..radio.simulator import ProtocolViolation, SimulationTimeout
-
-        nodes = self._nodes
-        adj = self._adj
-        tags = self._tags
-        programs = self._programs
-        channel = self._channel
-
-        state: Dict[object, int] = {v: _ASLEEP for v in nodes}
-        histories: Dict[object, History] = {v: History() for v in nodes}
-        wake_rounds: Dict[object, int] = {}
-        wake_kinds: Dict[object, str] = {}
-        done_local: Dict[object, int] = {}
-        trace: Optional[List[RoundRecord]] = [] if self._record_trace else None
-
-        remaining = len(nodes)
-        by_tag = sorted(nodes, key=lambda v: (tags[v], v))
-        next_spont = 0
-
-        r = 0
-        while remaining:
-            if r > self._max_rounds:
-                raise SimulationTimeout(
-                    f"simulation exceeded {self._max_rounds} rounds "
-                    f"({remaining} node(s) still active)"
-                )
-
-            transmitters: Dict[object, object] = {}
-            terminating: List[object] = []
-            for v in nodes:
-                if state[v] != _AWAKE or wake_rounds[v] == r:
-                    continue
-                action = programs[v].decide(histories[v])
-                if action is LISTEN:
-                    continue
-                if action is TERMINATE:
-                    terminating.append(v)
-                elif isinstance(action, Transmit):
-                    transmitters[v] = action.message
-                else:
-                    raise ProtocolViolation(
-                        f"node {v!r} returned invalid action {action!r} "
-                        f"in local round {len(histories[v])}"
-                    )
-
-            recv_count: Dict[object, int] = {}
-            recv_msg: Dict[object, object] = {}
-            for t, msg in transmitters.items():
-                for u in adj[t]:
-                    recv_count[u] = recv_count.get(u, 0) + 1
-                    recv_msg[u] = msg
-
-            for v in nodes:
-                if state[v] != _AWAKE or wake_rounds[v] == r:
-                    continue
-                if v in transmitters:
-                    histories[v].append(SILENCE)
-                else:
-                    k = recv_count.get(v, 0)
-                    histories[v].append(channel.entry(k, recv_msg.get(v)))
-
-            for v in terminating:
-                state[v] = _DONE
-                done_local[v] = len(histories[v]) - 1
-                remaining -= 1
-
-            wakeups: List[Tuple[object, str]] = []
-            for v, k in recv_count.items():
-                if state[v] == _ASLEEP and channel.wakes(k):
-                    state[v] = _AWAKE
-                    wake_rounds[v] = r
-                    wake_kinds[v] = FORCED
-                    histories[v].append(channel.wake_entry(k, recv_msg.get(v)))
-                    wakeups.append((v, FORCED))
-            while next_spont < len(by_tag) and tags[by_tag[next_spont]] <= r:
-                v = by_tag[next_spont]
-                next_spont += 1
-                if state[v] != _ASLEEP:
-                    continue
-                state[v] = _AWAKE
-                wake_rounds[v] = r
-                wake_kinds[v] = SPONTANEOUS
-                histories[v].append(
-                    channel.spontaneous_entry(recv_count.get(v, 0))
-                )
-                wakeups.append((v, SPONTANEOUS))
-
-            if trace is not None:
-                trace.append(
-                    RoundRecord(
-                        global_round=r,
-                        transmitters=dict(transmitters),
-                        wakeups=wakeups,
-                        terminated=list(terminating),
-                    )
-                )
-            r += 1
-
-        return ExecutionResult(
-            histories=histories,
-            wake_rounds=wake_rounds,
-            wake_kinds=wake_kinds,
-            done_local=done_local,
-            rounds_elapsed=r,
-            trace=trace,
-        )
+        return resolve_backend(self._backend, self._spec).run(self._spec)
 
 
 def variant_simulate(
@@ -168,6 +63,7 @@ def variant_simulate(
     channel: Channel = CD,
     max_rounds: int = DEFAULT_MAX_ROUNDS,
     record_trace: bool = False,
+    backend: str = "auto",
 ) -> ExecutionResult:
     """One-shot convenience wrapper around :class:`VariantRadioSimulator`."""
     return VariantRadioSimulator(
@@ -176,4 +72,5 @@ def variant_simulate(
         channel=channel,
         max_rounds=max_rounds,
         record_trace=record_trace,
+        backend=backend,
     ).run()

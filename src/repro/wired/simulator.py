@@ -20,6 +20,8 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..radio.backends.base import SimulationTimeout, budget_exceeded
+
 #: Hard cap on simulated rounds, as in the radio simulator.
 DEFAULT_MAX_ROUNDS = 100_000
 
@@ -28,8 +30,13 @@ class WiredProtocolViolation(RuntimeError):
     """A protocol returned malformed messages or decisions."""
 
 
-class WiredTimeout(RuntimeError):
-    """The execution exceeded its round budget."""
+class WiredTimeout(SimulationTimeout):
+    """The execution exceeded its round budget.
+
+    Subclasses the radio substrate's
+    :class:`~repro.radio.backends.base.SimulationTimeout` so the two
+    models share the diagnostic round-budget machinery (round reached,
+    active/terminated counts)."""
 
 
 class WiredNodeProtocol(ABC):
@@ -122,8 +129,14 @@ class WiredSimulator:
         r = 0
         while not all(programs[v].done() for v in nodes):
             if r >= self._max_rounds:
-                raise WiredTimeout(
-                    f"wired execution exceeded {self._max_rounds} rounds"
+                done = sum(1 for v in nodes if programs[v].done())
+                raise budget_exceeded(
+                    self._max_rounds,
+                    r,
+                    awake=len(nodes) - done,
+                    asleep=0,  # the wired model has no wakeup mechanics
+                    terminated=done,
+                    timeout_cls=WiredTimeout,
                 )
             outgoing: Dict[object, List[object]] = {}
             for v in nodes:

@@ -1,0 +1,535 @@
+"""Backend equivalence suite: the event-driven ``fast`` backend must be
+bit-for-bit interchangeable with the per-round ``reference`` oracle —
+histories, wake rounds/kinds, ``done_local``, ``rounds_elapsed`` and the
+full trace — across canonical elections, hand-built schedules, fault
+injection and the variant channels. Also regression-tests the round
+budget off-by-one and the diagnostic timeout."""
+
+import pytest
+
+from repro.core.canonical import CanonicalMatchError, CanonicalProtocol
+from repro.core.classifier import classify
+from repro.core.configuration import Configuration, line_configuration
+from repro.core.election import elect_leader
+from repro.graphs.enumeration import enumerate_configurations
+from repro.graphs.families import g_m, h_m, s_m
+from repro.radio.backends import (
+    BackendUnsupported,
+    FastBackend,
+    ReferenceBackend,
+    SimulationSpec,
+    resolve_backend,
+)
+from repro.radio.faults import jam_pairs, jam_rounds, jammed_simulate
+from repro.radio.model import LISTEN, TERMINATE
+from repro.radio.protocol import (
+    AlwaysListenDRIP,
+    Commitment,
+    DRIP,
+    ScheduleDRIP,
+    ScheduleOblivious,
+    anonymous_factory,
+)
+from repro.radio.simulator import (
+    ProtocolViolation,
+    SimulationTimeout,
+    simulate,
+)
+from repro.testing import configurations, make_random_config
+from repro.variants.canonical import VariantCanonicalProtocol
+from repro.variants.channels import BEEP, CD, NO_CD
+from repro.variants.refinement import variant_classify
+from repro.variants.simulator import variant_simulate
+
+try:
+    from hypothesis import given, settings, strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis is an install extra
+    HAVE_HYPOTHESIS = False
+
+
+def canonical_setup(cfg):
+    trace = classify(cfg)
+    protocol = CanonicalProtocol.from_trace(trace)
+    network = trace.config
+    return network, protocol
+
+
+def both_backends(network, factory, *, max_rounds, record_trace=True):
+    """Run both backends on one workload; return (reference, fast)."""
+    ref = simulate(
+        network,
+        factory,
+        max_rounds=max_rounds,
+        record_trace=record_trace,
+        backend="reference",
+    )
+    fast = simulate(
+        network,
+        factory,
+        max_rounds=max_rounds,
+        record_trace=record_trace,
+        backend="fast",
+    )
+    return ref, fast
+
+
+class TestCanonicalEquivalence:
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda: h_m(1),
+            lambda: h_m(5),
+            lambda: g_m(2),
+            lambda: g_m(4),
+            lambda: s_m(3),
+            lambda: line_configuration([0]),
+            lambda: line_configuration([0, 3, 0, 2]),
+        ],
+    )
+    def test_families_bit_for_bit(self, make):
+        network, protocol = canonical_setup(make())
+        ref, fast = both_backends(
+            network,
+            protocol.factory,
+            max_rounds=protocol.round_budget(network.span),
+        )
+        assert ref == fast
+
+    def test_exhaustive_small_n_sweep(self):
+        """Every configuration shape with n <= 4, tags 0..2: identical
+        canonical executions under both backends."""
+        checked = 0
+        for n in (1, 2, 3, 4):
+            for cfg in enumerate_configurations(n, 2):
+                network, protocol = canonical_setup(cfg)
+                ref, fast = both_backends(
+                    network,
+                    protocol.factory,
+                    max_rounds=protocol.round_budget(network.span),
+                )
+                assert ref == fast, f"divergence on {cfg!r}"
+                checked += 1
+        assert checked > 100  # the sweep must actually sweep
+
+    def test_elect_leader_backend_knob(self):
+        cfg = g_m(3)
+        ref = elect_leader(cfg, backend="reference")
+        fast = elect_leader(cfg, backend="fast")
+        auto = elect_leader(cfg)  # canonical DRIP is oblivious -> fast
+        assert ref.execution == fast.execution == auto.execution
+        assert ref.leaders == fast.leaders == auto.leaders
+        assert ref.backend_stats.backend == "reference"
+        assert fast.backend_stats.backend == "fast"
+        assert auto.backend_stats.backend == "fast"
+        assert fast.backend_stats.rounds_skipped > 0
+        assert (
+            fast.backend_stats.rounds_simulated
+            + fast.backend_stats.rounds_skipped
+            == fast.backend_stats.rounds_elapsed
+        )
+
+    def test_fast_does_fewer_decisions(self):
+        network, protocol = canonical_setup(g_m(4))
+        ref, fast = both_backends(
+            network,
+            protocol.factory,
+            max_rounds=protocol.round_budget(network.span),
+        )
+        assert fast.backend_stats.decisions < ref.backend_stats.decisions / 5
+
+
+class TestScheduleEquivalence:
+    """Hand-built fixed schedules exercise forced wakeups, collisions and
+    termination-round entries — all the reception edge cases."""
+
+    def schedules_case(self, tags, schedules, done):
+        cfg = line_configuration(tags)
+
+        def factory(v):
+            return ScheduleDRIP(schedules.get(v, {}), done)
+
+        return both_backends(cfg, factory, max_rounds=1000)
+
+    def test_forced_wakeup(self):
+        ref, fast = self.schedules_case([0, 5], {0: {1: "hi"}}, 3)
+        assert ref == fast
+        assert fast.wake_kinds[1] == "forced"
+
+    def test_collision_does_not_wake(self):
+        ref, fast = self.schedules_case(
+            [0, 5, 0], {0: {1: "x"}, 2: {1: "x"}}, 7
+        )
+        assert ref == fast
+
+    def test_terminate_round_reception(self):
+        # node 1 terminates in the round node 0 transmits: the entry must
+        # still land in H[done] under both backends.
+        cfg = line_configuration([0, 0])
+
+        def factory(v):
+            if v == 0:
+                return ScheduleDRIP({2: "late"}, 3)
+            return ScheduleDRIP({}, 2)
+
+        ref, fast = both_backends(cfg, factory, max_rounds=1000)
+        assert ref == fast
+        from repro.radio.model import Message
+
+        assert fast.histories[1][2] == Message("late")
+
+    def test_simultaneous_transmissions(self):
+        ref, fast = self.schedules_case(
+            [0, 0, 0, 0], {0: {2: "x"}, 3: {2: "y"}}, 4
+        )
+        assert ref == fast
+
+
+class TestFaultEquivalence:
+    def test_jammed_canonical_execution(self):
+        network, protocol = canonical_setup(h_m(2))
+        budget = protocol.round_budget(network.span)
+        jammer = jam_rounds([0, 3, 7])
+        results = []
+        for backend in ("reference", "fast"):
+            try:
+                results.append(
+                    jammed_simulate(
+                        network,
+                        protocol.factory,
+                        jammer=jammer,
+                        max_rounds=budget,
+                        record_trace=True,
+                        backend=backend,
+                    )
+                )
+            except CanonicalMatchError as exc:
+                results.append(("match-error", str(exc)))
+        assert results[0] == results[1]
+
+    def test_effective_jams_identical(self):
+        network, protocol = canonical_setup(line_configuration([0, 1, 0]))
+        budget = protocol.round_budget(network.span)
+        jammer = jam_pairs([(2, 0), (5, 1), (9, 2)])
+        from repro.radio.faults import JammedRadioSimulator
+
+        runs = {}
+        for backend in ("reference", "fast"):
+            sim = JammedRadioSimulator(
+                network,
+                protocol.factory,
+                jammer=jam_pairs([(2, 0), (5, 1), (9, 2)]),
+                max_rounds=budget,
+                backend=backend,
+            )
+            try:
+                result = sim.run()
+            except CanonicalMatchError:
+                result = "match-error"
+            runs[backend] = (result, sim.effective_jams)
+        assert runs["reference"] == runs["fast"]
+
+    @pytest.mark.parametrize("channel", [NO_CD, BEEP], ids=lambda c: c.name)
+    def test_jamming_respects_weak_channel_alphabet(self, channel):
+        """Jam noise is rendered through the channel (a jammed round
+        sounds like a >= 2-transmitter round): without collision
+        detection it is silence, when beeping it is a carrier — never
+        the CD-only COLLISION sentinel. Both backends agree."""
+        from repro.radio.model import COLLISION
+
+        cfg = line_configuration([0, 1, 0])
+        trace = variant_classify(cfg, channel)
+        protocol = VariantCanonicalProtocol.from_trace(trace, channel)
+        network = trace.config
+        budget = protocol.round_budget(network.span)
+        runs = []
+        for backend in ("reference", "fast"):
+            spec = SimulationSpec(
+                network,
+                protocol.factory,
+                channel=channel,
+                jammer=jam_rounds([0, 2, 5]),
+                max_rounds=budget,
+                record_trace=True,
+            )
+            try:
+                runs.append(resolve_backend(backend, spec).run(spec))
+            except CanonicalMatchError:
+                runs.append("match-error")
+        assert runs[0] == runs[1]
+        if runs[0] != "match-error":
+            for h in runs[0].histories.values():
+                assert all(e is not COLLISION for e in h)
+
+    def test_opaque_jammer_falls_back_to_reference(self):
+        network, protocol = canonical_setup(h_m(1))
+        result = jammed_simulate(
+            network,
+            protocol.factory,
+            jammer=lambda r, v: False,  # no event_rounds() -> not fast-able
+            max_rounds=protocol.round_budget(network.span),
+        )
+        assert result.backend_stats.backend == "reference"
+
+
+class TestChannelEquivalence:
+    @pytest.mark.parametrize("channel", [CD, NO_CD, BEEP], ids=lambda c: c.name)
+    @pytest.mark.parametrize("tags", [[0, 1, 0], [2, 0, 1, 0], [0, 0]])
+    def test_variant_canonical(self, channel, tags):
+        cfg = line_configuration(tags)
+        trace = variant_classify(cfg, channel)
+        protocol = VariantCanonicalProtocol.from_trace(trace, channel)
+        network = trace.config
+        budget = protocol.round_budget(network.span)
+        outcomes = []
+        for backend in ("reference", "fast"):
+            try:
+                outcomes.append(
+                    variant_simulate(
+                        network,
+                        protocol.factory,
+                        channel=channel,
+                        max_rounds=budget,
+                        record_trace=True,
+                        backend=backend,
+                    )
+                )
+            except CanonicalMatchError:
+                outcomes.append("match-error")
+        assert outcomes[0] == outcomes[1]
+
+
+@pytest.mark.skipif(not HAVE_HYPOTHESIS, reason="hypothesis not installed")
+class TestPropertyEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(configurations(max_n=6, max_span=3))
+    def test_random_canonical_configs(self, cfg):
+        network, protocol = canonical_setup(cfg)
+        ref, fast = both_backends(
+            network,
+            protocol.factory,
+            max_rounds=protocol.round_budget(network.span),
+        )
+        assert ref == fast
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        configurations(max_n=5, max_span=2),
+        st.lists(
+            st.tuples(st.integers(0, 30), st.integers(0, 4)), max_size=6
+        ),
+    )
+    def test_random_fault_injection(self, cfg, pairs):
+        network, protocol = canonical_setup(cfg)
+        budget = protocol.round_budget(network.span)
+        pairs = [(r, v) for r, v in pairs if v < network.n]
+        outcomes = []
+        for backend in ("reference", "fast"):
+            try:
+                outcomes.append(
+                    jammed_simulate(
+                        network,
+                        protocol.factory,
+                        jammer=jam_pairs(pairs),
+                        max_rounds=budget,
+                        record_trace=True,
+                        backend=backend,
+                    )
+                )
+            except (CanonicalMatchError, SimulationTimeout) as exc:
+                outcomes.append((type(exc).__name__,))
+        assert outcomes[0] == outcomes[1]
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        configurations(max_n=5, max_span=2),
+        st.sampled_from([CD, NO_CD, BEEP]),
+    )
+    def test_random_variant_channels(self, cfg, channel):
+        trace = variant_classify(cfg, channel)
+        protocol = VariantCanonicalProtocol.from_trace(trace, channel)
+        network = trace.config
+        budget = protocol.round_budget(network.span)
+        outcomes = []
+        for backend in ("reference", "fast"):
+            try:
+                outcomes.append(
+                    variant_simulate(
+                        network,
+                        protocol.factory,
+                        channel=channel,
+                        max_rounds=budget,
+                        record_trace=True,
+                        backend=backend,
+                    )
+                )
+            except (CanonicalMatchError, SimulationTimeout) as exc:
+                outcomes.append((type(exc).__name__,))
+        assert outcomes[0] == outcomes[1]
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.data())
+    def test_random_fixed_schedules(self, data):
+        n = data.draw(st.integers(2, 5))
+        tags = [data.draw(st.integers(0, 3)) for _ in range(n)]
+        cfg = line_configuration(tags)
+        done = data.draw(st.integers(1, 12))
+        schedules = {}
+        for v in range(n):
+            rounds = data.draw(
+                st.lists(st.integers(1, done - 1), max_size=3, unique=True)
+            ) if done > 1 else []
+            schedules[v] = {t: f"m{v}" for t in rounds}
+
+        def factory(v):
+            return ScheduleDRIP(schedules.get(v, {}), done)
+
+        ref, fast = both_backends(cfg, factory, max_rounds=500)
+        assert ref == fast
+
+
+class TestRoundBudget:
+    """Satellite regressions: the historical ``r > max_rounds`` check
+    permitted ``max_rounds + 1`` rounds; the timeout is now diagnostic."""
+
+    def test_budget_is_exact(self):
+        # AlwaysListen(5) on one tag-0 node terminates in local round 5,
+        # i.e. needs rounds 0..5 = 6 rounds exactly.
+        cfg = line_configuration([0])
+        ok = simulate(cfg, anonymous_factory(lambda: AlwaysListenDRIP(5)),
+                      max_rounds=6)
+        assert ok.rounds_elapsed == 6
+        with pytest.raises(SimulationTimeout):
+            simulate(cfg, anonymous_factory(lambda: AlwaysListenDRIP(5)),
+                     max_rounds=5)
+
+    @pytest.mark.parametrize("backend", ["reference", "fast"])
+    def test_timeout_is_diagnostic(self, backend):
+        cfg = line_configuration([0, 2, 7])
+        with pytest.raises(SimulationTimeout) as err:
+            simulate(
+                cfg,
+                anonymous_factory(lambda: AlwaysListenDRIP(100)),
+                max_rounds=5,
+                backend=backend,
+            )
+        exc = err.value
+        assert exc.round_reached == 5
+        # at round 5: tags 0 and 2 are awake, tag 7 still asleep
+        assert (exc.awake, exc.asleep, exc.terminated) == (2, 1, 0)
+        assert "reached round 5" in str(exc)
+        assert "2 awake" in str(exc) and "1 asleep" in str(exc)
+
+    def test_timeouts_agree_across_backends(self):
+        cfg = line_configuration([0, 1])
+        caught = {}
+        for backend in ("reference", "fast"):
+            with pytest.raises(SimulationTimeout) as err:
+                simulate(
+                    cfg,
+                    anonymous_factory(lambda: AlwaysListenDRIP(50)),
+                    max_rounds=10,
+                    backend=backend,
+                )
+            e = err.value
+            caught[backend] = (str(e), e.round_reached, e.awake, e.asleep,
+                               e.terminated)
+        assert caught["reference"] == caught["fast"]
+
+
+class TestBackendSelection:
+    def test_explicit_fast_rejects_adaptive_protocol(self):
+        class Adaptive(DRIP):
+            def decide(self, history):
+                return TERMINATE if len(history) >= 2 else LISTEN
+
+        cfg = line_configuration([0, 0])
+        with pytest.raises(BackendUnsupported):
+            simulate(cfg, anonymous_factory(Adaptive), backend="fast")
+
+    def test_auto_falls_back_for_adaptive_protocol(self):
+        class Adaptive(DRIP):
+            def decide(self, history):
+                return TERMINATE if len(history) >= 2 else LISTEN
+
+        cfg = line_configuration([0, 0])
+        result = simulate(cfg, anonymous_factory(Adaptive))
+        assert result.backend_stats.backend == "reference"
+
+    def test_auto_picks_fast_for_oblivious_protocol(self):
+        cfg = line_configuration([0, 1])
+        result = simulate(
+            cfg, anonymous_factory(lambda: AlwaysListenDRIP(3))
+        )
+        assert result.backend_stats.backend == "fast"
+
+    def test_unknown_backend_rejected(self):
+        cfg = line_configuration([0])
+        with pytest.raises(ValueError):
+            simulate(cfg, anonymous_factory(lambda: AlwaysListenDRIP(1)),
+                     backend="warp")
+
+    def test_resolve_backend_objects(self):
+        cfg = line_configuration([0])
+        spec = SimulationSpec(
+            cfg, anonymous_factory(lambda: AlwaysListenDRIP(1))
+        )
+        assert isinstance(resolve_backend("auto", spec), FastBackend)
+        assert isinstance(
+            resolve_backend("reference", spec), ReferenceBackend
+        )
+
+
+class TestCommitmentContract:
+    def test_broken_commitment_fails_loudly(self):
+        class Liar(DRIP, ScheduleOblivious):
+            """Commits to transmitting but then listens."""
+
+            def decide(self, history):
+                return LISTEN
+
+            def next_commitment(self, history):
+                return Commitment.transmit(len(history), "never")
+
+        cfg = line_configuration([0])
+        with pytest.raises(ProtocolViolation):
+            simulate(cfg, anonymous_factory(Liar), backend="fast",
+                     max_rounds=50)
+
+    def test_non_progressing_recheck_rejected(self):
+        class Stuck(DRIP, ScheduleOblivious):
+            def decide(self, history):
+                return LISTEN
+
+            def next_commitment(self, history):
+                return Commitment.recheck(len(history))
+
+        cfg = line_configuration([0])
+        with pytest.raises(ProtocolViolation):
+            simulate(cfg, anonymous_factory(Stuck), backend="fast",
+                     max_rounds=50)
+
+    def test_schedule_drip_commitments(self):
+        from repro.radio.history import History
+        from repro.radio.model import SILENCE
+
+        drip = ScheduleDRIP({2: "a", 5: "b"}, 7)
+        h = History.from_entries([SILENCE])
+        com = drip.next_commitment(h)
+        assert (com.kind, com.round, com.message) == (
+            Commitment.TRANSMIT, 2, "a")
+        h = History.from_entries([SILENCE] * 6)
+        com = drip.next_commitment(h)
+        assert (com.kind, com.round) == (Commitment.TERMINATE, 7)
+
+
+class TestEquivalenceViaReplay:
+    def test_replay_triangulates_both_backends(self):
+        from repro.core.replay import replay_matches_simulation
+
+        for make in (lambda: h_m(3), lambda: g_m(2),
+                     lambda: make_random_config(7)):
+            cfg = make()
+            assert replay_matches_simulation(cfg, backend="reference")
+            assert replay_matches_simulation(cfg, backend="fast")

@@ -116,6 +116,36 @@ def test_canon_public_api_documented():
     assert not missing, f"undocumented repro.canon exports: {missing}"
 
 
+def test_backends_package_is_covered():
+    """The simulation-backend subsystem must be walked by this gate: its
+    modules appear in the collected module list (a silent pkgutil skip
+    would exempt the whole package from the docstring requirement)."""
+    backend_modules = {m for m in MODULES if m.startswith("repro.radio.backends")}
+    assert backend_modules >= {
+        "repro.radio.backends",
+        "repro.radio.backends.base",
+        "repro.radio.backends.fast",
+        "repro.radio.backends.reference",
+    }
+
+
+def test_backends_public_api_documented():
+    """Every name exported from ``repro.radio.backends`` has a docstring
+    (the backend architecture is the substrate every experiment runs on;
+    its API is documentation-critical — docs/simulation.md builds on
+    these docstrings)."""
+    import repro.radio.backends as backends
+
+    missing = []
+    for name in backends.__all__:
+        obj = getattr(backends, name)
+        if (inspect.isclass(obj) or inspect.isfunction(obj)) and not inspect.getdoc(
+            obj
+        ):
+            missing.append(name)
+    assert not missing, f"undocumented repro.radio.backends exports: {missing}"
+
+
 def test_service_package_is_covered():
     """The service layer must be walked by this gate: its modules appear
     in the collected module list (a silent pkgutil skip would exempt the
