@@ -35,6 +35,7 @@ from repro.core.configuration import Configuration
 from repro.engine import EngineStats, ResultCache, batch_records, default_keyer
 from repro.graphs.enumeration import connected_graphs, enumerate_configurations
 from repro.graphs.families import g_m
+from repro.reporting.bench import BenchResult, write_bench_result
 
 from conftest import seeded_config
 
@@ -146,6 +147,19 @@ def test_canonization_speedup_at_least_5x(workload):
     assert forms == oracle  # same bytes, not merely same classes
 
     speedup = oracle_time / canon_time
+    write_bench_result(
+        BenchResult(
+            experiment="E21",
+            workload={
+                "configs": len(workload),
+                "n_range": [min(c.n for c in workload), max(c.n for c in workload)],
+            },
+            timings_s={"bruteforce": oracle_time, "refinement": canon_time},
+            speedup=speedup,
+            floor=SPEEDUP_FLOOR,
+            passed=speedup >= SPEEDUP_FLOOR,
+        )
+    )
     assert speedup >= SPEEDUP_FLOOR, (
         f"canon {canon_time:.4f}s vs bruteforce {oracle_time:.4f}s "
         f"= {speedup:.1f}x < {SPEEDUP_FLOOR}x "

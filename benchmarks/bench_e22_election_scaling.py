@@ -29,6 +29,7 @@ from repro.core.classifier import classify
 from repro.core.election import elect_leader
 from repro.graphs.families import g_m, g_m_center, h_m
 from repro.radio.faults import jam_rounds, jammed_simulate
+from repro.reporting.bench import BenchResult, write_bench_result
 from repro.radio.simulator import simulate
 from repro.variants.canonical import VariantCanonicalProtocol
 from repro.variants.channels import CHANNELS
@@ -138,6 +139,20 @@ def test_election_speedup_at_least_5x():
     assert ref == fast  # same execution, not merely same leader
 
     speedup = ref_time / fast_time
+    write_bench_result(
+        BenchResult(
+            experiment="E22",
+            workload={
+                "family": f"G_{TIMED_M}",
+                "n": network.n,
+                "rounds": ref.rounds_elapsed,
+            },
+            timings_s={"reference": ref_time, "fast": fast_time},
+            speedup=speedup,
+            floor=SPEEDUP_FLOOR,
+            passed=speedup >= SPEEDUP_FLOOR,
+        )
+    )
     assert speedup >= SPEEDUP_FLOOR, (
         f"fast {fast_time:.4f}s vs reference {ref_time:.4f}s "
         f"= {speedup:.1f}x < {SPEEDUP_FLOOR}x "

@@ -93,17 +93,21 @@ def census(
     *,
     group_by: Callable[[Configuration], object] = None,
     measure_rounds: bool = False,
+    algorithm: str = "auto",
 ) -> CensusResult:
     """Classify every configuration; aggregate by ``group_by(config)``.
 
     With ``measure_rounds`` the dedicated election algorithm is also run
     on every feasible configuration and its ``done_v`` accumulated.
+    ``algorithm`` selects the classifier implementation (see
+    :func:`repro.core.classifier.classify`); results are identical for
+    every choice.
     """
     if group_by is None:
         group_by = lambda c: (c.n, c.span)  # noqa: E731
     result = CensusResult()
     for config in configs:
-        trace = classify(config)
+        trace = classify(config, algorithm=algorithm)
         key = group_by(trace.config)
         row = result.rows.setdefault(key, CensusRow(group=key))
         row.total += 1
@@ -127,6 +131,7 @@ def random_census_run(
     cache=None,
     max_workers: Optional[int] = 1,
     checkpoint_dir: Optional[str] = None,
+    algorithm: str = "auto",
 ):
     """Engine run of the random census, returning the full ``CensusRun``.
 
@@ -147,6 +152,7 @@ def random_census_run(
         cache=cache,
         max_workers=max_workers,
         checkpoint_dir=checkpoint_dir,
+        algorithm=algorithm,
     )
 
 
@@ -163,6 +169,7 @@ def random_census(
     cache=None,
     max_workers: Optional[int] = 1,
     checkpoint_dir: Optional[str] = None,
+    algorithm: str = "auto",
 ) -> CensusResult:
     """Census over seeded random connected G(n,p) configurations with
     uniform random tags in ``0..span``; grouped by n.
@@ -186,6 +193,7 @@ def random_census(
             cache=cache,
             max_workers=max_workers,
             checkpoint_dir=checkpoint_dir,
+            algorithm=algorithm,
         ).result
 
     from ..graphs.generators import build, random_connected_gnp_edges
@@ -199,4 +207,9 @@ def random_census(
                 tags = uniform_random(range(n), span, base + 1)
                 yield build(edges, tags, n=n)
 
-    return census(configs(), group_by=group_by_n, measure_rounds=measure_rounds)
+    return census(
+        configs(),
+        group_by=group_by_n,
+        measure_rounds=measure_rounds,
+        algorithm=algorithm,
+    )

@@ -36,9 +36,28 @@ T = TypeVar("T")
 R = TypeVar("R")
 
 
+def available_cpus() -> int:
+    """CPUs this process may actually run on.
+
+    Prefers ``os.sched_getaffinity(0)`` — which reflects cgroup/affinity
+    limits, the number that matters inside containers and CI runners
+    where ``os.cpu_count()`` reports the whole host — and falls back to
+    ``os.cpu_count()`` on platforms without affinity support (macOS,
+    Windows) or when the call fails.
+    """
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            return len(getaffinity(0))
+        except OSError:  # pragma: no cover - platform-specific failure
+            pass
+    return os.cpu_count() or 2
+
+
 def default_workers() -> int:
-    """Worker count: all cores but one (leave the harness a core)."""
-    return max(1, (os.cpu_count() or 2) - 1)
+    """Worker count: all *available* cores but one (leave the harness a
+    core). Container-aware via :func:`available_cpus`."""
+    return max(1, available_cpus() - 1)
 
 
 def _chunks(items: Sequence[T], size: int) -> List[List[T]]:

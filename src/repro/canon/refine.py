@@ -27,53 +27,20 @@ on top.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
+from ..core.compiled import IndexedConfiguration, compile_configuration
 from ..core.configuration import Configuration
 
+#: The compiled dense-index representation is shared with the classifier
+#: core (:mod:`repro.core.compiled`): one compilation step serves the
+#: classifier, the 1-WL refinement below, and the canonizer. The canon
+#: subsystem's historical names remain the public aliases here.
+IndexedGraph = IndexedConfiguration
 
-@dataclass(frozen=True)
-class IndexedGraph:
-    """A configuration re-indexed to ``0..n-1`` (sorted node order).
-
-    The canon algorithms work on dense integer indices; this is the one
-    translation layer. ``nodes[i]`` recovers the original node id of
-    index ``i``; ``tags``/``adj`` are indexed by position.
-    """
-
-    nodes: Tuple[object, ...]
-    tags: Tuple[int, ...]
-    adj: Tuple[Tuple[int, ...], ...]
-
-    @property
-    def n(self) -> int:
-        """Number of nodes."""
-        return len(self.nodes)
-
-    @property
-    def num_edges(self) -> int:
-        """Number of undirected edges."""
-        return sum(len(a) for a in self.adj) // 2
-
-
-def index_graph(cfg: Configuration) -> IndexedGraph:
-    """Normalize ``cfg`` and re-index its nodes to ``0..n-1``.
-
-    Normalization (shifting the smallest tag to 0) happens here so every
-    canon entry point treats tag-shifted copies identically, matching
-    the convention of :func:`repro.analysis.isomorphism.canonical_form`.
-    """
-    cfg = cfg.normalize()
-    nodes = tuple(cfg.nodes)
-    pos = {v: i for i, v in enumerate(nodes)}
-    return IndexedGraph(
-        nodes=nodes,
-        tags=tuple(cfg.tag(v) for v in nodes),
-        adj=tuple(
-            tuple(sorted(pos[w] for w in cfg.neighbors(v))) for v in nodes
-        ),
-    )
+#: Alias of :func:`repro.core.compiled.compile_configuration` — kept as
+#: the canon-side entry point name (normalizes, then re-indexes).
+index_graph = compile_configuration
 
 
 def seed_colors(graph: IndexedGraph) -> List[int]:

@@ -28,7 +28,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from .core.classifier import classify
+from .core.classifier import ALGORITHM_NAMES, classify, resolve_algorithm
 from .core.configuration import Configuration, line_configuration
 from .core.election import elect_leader
 from .reporting.tables import format_table, kv_block
@@ -85,10 +85,33 @@ def _add_backend_arg(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_algorithm_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--algorithm",
+        choices=ALGORITHM_NAMES,
+        default="auto",
+        help=(
+            "classifier implementation: the faithful O(n³Δ) reference, "
+            "the hash-based fast ablation, the compiled incremental "
+            "core, or auto (compiled; see docs/performance.md) — all "
+            "bit-for-bit equal"
+        ),
+    )
+
+
 def cmd_classify(args: argparse.Namespace) -> int:
     """Decide feasibility of one configuration (Theorem 3.17)."""
+    import time
+
+    from .core.partition import OpCounter
+
     cfg = _parse_config(args)
-    trace = classify(cfg)
+    algorithm = resolve_algorithm(args.algorithm)
+    # the fast ablation cannot meter ops; profile it on wall time alone
+    counter = OpCounter() if args.profile and algorithm != "fast" else None
+    t0 = time.perf_counter()
+    trace = classify(cfg, algorithm=algorithm, counter=counter)
+    elapsed = time.perf_counter() - t0
     print(trace.describe() if args.verbose else "", end="" if args.verbose else "")
     print(
         kv_block(
@@ -103,6 +126,22 @@ def cmd_classify(args: argparse.Namespace) -> int:
             ],
         )
     )
+    if args.profile:
+        iters = max(trace.num_iterations, 1)
+        rows = [
+            ("algorithm", algorithm),
+            ("wall time", f"{elapsed * 1e3:.3f} ms"),
+            ("per iteration", f"{elapsed * 1e3 / iters:.3f} ms"),
+        ]
+        if counter is not None:
+            rows += [
+                ("triple ops", counter.triple_ops),
+                ("label ops", counter.label_ops),
+                ("total ops", counter.total),
+            ]
+        else:
+            rows.append(("total ops", "- (fast does not meter)"))
+        print(kv_block("Profile", rows))
     return 0
 
 
@@ -147,6 +186,7 @@ def cmd_census(args: argparse.Namespace) -> int:
             cache=cache,
             max_workers=args.workers,
             checkpoint_dir=args.checkpoint,
+            algorithm=args.algorithm,
         )
     except OSError as exc:
         raise SystemExit(f"census: cache/checkpoint I/O failed: {exc}")
@@ -196,6 +236,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_pending=args.max_pending,
         batch_window=args.batch_window,
         max_workers=args.workers,
+        algorithm=args.algorithm,
     )
     try:
         server = make_server(args.host, args.port, classifier)
@@ -374,7 +415,7 @@ def cmd_timeline(args: argparse.Namespace) -> int:
     from .reporting.timeline import legend, timeline, transmission_density
 
     cfg = _parse_config(args)
-    trace = classify(cfg)
+    trace = classify(cfg, algorithm=args.algorithm)
     protocol = CanonicalProtocol.from_trace(trace)
     network = trace.config
     execution = simulate(
@@ -421,6 +462,16 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("classify", help="decide feasibility of a configuration")
     _add_config_args(p)
     p.add_argument("-v", "--verbose", action="store_true")
+    _add_algorithm_arg(p)
+    p.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "print OpCounter totals and per-iteration wall time for the "
+            "chosen algorithm (speedups observable without the benchmark "
+            "harness)"
+        ),
+    )
     p.set_defaults(func=cmd_classify)
 
     p = sub.add_parser("elect", help="run the dedicated election algorithm")
@@ -464,6 +515,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print detailed engine/cache hit, miss and collapse counters",
     )
+    _add_algorithm_arg(p)
     p.set_defaults(func=cmd_census)
 
     p = sub.add_parser(
@@ -499,6 +551,7 @@ def build_parser() -> argparse.ArgumentParser:
             "large, expensive cold batches)"
         ),
     )
+    _add_algorithm_arg(p)
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("defeat", help="run the Prop 4.4 universal-algorithm adversary")
@@ -548,6 +601,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_config_args(p)
     p.add_argument("--start", type=int, default=0)
     p.add_argument("--end", type=int, default=None)
+    _add_algorithm_arg(p)
     p.set_defaults(func=cmd_timeline)
 
     p = sub.add_parser(

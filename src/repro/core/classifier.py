@@ -1,5 +1,23 @@
 """The paper's centralized decision algorithm ``Classifier`` (Section 3.1).
 
+:func:`classify` is the single entry point every caller — ``decide``,
+the census engine, the service, the CLI — goes through. It dispatches
+on an ``algorithm`` knob:
+
+* ``"reference"`` — :func:`reference_classify`, the faithful O(n³Δ)
+  transcription below (the Lemma 3.5 cost model; the oracle all other
+  implementations are gated against);
+* ``"fast"`` — :func:`repro.core.fast_classifier.fast_classify`, the
+  hash-based ablation (same output, O(nΔ log Δ) per iteration);
+* ``"compiled"`` — :func:`repro.core.compiled.compiled_classify`, the
+  indexed, label-interned, split-driven incremental core;
+* ``"auto"`` (default) — resolves to ``"compiled"``.
+
+All three produce bit-for-bit identical
+:class:`~repro.core.trace.ClassifierTrace` objects (enforced by the E23
+benchmark and the cross-algorithm hypothesis suite), so the knob is a
+pure performance choice.
+
 Faithful transcription of Algorithms 1–4:
 
 * ``Init-Aug`` — every node starts in class 1 with a null label; the first
@@ -39,27 +57,88 @@ class ClassifierInvariantError(AssertionError):
     """Internal invariant violation (would contradict Lemma 3.4)."""
 
 
+#: Accepted values of the ``algorithm`` knob, in CLI display order.
+ALGORITHM_NAMES = ("auto", "compiled", "fast", "reference")
+
+
+def resolve_algorithm(algorithm: str) -> str:
+    """Validate an ``algorithm`` knob value and resolve ``"auto"``.
+
+    ``auto`` resolves to ``compiled`` — the bit-for-bit-equal default
+    every caller gets unless it asks for a specific implementation.
+    """
+    if algorithm not in ALGORITHM_NAMES:
+        raise ValueError(
+            f"unknown classifier algorithm {algorithm!r} "
+            f"(choose one of {ALGORITHM_NAMES})"
+        )
+    return "compiled" if algorithm == "auto" else algorithm
+
+
 def classify(
     config: Configuration,
     *,
     count_ops: bool = False,
+    counter: Optional[OpCounter] = None,
+    algorithm: str = "auto",
 ) -> ClassifierTrace:
     """Run ``Classifier`` on ``config`` and return the full trace.
 
-    The configuration is normalized first (smallest tag shifted to 0,
-    w.l.o.g. per Section 2.1); the trace's ``config`` attribute holds the
-    normalized configuration.
+    Dispatches on ``algorithm`` (see the module docstring); every
+    implementation returns the same trace bit for bit, so callers may
+    treat the knob as a pure performance choice.
 
     Parameters
     ----------
     count_ops:
-        meter triple-level operations (for the O(n³Δ) experiment); the
-        total lands in ``trace.total_ops``.
+        meter operations; the total lands in ``trace.total_ops``.
+        Reference metering is the Lemma 3.5 O(n³Δ) accounting; compiled
+        metering counts the incremental path's actual work. The
+        ``fast`` ablation does not meter (a :class:`ValueError`).
+    counter:
+        meter into this :class:`~repro.core.partition.OpCounter`
+        instead of a fresh one — callers that want the
+        ``triple_ops``/``label_ops`` split (e.g. the CLI ``--profile``
+        flag) pass one and read it back; implies ``count_ops``.
+    algorithm:
+        ``"reference"``, ``"fast"``, ``"compiled"`` or ``"auto"``.
+    """
+    algorithm = resolve_algorithm(algorithm)
+    if algorithm == "reference":
+        return reference_classify(config, count_ops=count_ops, counter=counter)
+    if algorithm == "fast":
+        if count_ops or counter is not None:
+            raise ValueError(
+                "the fast classifier does not meter operations; use "
+                'algorithm="reference" (Lemma 3.5 units) or "compiled"'
+            )
+        from .fast_classifier import fast_classify
+
+        return fast_classify(config)
+    from .compiled import compiled_classify
+
+    return compiled_classify(config, count_ops=count_ops, counter=counter)
+
+
+def reference_classify(
+    config: Configuration,
+    *,
+    count_ops: bool = False,
+    counter: Optional[OpCounter] = None,
+) -> ClassifierTrace:
+    """The faithful O(n³Δ) ``Classifier`` (the paper's Algorithms 1–4).
+
+    The configuration is normalized first (smallest tag shifted to 0,
+    w.l.o.g. per Section 2.1); the trace's ``config`` attribute holds the
+    normalized configuration. With ``count_ops`` (or an explicit
+    ``counter``) triple-level operations are metered in Lemma 3.5 units;
+    the total lands in ``trace.total_ops``.
     """
     config = config.normalize()
     nodes = config.nodes
     n = config.n
-    counter = OpCounter() if count_ops else None
+    if counter is None and count_ops:
+        counter = OpCounter()
 
     # --- Init-Aug (Algorithm 1) ---------------------------------------
     classes = {v: 1 for v in nodes}
@@ -116,17 +195,24 @@ def classify(
     return trace
 
 
-def is_feasible(config: Configuration) -> bool:
+def is_feasible(config: Configuration, *, algorithm: str = "auto") -> bool:
     """Decide feasibility of ``config`` (Theorem 3.17)."""
-    return classify(config).feasible
+    return classify(config, algorithm=algorithm).feasible
 
 
 def classifier_ops(config: Configuration) -> int:
-    """Metered operation count of one Classifier run (Lemma 3.5 units)."""
-    return classify(config, count_ops=True).total_ops
+    """Metered operation count of one Classifier run (Lemma 3.5 units).
+
+    Always runs the ``reference`` algorithm: the O(n³Δ) unit-cost
+    accounting of the complexity experiments is defined by the faithful
+    implementation, whatever the repo-wide default is.
+    """
+    return classify(config, count_ops=True, algorithm="reference").total_ops
 
 
-def chosen_leader(config: Configuration) -> Optional[object]:
+def chosen_leader(
+    config: Configuration, *, algorithm: str = "auto"
+) -> Optional[object]:
     """The node Classifier isolates (smallest singleton class), or None."""
-    trace = classify(config)
+    trace = classify(config, algorithm=algorithm)
     return trace.leader if trace.feasible else None

@@ -56,9 +56,19 @@ class FeasibilityReport:
         return self.trace.describe()
 
 
-def decide(config: Configuration) -> FeasibilityReport:
-    """Decide feasibility of ``config`` (Theorem 3.17)."""
-    return FeasibilityReport(config=config, trace=classify(config))
+def decide(
+    config: Configuration, *, algorithm: str = "auto"
+) -> FeasibilityReport:
+    """Decide feasibility of ``config`` (Theorem 3.17).
+
+    ``algorithm`` selects the classifier implementation
+    (``"reference"``, ``"fast"``, ``"compiled"`` or ``"auto"``; see
+    :func:`repro.core.classifier.classify`) — every choice returns the
+    identical report.
+    """
+    return FeasibilityReport(
+        config=config, trace=classify(config, algorithm=algorithm)
+    )
 
 
 def elect(config: Configuration, **kwargs) -> ElectionResult:

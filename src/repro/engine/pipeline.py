@@ -85,16 +85,22 @@ def plan_shards(total: int, num_shards: int) -> List[ShardSpec]:
 # ----------------------------------------------------------------------
 # classification records
 # ----------------------------------------------------------------------
-def census_record(cfg: Configuration, measure_rounds: bool = False) -> Dict:
+def census_record(
+    cfg: Configuration,
+    measure_rounds: bool = False,
+    algorithm: str = "auto",
+) -> Dict:
     """Isomorphism-invariant classification record for one configuration.
 
     The record carries exactly what census aggregation needs: the
     feasibility verdict, the classifier iteration count, and (when
     ``measure_rounds``) the dedicated election round count for feasible
     configurations. Node identities (e.g. the leader) are deliberately
-    excluded — they are not isomorphism-invariant.
+    excluded — they are not isomorphism-invariant. ``algorithm`` picks
+    the classifier implementation (record values are identical for
+    every choice, so records cached under different knobs interoperate).
     """
-    trace = classify(cfg)
+    trace = classify(cfg, algorithm=algorithm)
     rounds: Optional[int] = None
     if measure_rounds and trace.feasible:
         rounds = elect_leader(trace.config, trace=trace).rounds
@@ -294,6 +300,7 @@ def batch_records(
     max_workers: Optional[int] = 1,
     chunksize: int = 16,
     stats: Optional[EngineStats] = None,
+    algorithm: str = "auto",
 ) -> List[Dict]:
     """Classification records for a batch, in input order, through the cache.
 
@@ -355,7 +362,9 @@ def batch_records(
 
     if pending:
         missing = list(pending)
-        worker = partial(census_record, measure_rounds=measure_rounds)
+        worker = partial(
+            census_record, measure_rounds=measure_rounds, algorithm=algorithm
+        )
         records = parallel_map(
             worker,
             [pending[k] for k in missing],
@@ -380,6 +389,7 @@ def _classify_shard(
     max_workers: Optional[int],
     chunksize: int,
     stats: EngineStats,
+    algorithm: str,
 ) -> Dict[object, CensusRow]:
     """Classify one shard through the cache; return its aggregated rows."""
     # Stream the shard through batch_records: it consumes configurations
@@ -401,6 +411,7 @@ def _classify_shard(
         max_workers=max_workers,
         chunksize=chunksize,
         stats=stats,
+        algorithm=algorithm,
     )
 
     rows: Dict[object, CensusRow] = {}
@@ -426,6 +437,7 @@ def sharded_census(
     max_workers: Optional[int] = 1,
     chunksize: int = 16,
     checkpoint_dir: Optional[str] = None,
+    algorithm: str = "auto",
 ) -> CensusRun:
     """Run a census through the sharded, cached engine pipeline.
 
@@ -452,6 +464,11 @@ def sharded_census(
         forwarded to :func:`repro.analysis.parallel.parallel_map` for
         cache-miss classification; ``max_workers=1`` (the default) stays
         serial in-process.
+    algorithm:
+        classifier implementation for cache misses (see
+        :func:`repro.core.classifier.classify`); every choice yields
+        bit-for-bit the same records, so checkpoints and caches written
+        under one knob replay under any other.
     checkpoint_dir:
         directory for per-shard resume checkpoints; created if missing.
         Checkpoints embed the workload description, the census options,
@@ -502,6 +519,7 @@ def sharded_census(
                 max_workers,
                 chunksize,
                 stats,
+                algorithm,
             )
             rows = _shard_rows(shard_rows)
             if path:

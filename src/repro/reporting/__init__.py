@@ -1,5 +1,12 @@
-"""Plain-text reporting: tables and series charts for experiments."""
+"""Plain-text reporting: tables, series charts and benchmark artifacts
+for experiments."""
 
+from .bench import (
+    BenchResult,
+    bench_json_dir,
+    bench_json_path,
+    write_bench_result,
+)
 from .series import ascii_chart, series_table, slope_annotation
 from .tables import format_table, kv_block
 
@@ -14,8 +21,11 @@ from .markdown import (
 from .timeline import legend, timeline, transmission_density
 
 __all__ = [
+    "BenchResult",
     "MarkdownDoc",
     "ascii_chart",
+    "bench_json_dir",
+    "bench_json_path",
     "format_table",
     "kv_block",
     "legend",
@@ -28,4 +38,5 @@ __all__ = [
     "slope_annotation",
     "timeline",
     "transmission_density",
+    "write_bench_result",
 ]

@@ -49,6 +49,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
+from ..core.classifier import resolve_algorithm
 from ..core.configuration import Configuration
 from ..engine.cache import ResultCache
 from ..engine.keys import Keyer, default_keyer
@@ -154,6 +155,7 @@ class _AsyncBatchCore:
         batch_window: float,
         max_workers: Optional[int],
         chunksize: int,
+        algorithm: str,
     ) -> None:
         self.cache = cache
         self.stats = stats
@@ -163,6 +165,7 @@ class _AsyncBatchCore:
         self.batch_window = batch_window
         self.max_workers = max_workers
         self.chunksize = chunksize
+        self.algorithm = algorithm
         # Created lazily on the loop thread (see _ensure_queue): on
         # Python 3.9 an asyncio.Queue binds the *constructing* thread's
         # event loop, so building it here — on the facade's caller
@@ -299,6 +302,7 @@ class _AsyncBatchCore:
                     max_workers=self.max_workers,
                     chunksize=self.chunksize,
                     stats=self.stats.engine,
+                    algorithm=self.algorithm,
                 )
             except Exception as exc:  # classification bug: fail the group
                 for it in group:
@@ -371,6 +375,12 @@ class BatchClassifier:
         tag-preserving isomorphs at any size via the refinement
         canonizer (:mod:`repro.canon`), whose memo makes repeat keying
         of warm traffic O(n + m).
+    algorithm:
+        classifier implementation for cold misses (see
+        :func:`repro.core.classifier.classify`); responses are
+        bit-for-bit identical for every choice, so the knob is a pure
+        throughput decision. ``auto`` (the default) resolves to the
+        compiled core.
     """
 
     def __init__(
@@ -383,6 +393,7 @@ class BatchClassifier:
         max_workers: Optional[int] = 1,
         chunksize: int = 16,
         keyer: Keyer = default_keyer,
+        algorithm: str = "auto",
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
@@ -390,6 +401,7 @@ class BatchClassifier:
             raise ValueError("max_pending must be >= 1")
         if batch_window < 0:
             raise ValueError("batch_window must be >= 0")
+        algorithm = resolve_algorithm(algorithm)  # validate at build time
         self.cache = cache if cache is not None else ResultCache()
         self.stats = ServiceStats()
         self._closed = False
@@ -408,6 +420,7 @@ class BatchClassifier:
             batch_window=batch_window,
             max_workers=max_workers,
             chunksize=chunksize,
+            algorithm=algorithm,
         )
         self._thread = threading.Thread(
             target=self._run_loop, name="repro-service-dispatch", daemon=True

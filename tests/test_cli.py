@@ -34,6 +34,39 @@ class TestClassify:
         with pytest.raises(SystemExit):
             main(["classify", "--family", "zz:1"])
 
+    @pytest.mark.parametrize(
+        "algorithm", ["auto", "compiled", "fast", "reference"]
+    )
+    def test_algorithm_knob_same_answer(self, algorithm, capsys):
+        assert main(
+            ["classify", "--line", "0,1,0", "--algorithm", algorithm]
+        ) == 0
+        assert "Yes" in capsys.readouterr().out
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["classify", "--line", "0,1", "--algorithm", "quantum"])
+
+    def test_profile_prints_op_totals_and_timing(self, capsys):
+        assert main(
+            ["classify", "--family", "gm:4", "--profile",
+             "--algorithm", "compiled"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Profile" in out
+        assert "algorithm" in out and "compiled" in out
+        assert "per iteration" in out
+        assert "triple ops" in out and "label ops" in out
+
+    def test_profile_fast_has_wall_time_but_no_ops(self, capsys):
+        assert main(
+            ["classify", "--line", "0,1,0", "--profile",
+             "--algorithm", "fast"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "wall time" in out
+        assert "fast does not meter" in out
+
 
 class TestElect:
     def test_feasible(self, capsys):
@@ -57,6 +90,17 @@ class TestCensus:
         out = capsys.readouterr().out
         assert "census" in out.lower()
         assert " 4 |" in out and " 5 |" in out  # one row per size
+
+    def test_algorithm_knob_identical_table(self, capsys):
+        """The census table is bit-for-bit identical across algorithms."""
+        base = ["census", "--n", "4,5", "--span", "1", "--samples", "4",
+                "--seed", "3"]
+        outputs = []
+        for algorithm in ("reference", "compiled"):
+            assert main(base + ["--algorithm", algorithm]) == 0
+            out = capsys.readouterr().out
+            outputs.append(out[: out.index("engine:")])  # table only
+        assert outputs[0] == outputs[1]
 
     def test_stats_flag_prints_counters(self, capsys):
         assert main(

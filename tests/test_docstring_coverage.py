@@ -146,6 +146,34 @@ def test_backends_public_api_documented():
     assert not missing, f"undocumented repro.radio.backends exports: {missing}"
 
 
+def test_compiled_core_is_covered():
+    """The compiled classifier core (and the benchmark-artifact helper
+    it is gated by) must be walked by this gate: a silent pkgutil skip
+    would exempt the hottest module in the repo from the docstring
+    requirement."""
+    assert "repro.core.compiled" in MODULES
+    assert "repro.reporting.bench" in MODULES
+
+
+def test_compiled_core_public_api_documented():
+    """Every public item of ``repro.core.compiled`` has a docstring (the
+    module is the classifier's default implementation; docs/performance.md
+    builds on these docstrings)."""
+    import repro.core.compiled as compiled
+
+    missing = []
+    for name in (
+        "IndexedConfiguration",
+        "LabelInterner",
+        "compile_configuration",
+        "compiled_classify",
+    ):
+        obj = getattr(compiled, name)
+        if not inspect.getdoc(obj):
+            missing.append(name)
+    assert not missing, f"undocumented repro.core.compiled items: {missing}"
+
+
 def test_service_package_is_covered():
     """The service layer must be walked by this gate: its modules appear
     in the collected module list (a silent pkgutil skip would exempt the

@@ -1,9 +1,13 @@
 """Tests for parallel batch execution (repro.analysis.parallel)."""
 
+import os
+
 import pytest
 
+import repro.analysis.parallel as parallel_mod
 from repro.analysis.parallel import (
     _chunks,
+    available_cpus,
     default_workers,
     parallel_cross_model,
     parallel_decisions,
@@ -50,6 +54,53 @@ class TestParallelMap:
 
     def test_default_workers_positive(self):
         assert default_workers() >= 1
+
+
+class TestDefaultWorkersAffinity:
+    """Container-awareness of the worker-count default: prefer the
+    affinity mask (the cgroup/CI-correct number), fall back to
+    ``os.cpu_count()`` where the platform has no affinity support."""
+
+    def test_prefers_sched_getaffinity(self, monkeypatch):
+        monkeypatch.setattr(
+            parallel_mod.os, "sched_getaffinity", lambda pid: {0, 3, 7}
+        )
+        monkeypatch.setattr(parallel_mod.os, "cpu_count", lambda: 64)
+        assert available_cpus() == 3
+        assert default_workers() == 2  # affinity minus the harness core
+
+    def test_falls_back_without_affinity_support(self, monkeypatch):
+        monkeypatch.delattr(
+            parallel_mod.os, "sched_getaffinity", raising=False
+        )
+        monkeypatch.setattr(parallel_mod.os, "cpu_count", lambda: 6)
+        assert available_cpus() == 6
+        assert default_workers() == 5
+
+    def test_falls_back_when_cpu_count_unknown(self, monkeypatch):
+        monkeypatch.delattr(
+            parallel_mod.os, "sched_getaffinity", raising=False
+        )
+        monkeypatch.setattr(parallel_mod.os, "cpu_count", lambda: None)
+        assert available_cpus() == 2
+        assert default_workers() == 1
+
+    def test_single_affinity_cpu_keeps_one_worker(self, monkeypatch):
+        monkeypatch.setattr(
+            parallel_mod.os, "sched_getaffinity", lambda pid: {5}
+        )
+        assert default_workers() == 1
+
+    def test_matches_real_platform(self):
+        """On this platform the helper agrees with whichever source it
+        actually selected — both branches covered above, this pins the
+        live wiring."""
+        expected = (
+            len(os.sched_getaffinity(0))
+            if hasattr(os, "sched_getaffinity")
+            else (os.cpu_count() or 2)
+        )
+        assert available_cpus() == expected
 
 
 class TestCensusWorkers:
