@@ -239,9 +239,18 @@ def cmd_serve(args: argparse.Namespace) -> int:
         algorithm=args.algorithm,
     )
     try:
-        server = make_server(args.host, args.port, classifier)
+        server = make_server(
+            args.host,
+            args.port,
+            classifier,
+            max_connections=args.max_connections,
+            request_timeout=args.request_timeout,
+            drain_timeout=args.drain_timeout,
+        )
     except OSError as exc:
         raise SystemExit(f"serve: cannot bind {args.host}:{args.port}: {exc}")
+    except ValueError as exc:
+        raise SystemExit(f"serve: {exc}")
     run_server(server)
     return 0
 
@@ -550,6 +559,28 @@ def build_parser() -> argparse.ArgumentParser:
             "pool startup is paid per cold batch — only worth it for "
             "large, expensive cold batches)"
         ),
+    )
+    p.add_argument(
+        "--max-connections",
+        type=int,
+        default=128,
+        help="concurrent connection cap; extras get an immediate 503",
+    )
+    p.add_argument(
+        "--request-timeout",
+        type=float,
+        default=30.0,
+        help=(
+            "per-request deadline in seconds (body read + classification); "
+            "slow reads get 408, slow classifications 503 with their "
+            "pending batch slots freed"
+        ),
+    )
+    p.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=5.0,
+        help="seconds to let in-flight requests finish on shutdown",
     )
     _add_algorithm_arg(p)
     p.set_defaults(func=cmd_serve)

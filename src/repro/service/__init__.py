@@ -17,8 +17,11 @@ Three modules:
 * :mod:`repro.service.batcher` — the asyncio batch core (bounded queue,
   backpressure, coalescing) behind the sync
   :class:`~repro.service.batcher.BatchClassifier` facade;
-* :mod:`repro.service.server` — the stdlib HTTP endpoint behind
-  ``repro-radio serve``.
+* :mod:`repro.service.server` — the pure-asyncio HTTP endpoint behind
+  ``repro-radio serve`` (connection limits, per-request deadlines,
+  429 admission control, graceful drain);
+* :mod:`repro.service.metrics` — Prometheus text exposition for
+  ``GET /metrics`` (counters + latency/batch-size histograms).
 
 Quickstart::
 
@@ -36,8 +39,15 @@ See ``docs/service.md`` for the wire format and batching semantics, and
 from .batcher import (
     BatchClassifier,
     ServiceClosedError,
+    ServiceSaturatedError,
     ServiceStats,
+    ServiceUnresponsiveError,
     Ticket,
+)
+from .metrics import (
+    METRICS_CONTENT_TYPE,
+    ServiceMetrics,
+    parse_prometheus_text,
 )
 from .schema import (
     MODES,
@@ -54,7 +64,6 @@ from .schema import (
 )
 from .server import (
     MAX_BODY_BYTES,
-    ClassificationHandler,
     ClassificationServer,
     make_server,
     run_server,
@@ -63,19 +72,23 @@ from .server import (
 
 __all__ = [
     "BatchClassifier",
-    "ClassificationHandler",
     "ClassificationServer",
     "MAX_BODY_BYTES",
+    "METRICS_CONTENT_TYPE",
     "MODES",
     "RequestError",
     "ServiceClosedError",
+    "ServiceMetrics",
     "ServiceRequest",
+    "ServiceSaturatedError",
     "ServiceStats",
+    "ServiceUnresponsiveError",
     "Ticket",
     "config_from_json",
     "config_to_json",
     "error_response",
     "make_server",
+    "parse_prometheus_text",
     "parse_request",
     "record_to_report",
     "requests_from_body",

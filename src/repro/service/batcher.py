@@ -47,7 +47,7 @@ from concurrent.futures import Future
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from ..core.classifier import resolve_algorithm
 from ..core.configuration import Configuration
@@ -59,6 +59,41 @@ from .schema import MODES, record_to_report
 
 class ServiceClosedError(RuntimeError):
     """Submit was called on a closed :class:`BatchClassifier`."""
+
+
+class ServiceSaturatedError(RuntimeError):
+    """Admission was refused: the cold-miss queue cannot take the batch.
+
+    Raised by the non-blocking admission path
+    (:meth:`BatchClassifier.schedule_admit`) when a request batch holds
+    more cache misses than the bounded queue has free slots. Where the
+    blocking ``submit`` path would *stall* the caller (backpressure),
+    admission converts saturation into an immediate, explicit error the
+    HTTP server maps to ``429 Too Many Requests`` + ``Retry-After``.
+    """
+
+    def __init__(
+        self, pending: int, capacity: int, needed: int, retry_after: float = 1.0
+    ) -> None:
+        super().__init__(
+            f"queue saturated: {needed} cold item(s) will not fit "
+            f"({pending}/{capacity} pending); retry in {retry_after:g}s"
+        )
+        self.pending = pending  #: queued cold misses at refusal time
+        self.capacity = capacity  #: the queue bound (``max_pending``)
+        self.needed = needed  #: cold slots the refused batch required
+        self.retry_after = retry_after  #: suggested client backoff, seconds
+
+
+class ServiceUnresponsiveError(RuntimeError):
+    """A timed wait on the dispatcher expired (or its loop is dead).
+
+    Distinguishes "the service is busy" from "the service will never
+    answer": the message carries the dispatcher thread's liveness and
+    the queue state at the moment of the timeout, so a hung caller gets
+    a diagnosis instead of an opaque ``TimeoutError`` — or, worse, the
+    pre-fix behavior of blocking forever on a dead event loop.
+    """
 
 
 @dataclass
@@ -75,6 +110,8 @@ class ServiceStats:
     fast_hits: int = 0  #: resolved at submit time, bypassing the queue
     batches: int = 0  #: dispatcher batches executed
     largest_batch: int = 0  #: most items ever drained into one batch
+    rejected: int = 0  #: requests refused by saturation admission control
+    cancelled: int = 0  #: queued items abandoned before classification
 
     def describe(self) -> str:
         """One-line summary for CLI footers and ``/stats``."""
@@ -94,6 +131,8 @@ class ServiceStats:
             "fast_hits": self.fast_hits,
             "batches": self.batches,
             "largest_batch": self.largest_batch,
+            "rejected": self.rejected,
+            "cancelled": self.cancelled,
         }
 
 
@@ -122,6 +161,18 @@ class Ticket:
     def done(self) -> bool:
         """True once the record is available (or the request failed)."""
         return self.future.done()
+
+    def cancel(self) -> bool:
+        """Abandon a still-pending request (deadline/disconnect unwind).
+
+        Returns True when the underlying future was cancelled before
+        the dispatcher resolved it. A cancelled item that is still in
+        the queue is dropped by the dispatcher without being classified
+        — this is how the HTTP server's per-request deadline frees its
+        batcher slots. Cancelling an already-resolved ticket is a
+        harmless no-op (returns False).
+        """
+        return self.future.cancel()
 
 
 @dataclass(frozen=True)
@@ -156,6 +207,7 @@ class _AsyncBatchCore:
         max_workers: Optional[int],
         chunksize: int,
         algorithm: str,
+        on_batch: Optional[Callable[[int], None]] = None,
     ) -> None:
         self.cache = cache
         self.stats = stats
@@ -166,6 +218,7 @@ class _AsyncBatchCore:
         self.max_workers = max_workers
         self.chunksize = chunksize
         self.algorithm = algorithm
+        self.on_batch = on_batch
         # Created lazily on the loop thread (see _ensure_queue): on
         # Python 3.9 an asyncio.Queue binds the *constructing* thread's
         # event loop, so building it here — on the facade's caller
@@ -250,6 +303,59 @@ class _AsyncBatchCore:
         with self._track_inflight():
             return [await self.enqueue(cfg, mode) for cfg in configs]
 
+    async def admit_many(
+        self,
+        configs: Sequence[Configuration],
+        mode: str,
+        retry_after: float = 1.0,
+    ) -> List[Ticket]:
+        """Admission-controlled :meth:`enqueue_many`: never blocks.
+
+        Where ``enqueue``/``enqueue_many`` *await* a full queue
+        (backpressure), this path refuses outright: the whole batch is
+        keyed and looked up first, and if its cold misses exceed the
+        queue's free slots a :class:`ServiceSaturatedError` is raised
+        — atomically, before any item is queued or any ticket issued,
+        so a refused batch leaves no partial state behind. There are no
+        awaits between the capacity check and the puts (``put_nowait``),
+        which makes check-then-admit race-free on the dispatcher loop.
+        """
+        with self._track_inflight():
+            measure_rounds = mode == "elect"
+            prepared = []  # (normalized config, key, warm record | None)
+            for config in configs:
+                normalized = config.normalize()
+                key = self.keyer(normalized)
+                record = self.cache.get(key)
+                if not record_sufficient(record, measure_rounds):
+                    record = None
+                prepared.append((normalized, key, record))
+            queue = self._ensure_queue()
+            cold = sum(1 for _, _, record in prepared if record is None)
+            free = self.max_pending - queue.qsize()
+            if cold > free:
+                self.stats.rejected += len(prepared)
+                raise ServiceSaturatedError(
+                    pending=queue.qsize(),
+                    capacity=self.max_pending,
+                    needed=cold,
+                    retry_after=retry_after,
+                )
+            tickets: List[Ticket] = []
+            for normalized, key, record in prepared:
+                future: Future = Future()
+                self.stats.submitted += 1
+                if record is not None:
+                    self.stats.fast_hits += 1
+                    self.stats.engine.cache_hits += 1
+                    future.set_result(record)
+                else:
+                    queue.put_nowait(
+                        _Item(normalized, key, measure_rounds, future)
+                    )
+                tickets.append(Ticket(mode=mode, key=key, future=future))
+            return tickets
+
     async def _drain_batch(self, first: _Item) -> List[_Item]:
         """Collect up to ``max_batch`` items, waiting ``batch_window``
         for stragglers after the queue momentarily empties."""
@@ -286,8 +392,16 @@ class _AsyncBatchCore:
         """
         self.stats.batches += 1
         self.stats.largest_batch = max(self.stats.largest_batch, len(batch))
+        if self.on_batch is not None:
+            self.on_batch(len(batch))
+        # Items cancelled while queued (request deadline, client
+        # disconnect) are dropped here: their queue slot was freed by
+        # the drain, and skipping them keeps abandoned work from
+        # occupying the classifier.
+        live = [it for it in batch if not it.future.cancelled()]
+        self.stats.cancelled += len(batch) - len(live)
         for measure_rounds in (True, False):
-            group = [it for it in batch if it.measure_rounds is measure_rounds]
+            group = [it for it in live if it.measure_rounds is measure_rounds]
             if not group:
                 continue
             try:
@@ -310,7 +424,13 @@ class _AsyncBatchCore:
                         it.future.set_exception(exc)
                 continue
             for it, record in zip(group, records):
-                it.future.set_result(record)
+                # a future can be cancelled between the drain filter and
+                # here; set_running_or_notify_cancel claims it exactly
+                # once (False = the submitter already walked away)
+                if it.future.set_running_or_notify_cancel():
+                    it.future.set_result(record)
+                else:
+                    self.stats.cancelled += 1
 
     async def run(self) -> None:
         """Dispatcher loop: drain, classify, repeat until drained shutdown.
@@ -381,6 +501,10 @@ class BatchClassifier:
         bit-for-bit identical for every choice, so the knob is a pure
         throughput decision. ``auto`` (the default) resolves to the
         compiled core.
+    on_batch:
+        optional observer called with each executed batch's size (on
+        the dispatcher thread) — the server wires its batch-size
+        histogram here (:mod:`repro.service.metrics`).
     """
 
     def __init__(
@@ -394,6 +518,7 @@ class BatchClassifier:
         chunksize: int = 16,
         keyer: Keyer = default_keyer,
         algorithm: str = "auto",
+        on_batch: Optional[Callable[[int], None]] = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
@@ -421,6 +546,7 @@ class BatchClassifier:
             max_workers=max_workers,
             chunksize=chunksize,
             algorithm=algorithm,
+            on_batch=on_batch,
         )
         self._thread = threading.Thread(
             target=self._run_loop, name="repro-service-dispatch", daemon=True
@@ -429,7 +555,24 @@ class BatchClassifier:
 
     def _run_loop(self) -> None:
         asyncio.set_event_loop(self._loop)
-        self._loop.run_until_complete(self._core.run())
+        try:
+            self._loop.run_until_complete(self._core.run())
+        except RuntimeError:
+            # the loop was stopped out from under the dispatcher; the
+            # thread dies quietly and submit() diagnoses it
+            # (ServiceUnresponsiveError) instead of a daemon-thread
+            # traceback racing the diagnosis — but first reap the
+            # still-pending dispatcher task so nothing warns at GC time
+            try:
+                tasks = asyncio.all_tasks(self._loop)
+                for task in tasks:
+                    task.cancel()
+                if tasks:
+                    self._loop.run_until_complete(
+                        asyncio.gather(*tasks, return_exceptions=True)
+                    )
+            except RuntimeError:  # pragma: no cover - stopped again
+                pass
 
     # ------------------------------------------------------------------
     # submit / gather
@@ -452,19 +595,65 @@ class BatchClassifier:
             if self._closed:
                 coro.close()
                 raise ServiceClosedError("BatchClassifier is closed")
+            if not self._thread.is_alive():
+                coro.close()
+                raise ServiceUnresponsiveError(
+                    "dispatcher thread is dead (event loop crashed or was "
+                    "stopped externally); the classifier cannot accept work"
+                )
             return asyncio.run_coroutine_threadsafe(coro, self._loop)
 
-    def submit(self, config: Configuration, *, mode: str = "decide") -> Ticket:
+    def _diagnosis(self) -> str:
+        """One-line dispatcher state for timeout errors."""
+        queue = self._core.queue
+        return (
+            f"dispatcher thread alive={self._thread.is_alive()}, "
+            f"closed={self._closed}, "
+            f"pending={queue.qsize() if queue is not None else 0}"
+            f"/{self._core.max_pending}"
+        )
+
+    def _await_handle(self, handle: "Future", timeout: Optional[float]):
+        """Wait for a scheduled coroutine's handle, converting an opaque
+        timeout into a diagnostic :class:`ServiceUnresponsiveError`."""
+        try:
+            return handle.result(timeout)
+        except FuturesTimeoutError:
+            handle.cancel()
+            raise ServiceUnresponsiveError(
+                f"dispatcher did not accept the request within {timeout}s "
+                f"({self._diagnosis()}); either the queue is saturated "
+                "(backpressure) or the event loop is wedged"
+            ) from None
+
+    def submit(
+        self,
+        config: Configuration,
+        *,
+        mode: str = "decide",
+        timeout: Optional[float] = None,
+    ) -> Ticket:
         """Submit one configuration; returns a :class:`Ticket`.
 
         Returns as soon as the request is keyed and either resolved
         (warm hit) or enqueued — blocking only when the pending queue is
-        full. ``mode`` is ``"decide"`` or ``"elect"``.
+        full. ``mode`` is ``"decide"`` or ``"elect"``. ``timeout``
+        bounds that blocking: when the dispatcher has not accepted the
+        request in time (saturated queue, wedged loop), a
+        :class:`ServiceUnresponsiveError` is raised instead of waiting
+        forever; a dispatcher whose loop has *died* is diagnosed
+        immediately, whatever the timeout.
         """
-        return self._schedule(mode, self._core.enqueue(config, mode)).result()
+        return self._await_handle(
+            self._schedule(mode, self._core.enqueue(config, mode)), timeout
+        )
 
     def submit_many(
-        self, configs: Iterable[Configuration], *, mode: str = "decide"
+        self,
+        configs: Iterable[Configuration],
+        *,
+        mode: str = "decide",
+        timeout: Optional[float] = None,
     ) -> List[Ticket]:
         """Submit a whole batch with one loop round-trip.
 
@@ -474,17 +663,56 @@ class BatchClassifier:
         duplicate-heavy workloads, where per-request thread handoff
         would otherwise dominate (the E20 benchmark measures exactly
         this). Blocks while the pending queue is full, like
-        :meth:`submit`.
+        :meth:`submit`, and honors the same ``timeout`` diagnostics.
+        """
+        configs = list(configs)
+        return self._await_handle(
+            self._schedule(mode, self._core.enqueue_many(configs, mode)),
+            timeout,
+        )
+
+    def schedule_admit(
+        self,
+        configs: Iterable[Configuration],
+        *,
+        mode: str = "decide",
+        retry_after: float = 1.0,
+    ) -> "Future":
+        """Schedule an admission-controlled batch; returns the handle.
+
+        The returned :class:`concurrent.futures.Future` resolves to a
+        ``List[Ticket]`` — or raises
+        :class:`ServiceSaturatedError` when the batch's cold misses
+        exceed the queue's free capacity (nothing is enqueued in that
+        case). Unlike :meth:`submit_many` this never blocks on a full
+        queue, which is what an event-loop caller needs: the async HTTP
+        server awaits the handle (``asyncio.wrap_future``) and turns
+        saturation into ``429 Too Many Requests``.
         """
         configs = list(configs)
         return self._schedule(
-            mode, self._core.enqueue_many(configs, mode)
-        ).result()
+            mode, self._core.admit_many(configs, mode, retry_after=retry_after)
+        )
 
     def gather(self, tickets: Iterable[Ticket], timeout: Optional[float] = None
                ) -> List[Dict]:
-        """Engine records for ``tickets``, in ticket order (blocking)."""
-        return [t.result(timeout) for t in tickets]
+        """Engine records for ``tickets``, in ticket order (blocking).
+
+        ``timeout`` applies per ticket; an expiry raises
+        :class:`ServiceUnresponsiveError` carrying the offending
+        ticket's key and the dispatcher's state, so a wedged or dead
+        loop is diagnosed instead of blocking callers forever.
+        """
+        records = []
+        for t in tickets:
+            try:
+                records.append(t.result(timeout))
+            except FuturesTimeoutError:
+                raise ServiceUnresponsiveError(
+                    f"ticket for key {t.key!r} ({t.mode}) unresolved after "
+                    f"{timeout}s ({self._diagnosis()})"
+                ) from None
+        return records
 
     def classify_many(
         self,
@@ -517,6 +745,12 @@ class BatchClassifier:
             if self._closed:
                 return
             self._closed = True
+        if not self._thread.is_alive():
+            # the dispatcher already died (externally stopped/crashed
+            # loop): there is nothing left to drain — just free the loop
+            if not self._loop.is_closed():
+                self._loop.close()
+            return
 
         async def _sentinel() -> None:
             await self._core._ensure_queue().put(None)
@@ -530,6 +764,17 @@ class BatchClassifier:
         self._thread.join(timeout)
         if not self._thread.is_alive():
             self._loop.close()
+
+    @property
+    def on_batch(self) -> Optional[Callable[[int], None]]:
+        """The per-batch size observer (settable after construction, so
+        the HTTP server can attach its histogram to a classifier built
+        by the CLI)."""
+        return self._core.on_batch
+
+    @on_batch.setter
+    def on_batch(self, observer: Optional[Callable[[int], None]]) -> None:
+        self._core.on_batch = observer
 
     def __enter__(self) -> "BatchClassifier":
         """Context-manager entry: the classifier itself."""

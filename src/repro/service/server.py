@@ -1,10 +1,32 @@
-"""``repro-radio serve``: a stdlib JSON endpoint over the batch classifier.
+"""``repro-radio serve``: a pure-asyncio HTTP front end for real traffic.
 
-The server is a :class:`http.server.ThreadingHTTPServer` (one thread per
-connection, no third-party dependencies) whose handlers all talk to one
-shared :class:`~repro.service.batcher.BatchClassifier` — so concurrent
-HTTP clients are coalesced into common classification batches, and every
-response is served from (or written to) the same canonical-form cache.
+The server is built directly on :func:`asyncio.start_server` (stdlib
+only, no third-party dependencies) and talks natively to the asyncio
+batch core behind :class:`~repro.service.batcher.BatchClassifier`: HTTP
+handlers never block an event loop — requests are admitted with
+``schedule_admit`` and awaited as futures, so one saturated client can
+never wedge the accept loop. Unlike the PR-2 thread-per-connection
+front end, saturation and slowness now have *defined* behavior:
+
+* **Connection limit** — at most ``max_connections`` concurrent
+  connections; extras receive an immediate ``503`` and are closed.
+* **Request deadline** — every request (including reading its body)
+  must finish within ``request_timeout`` seconds. A slow-loris body
+  gets ``408``; a deadline hit during classification gets ``503`` and
+  the request's pending batcher tickets are *cancelled*, freeing their
+  queue slots instead of leaking them.
+* **Admission control** — when a batch's cold misses exceed the
+  bounded queue's free capacity, the server answers ``429 Too Many
+  Requests`` with a parseable ``Retry-After`` header (the library
+  ``submit`` path keeps its blocking-backpressure contract; HTTP
+  callers get the fail-fast contract).
+* **Graceful drain** — shutdown stops accepting, cuts idle keep-alive
+  connections, and gives in-flight requests ``drain_timeout`` seconds
+  to complete before cancelling stragglers; no response is dropped.
+* **Observability** — ``GET /metrics`` exports the classifier's
+  counters plus latency/batch-size histograms in Prometheus text
+  format (:mod:`repro.service.metrics`), and every request emits one
+  structured JSON log line to stderr (suppressed by ``quiet``).
 
 Routes:
 
@@ -17,18 +39,31 @@ Routes:
   cumulative hit/miss/collapse counters
   (:meth:`~repro.service.batcher.BatchClassifier.meta`).
 * ``GET /healthz`` — liveness: ``{"ok": true, "service": ...}``.
-* ``GET /stats`` — the service/cache accounting counters.
+* ``GET /stats`` — the service/cache accounting counters as JSON.
+* ``GET /metrics`` — Prometheus text exposition.
 
-Walkthroughs (curl and a Python client) live in ``docs/service.md``.
+Walkthroughs (curl and a Python client) live in ``docs/service.md``;
+the E25 load benchmark (``benchmarks/bench_e25_service_load.py``) gates
+sustained RPS, tail latency, and 429-on-saturation.
 """
 
 from __future__ import annotations
 
+import asyncio
 import json
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+import math
+import sys
+import threading
+import time
 from typing import Dict, List, Optional, Tuple
 
-from .batcher import BatchClassifier, ServiceClosedError, Ticket
+from .batcher import (
+    BatchClassifier,
+    ServiceClosedError,
+    ServiceSaturatedError,
+    Ticket,
+)
+from .metrics import METRICS_CONTENT_TYPE, ServiceMetrics
 from .schema import (
     MODES,
     RequestError,
@@ -42,14 +77,62 @@ from .schema import (
 #: memory the same way ``max_pending`` bounds the classification queue.
 MAX_BODY_BYTES = 8 * 1024 * 1024
 
+#: Server identity served by ``/healthz`` and the ``Server`` header.
+SERVER_VERSION = "repro-radio-serve/2.0"
 
-class ClassificationServer(ThreadingHTTPServer):
-    """HTTP server owning the shared classifier.
+#: Default concurrent-connection cap (``--max-connections``).
+DEFAULT_MAX_CONNECTIONS = 128
 
-    ``daemon_threads`` is set so hung clients never block shutdown.
+#: Default per-request deadline, seconds (``--request-timeout``).
+DEFAULT_REQUEST_TIMEOUT = 30.0
+
+#: Default graceful-drain budget, seconds (``--drain-timeout``).
+DEFAULT_DRAIN_TIMEOUT = 5.0
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class _ConnState:
+    """Mutable per-connection bookkeeping for the drain protocol."""
+
+    __slots__ = ("busy", "peer")
+
+    def __init__(self, peer: str) -> None:
+        self.busy = False  #: a request is mid-flight on this connection
+        self.peer = peer  #: "host:port" of the client, for log lines
+
+
+class _RequestAborted(Exception):
+    """Internal: the request cannot proceed; a response was (or will
+    be) written and the connection must close."""
+
+    def __init__(self, status: int, payload: Dict, respond: bool = True):
+        super().__init__(payload.get("error", ""))
+        self.status = status
+        self.payload = payload
+        self.respond = respond
+
+
+class ClassificationServer:
+    """Asyncio HTTP server owning the shared classifier.
+
+    The constructor binds the listening socket immediately (``port=0``
+    picks a free port; ``server_address`` is the bound address), but
+    serving happens in :meth:`serve_forever` — call it on any thread.
+    :meth:`shutdown` (thread-safe) triggers the graceful drain;
+    :meth:`server_close` releases the loop. The surface deliberately
+    mirrors ``socketserver`` so PR-2 callers keep working unchanged.
     """
-
-    daemon_threads = True
 
     def __init__(
         self,
@@ -57,108 +140,460 @@ class ClassificationServer(ThreadingHTTPServer):
         classifier: BatchClassifier,
         *,
         quiet: bool = False,
+        max_connections: int = DEFAULT_MAX_CONNECTIONS,
+        request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
+        drain_timeout: float = DEFAULT_DRAIN_TIMEOUT,
+        metrics: Optional[ServiceMetrics] = None,
     ) -> None:
+        if max_connections < 1:
+            raise ValueError("max_connections must be >= 1")
+        if request_timeout <= 0:
+            raise ValueError("request_timeout must be > 0")
+        if drain_timeout < 0:
+            raise ValueError("drain_timeout must be >= 0")
         self.classifier = classifier
         self.quiet = quiet
-        super().__init__(address, ClassificationHandler)
+        self.max_connections = max_connections
+        self.request_timeout = request_timeout
+        self.drain_timeout = drain_timeout
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        # batch sizes are recorded by the dispatcher thread; attach the
+        # histogram unless the caller wired an observer already
+        if classifier.on_batch is None:
+            classifier.on_batch = self.metrics.observe_batch
+        self._connections: Dict["asyncio.Task", _ConnState] = {}
+        self._draining = False
+        self._drained = False
+        self._shutdown_requested = threading.Event()
+        self._stopped = threading.Event()
+        self._shutdown_async: Optional[asyncio.Event] = None
+        self._loop = asyncio.new_event_loop()
 
-
-class ClassificationHandler(BaseHTTPRequestHandler):
-    """Request handler: JSON in, JSON out, never HTML errors."""
-
-    server_version = "repro-radio-serve/1.0"
-    #: HTTP/1.1 for keep-alive: _send_json always sets Content-Length,
-    #: so persistent connections are safe, and warm high-throughput
-    #: clients skip the per-request TCP handshake.
-    protocol_version = "HTTP/1.1"
-    server: ClassificationServer  # narrowed for the route methods
-
-    # ------------------------------------------------------------------
-    # plumbing
-    # ------------------------------------------------------------------
-    def log_message(self, format: str, *args) -> None:
-        """Route access logs to stderr unless the server is quiet."""
-        if not self.server.quiet:
-            super().log_message(format, *args)
-
-    def _send_json(self, status: int, payload: Dict) -> None:
-        body = json.dumps(payload).encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
-
-    def _read_body(self) -> Optional[bytes]:
-        try:
-            length = int(self.headers.get("Content-Length", "0"))
-        except ValueError:
-            length = -1
-        if length < 0:
-            self._send_json(400, error_response("bad Content-Length"))
-            return None
-        if length > MAX_BODY_BYTES:
-            self._send_json(
-                413, error_response(f"body exceeds {MAX_BODY_BYTES} bytes")
+        async def _bind() -> "asyncio.AbstractServer":
+            return await asyncio.start_server(
+                self._handle_connection, address[0], address[1]
             )
+
+        try:
+            self._server = self._loop.run_until_complete(_bind())
+        except BaseException:
+            self._loop.close()
+            raise
+        self.server_address = self._server.sockets[0].getsockname()[:2]
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def serve_forever(self) -> None:
+        """Run the accept/serve loop until :meth:`shutdown` completes the
+        graceful drain. Blocking; run it on a thread to serve in the
+        background (the tests and docs do exactly that)."""
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._loop.run_until_complete(self._serve_main())
+        finally:
+            self._stopped.set()
+
+    def shutdown(self) -> None:
+        """Request a graceful drain and wait for serving to stop.
+
+        Thread-safe and idempotent. In-flight requests get
+        ``drain_timeout`` seconds to finish; idle keep-alive
+        connections are closed immediately; new connections are
+        refused. If the serve loop is not running (interrupted, or
+        never started) the drain executes inline on this thread.
+        """
+        self._shutdown_requested.set()
+        if self._stopped.is_set():
+            return
+        if self._loop.is_running():
+            self._loop.call_soon_threadsafe(self._wake_shutdown)
+            self._stopped.wait(self.drain_timeout + 10.0)
+        else:
+            try:
+                self._loop.run_until_complete(self._drain())
+            except RuntimeError:  # pragma: no cover - concurrent starter
+                pass
+            finally:
+                self._stopped.set()
+
+    def server_close(self) -> None:
+        """Release the listening sockets and close the server's loop
+        (call after :meth:`shutdown`; the classifier is closed by its
+        owner, not here)."""
+        if self._loop.is_closed() or self._loop.is_running():
+            return
+        self._server.close()
+        try:
+            self._loop.run_until_complete(self._server.wait_closed())
+        except RuntimeError:  # pragma: no cover - defensive
+            pass
+        self._loop.close()
+
+    @property
+    def connection_count(self) -> int:
+        """Currently-open client connections (the limit's measure)."""
+        return len(self._connections)
+
+    def _wake_shutdown(self) -> None:
+        if self._shutdown_async is not None:
+            self._shutdown_async.set()
+
+    async def _serve_main(self) -> None:
+        self._shutdown_async = asyncio.Event()
+        if self._shutdown_requested.is_set():
+            self._shutdown_async.set()
+        await self._shutdown_async.wait()
+        await self._drain()
+
+    async def _drain(self) -> None:
+        """Stop accepting, cut idle connections, wait out busy ones."""
+        if self._drained:
+            return
+        self._drained = True
+        self._draining = True
+        self._server.close()
+        await self._server.wait_closed()
+        for task, state in list(self._connections.items()):
+            if not state.busy:
+                task.cancel()
+        tasks = [t for t in list(self._connections) if not t.done()]
+        abandoned = 0
+        if tasks:
+            _, pending = await asyncio.wait(tasks, timeout=self.drain_timeout)
+            abandoned = len(pending)
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.wait(pending, timeout=1.0)
+        self._log(event="drain", abandoned=abandoned)
+
+    # ------------------------------------------------------------------
+    # logging
+    # ------------------------------------------------------------------
+    def _log(self, **fields: object) -> None:
+        """One structured JSON log line to stderr (unless quiet)."""
+        if self.quiet:
+            return
+        record = {"ts": round(time.time(), 3), "service": SERVER_VERSION}
+        record.update({k: v for k, v in fields.items() if v is not None})
+        print(json.dumps(record, separators=(",", ":")), file=sys.stderr)
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: "asyncio.StreamReader", writer: "asyncio.StreamWriter"
+    ) -> None:
+        task = asyncio.current_task()
+        peername = writer.get_extra_info("peername")
+        peer = f"{peername[0]}:{peername[1]}" if peername else "?"
+        state = _ConnState(peer)
+        self._connections[task] = state
+        try:
+            if self._draining:
+                return
+            if len(self._connections) > self.max_connections:
+                self.metrics.rejected_connections += 1
+                await self._respond(
+                    writer,
+                    state,
+                    503,
+                    error_response(
+                        f"connection limit ({self.max_connections}) reached"
+                    ),
+                    close=True,
+                    started=None,
+                    method=None,
+                    path=None,
+                )
+                return
+            await self._connection_loop(reader, writer, state)
+        except asyncio.CancelledError:
+            pass  # drain cancelled an idle or straggling connection
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass  # client went away mid-read/write; nothing to salvage
+        finally:
+            self._connections.pop(task, None)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _connection_loop(self, reader, writer, state) -> None:
+        """Serve requests on one (possibly keep-alive) connection."""
+        while not self._draining:
+            state.busy = False
+            try:
+                head = await asyncio.wait_for(
+                    self._read_head(reader), self.request_timeout
+                )
+            except asyncio.TimeoutError:
+                # slow-loris head, or an idle keep-alive connection: an
+                # explicit 408-and-close either way
+                state.busy = True
+                self.metrics.deadline_hits += 1
+                await self._respond(
+                    writer,
+                    state,
+                    408,
+                    error_response("request head not received in time"),
+                    close=True,
+                    started=None,
+                    method=None,
+                    path=None,
+                )
+                return
+            except (ValueError, asyncio.IncompleteReadError):
+                state.busy = True
+                await self._respond(
+                    writer,
+                    state,
+                    400,
+                    error_response("malformed request head"),
+                    close=True,
+                    started=None,
+                    method=None,
+                    path=None,
+                )
+                return
+            if head is None:
+                return  # clean EOF between requests
+            state.busy = True
+            method, path, version, headers = head
+            started = self._loop.time()
+            phase = {"name": "read"}
+            try:
+                keep_alive = await asyncio.wait_for(
+                    self._dispatch(
+                        method, path, version, headers, reader, writer,
+                        state, started, phase,
+                    ),
+                    self.request_timeout,
+                )
+            except asyncio.TimeoutError:
+                # Deadline. During body read: the client is too slow
+                # (408). During classification: the service is (503) —
+                # and the awaited tickets were cancelled by the
+                # wait_for unwind, freeing their batcher slots.
+                self.metrics.deadline_hits += 1
+                slow_read = phase["name"] == "read"
+                await self._respond(
+                    writer,
+                    state,
+                    408 if slow_read else 503,
+                    error_response(
+                        "request body not received in time"
+                        if slow_read
+                        else f"deadline exceeded ({self.request_timeout:g}s)"
+                    ),
+                    close=True,
+                    started=started,
+                    method=method,
+                    path=path,
+                )
+                return
+            except _RequestAborted as abort:
+                if abort.respond:
+                    await self._respond(
+                        writer,
+                        state,
+                        abort.status,
+                        abort.payload,
+                        close=True,
+                        started=started,
+                        method=method,
+                        path=path,
+                    )
+                return
+            if not keep_alive:
+                return
+
+    async def _read_head(self, reader):
+        """Read and parse one request head; None on clean EOF."""
+        request_line = await reader.readline()
+        if not request_line:
             return None
-        return self.rfile.read(length)
+        parts = request_line.decode("latin-1").rstrip("\r\n").split()
+        if len(parts) != 3:
+            raise ValueError("bad request line")
+        method, path, version = parts
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, sep, value = line.decode("latin-1").partition(":")
+            if sep:
+                headers[name.strip().lower()] = value.strip()
+        return method, path, version, headers
+
+    # ------------------------------------------------------------------
+    # response plumbing
+    # ------------------------------------------------------------------
+    async def _respond(
+        self,
+        writer,
+        state,
+        status: int,
+        payload: Optional[Dict],
+        *,
+        close: bool,
+        started: Optional[float],
+        method: Optional[str],
+        path: Optional[str],
+        items: Optional[int] = None,
+        content: Optional[bytes] = None,
+        content_type: str = "application/json",
+        extra_headers: Tuple[Tuple[str, str], ...] = (),
+    ) -> None:
+        """Write one response (JSON ``payload`` or raw ``content``),
+        record metrics, and emit the structured request log line."""
+        body = (
+            content
+            if content is not None
+            else json.dumps(payload).encode("utf-8")
+        )
+        elapsed = (
+            self._loop.time() - started if started is not None else 0.0
+        )
+        self.metrics.observe_request(status, elapsed)
+        self._log(
+            event="request",
+            client=state.peer,
+            method=method,
+            path=path,
+            status=status,
+            ms=round(elapsed * 1000, 3),
+            items=items,
+        )
+        reason = _REASONS.get(status, "")
+        head = [
+            f"HTTP/1.1 {status} {reason}",
+            f"Server: {SERVER_VERSION}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(body)}",
+        ]
+        head.extend(f"{k}: {v}" for k, v in extra_headers)
+        if close:
+            head.append("Connection: close")
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1"))
+        writer.write(body)
+        await writer.drain()
 
     # ------------------------------------------------------------------
     # routes
     # ------------------------------------------------------------------
-    def do_GET(self) -> None:
-        """``/healthz`` and ``/stats``."""
-        if self.path == "/healthz":
-            self._send_json(
-                200, {"ok": True, "service": self.server_version}
-            )
-        elif self.path == "/stats":
-            svc = self.server.classifier
-            e = svc.stats.engine
-            self._send_json(
-                200,
-                {
-                    "ok": True,
-                    "requests": svc.stats.submitted,
-                    "fast_hits": svc.stats.fast_hits,
-                    "batches": svc.stats.batches,
-                    "largest_batch": svc.stats.largest_batch,
-                    "classified": e.classified,
-                    "cache_hits": e.cache_hits,
-                    "coalesced": e.deduped,
-                    "cache_entries": len(svc.cache),
-                    "summary": svc.describe(),
-                },
-            )
-        else:
-            self._send_json(404, error_response(f"no route {self.path!r}"))
+    async def _dispatch(
+        self, method, path, version, headers, reader, writer, state,
+        started, phase,
+    ) -> bool:
+        """Route one parsed request; returns whether to keep the
+        connection alive afterwards."""
+        connection = headers.get("connection", "").lower()
+        keep_alive = (
+            version == "HTTP/1.1" and "close" not in connection
+        ) or "keep-alive" in connection
+        if self._draining:
+            keep_alive = False
 
-    def do_POST(self) -> None:
-        """``/classify``: parse, submit, gather, respond."""
-        if self.path != "/classify":
-            self._send_json(404, error_response(f"no route {self.path!r}"))
-            return
-        raw = self._read_body()
-        if raw is None:
-            return
+        async def respond(status, payload, *, items=None, content=None,
+                          content_type="application/json", extra=()):
+            await self._respond(
+                writer, state, status, payload,
+                close=not keep_alive, started=started, method=method,
+                path=path, items=items, content=content,
+                content_type=content_type, extra_headers=extra,
+            )
+            return keep_alive
+
+        if method == "GET":
+            if path == "/healthz":
+                return await respond(
+                    200, {"ok": True, "service": SERVER_VERSION}
+                )
+            if path == "/stats":
+                return await respond(200, self._stats_payload())
+            if path == "/metrics":
+                text = self.metrics.render(self.classifier.meta())
+                return await respond(
+                    200, None, content=text.encode("utf-8"),
+                    content_type=METRICS_CONTENT_TYPE,
+                )
+            return await respond(404, error_response(f"no route {path!r}"))
+        if method != "POST":
+            return await respond(
+                405, error_response(f"method {method} not allowed")
+            )
+        raw = await self._read_body(headers, reader)
+        phase["name"] = "classify"
+        if path != "/classify":
+            return await respond(404, error_response(f"no route {path!r}"))
+        status, payload, items, extra = await self._classify(raw)
+        return await respond(status, payload, items=items, extra=extra)
+
+    def _stats_payload(self) -> Dict:
+        svc = self.classifier
+        e = svc.stats.engine
+        return {
+            "ok": True,
+            "requests": svc.stats.submitted,
+            "fast_hits": svc.stats.fast_hits,
+            "batches": svc.stats.batches,
+            "largest_batch": svc.stats.largest_batch,
+            "rejected": svc.stats.rejected,
+            "classified": e.classified,
+            "cache_hits": e.cache_hits,
+            "coalesced": e.deduped,
+            "cache_entries": len(svc.cache),
+            "connections": self.connection_count,
+            "summary": svc.describe(),
+        }
+
+    async def _read_body(self, headers, reader) -> bytes:
+        """Read the request body, policing size before a byte is read."""
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            length = -1
+        if length < 0:
+            raise _RequestAborted(
+                400, error_response("bad Content-Length")
+            )
+        if length > MAX_BODY_BYTES:
+            raise _RequestAborted(
+                413, error_response(f"body exceeds {MAX_BODY_BYTES} bytes")
+            )
+        try:
+            return await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise _RequestAborted(
+                400, error_response("body shorter than Content-Length"),
+                respond=False,  # the client is gone; nobody to answer
+            )
+
+    async def _classify(
+        self, raw: bytes
+    ) -> Tuple[int, Dict, Optional[int], Tuple]:
+        """The ``POST /classify`` route: parse, admit, await, assemble.
+
+        Returns ``(status, payload, item_count, extra_headers)``.
+        Mirrors the PR-2 semantics exactly (per-item errors, batched vs
+        single shapes, 400-vs-500 attribution) with two new outcomes:
+        ``429`` on admission refusal and ticket cancellation when the
+        caller's deadline unwinds this coroutine.
+        """
         try:
             body = json.loads(raw.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            self._send_json(400, error_response(f"invalid JSON: {exc}"))
-            return
+            return 400, error_response(f"invalid JSON: {exc}"), None, ()
         try:
             items = requests_from_body(body)
         except RequestError as exc:
-            self._send_json(400, error_response(str(exc)))
-            return
+            return 400, error_response(str(exc)), None, ()
         batched = isinstance(body, dict) and "requests" in body
 
-        # Parse everything first, then submit each mode's well-formed
-        # items in ONE submit_many call — the whole HTTP batch crosses
-        # into the dispatcher with one thread handoff per mode and
-        # coalesces into the same classification batch. Bad items turn
-        # into per-item errors without sinking their batch.
         parsed: List[Optional[object]] = []  # ServiceRequest | None
         responses: List[Optional[Dict]] = []
         for obj in items:
@@ -169,53 +604,81 @@ class ClassificationHandler(BaseHTTPRequestHandler):
                 parsed.append(None)
                 responses.append(error_response(str(exc)))
 
+        # Admit each mode's well-formed items in one non-blocking call;
+        # saturation refuses the whole request with 429 (cancelling any
+        # tickets the other mode group already got).
         tickets: Dict[int, Ticket] = {}
-        for mode in MODES:
-            index = [
-                i
-                for i, request in enumerate(parsed)
-                if request is not None and request.mode == mode
-            ]
-            if index:
-                try:
-                    batch = self.server.classifier.submit_many(
-                        [parsed[i].config for i in index], mode=mode
-                    )
-                except ServiceClosedError:
-                    self._send_json(
-                        503, error_response("service is shutting down")
-                    )
-                    return
+        try:
+            for mode in MODES:
+                index = [
+                    i
+                    for i, request in enumerate(parsed)
+                    if request is not None and request.mode == mode
+                ]
+                if not index:
+                    continue
+                handle = self.classifier.schedule_admit(
+                    [parsed[i].config for i in index], mode=mode
+                )
+                batch = await asyncio.wrap_future(handle)
                 tickets.update(zip(index, batch))
+        except ServiceSaturatedError as exc:
+            for ticket in tickets.values():
+                ticket.cancel()
+            retry_after = max(1, math.ceil(exc.retry_after))
+            payload = dict(
+                error_response(f"saturated: {exc}"), retry_after=retry_after
+            )
+            return 429, payload, len(items), (
+                ("Retry-After", str(retry_after)),
+            )
+        except ServiceClosedError:
+            return (
+                503,
+                error_response("service is shutting down"),
+                len(items),
+                (),
+            )
 
         server_faults = set()  # indices whose failure is ours, not the client's
-        for i, request in enumerate(parsed):
-            if request is None:
-                continue
-            ticket = tickets[i]
-            try:
-                record = ticket.result()
-            except Exception as exc:  # classification failure: per-item error
-                responses[i] = error_response(f"classification failed: {exc}")
+        try:
+            awaited = await asyncio.gather(
+                *(
+                    asyncio.wrap_future(tickets[i].future)
+                    for i in sorted(tickets)
+                ),
+                return_exceptions=True,
+            )
+        except asyncio.CancelledError:
+            # deadline unwind: abandon every pending ticket so the
+            # dispatcher drops (never classifies) the queued work
+            for ticket in tickets.values():
+                ticket.cancel()
+            raise
+        for i, outcome in zip(sorted(tickets), awaited):
+            request = parsed[i]
+            if isinstance(outcome, BaseException):
+                responses[i] = error_response(
+                    f"classification failed: {outcome}"
+                )
                 server_faults.add(i)
                 continue
-            responses[i] = response_for(request, ticket.key, record)
+            responses[i] = response_for(request, tickets[i].key, dict(outcome))
 
         # hit/miss/collapse accounting rides on every successful
         # response (snapshot at assembly time; see BatchClassifier.meta)
-        meta = self.server.classifier.meta()
+        meta = self.classifier.meta()
         if batched:
-            self._send_json(
-                200, {"ok": True, "responses": responses, "meta": meta}
-            )
-        elif responses and responses[0].get("ok"):
-            self._send_json(200, dict(responses[0], meta=meta))
-        elif responses:
+            payload = {"ok": True, "responses": responses, "meta": meta}
+            return 200, payload, len(items), ()
+        if responses and responses[0].get("ok"):
+            return 200, dict(responses[0], meta=meta), 1, ()
+        if responses:
             # a classification fault is the server's failure (500); a
             # request the parser rejected is the client's (400)
-            self._send_json(500 if 0 in server_faults else 400, responses[0])
-        else:
-            self._send_json(400, error_response("empty request"))
+            status = 500 if 0 in server_faults else 400
+            return status, responses[0], 1, ()
+        return 400, error_response("empty request"), 0, ()
 
 
 def make_server(
@@ -224,6 +687,10 @@ def make_server(
     classifier: Optional[BatchClassifier] = None,
     *,
     quiet: bool = False,
+    max_connections: int = DEFAULT_MAX_CONNECTIONS,
+    request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
+    drain_timeout: float = DEFAULT_DRAIN_TIMEOUT,
+    metrics: Optional[ServiceMetrics] = None,
 ) -> ClassificationServer:
     """Bind a :class:`ClassificationServer` (``port=0`` picks a free port).
 
@@ -232,7 +699,15 @@ def make_server(
     """
     if classifier is None:
         classifier = BatchClassifier()
-    return ClassificationServer((host, port), classifier, quiet=quiet)
+    return ClassificationServer(
+        (host, port),
+        classifier,
+        quiet=quiet,
+        max_connections=max_connections,
+        request_timeout=request_timeout,
+        drain_timeout=drain_timeout,
+        metrics=metrics,
+    )
 
 
 def run_server(server: ClassificationServer) -> None:
@@ -241,11 +716,14 @@ def run_server(server: ClassificationServer) -> None:
     callers can distinguish bind failures from serving failures)."""
     bound_host, bound_port = server.server_address[:2]
     print(f"repro-radio serve: listening on http://{bound_host}:{bound_port}")
-    print("  POST /classify   GET /healthz   GET /stats   (Ctrl-C to stop)")
+    print(
+        "  POST /classify   GET /healthz   GET /stats   GET /metrics"
+        "   (Ctrl-C to stop)"
+    )
     try:
         server.serve_forever()
     except KeyboardInterrupt:
-        print("\nshutting down")
+        print("\nshutting down (draining in-flight requests)")
     finally:
         server.shutdown()
         server.server_close()

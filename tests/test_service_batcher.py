@@ -17,6 +17,8 @@ from repro.engine import ResultCache, census_record
 from repro.service import (
     BatchClassifier,
     ServiceClosedError,
+    ServiceSaturatedError,
+    ServiceUnresponsiveError,
     serial_report,
 )
 
@@ -216,3 +218,88 @@ class TestLifecycleAndErrors:
         Configuration constructor raises in the caller's thread."""
         with pytest.raises(ConfigurationError):
             svc.submit(Configuration([(0, 1), (2, 3)], {0: 0, 1: 1, 2: 0, 3: 1}))
+
+
+class TestTimeoutDiagnostics:
+    """Regression: pre-PR-6, submit/gather had no timeout path — a dead
+    or wedged event loop blocked callers forever with no diagnosis."""
+
+    def test_gather_timeout_is_diagnostic_not_opaque(self):
+        """gather(timeout=) on a stalled dispatcher raises
+        ServiceUnresponsiveError naming the ticket and the dispatcher
+        state, instead of a bare TimeoutError (or blocking forever)."""
+        cfg = Configuration([(0, 1)], {0: 0, 1: 1})
+        svc = BatchClassifier(batch_window=30)  # dispatcher sits in its window
+        try:
+            ticket = svc.submit(cfg)
+            started = time.monotonic()
+            with pytest.raises(ServiceUnresponsiveError) as excinfo:
+                svc.gather([ticket], timeout=0.2)
+            assert time.monotonic() - started < 5
+            message = str(excinfo.value)
+            assert ticket.key in message and "alive=True" in message
+        finally:
+            svc.close()  # the sentinel cuts the window short; must not hang
+
+    def test_submit_timeout_on_wedged_loop(self):
+        """submit(timeout=) while the event loop is blocked raises a
+        diagnostic error promptly instead of waiting out the wedge."""
+        svc = BatchClassifier(batch_window=0.001)
+        try:
+            release = threading.Event()
+            svc._loop.call_soon_threadsafe(release.wait, 2)  # wedge the loop
+            cfg = Configuration([(0, 1)], {0: 0, 1: 1})
+            started = time.monotonic()
+            with pytest.raises(ServiceUnresponsiveError) as excinfo:
+                svc.submit(cfg, timeout=0.2)
+            assert time.monotonic() - started < 1.5
+            assert "wedged" in str(excinfo.value)
+            release.set()
+        finally:
+            svc.close()
+
+    def test_dead_event_loop_is_diagnosed_immediately(self):
+        """The pre-fix hang: an externally stopped event loop made
+        submit block forever. Now a dead dispatcher thread is diagnosed
+        at submit time — with or without a timeout."""
+        svc = BatchClassifier(batch_window=0.001)
+        svc._loop.call_soon_threadsafe(svc._loop.stop)
+        svc._thread.join(timeout=5)
+        assert not svc._thread.is_alive()
+        cfg = Configuration([(0, 1)], {0: 0, 1: 1})
+        started = time.monotonic()
+        with pytest.raises(ServiceUnresponsiveError):
+            svc.submit(cfg)  # no timeout — must still not hang
+        with pytest.raises(ServiceUnresponsiveError):
+            svc.submit_many([cfg], timeout=1)
+        assert time.monotonic() - started < 5
+        svc.close(timeout=1)  # close must not hang on the dead loop either
+
+    def test_admission_control_is_atomic(self):
+        """schedule_admit refuses an oversized cold batch without
+        enqueuing anything, and the refusal is accounted."""
+        configs = random_config_batch(9, base_seed=55, n_hi=5)
+        with BatchClassifier(max_pending=2, batch_window=0.2) as svc:
+            handle = svc.schedule_admit(configs)
+            with pytest.raises(ServiceSaturatedError) as excinfo:
+                handle.result(timeout=10)
+            assert excinfo.value.needed >= excinfo.value.capacity
+            assert svc.stats.rejected == len(configs)
+            assert svc.stats.submitted == 0  # no partial admission
+            # the queue is untouched: a normal submit classifies fine
+            record = svc.submit(configs[0]).result(timeout=10)
+            assert record == census_record(configs[0].normalize())
+
+    def test_cancelled_tickets_free_their_slots(self):
+        """A queued ticket cancelled before its batch fires is dropped
+        by the dispatcher, not classified."""
+        configs = random_config_batch(3, base_seed=56, n_hi=5)
+        with BatchClassifier(batch_window=0.3) as svc:
+            tickets = svc.submit_many(configs)
+            assert tickets[0].cancel()
+            records = svc.gather(tickets[1:], timeout=10)
+            assert records == [
+                census_record(c.normalize()) for c in configs[1:]
+            ]
+            assert svc.stats.cancelled >= 1
+            assert svc.stats.engine.classified == len(configs) - 1

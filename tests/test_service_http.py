@@ -14,10 +14,21 @@ import pytest
 from repro.core.configuration import line_configuration
 from repro.service import (
     MAX_BODY_BYTES,
+    MODES,
+    config_from_json,
     config_to_json,
     make_server,
     serial_report,
 )
+
+try:
+    from hypothesis import given, settings, strategies as st
+
+    from repro.testing import configurations
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis is an install extra
+    HAVE_HYPOTHESIS = False
 
 
 @pytest.fixture(scope="module")
@@ -169,6 +180,66 @@ class TestOtherRoutes:
         assert fetch(base_url, "/nope", {"line": [0, 1]})[0] == 404
 
 
+@pytest.mark.skipif(not HAVE_HYPOTHESIS, reason="hypothesis not installed")
+class TestWireSchemaProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                configurations(max_n=5, max_span=2),
+                st.sampled_from(MODES),
+            ),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    def test_valid_batches_round_trip_through_http(self, base_url, batch):
+        """Arbitrary valid request batches survive encode → HTTP →
+        decode unchanged: the JSON encoding round-trips the
+        configuration, and every response's report is bit-for-bit the
+        serial oracle's answer for that (configuration, mode)."""
+        requests = []
+        for cfg, mode in batch:
+            encoded = config_to_json(cfg)
+            # the wire encoding itself is lossless
+            assert config_from_json(encoded).normalize() == cfg.normalize()
+            requests.append({**encoded, "mode": mode})
+        status, body = fetch(base_url, "/classify", {"requests": requests})
+        assert status == 200 and body["ok"]
+        assert len(body["responses"]) == len(batch)
+        for (cfg, mode), response in zip(batch, body["responses"]):
+            assert response["ok"], response
+            assert response["mode"] == mode
+            assert response["report"] == serial_report(cfg, mode)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.one_of(
+            st.binary(max_size=200),
+            st.text(max_size=200).map(lambda s: s.encode("utf-8")),
+            st.recursive(
+                st.one_of(
+                    st.none(), st.booleans(), st.integers(), st.text(max_size=8)
+                ),
+                lambda inner: st.one_of(
+                    st.lists(inner, max_size=4),
+                    st.dictionaries(st.text(max_size=8), inner, max_size=4),
+                ),
+                max_leaves=12,
+            ).map(lambda obj: json.dumps(obj).encode("utf-8")),
+        )
+    )
+    def test_malformed_bodies_get_structured_400s(self, base_url, raw):
+        """Garbage bodies — random bytes, random text, random JSON of
+        the wrong shape — always get a *structured* error response:
+        never a 500, never a hang, always JSON with an ``ok`` field."""
+        status, body = fetch(base_url, "/classify", raw=raw)
+        assert status in (200, 400, 413), (status, raw)
+        assert "ok" in body
+        if status != 200:
+            assert body["ok"] is False and body["error"]
+
+
 def test_cli_serve_parser_defaults():
     """The serve subcommand parses with documented defaults."""
     from repro.cli import build_parser
@@ -178,3 +249,6 @@ def test_cli_serve_parser_defaults():
     assert args.host == "127.0.0.1" and args.port == 0
     assert args.max_batch == 64 and args.max_pending == 1024
     assert args.workers == 1
+    assert args.max_connections == 128
+    assert args.request_timeout == 30.0
+    assert args.drain_timeout == 5.0
