@@ -1,0 +1,156 @@
+"""E24 — Batch kernel: equality gate + cold-population throughput.
+
+The acceptance gates of the ``repro.core.batch`` subsystem:
+
+1. **Bit-for-bit trace equality** — one giant mixed batch holding the
+   exhaustive small-n sweep (every connected shape × every tag vector
+   of the shared grid), plus the full timed workload, classifies each
+   instance to the *identical* :class:`~repro.core.trace.ClassifierTrace`
+   the serial implementations produce, enforced through the shared
+   differential harness (:func:`repro.testing.assert_trace_equal`).
+2. **≥ 5× batch speedup** — on a cold batch of 1000 seeded random
+   configurations (the census/service shape: mixed n, span and
+   density), the lockstep kernel beats a serial loop of the compiled
+   core by at least ``SPEEDUP_FLOOR`` in wall time. The measurement is
+   written as a machine-readable ``BENCH_E24.json`` artifact
+   (:mod:`repro.reporting.bench`), pass or fail.
+3. **Record equality** — the kernel's census records equal the
+   engine's :func:`repro.engine.pipeline.census_record` dict for dict,
+   with and without election-round measurement.
+"""
+
+import time
+
+import pytest
+
+from repro.core.batch import (
+    HAVE_NUMPY,
+    batch_census_records,
+    batch_classify,
+)
+from repro.core.compiled import compiled_classify
+from repro.core.classifier import reference_classify
+from repro.reporting.bench import BenchResult, write_bench_result
+
+from conftest import (
+    SMALL_SWEEP_GRID,
+    assert_trace_equal,
+    random_config_batch,
+    sweep_configurations,
+)
+
+pytestmark = pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not installed")
+
+#: ISSUE acceptance threshold: batch kernel vs serial compiled loop.
+SPEEDUP_FLOOR = 5.0
+
+#: Timed workload: 1000 cold random configurations, default census shape.
+BATCH_SIZE = 1000
+BASE_SEED = 20260808
+
+
+def timed_workload():
+    return random_config_batch(BATCH_SIZE, base_seed=BASE_SEED)
+
+
+# ----------------------------------------------------------------------
+# gate 1: bit-for-bit ClassifierTrace equality
+# ----------------------------------------------------------------------
+def test_exhaustive_sweep_in_one_mixed_batch():
+    """The entire shared small-n grid packed as ONE batch: every
+    instance's trace is bit-for-bit the faithful reference's."""
+    cfgs = list(sweep_configurations(SMALL_SWEEP_GRID))
+    assert len(cfgs) > 100
+    for cfg, trace in zip(cfgs, batch_classify(cfgs)):
+        assert_trace_equal(trace, reference_classify(cfg), context=repr(cfg))
+
+
+def test_timed_workload_agrees_with_compiled():
+    """The full 1k timed workload classifies identically to the serial
+    compiled core, instance for instance."""
+    cfgs = timed_workload()
+    for i, trace in enumerate(batch_classify(cfgs)):
+        assert_trace_equal(
+            trace, compiled_classify(cfgs[i]), context=f"instance {i}"
+        )
+
+
+def test_census_records_equal_engine_records():
+    """Record parity with the engine's per-configuration path."""
+    from repro.engine.pipeline import census_record
+
+    cfgs = random_config_batch(100, base_seed=BASE_SEED + 1)
+    for measure_rounds in (False, True):
+        assert batch_census_records(
+            cfgs, measure_rounds=measure_rounds
+        ) == [census_record(c, measure_rounds=measure_rounds) for c in cfgs]
+
+
+# ----------------------------------------------------------------------
+# gate 2: >= 5x cold-batch speedup, recorded as BENCH_E24.json
+# ----------------------------------------------------------------------
+def test_batch_speedup_at_least_5x():
+    """The lockstep kernel beats a serial compiled loop ≥ 5× on a cold
+    1000-configuration batch. Both sides produce census records from
+    scratch (normalize + classify; no cache). Passes are interleaved
+    and each side keeps its best of five, shielding the ratio from
+    scheduler noise; outputs are compared for equality on every pass.
+    The measurement is written to ``BENCH_E24.json`` before the floor
+    is asserted."""
+    cfgs = timed_workload()
+    compiled_time = batch_time = float("inf")
+    for _ in range(5):
+        t0 = time.perf_counter()
+        serial_records = [
+            {
+                "feasible": (t := compiled_classify(c)).feasible,
+                "iterations": t.num_iterations,
+                "rounds": None,
+            }
+            for c in cfgs
+        ]
+        compiled_time = min(compiled_time, time.perf_counter() - t0)
+
+        t0 = time.perf_counter()
+        records = batch_census_records(cfgs)
+        batch_time = min(batch_time, time.perf_counter() - t0)
+        assert records == serial_records  # every pass, not just the best
+
+    speedup = compiled_time / batch_time
+    write_bench_result(
+        BenchResult(
+            experiment="E24",
+            workload={
+                "batch_size": BATCH_SIZE,
+                "base_seed": BASE_SEED,
+                "generator": "random_config_batch",
+            },
+            timings_s={"compiled_loop": compiled_time, "batch": batch_time},
+            speedup=speedup,
+            floor=SPEEDUP_FLOOR,
+            passed=speedup >= SPEEDUP_FLOOR,
+        )
+    )
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"batch {batch_time:.4f}s vs compiled loop {compiled_time:.4f}s "
+        f"= {speedup:.1f}x < {SPEEDUP_FLOOR}x on {BATCH_SIZE} configurations"
+    )
+
+
+# ----------------------------------------------------------------------
+# timing rows (pytest-benchmark; informational)
+# ----------------------------------------------------------------------
+@pytest.mark.benchmark(group="e24-compiled-loop")
+def test_compiled_loop_timing(benchmark):
+    """Serial compiled classification of the cold 1k batch."""
+    cfgs = timed_workload()
+    records = benchmark(lambda: [compiled_classify(c).feasible for c in cfgs])
+    assert len(records) == BATCH_SIZE
+
+
+@pytest.mark.benchmark(group="e24-batch")
+def test_batch_kernel_timing(benchmark):
+    """Lockstep kernel classification of the cold 1k batch."""
+    cfgs = timed_workload()
+    records = benchmark(batch_census_records, cfgs)
+    assert len(records) == BATCH_SIZE

@@ -21,9 +21,15 @@ the race harmless.
 from __future__ import annotations
 
 from repro.testing import (  # noqa: F401  (re-exported for bench/test modules)
+    SMALL_SWEEP_GRID,
+    assert_execution_equal,
+    assert_trace_equal,
     configurations,
+    diverse_configurations,
     feasible_batch,
     make_random_config,
     random_config_batch,
+    random_relabel,
     seeded_config,
+    sweep_configurations,
 )

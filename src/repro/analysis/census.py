@@ -4,12 +4,17 @@ Answers questions like "what fraction of random G(n,p) configurations with
 span σ are feasible?" — the library's analogue of a results table for a
 theory paper, and the workload of experiments E1, E11, E14 and E15.
 
-:func:`census` is the serial reference implementation: one pass, one
-classification per configuration, everything in memory. Production-scale
-sweeps go through :mod:`repro.engine` instead — canonical-form caching,
-sharding, resume — and :func:`random_census` routes there by default;
-the engine is contractually bit-for-bit equal to :func:`census` on the
-same workload (see ``tests/test_engine_pipeline.py``).
+:func:`census` is the one-pass in-memory implementation: everything is
+classified and aggregated in a single sweep. With ``algorithm="auto"``
+(the default) and numpy importable it streams chunks through the
+vectorized batch kernel (:mod:`repro.core.batch`); an explicit serial
+``algorithm`` — or a missing numpy — falls back to one classification
+per configuration. Both paths aggregate identical numbers.
+Production-scale sweeps go through :mod:`repro.engine` instead —
+canonical-form caching, sharding, resume — and :func:`random_census`
+routes there by default; the engine is contractually bit-for-bit equal
+to :func:`census` on the same workload (see
+``tests/test_engine_pipeline.py``).
 """
 
 from __future__ import annotations
@@ -94,6 +99,7 @@ def census(
     group_by: Callable[[Configuration], object] = None,
     measure_rounds: bool = False,
     algorithm: str = "auto",
+    batch_size: int = 256,
 ) -> CensusResult:
     """Classify every configuration; aggregate by ``group_by(config)``.
 
@@ -101,10 +107,20 @@ def census(
     on every feasible configuration and its ``done_v`` accumulated.
     ``algorithm`` selects the classifier implementation (see
     :func:`repro.core.classifier.classify`); results are identical for
-    every choice.
+    every choice. ``"auto"`` resolves through
+    :func:`repro.core.batch.resolve_batch_algorithm`: when numpy is
+    importable the sweep streams through the vectorized batch kernel in
+    chunks of ``batch_size`` configurations, otherwise (or for an
+    explicit serial choice) it classifies one configuration at a time.
     """
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
     if group_by is None:
         group_by = lambda c: (c.n, c.span)  # noqa: E731
+    from ..core.batch import resolve_batch_algorithm
+
+    if resolve_batch_algorithm(algorithm) == "batch":
+        return _batched_census(configs, group_by, measure_rounds, batch_size)
     result = CensusResult()
     for config in configs:
         trace = classify(config, algorithm=algorithm)
@@ -116,6 +132,45 @@ def census(
             row.feasible += 1
             if measure_rounds:
                 row.rounds_sum += elect_leader(trace.config, trace=trace).rounds
+    return result
+
+
+def _batched_census(
+    configs: Iterable[Configuration],
+    group_by: Callable[[Configuration], object],
+    measure_rounds: bool,
+    batch_size: int,
+) -> CensusResult:
+    """The vectorized :func:`census` path: chunked lockstep sweeps.
+
+    Traces are materialized only under ``measure_rounds`` (the election
+    replay needs them); a plain feasibility census stays on the kernel's
+    verdict-only fast path. Aggregates are identical to the serial loop
+    because the kernel is bit-for-bit equal to the serial classifiers.
+    """
+    from ..core.batch import batch_outcomes
+
+    result = CensusResult()
+    chunk: List[Configuration] = []
+
+    def flush() -> None:
+        for out in batch_outcomes(chunk, traces=measure_rounds):
+            key = group_by(out.config)
+            row = result.rows.setdefault(key, CensusRow(group=key))
+            row.total += 1
+            row.iterations_sum += out.iterations
+            if out.feasible:
+                row.feasible += 1
+                if measure_rounds:
+                    row.rounds_sum += elect_leader(out.config, trace=out.trace).rounds
+        chunk.clear()
+
+    for config in configs:
+        chunk.append(config)
+        if len(chunk) >= batch_size:
+            flush()
+    if chunk:
+        flush()
     return result
 
 

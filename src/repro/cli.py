@@ -93,8 +93,10 @@ def _add_algorithm_arg(p: argparse.ArgumentParser) -> None:
         help=(
             "classifier implementation: the faithful O(n³Δ) reference, "
             "the hash-based fast ablation, the compiled incremental "
-            "core, or auto (compiled; see docs/performance.md) — all "
-            "bit-for-bit equal"
+            "core, the vectorized batch kernel, or auto (compiled for "
+            "one configuration; batch for population sweeps when numpy "
+            "is available — see docs/performance.md) — all bit-for-bit "
+            "equal"
         ),
     )
 
@@ -107,8 +109,10 @@ def cmd_classify(args: argparse.Namespace) -> int:
 
     cfg = _parse_config(args)
     algorithm = resolve_algorithm(args.algorithm)
-    # the fast ablation cannot meter ops; profile it on wall time alone
-    counter = OpCounter() if args.profile and algorithm != "fast" else None
+    # the fast ablation and the batch kernel cannot meter ops; profile
+    # them on wall time alone
+    meters = args.profile and algorithm not in ("fast", "batch")
+    counter = OpCounter() if meters else None
     t0 = time.perf_counter()
     trace = classify(cfg, algorithm=algorithm, counter=counter)
     elapsed = time.perf_counter() - t0
@@ -140,7 +144,7 @@ def cmd_classify(args: argparse.Namespace) -> int:
                 ("total ops", counter.total),
             ]
         else:
-            rows.append(("total ops", "- (fast does not meter)"))
+            rows.append(("total ops", f"- ({algorithm} does not meter)"))
         print(kv_block("Profile", rows))
     return 0
 

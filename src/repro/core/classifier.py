@@ -11,12 +11,19 @@ on an ``algorithm`` knob:
   hash-based ablation (same output, O(nΔ log Δ) per iteration);
 * ``"compiled"`` — :func:`repro.core.compiled.compiled_classify`, the
   indexed, label-interned, split-driven incremental core;
-* ``"auto"`` (default) — resolves to ``"compiled"``.
+* ``"batch"`` — :func:`repro.core.batch.batch_classify`, the
+  struct-of-arrays numpy kernel that classifies whole populations in
+  lockstep (a single configuration is a batch of one; callers holding
+  real batches use :func:`repro.core.batch.batch_outcomes` directly);
+* ``"auto"`` (default) — resolves to ``"compiled"`` here. Batched
+  callers (the census engine, the service, population sweeps) resolve
+  ``auto`` through :func:`repro.core.batch.resolve_batch_algorithm`
+  instead, which picks ``"batch"`` when numpy is available.
 
-All three produce bit-for-bit identical
-:class:`~repro.core.trace.ClassifierTrace` objects (enforced by the E23
-benchmark and the cross-algorithm hypothesis suite), so the knob is a
-pure performance choice.
+All implementations produce bit-for-bit identical
+:class:`~repro.core.trace.ClassifierTrace` objects (enforced by the
+E23/E24 benchmarks and the shared differential harness in
+:mod:`repro.testing`), so the knob is a pure performance choice.
 
 Faithful transcription of Algorithms 1–4:
 
@@ -58,14 +65,17 @@ class ClassifierInvariantError(AssertionError):
 
 
 #: Accepted values of the ``algorithm`` knob, in CLI display order.
-ALGORITHM_NAMES = ("auto", "compiled", "fast", "reference")
+ALGORITHM_NAMES = ("auto", "batch", "compiled", "fast", "reference")
 
 
 def resolve_algorithm(algorithm: str) -> str:
     """Validate an ``algorithm`` knob value and resolve ``"auto"``.
 
-    ``auto`` resolves to ``compiled`` — the bit-for-bit-equal default
-    every caller gets unless it asks for a specific implementation.
+    ``auto`` resolves to ``compiled`` — the bit-for-bit-equal default a
+    *single* classification gets unless the caller asks for a specific
+    implementation. Callers holding batches resolve through
+    :func:`repro.core.batch.resolve_batch_algorithm` instead, where
+    ``auto`` picks the vectorized kernel when numpy is available.
     """
     if algorithm not in ALGORITHM_NAMES:
         raise ValueError(
@@ -94,14 +104,17 @@ def classify(
         meter operations; the total lands in ``trace.total_ops``.
         Reference metering is the Lemma 3.5 O(n³Δ) accounting; compiled
         metering counts the incremental path's actual work. The
-        ``fast`` ablation does not meter (a :class:`ValueError`).
+        ``fast`` ablation and the ``batch`` kernel do not meter (a
+        :class:`ValueError`); ``classifier_ops`` stays pinned to the
+        reference units regardless of this knob.
     counter:
         meter into this :class:`~repro.core.partition.OpCounter`
         instead of a fresh one — callers that want the
         ``triple_ops``/``label_ops`` split (e.g. the CLI ``--profile``
         flag) pass one and read it back; implies ``count_ops``.
     algorithm:
-        ``"reference"``, ``"fast"``, ``"compiled"`` or ``"auto"``.
+        ``"reference"``, ``"fast"``, ``"compiled"``, ``"batch"`` or
+        ``"auto"``.
     """
     algorithm = resolve_algorithm(algorithm)
     if algorithm == "reference":
@@ -115,6 +128,15 @@ def classify(
         from .fast_classifier import fast_classify
 
         return fast_classify(config)
+    if algorithm == "batch":
+        if count_ops or counter is not None:
+            raise ValueError(
+                "the batch kernel does not meter operations; use "
+                'algorithm="reference" (Lemma 3.5 units) or "compiled"'
+            )
+        from .batch import batch_classify
+
+        return batch_classify([config])[0]
     from .compiled import compiled_classify
 
     return compiled_classify(config, count_ops=count_ops, counter=counter)

@@ -164,7 +164,14 @@ class Configuration:
         lo = self.min_tag
         if lo == 0:
             return self
-        return Configuration(self.edges, {v: t - lo for v, t in self._tags.items()})
+        # the graph is unchanged and immutable, so share the validated
+        # adjacency instead of reconstructing and re-checking it
+        clone = Configuration.__new__(Configuration)
+        clone._nodes = self._nodes
+        clone._adj = self._adj
+        clone._tags = {v: t - lo for v, t in self._tags.items()}
+        clone._hash = None
+        return clone
 
     def with_tags(self, tags: Mapping[object, int]) -> "Configuration":
         """Same graph, different tags."""

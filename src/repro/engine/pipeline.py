@@ -290,6 +290,24 @@ def _merge_rows(result: CensusResult, rows: List[Dict]) -> None:
         row.rounds_sum += r["rounds_sum"]
 
 
+def _miss_algorithm(algorithm: str, max_workers: Optional[int]) -> str:
+    """Implementation for a batch of cache misses (see ``batch_records``).
+
+    Explicit ``"batch"`` always means the vectorized kernel (it runs
+    in-process, so a worker-count fan-out request is ignored); ``"auto"``
+    means the kernel exactly when it can run and no multiprocessing
+    fan-out was requested — ``max_workers`` other than 1 keeps the
+    existing :func:`repro.analysis.parallel.parallel_map` behavior.
+    """
+    if algorithm == "batch":
+        return "batch"
+    if algorithm == "auto" and max_workers == 1:
+        from ..core.batch import resolve_batch_algorithm
+
+        return resolve_batch_algorithm("auto")
+    return algorithm
+
+
 def batch_records(
     configs,
     cache: ResultCache,
@@ -328,6 +346,16 @@ def batch_records(
     keys): a sequence parallel to ``configs``, whose configurations must
     then already be normalized. The batch classification service uses
     this — requests are keyed once at submit time, never again.
+
+    Miss classification picks its implementation through
+    :func:`repro.core.batch.resolve_batch_algorithm`: with
+    ``algorithm="auto"`` and no multiprocessing fan-out
+    (``max_workers=1``), the unique misses go through the vectorized
+    batch kernel in one lockstep call (falling back to the compiled
+    core when numpy is absent); ``algorithm="batch"`` forces the kernel;
+    any other knob, or ``max_workers > 1``, keeps the per-configuration
+    :func:`census_record` path. All choices produce bit-for-bit
+    identical records.
     """
     if stats is None:
         stats = EngineStats()
@@ -362,15 +390,25 @@ def batch_records(
 
     if pending:
         missing = list(pending)
-        worker = partial(
-            census_record, measure_rounds=measure_rounds, algorithm=algorithm
-        )
-        records = parallel_map(
-            worker,
-            [pending[k] for k in missing],
-            max_workers=max_workers,
-            chunksize=chunksize,
-        )
+        miss_configs = [pending[k] for k in missing]
+        if _miss_algorithm(algorithm, max_workers) == "batch":
+            from ..core.batch import batch_census_records
+
+            records = batch_census_records(
+                miss_configs, measure_rounds=measure_rounds
+            )
+        else:
+            worker = partial(
+                census_record,
+                measure_rounds=measure_rounds,
+                algorithm=algorithm,
+            )
+            records = parallel_map(
+                worker,
+                miss_configs,
+                max_workers=max_workers,
+                chunksize=chunksize,
+            )
         for key, record in zip(missing, records):
             records_by_key[key] = record
             cache.put(key, record)

@@ -499,8 +499,10 @@ class BatchClassifier:
         classifier implementation for cold misses (see
         :func:`repro.core.classifier.classify`); responses are
         bit-for-bit identical for every choice, so the knob is a pure
-        throughput decision. ``auto`` (the default) resolves to the
-        compiled core.
+        throughput decision. ``auto`` (the default) resolves per
+        cold miss-batch to the vectorized batch kernel when numpy is
+        importable and the run is in-process, and to the compiled core
+        otherwise (see :func:`repro.engine.batch_records`).
     on_batch:
         optional observer called with each executed batch's size (on
         the dispatcher thread) — the server wires its batch-size
@@ -526,7 +528,11 @@ class BatchClassifier:
             raise ValueError("max_pending must be >= 1")
         if batch_window < 0:
             raise ValueError("batch_window must be >= 0")
-        algorithm = resolve_algorithm(algorithm)  # validate at build time
+        # Validate at build time, but keep the raw knob: batch_records
+        # resolves "auto" per miss-batch (vectorized kernel when numpy is
+        # available, compiled core otherwise), so collapsing it here would
+        # pin the service to the single-configuration default.
+        resolve_algorithm(algorithm)
         self.cache = cache if cache is not None else ResultCache()
         self.stats = ServiceStats()
         self._closed = False

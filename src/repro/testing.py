@@ -1,14 +1,29 @@
 """Test-support utilities shared by the test and benchmark harnesses.
 
-Hosts the hypothesis strategy for random configurations (guarded —
-hypothesis is an optional extra) and re-exports the seeded workload
-builders of :mod:`repro.engine.workloads`, so both ``tests/conftest.py``
-and ``benchmarks/conftest.py`` can expose one implementation under
-identical names instead of shadowing each other when pytest collects
-both directories in a single run.
+Hosts three things every differential suite wants but none should own:
+
+* **the differential assertions** — :func:`assert_trace_equal` and
+  :func:`assert_execution_equal` pinpoint the *first* divergence between
+  two classifier traces / simulation results (which iteration, which
+  field, which node) instead of dumping two multi-kilobyte reprs, so a
+  kernel regression reads as ``iteration 3, field labels, node 2`` and
+  not as a wall of text. The classifier benchmarks (E23/E24) gate on the
+  same assertions the test suite uses;
+* **workload generators** — the exhaustive :func:`sweep_configurations`
+  small-``n`` sweep, :func:`random_relabel`, and the hypothesis
+  strategies :func:`configurations` / :func:`diverse_configurations`
+  (guarded — hypothesis is an optional extra);
+* **re-exports** of the seeded workload builders of
+  :mod:`repro.engine.workloads`, so both ``tests/conftest.py`` and
+  ``benchmarks/conftest.py`` can expose one implementation under
+  identical names instead of shadowing each other when pytest collects
+  both directories in a single run.
 """
 
 from __future__ import annotations
+
+import random
+from typing import Iterable, Iterator, Tuple
 
 from .core.configuration import Configuration
 from .engine.workloads import (  # noqa: F401  (re-exported)
@@ -17,6 +32,171 @@ from .engine.workloads import (  # noqa: F401  (re-exported)
     random_config_batch,
     seeded_config,
 )
+
+# ----------------------------------------------------------------------
+# differential assertions
+# ----------------------------------------------------------------------
+
+
+def _fail(context: str, where: str, actual: object, expected: object) -> None:
+    prefix = f"{context}: " if context else ""
+    raise AssertionError(
+        f"{prefix}first divergence at {where}:\n"
+        f"  actual:   {actual!r}\n"
+        f"  expected: {expected!r}"
+    )
+
+
+def _assert_mapping_equal(
+    actual: dict, expected: dict, context: str, where: str
+) -> None:
+    """Per-key comparison so the failure names the diverging node."""
+    if actual.keys() != expected.keys():
+        _fail(
+            context,
+            f"{where} (key sets)",
+            sorted(actual.keys(), key=repr),
+            sorted(expected.keys(), key=repr),
+        )
+    for key in expected:
+        if actual[key] != expected[key]:
+            _fail(context, f"{where}, node {key!r}", actual[key], expected[key])
+
+
+def assert_trace_equal(actual, expected, *, context: str = "") -> None:
+    """Assert bit-for-bit :class:`~repro.core.trace.ClassifierTrace`
+    equality, failing with first-divergence diagnostics.
+
+    The comparison follows :func:`repro.core.fast_classifier.traces_equal`
+    — every field except op metering (``total_ops``), which backends
+    legitimately differ on — but walks iterations in order and mappings
+    per node, so the error message names the exact iteration, field and
+    node where the traces part ways. ``context`` is prepended to the
+    failure (e.g. a description of the workload instance).
+    """
+    if actual.config != expected.config:
+        _fail(context, "config", actual.config, expected.config)
+    if actual.sigma != expected.sigma:
+        _fail(context, "sigma", actual.sigma, expected.sigma)
+    _assert_mapping_equal(
+        actual.initial_classes, expected.initial_classes, context,
+        "initial_classes",
+    )
+    if actual.initial_reps != expected.initial_reps:
+        _fail(context, "initial_reps", actual.initial_reps, expected.initial_reps)
+    for ra, rb in zip(actual.iterations, expected.iterations):
+        it = f"iteration {rb.index}"
+        if ra.index != rb.index:
+            _fail(context, f"{it}, field index", ra.index, rb.index)
+        _assert_mapping_equal(ra.labels, rb.labels, context, f"{it}, field labels")
+        _assert_mapping_equal(
+            ra.classes_after, rb.classes_after, context,
+            f"{it}, field classes_after",
+        )
+        if ra.reps_after != rb.reps_after:
+            _fail(context, f"{it}, field reps_after", ra.reps_after, rb.reps_after)
+        if ra.num_classes_after != rb.num_classes_after:
+            _fail(
+                context,
+                f"{it}, field num_classes_after",
+                ra.num_classes_after,
+                rb.num_classes_after,
+            )
+    if len(actual.iterations) != len(expected.iterations):
+        _fail(
+            context,
+            "number of iterations",
+            len(actual.iterations),
+            len(expected.iterations),
+        )
+    for name in ("decision", "decided_at", "leader_class", "leader"):
+        a, b = getattr(actual, name), getattr(expected, name)
+        if a != b:
+            _fail(context, name, a, b)
+
+
+def assert_execution_equal(actual, expected, *, context: str = "") -> None:
+    """Assert bit-for-bit simulation-result equality, failing with
+    first-divergence diagnostics.
+
+    Compares the :class:`~repro.radio.events.ExecutionResult` equality
+    contract — ``histories``, ``wake_rounds``, ``wake_kinds``,
+    ``done_local``, ``rounds_elapsed`` and the recorded ``trace``;
+    ``backend_stats`` is excluded, backends legitimately differ there —
+    naming the node (and for histories, the local round) where the two
+    executions part ways.
+    """
+    for name in ("wake_rounds", "wake_kinds", "done_local"):
+        _assert_mapping_equal(
+            getattr(actual, name), getattr(expected, name), context, name
+        )
+    if actual.histories.keys() != expected.histories.keys():
+        _fail(
+            context,
+            "histories (key sets)",
+            sorted(actual.histories.keys(), key=repr),
+            sorted(expected.histories.keys(), key=repr),
+        )
+    for v in expected.histories:
+        ha, hb = actual.histories[v], expected.histories[v]
+        if ha != hb:
+            for r, (ea, eb) in enumerate(zip(ha, hb)):
+                if ea != eb:
+                    _fail(
+                        context,
+                        f"histories, node {v!r}, local round {r}", ea, eb,
+                    )
+            _fail(context, f"histories, node {v!r} (length)", len(ha), len(hb))
+    if actual.rounds_elapsed != expected.rounds_elapsed:
+        _fail(
+            context, "rounds_elapsed",
+            actual.rounds_elapsed, expected.rounds_elapsed,
+        )
+    if actual.trace != expected.trace:
+        ta, tb = actual.trace or [], expected.trace or []
+        for i, (ra, rb) in enumerate(zip(ta, tb)):
+            if ra != rb:
+                _fail(context, f"trace, round record {i}", ra, rb)
+        _fail(context, "trace (length)", len(ta), len(tb))
+
+
+# ----------------------------------------------------------------------
+# workload generators
+# ----------------------------------------------------------------------
+
+#: ``(n, max_tag)`` cells of the exhaustive small-n sweep: every
+#: configuration shape with every tag vector, the grid the canon oracle
+#: tests and the E24 equality gate share. ``(5, 1)`` keeps the largest
+#: cell's tag space binary so the whole sweep stays a few thousand
+#: configurations.
+SMALL_SWEEP_GRID: Tuple[Tuple[int, int], ...] = (
+    (1, 2), (2, 2), (3, 2), (4, 2), (5, 1),
+)
+
+
+def sweep_configurations(
+    grid: Iterable[Tuple[int, int]] = SMALL_SWEEP_GRID,
+) -> Iterator[Configuration]:
+    """Yield every configuration of every ``(n, max_tag)`` grid cell.
+
+    Wraps :func:`repro.graphs.enumeration.enumerate_configurations` —
+    connected shape representatives crossed with all tag vectors — so
+    exhaustive differential sweeps share one definition of "all small
+    configurations" instead of each suite hard-coding its own grid.
+    """
+    from .graphs.enumeration import enumerate_configurations
+
+    for n, max_tag in grid:
+        yield from enumerate_configurations(n, max_tag)
+
+
+def random_relabel(cfg: Configuration, seed: int) -> Configuration:
+    """A uniformly shuffled relabeling of ``cfg`` (same node-id set)."""
+    nodes = list(cfg.nodes)
+    shuffled = list(nodes)
+    random.Random(seed).shuffle(shuffled)
+    return cfg.relabel(dict(zip(nodes, shuffled)))
+
 
 try:
     from hypothesis import strategies as st
@@ -50,5 +230,21 @@ try:
         }
         return Configuration(sorted(edges), tags)
 
+    @st.composite
+    def diverse_configurations(draw, max_n: int = 8, max_span: int = 3):
+        """:func:`configurations` plus the representation hazards every
+        implementation must be transparent to: an optional uniform tag
+        shift (normalization must undo it identically) and an optional
+        relabeling to string node names (indexing must not assume
+        integer ids)."""
+        cfg = draw(configurations(max_n=max_n, max_span=max_span))
+        shift = draw(st.integers(min_value=0, max_value=4))
+        if shift:
+            cfg = cfg.shift_tags(shift)
+        if draw(st.booleans()):
+            cfg = cfg.relabel({v: f"node-{v:03d}" for v in cfg.nodes})
+        return cfg
+
 except ImportError:  # pragma: no cover - hypothesis is an install extra
     configurations = None
+    diverse_configurations = None

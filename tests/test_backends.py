@@ -11,7 +11,6 @@ from repro.core.canonical import CanonicalMatchError, CanonicalProtocol
 from repro.core.classifier import classify
 from repro.core.configuration import Configuration, line_configuration
 from repro.core.election import elect_leader
-from repro.graphs.enumeration import enumerate_configurations
 from repro.graphs.families import g_m, h_m, s_m
 from repro.radio.backends import (
     BackendUnsupported,
@@ -35,7 +34,12 @@ from repro.radio.simulator import (
     SimulationTimeout,
     simulate,
 )
-from repro.testing import configurations, make_random_config
+from repro.testing import (
+    assert_execution_equal,
+    configurations,
+    make_random_config,
+    sweep_configurations,
+)
 from repro.variants.canonical import VariantCanonicalProtocol
 from repro.variants.channels import BEEP, CD, NO_CD
 from repro.variants.refinement import variant_classify
@@ -95,22 +99,21 @@ class TestCanonicalEquivalence:
             protocol.factory,
             max_rounds=protocol.round_budget(network.span),
         )
-        assert ref == fast
+        assert_execution_equal(fast, ref)
 
     def test_exhaustive_small_n_sweep(self):
         """Every configuration shape with n <= 4, tags 0..2: identical
         canonical executions under both backends."""
         checked = 0
-        for n in (1, 2, 3, 4):
-            for cfg in enumerate_configurations(n, 2):
-                network, protocol = canonical_setup(cfg)
-                ref, fast = both_backends(
-                    network,
-                    protocol.factory,
-                    max_rounds=protocol.round_budget(network.span),
-                )
-                assert ref == fast, f"divergence on {cfg!r}"
-                checked += 1
+        for cfg in sweep_configurations(((1, 2), (2, 2), (3, 2), (4, 2))):
+            network, protocol = canonical_setup(cfg)
+            ref, fast = both_backends(
+                network,
+                protocol.factory,
+                max_rounds=protocol.round_budget(network.span),
+            )
+            assert_execution_equal(fast, ref, context=repr(cfg))
+            checked += 1
         assert checked > 100  # the sweep must actually sweep
 
     def test_elect_leader_backend_knob(self):
@@ -154,14 +157,14 @@ class TestScheduleEquivalence:
 
     def test_forced_wakeup(self):
         ref, fast = self.schedules_case([0, 5], {0: {1: "hi"}}, 3)
-        assert ref == fast
+        assert_execution_equal(fast, ref)
         assert fast.wake_kinds[1] == "forced"
 
     def test_collision_does_not_wake(self):
         ref, fast = self.schedules_case(
             [0, 5, 0], {0: {1: "x"}, 2: {1: "x"}}, 7
         )
-        assert ref == fast
+        assert_execution_equal(fast, ref)
 
     def test_terminate_round_reception(self):
         # node 1 terminates in the round node 0 transmits: the entry must
@@ -174,7 +177,7 @@ class TestScheduleEquivalence:
             return ScheduleDRIP({}, 2)
 
         ref, fast = both_backends(cfg, factory, max_rounds=1000)
-        assert ref == fast
+        assert_execution_equal(fast, ref)
         from repro.radio.model import Message
 
         assert fast.histories[1][2] == Message("late")
@@ -183,7 +186,7 @@ class TestScheduleEquivalence:
         ref, fast = self.schedules_case(
             [0, 0, 0, 0], {0: {2: "x"}, 3: {2: "y"}}, 4
         )
-        assert ref == fast
+        assert_execution_equal(fast, ref)
 
 
 class TestFaultEquivalence:
@@ -311,7 +314,7 @@ class TestPropertyEquivalence:
             protocol.factory,
             max_rounds=protocol.round_budget(network.span),
         )
-        assert ref == fast
+        assert_execution_equal(fast, ref)
 
     @settings(max_examples=25, deadline=None)
     @given(
@@ -386,7 +389,7 @@ class TestPropertyEquivalence:
             return ScheduleDRIP(schedules.get(v, {}), done)
 
         ref, fast = both_backends(cfg, factory, max_rounds=500)
-        assert ref == fast
+        assert_execution_equal(fast, ref)
 
 
 class TestRoundBudget:

@@ -15,8 +15,6 @@ The contract under test, in order of load-bearing-ness:
    pairwise ``are_isomorphic`` dedupe.
 """
 
-import random
-
 import pytest
 
 from repro.analysis.automorphisms import (
@@ -43,6 +41,7 @@ from repro.core.configuration import Configuration, line_configuration
 from repro.graphs.enumeration import enumerate_configurations
 from repro.graphs.families import g_m, h_m, s_m
 from repro.graphs.generators import cycle_configuration, star_configuration
+from repro.testing import SMALL_SWEEP_GRID, random_relabel
 
 try:
     from hypothesis import given, settings
@@ -55,23 +54,15 @@ except ImportError:  # pragma: no cover - hypothesis is an install extra
     HAVE_HYPOTHESIS = False
 
 
-def random_relabel(cfg: Configuration, seed: int) -> Configuration:
-    """A uniformly shuffled relabeling of ``cfg`` (nodes stay 0..n-1)."""
-    nodes = list(cfg.nodes)
-    shuffled = list(nodes)
-    random.Random(seed).shuffle(shuffled)
-    return cfg.relabel(dict(zip(nodes, shuffled)))
-
-
 # ----------------------------------------------------------------------
 # 1. oracle agreement
 # ----------------------------------------------------------------------
 class TestOracleAgreement:
-    @pytest.mark.parametrize("n,max_tag", [(1, 2), (2, 2), (3, 2), (4, 2), (5, 1)])
+    @pytest.mark.parametrize("n,max_tag", SMALL_SWEEP_GRID)
     def test_exhaustive_agreement(self, n, max_tag):
         """Bit-for-bit equality with the brute-force oracle on every
         enumerated configuration (shape representatives x all tag
-        vectors)."""
+        vectors) — the shared :data:`repro.testing.SMALL_SWEEP_GRID`."""
         for cfg in enumerate_configurations(n, max_tag):
             assert canonical_form(cfg, strategy="refinement") == canonical_form(
                 cfg, strategy="bruteforce"

@@ -1,18 +1,24 @@
-"""Cross-algorithm agreement: reference == fast == compiled, always.
+"""Cross-algorithm agreement: reference == fast == compiled == batch.
 
-The ``repro.core.compiled`` contract is bit-for-bit
+The contract every non-reference implementation signs is bit-for-bit
 :class:`~repro.core.trace.ClassifierTrace` equality with the faithful
-reference implementation — same labels, class numbering,
-representatives, decision and leader — plus error-path parity and
-sensible op metering on the incremental path. These tests enforce it on
-hypothesis-generated configurations (varied tags, spans, densities and
-non-integer node names) and on targeted units.
+reference — same labels, class numbering, representatives, decision and
+leader — plus error-path parity and sensible op metering on the
+incremental path. These tests enforce it through the shared differential
+harness (:mod:`repro.testing`) on hypothesis-generated configurations
+(varied tags, spans, densities and non-integer node names) and on
+targeted units.
 """
 
 import pytest
 from hypothesis import HealthCheck, given, settings
 
-from conftest import configurations, random_config_batch
+from conftest import (
+    assert_trace_equal,
+    configurations,
+    diverse_configurations,
+    random_config_batch,
+)
 
 from repro.core.classifier import (
     ALGORITHM_NAMES,
@@ -34,7 +40,7 @@ from repro.core.configuration import (
     ConfigurationError,
     line_configuration,
 )
-from repro.core.fast_classifier import fast_classify, traces_equal
+from repro.core.fast_classifier import fast_classify
 from repro.core.partition import OpCounter
 from repro.graphs.families import g_m
 
@@ -52,8 +58,8 @@ relaxed = settings(
 @given(configurations(max_n=9, max_span=4))
 def test_three_algorithms_agree(cfg):
     ref = reference_classify(cfg)
-    assert traces_equal(ref, fast_classify(cfg))
-    assert traces_equal(ref, compiled_classify(cfg))
+    assert_trace_equal(fast_classify(cfg), ref, context="fast")
+    assert_trace_equal(compiled_classify(cfg), ref, context="compiled")
 
 
 @relaxed
@@ -64,19 +70,22 @@ def test_agreement_survives_non_integer_node_names(cfg):
     with the leader reported under the new name."""
     named = cfg.relabel({v: f"node-{v:03d}" for v in cfg.nodes})
     ref = reference_classify(named)
-    assert traces_equal(ref, compiled_classify(named))
-    assert traces_equal(ref, fast_classify(named))
+    assert_trace_equal(compiled_classify(named), ref, context="compiled")
+    assert_trace_equal(fast_classify(named), ref, context="fast")
     if ref.feasible:
         assert isinstance(ref.leader, str)
 
 
 @relaxed
-@given(configurations(max_n=8, max_span=3))
+@given(diverse_configurations(max_n=8, max_span=3))
 def test_dispatcher_knob_is_pure_performance(cfg):
-    """Every ``algorithm`` value yields the same trace through classify."""
+    """Every ``algorithm`` value yields the same trace through classify
+    — including on shifted-tag and string-named configurations."""
     ref = classify(cfg, algorithm="reference")
     for algorithm in ALGORITHM_NAMES:
-        assert traces_equal(ref, classify(cfg, algorithm=algorithm))
+        assert_trace_equal(
+            classify(cfg, algorithm=algorithm), ref, context=algorithm
+        )
 
 
 def test_agreement_on_seeded_batch_with_shifted_tags():
@@ -84,7 +93,7 @@ def test_agreement_on_seeded_batch_with_shifted_tags():
     for cfg in random_config_batch(25, base_seed=4242):
         shifted = cfg.shift_tags(3)
         ref = reference_classify(shifted)
-        assert traces_equal(ref, compiled_classify(shifted))
+        assert_trace_equal(compiled_classify(shifted), ref)
 
 
 # ----------------------------------------------------------------------
@@ -126,16 +135,20 @@ def test_invariant_violation_parity(monkeypatch):
         def ceil(x):
             return 0
 
+    import repro.core.batch as batch_mod
     import repro.core.classifier as ref_mod
     import repro.core.compiled as compiled_mod
     import repro.core.fast_classifier as fast_mod
 
     cfg = line_configuration([0, 1, 0])
-    for mod, run in (
+    runs = [
         (ref_mod, lambda: reference_classify(cfg)),
         (fast_mod, lambda: fast_classify(cfg)),
         (compiled_mod, lambda: compiled_classify(cfg)),
-    ):
+    ]
+    if batch_mod.HAVE_NUMPY:
+        runs.append((batch_mod, lambda: classify(cfg, algorithm="batch")))
+    for mod, run in runs:
         monkeypatch.setattr(mod, "math", ZeroCeil)
         with pytest.raises(ClassifierInvariantError, match="Lemma 3.4"):
             run()

@@ -174,6 +174,35 @@ def test_compiled_core_public_api_documented():
     assert not missing, f"undocumented repro.core.compiled items: {missing}"
 
 
+def test_batch_kernel_is_covered():
+    """The batch kernel must be walked by this gate: a silent pkgutil
+    skip would exempt the population-scale classification path from the
+    docstring requirement."""
+    assert "repro.core.batch" in MODULES
+    assert "repro.testing" in MODULES
+
+
+def test_batch_kernel_public_api_documented():
+    """Every public item of ``repro.core.batch`` has a docstring (the
+    module is the default classifier for every batched caller;
+    docs/performance.md builds on these docstrings)."""
+    import repro.core.batch as batch
+
+    missing = []
+    for name in (
+        "BatchOutcome",
+        "ConfigurationBatch",
+        "batch_census_records",
+        "batch_classify",
+        "batch_outcomes",
+        "resolve_batch_algorithm",
+    ):
+        obj = getattr(batch, name)
+        if not inspect.getdoc(obj):
+            missing.append(name)
+    assert not missing, f"undocumented repro.core.batch items: {missing}"
+
+
 def test_service_package_is_covered():
     """The service layer must be walked by this gate: its modules appear
     in the collected module list (a silent pkgutil skip would exempt the
