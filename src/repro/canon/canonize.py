@@ -54,6 +54,8 @@ from functools import lru_cache
 from typing import Dict, List, Optional, Tuple
 
 from ..core.configuration import Configuration
+from ..obs.runtime import STATE as _OBS
+from ..obs.runtime import registry as _registry
 from .refine import IndexedGraph, index_graph, refine_colors, seed_colors
 
 #: Entries kept in the canonization memo (one per distinct normalized
@@ -278,7 +280,17 @@ def canonize(cfg: Configuration, *, use_memo: bool = True) -> CanonicalLabeling:
     """
     normalized = cfg.normalize()
     if use_memo:
+        if _OBS.enabled:  # per-call: guarded, one attribute check when off
+            _registry.inc("canon.calls")
+            hits_before = _canonize_normalized.cache_info().hits
+            labeling = _canonize_normalized(normalized)
+            if _canonize_normalized.cache_info().hits > hits_before:
+                _registry.inc("canon.memo_hits")
+            return labeling
         return _canonize_normalized(normalized)
+    if _OBS.enabled:
+        _registry.inc("canon.calls")
+        _registry.inc("canon.cold_searches")
     graph = index_graph(normalized)
     return _assemble(graph, *_search(graph))
 

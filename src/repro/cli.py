@@ -85,6 +85,26 @@ def _add_backend_arg(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_obs_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--trace",
+        metavar="PATH",
+        help=(
+            "append a JSONL run-event trace of this command to PATH "
+            "(schema in docs/observability.md; render it with "
+            "'repro-radio trace summarize PATH')"
+        ),
+    )
+    p.add_argument(
+        "--obs",
+        action="store_true",
+        help=(
+            "enable in-memory tracing/telemetry without writing an event "
+            "log; a span-tree/hotspot summary is printed to stderr at exit"
+        ),
+    )
+
+
 def _add_algorithm_arg(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--algorithm",
@@ -103,8 +123,7 @@ def _add_algorithm_arg(p: argparse.ArgumentParser) -> None:
 
 def cmd_classify(args: argparse.Namespace) -> int:
     """Decide feasibility of one configuration (Theorem 3.17)."""
-    import time
-
+    from . import obs
     from .core.partition import OpCounter
 
     cfg = _parse_config(args)
@@ -113,9 +132,19 @@ def cmd_classify(args: argparse.Namespace) -> int:
     # them on wall time alone
     meters = args.profile and algorithm not in ("fast", "batch")
     counter = OpCounter() if meters else None
-    t0 = time.perf_counter()
-    trace = classify(cfg, algorithm=algorithm, counter=counter)
-    elapsed = time.perf_counter() - t0
+    # --profile is span-based: the timing below is the cli.classify
+    # span's recorded duration, so the profile measures exactly what a
+    # --trace event log would. Enable in-memory tracing if the user
+    # didn't already (--trace/--obs).
+    profile_enabled_obs = False
+    if args.profile and not obs.STATE.enabled:
+        obs.enable()
+        profile_enabled_obs = True
+    with obs.span("cli.classify", algorithm=algorithm, n=cfg.n) as sp:
+        trace = classify(cfg, algorithm=algorithm, counter=counter)
+    elapsed = sp.duration or 0.0
+    if profile_enabled_obs:
+        obs.disable()
     print(trace.describe() if args.verbose else "", end="" if args.verbose else "")
     print(
         kv_block(
@@ -195,6 +224,28 @@ def cmd_census(args: argparse.Namespace) -> int:
     except OSError as exc:
         raise SystemExit(f"census: cache/checkpoint I/O failed: {exc}")
     result = run.result
+    if args.stats_json:
+        # machine-readable mode: emit exactly obs.snapshot() (with this
+        # run's engine/cache counters registered as groups) as the only
+        # stdout output, so scripts parse JSON instead of scraping the
+        # human table
+        import json as _json
+
+        from . import obs
+
+        if args.compact_cache:
+            try:
+                cache.compact()
+            except OSError as exc:
+                raise SystemExit(f"census: cache compaction failed: {exc}")
+        obs.registry.register_group("engine", run.stats.as_dict)
+        obs.registry.register_group("cache", cache.stats.as_dict)
+        try:
+            print(_json.dumps(obs.snapshot(), indent=2, sort_keys=True))
+        finally:
+            obs.registry.unregister_group("engine")
+            obs.registry.unregister_group("cache")
+        return 0
     print(
         format_table(
             result.TABLE_HEADERS,
@@ -446,6 +497,20 @@ def cmd_timeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Inspect a JSONL run-event trace (``trace summarize PATH``)."""
+    from .obs import EventSchemaError, summarize_file
+
+    try:
+        summary = summarize_file(args.path, validate=not args.no_validate)
+    except OSError as exc:
+        raise SystemExit(f"trace: cannot read {args.path!r}: {exc}")
+    except EventSchemaError as exc:
+        raise SystemExit(f"trace: invalid event log: {exc}")
+    print(summary.render(top=args.top, max_depth=args.depth))
+    return 0
+
+
 def cmd_quotient(args: argparse.Namespace) -> int:
     """Show the classifier quotient / symmetry skeleton."""
     from .analysis.quotient import classifier_quotient, infeasibility_certificate
@@ -480,17 +545,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile",
         action="store_true",
         help=(
-            "print OpCounter totals and per-iteration wall time for the "
+            "print OpCounter totals and span-based wall time for the "
             "chosen algorithm (speedups observable without the benchmark "
             "harness)"
         ),
     )
+    _add_obs_args(p)
     p.set_defaults(func=cmd_classify)
 
     p = sub.add_parser("elect", help="run the dedicated election algorithm")
     _add_config_args(p)
     p.add_argument("-v", "--verbose", action="store_true")
     _add_backend_arg(p)
+    _add_obs_args(p)
     p.set_defaults(func=cmd_elect)
 
     p = sub.add_parser("census", help="feasibility census over random configs")
@@ -528,7 +595,17 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print detailed engine/cache hit, miss and collapse counters",
     )
+    p.add_argument(
+        "--stats-json",
+        action="store_true",
+        help=(
+            "machine-readable mode: print the obs.snapshot() dict (with "
+            "this run's engine/cache counters as groups) as JSON instead "
+            "of the human table — see docs/observability.md"
+        ),
+    )
     _add_algorithm_arg(p)
+    _add_obs_args(p)
     p.set_defaults(func=cmd_census)
 
     p = sub.add_parser(
@@ -587,7 +664,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds to let in-flight requests finish on shutdown",
     )
     _add_algorithm_arg(p)
+    _add_obs_args(p)
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "trace", help="inspect JSONL run-event traces (--trace logs)"
+    )
+    tsub = p.add_subparsers(dest="trace_command", required=True)
+    ps = tsub.add_parser(
+        "summarize",
+        help="render the span tree, top-N hotspots and shard progress",
+    )
+    ps.add_argument("path", help="JSONL event log written by --trace")
+    ps.add_argument(
+        "--top", type=int, default=10, help="hotspot rows to show"
+    )
+    ps.add_argument(
+        "--depth", type=int, default=4, help="span-tree depth to render"
+    )
+    ps.add_argument(
+        "--no-validate",
+        action="store_true",
+        help="skip per-event schema validation while reading",
+    )
+    ps.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("defeat", help="run the Prop 4.4 universal-algorithm adversary")
     p.add_argument("--probe-m", type=int, default=64)
@@ -649,9 +749,29 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    The global observability flags (``--trace PATH`` / ``--obs``, on the
+    commands that do real work) are honored here: tracing is enabled
+    before the command runs and disabled after, so every span the
+    command's layers open lands in one run-event log.
+    """
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    trace_path = getattr(args, "trace", None)
+    want_obs = bool(trace_path) or getattr(args, "obs", False)
+    if not want_obs:
+        return args.func(args)
+    from . import obs
+
+    obs.enable(trace_path=trace_path)
+    try:
+        return args.func(args)
+    finally:
+        tracer = obs.disable()
+        if getattr(args, "obs", False) and tracer is not None:
+            from .obs.summary import summarize_events
+
+            print(summarize_events(tracer.events).render(), file=sys.stderr)
 
 
 if __name__ == "__main__":

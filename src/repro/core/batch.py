@@ -62,6 +62,9 @@ except ImportError:  # pragma: no cover - exercised via monkeypatch
     np = None
     HAVE_NUMPY = False
 
+from ..obs.runtime import STATE as _OBS
+from ..obs.runtime import registry as _registry
+from ..obs.runtime import span as _obs_span
 from .classifier import ALGORITHM_NAMES, ClassifierInvariantError
 from .configuration import Configuration
 from .partition import ONE, STAR, Label
@@ -674,7 +677,11 @@ def batch_outcomes(
         batch = ConfigurationBatch.from_configurations(
             valid, assume_normalized=True
         )
-        result = _run_kernel(batch, record=traces)
+        with _obs_span("batch.kernel", instances=len(valid), traces=traces):
+            result = _run_kernel(batch, record=traces)
+        if _OBS.enabled:  # per-batch: guarded, one attribute check when off
+            _registry.inc("batch.kernel_calls")
+            _registry.inc("batch.instances", len(valid))
         for b, idx in enumerate(valid_slots):
             out = outcomes[idx]
             if result.errors[b] is not None:
@@ -731,7 +738,13 @@ def batch_census_records(
         batch = ConfigurationBatch.from_configurations(
             normalized, assume_normalized=True
         )
-        result = _run_kernel(batch, record=False)
+        with _obs_span(
+            "batch.kernel", instances=len(normalized), traces=False
+        ):
+            result = _run_kernel(batch, record=False)
+        if _OBS.enabled:
+            _registry.inc("batch.kernel_calls")
+            _registry.inc("batch.instances", len(normalized))
         for error in result.errors:
             if error is not None:
                 raise error

@@ -50,6 +50,8 @@ from __future__ import annotations
 import math
 from typing import Optional
 
+from ..obs.runtime import STATE as _OBS
+from ..obs.runtime import registry as _registry
 from .configuration import Configuration
 from .partition import (
     OpCounter,
@@ -117,6 +119,9 @@ def classify(
         ``"auto"``.
     """
     algorithm = resolve_algorithm(algorithm)
+    if _OBS.enabled:  # per-call: guarded, one attribute check when off
+        _registry.inc("classifier.calls")
+        _registry.inc(f"classifier.calls.{algorithm}")
     if algorithm == "reference":
         return reference_classify(config, count_ops=count_ops, counter=counter)
     if algorithm == "fast":

@@ -45,6 +45,8 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from ..obs.runtime import STATE as _OBS
+from ..obs.runtime import registry as _registry
 from .classifier import ClassifierInvariantError
 from .configuration import Configuration
 from .partition import Label, ONE, OpCounter, STAR
@@ -325,4 +327,7 @@ def compiled_classify(
 
     if counter is not None:
         trace.total_ops = counter.total
+    if _OBS.enabled:  # per-call: guarded, one attribute check when off
+        _registry.inc("compiled.calls")
+        _registry.inc("compiled.iterations", len(trace.iterations))
     return trace

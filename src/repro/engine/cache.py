@@ -27,6 +27,9 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from ..obs.runtime import STATE as _OBS
+from ..obs.runtime import registry as _registry
+
 
 @dataclass
 class CacheStats:
@@ -128,9 +131,13 @@ class ResultCache:
         record = self._entries.get(key)
         if record is None:
             self.stats.misses += 1
+            if _OBS.enabled:  # per-lookup: guarded, one attribute check
+                _registry.inc("cache.misses")
             return None
         self._entries.move_to_end(key)
         self.stats.hits += 1
+        if _OBS.enabled:
+            _registry.inc("cache.hits")
         return record
 
     def put(self, key: str, record: Dict) -> None:
@@ -142,6 +149,8 @@ class ResultCache:
         trailing line (which :meth:`_replay` skips).
         """
         self._store(key, record)
+        if _OBS.enabled:
+            _registry.inc("cache.puts")
         if self.path:
             if self._fh is None:
                 self._fh = open(self.path, "a", encoding="utf-8", buffering=1)

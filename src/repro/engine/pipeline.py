@@ -34,6 +34,10 @@ from ..analysis.parallel import parallel_map
 from ..core.classifier import classify
 from ..core.configuration import Configuration
 from ..core.election import elect_leader
+from ..obs.runtime import STATE as _OBS
+from ..obs.runtime import event as _obs_event
+from ..obs.runtime import registry as _registry
+from ..obs.runtime import span as _obs_span
 from .cache import ResultCache
 from .keys import Keyer, default_keyer
 from .workloads import Workload, as_workload
@@ -356,9 +360,62 @@ def batch_records(
     any other knob, or ``max_workers > 1``, keeps the per-configuration
     :func:`census_record` path. All choices produce bit-for-bit
     identical records.
+
+    When tracing is enabled (:mod:`repro.obs`), each call opens an
+    ``engine.batch`` span whose closing counters carry this batch's
+    accounting deltas; disabled, the extra cost is one attribute check.
     """
     if stats is None:
         stats = EngineStats()
+    if not _OBS.enabled:
+        return _batch_records_impl(
+            configs,
+            cache,
+            measure_rounds=measure_rounds,
+            keyer=keyer,
+            precomputed_keys=precomputed_keys,
+            max_workers=max_workers,
+            chunksize=chunksize,
+            stats=stats,
+            algorithm=algorithm,
+        )
+    hits0, dedup0, class0 = stats.cache_hits, stats.deduped, stats.classified
+    with _obs_span("engine.batch") as sp:
+        records = _batch_records_impl(
+            configs,
+            cache,
+            measure_rounds=measure_rounds,
+            keyer=keyer,
+            precomputed_keys=precomputed_keys,
+            max_workers=max_workers,
+            chunksize=chunksize,
+            stats=stats,
+            algorithm=algorithm,
+        )
+        sp.add("items", len(records))
+        sp.add("cache_hits", stats.cache_hits - hits0)
+        sp.add("deduped", stats.deduped - dedup0)
+        sp.add("classified", stats.classified - class0)
+    _registry.inc("engine.batches")
+    _registry.inc("engine.items", len(records))
+    _registry.inc("engine.cache_hits", stats.cache_hits - hits0)
+    _registry.inc("engine.classified", stats.classified - class0)
+    return records
+
+
+def _batch_records_impl(
+    configs,
+    cache: ResultCache,
+    *,
+    measure_rounds: bool,
+    keyer: Keyer,
+    precomputed_keys: Optional[Sequence[str]],
+    max_workers: Optional[int],
+    chunksize: int,
+    stats: EngineStats,
+    algorithm: str,
+) -> List[Dict]:
+    """The untraced body of :func:`batch_records` (stats required)."""
     keys: List[str] = []  # key per item, in input order
     pending: "Dict[str, Configuration]" = {}  # first config per missing key
     # Records are pinned locally for the duration of the batch: a bounded
@@ -539,28 +596,72 @@ def sharded_census(
         os.makedirs(checkpoint_dir, exist_ok=True)
 
     result = CensusResult()
-    for shard in shards:
-        rows: Optional[List[Dict]] = None
-        path = _checkpoint_path(checkpoint_dir, shard) if checkpoint_dir else None
-        if path:
-            rows = _load_checkpoint(path, shard, fingerprint)
-        if rows is not None:
-            stats.shards_resumed += 1
-        else:
-            shard_rows = _classify_shard(
-                shard,
-                workload,
-                cache,
-                group_by,
-                measure_rounds,
-                keyer,
-                max_workers,
-                chunksize,
-                stats,
-                algorithm,
+    done_wall = 0.0  # traced-mode ETA bookkeeping (computed shards only)
+    done_shards = 0
+    with _obs_span(
+        "census.run",
+        total=total,
+        shards=len(shards),
+        measure_rounds=measure_rounds,
+        algorithm=algorithm,
+    ):
+        for position, shard in enumerate(shards):
+            rows: Optional[List[Dict]] = None
+            path = (
+                _checkpoint_path(checkpoint_dir, shard) if checkpoint_dir else None
             )
-            rows = _shard_rows(shard_rows)
             if path:
-                _write_checkpoint(path, shard, fingerprint, rows)
-        _merge_rows(result, rows)
+                rows = _load_checkpoint(path, shard, fingerprint)
+            if rows is not None:
+                stats.shards_resumed += 1
+                if _OBS.enabled:
+                    _obs_event(
+                        "shard.resumed", shard=shard.index, rows=len(rows)
+                    )
+            else:
+                if _OBS.enabled:
+                    _obs_event(
+                        "shard.started", shard=shard.index, size=shard.size
+                    )
+                hits0 = stats.cache_hits + stats.deduped
+                with _obs_span(
+                    "census.shard", shard=shard.index, size=shard.size
+                ) as sp:
+                    shard_rows = _classify_shard(
+                        shard,
+                        workload,
+                        cache,
+                        group_by,
+                        measure_rounds,
+                        keyer,
+                        max_workers,
+                        chunksize,
+                        stats,
+                        algorithm,
+                    )
+                rows = _shard_rows(shard_rows)
+                if path:
+                    _write_checkpoint(path, shard, fingerprint, rows)
+                if _OBS.enabled:
+                    wall = sp.duration or 0.0
+                    done_wall += wall
+                    done_shards += 1
+                    remaining = len(shards) - position - 1
+                    hit_rate = (
+                        (stats.cache_hits + stats.deduped - hits0) / shard.size
+                        if shard.size
+                        else 0.0
+                    )
+                    _obs_event(
+                        "shard.finished",
+                        shard=shard.index,
+                        wall=round(wall, 6),
+                        hit_rate=round(hit_rate, 4),
+                        rows=len(rows),
+                        eta=round(done_wall / done_shards * remaining, 6),
+                    )
+            _merge_rows(result, rows)
+    if _OBS.enabled:
+        _registry.inc("census.runs")
+        _registry.inc("census.shards_resumed", stats.shards_resumed)
     return CensusRun(result=result, stats=stats, cache=cache)

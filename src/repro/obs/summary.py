@@ -1,0 +1,237 @@
+"""Turn a run-event log into a human-readable trace report.
+
+``repro-radio trace summarize PATH`` is a thin wrapper over
+:func:`summarize_file`: parse the validated JSONL events back into a
+span tree, aggregate per-name hotspot rows (count / total / mean /
+max), pull out census shard progress (timings, cache hit rates) from
+the ``shard.*`` events, and render everything as indented text. The
+summarizer is deliberately tolerant of *unclosed* spans (a crashed or
+still-running run has ``span.start`` without ``span.end``); those rows
+render with ``?`` durations rather than failing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from .events import read_events
+
+
+class SpanNode:
+    """One reconstructed span in the summarized tree."""
+
+    __slots__ = (
+        "span_id", "parent_id", "name", "attrs", "start_ts",
+        "duration", "status", "error", "counters", "children",
+    )
+
+    def __init__(self, span_id: int, parent_id: Optional[int], name: str,
+                 attrs: Dict, start_ts: float) -> None:
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.attrs = attrs
+        self.start_ts = start_ts
+        self.duration: Optional[float] = None
+        self.status: Optional[str] = None
+        self.error: Optional[str] = None
+        self.counters: Dict[str, float] = {}
+        self.children: "List[SpanNode]" = []
+
+
+class TraceSummary:
+    """The digest of one run: span tree, hotspots, shard rows, events.
+
+    Built by :func:`summarize_events`; :meth:`render` produces the
+    report ``trace summarize`` prints.
+    """
+
+    def __init__(self, run_id: str) -> None:
+        self.run_id = run_id
+        self.schema: Optional[int] = None
+        self.total_duration: Optional[float] = None
+        self.span_total = 0
+        self.event_total = 0
+        self.roots: "List[SpanNode]" = []
+        self.spans: Dict[int, SpanNode] = {}
+        self.hotspots: "List[Dict]" = []
+        self.shard_rows: "List[Dict]" = []
+        self.events_by_name: Dict[str, int] = {}
+        self.error_spans: "List[SpanNode]" = []
+
+    # ------------------------------------------------------------------
+    def render(self, top: int = 10, max_depth: int = 4,
+               max_children: int = 12) -> str:
+        """The report as text: header, span tree, hotspots, shards.
+
+        ``top`` bounds the hotspot table; ``max_depth`` /
+        ``max_children`` bound the tree so enormous runs stay
+        readable (elided rows say how many were cut).
+        """
+        lines: "List[str]" = []
+        dur = "?" if self.total_duration is None else f"{self.total_duration:.3f}s"
+        lines.append(
+            f"run {self.run_id}  spans={self.span_total}  "
+            f"events={self.event_total}  wall={dur}"
+        )
+        if self.error_spans:
+            lines.append(f"errors: {len(self.error_spans)} span(s) failed")
+            for node in self.error_spans[:5]:
+                lines.append(f"  ✗ {node.name} [{node.span_id}]: {node.error}")
+        lines.append("")
+        lines.append("span tree:")
+        for root in self.roots:
+            self._render_node(root, lines, 1, max_depth, max_children)
+        if self.hotspots:
+            lines.append("")
+            lines.append(
+                f"hotspots (top {min(top, len(self.hotspots))} by total time):"
+            )
+            lines.append(
+                "  {:<28} {:>6} {:>10} {:>10} {:>10}".format(
+                    "name", "count", "total", "mean", "max"
+                )
+            )
+            for row in self.hotspots[:top]:
+                lines.append(
+                    "  {:<28} {:>6} {:>9.3f}s {:>9.4f}s {:>9.4f}s".format(
+                        row["name"][:28], row["count"], row["total"],
+                        row["mean"], row["max"],
+                    )
+                )
+        if self.shard_rows:
+            lines.append("")
+            lines.append("census shards:")
+            lines.append(
+                "  {:<6} {:>10} {:>10} {:>9} {:>10}".format(
+                    "shard", "status", "wall", "hit rate", "rows"
+                )
+            )
+            for row in self.shard_rows:
+                wall = row.get("wall")
+                hit = row.get("hit_rate")
+                lines.append(
+                    "  {:<6} {:>10} {:>10} {:>9} {:>10}".format(
+                        row["shard"],
+                        row["status"],
+                        "?" if wall is None else f"{wall:.3f}s",
+                        "?" if hit is None else f"{hit:.1%}",
+                        row.get("rows", "?"),
+                    )
+                )
+        if self.events_by_name:
+            lines.append("")
+            lines.append("events:")
+            for name in sorted(self.events_by_name):
+                lines.append(f"  {name}: {self.events_by_name[name]}")
+        return "\n".join(lines)
+
+    def _render_node(self, node: SpanNode, lines: "List[str]", depth: int,
+                     max_depth: int, max_children: int) -> None:
+        dur = "?" if node.duration is None else f"{node.duration:.4f}s"
+        mark = "✗ " if node.status == "error" else ""
+        attrs = ""
+        if node.attrs:
+            inner = ", ".join(f"{k}={v}" for k, v in node.attrs.items())
+            attrs = f" ({inner})"
+        counters = ""
+        if node.counters:
+            inner = ", ".join(
+                f"{k}={node.counters[k]:g}" for k in sorted(node.counters)
+            )
+            counters = f" [{inner}]"
+        lines.append("  " * depth + f"{mark}{node.name}{attrs}  {dur}{counters}")
+        if depth >= max_depth and node.children:
+            lines.append("  " * (depth + 1) + f"… {len(node.children)} child span(s)")
+            return
+        for child in node.children[:max_children]:
+            self._render_node(child, lines, depth + 1, max_depth, max_children)
+        if len(node.children) > max_children:
+            lines.append(
+                "  " * (depth + 1)
+                + f"… {len(node.children) - max_children} more sibling span(s)"
+            )
+
+
+def summarize_events(events: Iterable[Dict]) -> TraceSummary:
+    """Fold a decoded event stream into a :class:`TraceSummary`.
+
+    Tolerates unclosed spans (no matching ``span.end``) and a missing
+    ``run.end`` — the report marks their durations ``?``. Hotspots are
+    aggregated per span name over *closed* spans only.
+    """
+    summary = TraceSummary(run_id="?")
+    agg: Dict[str, Dict] = {}
+    shards: Dict[object, Dict] = {}
+    for obj in events:
+        kind = obj["kind"]
+        summary.run_id = obj["run"]
+        if kind == "run.start":
+            summary.schema = obj["schema"]
+        elif kind == "span.start":
+            node = SpanNode(
+                obj["span"], obj["parent"], obj["name"],
+                obj.get("attrs", {}), obj["ts"],
+            )
+            summary.spans[node.span_id] = node
+            parent = (
+                summary.spans.get(node.parent_id)
+                if node.parent_id is not None else None
+            )
+            if parent is not None:
+                parent.children.append(node)
+            else:
+                summary.roots.append(node)
+            summary.span_total += 1
+        elif kind == "span.end":
+            node = summary.spans.get(obj["span"])
+            if node is None:  # log sliced mid-run: synthesize a root
+                node = SpanNode(obj["span"], obj.get("parent"),
+                                obj["name"], {}, obj["ts"])
+                summary.spans[node.span_id] = node
+                summary.roots.append(node)
+                summary.span_total += 1
+            node.duration = obj["dur"]
+            node.status = obj["status"]
+            node.error = obj.get("error")
+            node.counters = obj.get("counters", {})
+            if node.status == "error":
+                summary.error_spans.append(node)
+            row = agg.setdefault(
+                node.name, {"name": node.name, "count": 0, "total": 0.0,
+                            "max": 0.0},
+            )
+            row["count"] += 1
+            row["total"] += node.duration
+            row["max"] = max(row["max"], node.duration)
+        elif kind == "event":
+            summary.event_total += 1
+            name = obj["name"]
+            summary.events_by_name[name] = (
+                summary.events_by_name.get(name, 0) + 1
+            )
+            attrs = obj.get("attrs", {})
+            if name.startswith("shard.") and "shard" in attrs:
+                row = shards.setdefault(
+                    attrs["shard"], {"shard": attrs["shard"], "status": "?"},
+                )
+                row["status"] = name.split(".", 1)[1]
+                for key in ("wall", "hit_rate", "rows"):
+                    if key in attrs:
+                        row[key] = attrs[key]
+        elif kind == "run.end":
+            summary.total_duration = obj["dur"]
+    for row in agg.values():
+        row["mean"] = row["total"] / row["count"]
+    summary.hotspots = sorted(
+        agg.values(), key=lambda r: r["total"], reverse=True
+    )
+    summary.shard_rows = sorted(
+        shards.values(), key=lambda r: str(r["shard"])
+    )
+    return summary
+
+
+def summarize_file(path: str, *, validate: bool = True) -> TraceSummary:
+    """Summarize a JSONL event log from disk (validating by default)."""
+    return summarize_events(read_events(path, validate=validate))

@@ -35,6 +35,8 @@ from __future__ import annotations
 import heapq
 from typing import Dict, List, Optional, Tuple
 
+from ...obs.runtime import STATE as _OBS
+from ...obs.runtime import registry as _registry
 from ..events import FORCED, SPONTANEOUS, ExecutionResult, RoundRecord
 from ..history import History
 from ..model import COLLISION, LISTEN, SILENCE, TERMINATE, Message, Transmit
@@ -357,6 +359,12 @@ class FastBackend(SimulationBackend):
             rounds_skipped=rounds_elapsed - sim_rounds,
             decisions=decisions,
         )
+        if _OBS.enabled:  # per-run: guarded, one attribute check when off
+            _registry.inc("backend.fast.runs")
+            _registry.inc("backend.fast.rounds_simulated", sim_rounds)
+            _registry.inc(
+                "backend.fast.rounds_skipped", rounds_elapsed - sim_rounds
+            )
         return ExecutionResult(
             histories=result_histories,
             wake_rounds={nodes[i]: wake_round[i] for i in range(n)},

@@ -23,6 +23,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from ...obs.runtime import STATE as _OBS
+from ...obs.runtime import registry as _registry
 from ..events import FORCED, SPONTANEOUS, ExecutionResult, RoundRecord
 from ..history import History
 from ..model import COLLISION, LISTEN, SILENCE, TERMINATE, Message, Transmit
@@ -196,6 +198,9 @@ class ReferenceBackend(SimulationBackend):
             rounds_skipped=0,
             decisions=decisions,
         )
+        if _OBS.enabled:  # per-run: guarded, one attribute check when off
+            _registry.inc("backend.reference.runs")
+            _registry.inc("backend.reference.rounds", r)
         return ExecutionResult(
             histories=histories,
             wake_rounds=wake_rounds,

@@ -15,7 +15,8 @@ Schema (``"schema": 1``)::
       "timings_s": {"reference": 1.9, "compiled": 0.08},
       "speedup": 23.7,              // ratio the gate checks
       "floor": 5.0,                 // the gate's threshold
-      "pass": true                  // speedup >= floor
+      "pass": true,                 // speedup >= floor
+      "host": {...}                 // interpreter/OS/cpus (see host_metadata)
     }
 
 Artifacts are written to :func:`bench_json_dir` — the current directory
@@ -28,6 +29,7 @@ from __future__ import annotations
 
 import json
 import os
+import platform
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -65,7 +67,33 @@ class BenchResult:
             "speedup": round(self.speedup, 3),
             "floor": self.floor,
             "pass": self.passed,
+            "host": host_metadata(),
         }
+
+
+def host_metadata() -> Dict[str, object]:
+    """Where a benchmark number came from: interpreter, OS, core count.
+
+    Timings are only comparable across commits when the hardware and
+    runtime match, so every ``BENCH_E*.json`` embeds this block (the
+    addition is schema-compatible: readers of the original fields are
+    unaffected). ``numpy`` is ``None`` when the accelerated stack is
+    absent — those runs time the pure-Python paths.
+    """
+    from ..analysis.parallel import available_cpus
+
+    try:
+        import numpy
+
+        numpy_version: Optional[str] = numpy.__version__
+    except Exception:
+        numpy_version = None
+    return {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "available_cpus": available_cpus(),
+        "numpy": numpy_version,
+    }
 
 
 def bench_json_dir() -> str:

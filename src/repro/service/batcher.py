@@ -42,6 +42,7 @@ and worker count — and bit-for-bit equal to serial
 from __future__ import annotations
 
 import asyncio
+import hashlib
 import threading
 from concurrent.futures import Future
 from concurrent.futures import TimeoutError as FuturesTimeoutError
@@ -54,7 +55,27 @@ from ..core.configuration import Configuration
 from ..engine.cache import ResultCache
 from ..engine.keys import Keyer, default_keyer
 from ..engine.pipeline import EngineStats, batch_records, record_sufficient
+from ..obs.runtime import STATE as _OBS
+from ..obs.runtime import registry as _registry
+from ..obs.runtime import span as _obs_span
 from .schema import MODES, record_to_report
+
+#: Registry heartbeat name of the dispatcher loop (see ``/metrics``).
+DISPATCHER_HEARTBEAT = "service.dispatcher"
+
+
+def keys_digest(keys: Sequence[str]) -> str:
+    """Short stable digest of a request/batch key set (12 hex chars).
+
+    The correlation token between the server's request spans and the
+    dispatcher's ``service.batch`` spans: both sides stamp the digest of
+    the keys they carry into their span attrs and structured logs, so a
+    request can be matched to the batch that classified it without the
+    two sharing any in-process state. Order-insensitive (keys are
+    sorted first).
+    """
+    h = hashlib.sha256("\n".join(sorted(keys)).encode("utf-8"))
+    return h.hexdigest()[:12]
 
 
 class ServiceClosedError(RuntimeError):
@@ -397,40 +418,53 @@ class _AsyncBatchCore:
         # Items cancelled while queued (request deadline, client
         # disconnect) are dropped here: their queue slot was freed by
         # the drain, and skipping them keeps abandoned work from
-        # occupying the classifier.
+        # occupying the classifier. The registry counter is
+        # unconditional (low-frequency) so /metrics sees abandonment
+        # without tracing being on.
         live = [it for it in batch if not it.future.cancelled()]
-        self.stats.cancelled += len(batch) - len(live)
-        for measure_rounds in (True, False):
-            group = [it for it in live if it.measure_rounds is measure_rounds]
-            if not group:
-                continue
-            try:
-                # configs were normalized and keyed at submit time;
-                # precomputed_keys spares re-canonicalizing every miss
-                records = batch_records(
-                    [it.config for it in group],
-                    self.cache,
-                    measure_rounds=measure_rounds,
-                    keyer=self.keyer,
-                    precomputed_keys=[it.key for it in group],
-                    max_workers=self.max_workers,
-                    chunksize=self.chunksize,
-                    stats=self.stats.engine,
-                    algorithm=self.algorithm,
-                )
-            except Exception as exc:  # classification bug: fail the group
-                for it in group:
-                    if not it.future.done():
-                        it.future.set_exception(exc)
-                continue
-            for it, record in zip(group, records):
-                # a future can be cancelled between the drain filter and
-                # here; set_running_or_notify_cancel claims it exactly
-                # once (False = the submitter already walked away)
-                if it.future.set_running_or_notify_cancel():
-                    it.future.set_result(record)
-                else:
-                    self.stats.cancelled += 1
+        dropped = len(batch) - len(live)
+        self.stats.cancelled += dropped
+        if dropped:
+            _registry.inc("service.cancelled_tickets", dropped)
+        digest = keys_digest([it.key for it in live]) if _OBS.enabled else None
+        with _obs_span(
+            "service.batch", items=len(batch), keys_digest=digest
+        ) as sp:
+            for measure_rounds in (True, False):
+                group = [
+                    it for it in live if it.measure_rounds is measure_rounds
+                ]
+                if not group:
+                    continue
+                try:
+                    # configs were normalized and keyed at submit time;
+                    # precomputed_keys spares re-canonicalizing every miss
+                    records = batch_records(
+                        [it.config for it in group],
+                        self.cache,
+                        measure_rounds=measure_rounds,
+                        keyer=self.keyer,
+                        precomputed_keys=[it.key for it in group],
+                        max_workers=self.max_workers,
+                        chunksize=self.chunksize,
+                        stats=self.stats.engine,
+                        algorithm=self.algorithm,
+                    )
+                except Exception as exc:  # classification bug: fail the group
+                    sp.add("failed", len(group))
+                    for it in group:
+                        if not it.future.done():
+                            it.future.set_exception(exc)
+                    continue
+                for it, record in zip(group, records):
+                    # a future can be cancelled between the drain filter
+                    # and here; set_running_or_notify_cancel claims it
+                    # exactly once (False = the submitter walked away)
+                    if it.future.set_running_or_notify_cancel():
+                        it.future.set_result(record)
+                    else:
+                        self.stats.cancelled += 1
+                        _registry.inc("service.cancelled_tickets")
 
     async def run(self) -> None:
         """Dispatcher loop: drain, classify, repeat until drained shutdown.
@@ -442,8 +476,13 @@ class _AsyncBatchCore:
         issued ticket resolves.
         """
         queue = self._ensure_queue()
+        _registry.heartbeat(DISPATCHER_HEARTBEAT)
         while True:
             first = await queue.get()
+            # One heartbeat per loop wake-up (per batch, not per item):
+            # cheap enough to run unconditionally, and it gives timeout
+            # diagnoses and /metrics a liveness signal even untraced.
+            _registry.heartbeat(DISPATCHER_HEARTBEAT)
             if first is not None:
                 batch = await self._drain_batch(first)
                 # batch_records classifies synchronously; for census-
@@ -610,13 +649,21 @@ class BatchClassifier:
             return asyncio.run_coroutine_threadsafe(coro, self._loop)
 
     def _diagnosis(self) -> str:
-        """One-line dispatcher state for timeout errors."""
+        """One-line dispatcher state for timeout errors.
+
+        Includes the age of the dispatcher loop's last heartbeat, which
+        separates "busy draining a long batch" (age keeps resetting)
+        from "wedged or dead" (age grows without bound).
+        """
         queue = self._core.queue
+        age = _registry.heartbeat_age(DISPATCHER_HEARTBEAT)
+        heartbeat = "never" if age is None else f"{age:.3f}s ago"
         return (
             f"dispatcher thread alive={self._thread.is_alive()}, "
             f"closed={self._closed}, "
             f"pending={queue.qsize() if queue is not None else 0}"
-            f"/{self._core.max_pending}"
+            f"/{self._core.max_pending}, "
+            f"last heartbeat {heartbeat}"
         )
 
     def _await_handle(self, handle: "Future", timeout: Optional[float]):

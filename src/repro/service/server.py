@@ -57,11 +57,17 @@ import threading
 import time
 from typing import Dict, List, Optional, Tuple
 
+from ..obs.runtime import STATE as _OBS
+from ..obs.runtime import current_span_id as _obs_current_span_id
+from ..obs.runtime import event as _obs_event
+from ..obs.runtime import registry as _registry
+from ..obs.runtime import span as _obs_span
 from .batcher import (
     BatchClassifier,
     ServiceClosedError,
     ServiceSaturatedError,
     Ticket,
+    keys_digest,
 )
 from .metrics import METRICS_CONTENT_TYPE, ServiceMetrics
 from .schema import (
@@ -272,10 +278,20 @@ class ClassificationServer:
     # logging
     # ------------------------------------------------------------------
     def _log(self, **fields: object) -> None:
-        """One structured JSON log line to stderr (unless quiet)."""
+        """One structured JSON log line to stderr (unless quiet).
+
+        When tracing is on, the enclosing request span's id is added as
+        ``span`` — the hook that correlates log lines with the run-event
+        log (and, via each batch span's ``keys_digest`` attr, with the
+        dispatcher batch that served the request).
+        """
         if self.quiet:
             return
         record = {"ts": round(time.time(), 3), "service": SERVER_VERSION}
+        if _OBS.enabled:
+            span_id = _obs_current_span_id()
+            if span_id is not None:
+                record["span"] = span_id
         record.update({k: v for k, v in fields.items() if v is not None})
         print(json.dumps(record, separators=(",", ":")), file=sys.stderr)
 
@@ -365,13 +381,19 @@ class ClassificationServer:
             started = self._loop.time()
             phase = {"name": "read"}
             try:
-                keep_alive = await asyncio.wait_for(
-                    self._dispatch(
-                        method, path, version, headers, reader, writer,
-                        state, started, phase,
-                    ),
-                    self.request_timeout,
-                )
+                with _obs_span(
+                    "service.request",
+                    method=method,
+                    path=path,
+                    client=state.peer,
+                ):
+                    keep_alive = await asyncio.wait_for(
+                        self._dispatch(
+                            method, path, version, headers, reader, writer,
+                            state, started, phase,
+                        ),
+                        self.request_timeout,
+                    )
             except asyncio.TimeoutError:
                 # Deadline. During body read: the client is too slow
                 # (408). During classification: the service is (503) —
@@ -516,7 +538,11 @@ class ClassificationServer:
             if path == "/stats":
                 return await respond(200, self._stats_payload())
             if path == "/metrics":
+                # the classic exposition first (bit-for-bit what PR 6
+                # served), then the process-wide obs registry appended —
+                # the payload stays a strict superset of the old one
                 text = self.metrics.render(self.classifier.meta())
+                text += _registry.render_prometheus()
                 return await respond(
                     200, None, content=text.encode("utf-8"),
                     content_type=METRICS_CONTENT_TYPE,
@@ -622,6 +648,15 @@ class ClassificationServer:
                 )
                 batch = await asyncio.wrap_future(handle)
                 tickets.update(zip(index, batch))
+                if _OBS.enabled:
+                    # same digest function the dispatcher stamps into
+                    # its service.batch span: the correlation token
+                    _obs_event(
+                        "request.admitted",
+                        mode=mode,
+                        items=len(batch),
+                        keys_digest=keys_digest([t.key for t in batch]),
+                    )
         except ServiceSaturatedError as exc:
             for ticket in tickets.values():
                 ticket.cancel()

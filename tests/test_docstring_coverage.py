@@ -234,6 +234,37 @@ def test_service_public_api_documented():
     assert not missing, f"undocumented repro.service exports: {missing}"
 
 
+def test_obs_package_is_covered():
+    """The observability layer must be walked by this gate: its modules
+    appear in the collected module list (a silent pkgutil skip would
+    exempt the whole package from the docstring requirement)."""
+    obs_modules = {m for m in MODULES if m.startswith("repro.obs")}
+    assert obs_modules >= {
+        "repro.obs",
+        "repro.obs.events",
+        "repro.obs.registry",
+        "repro.obs.runtime",
+        "repro.obs.summary",
+        "repro.obs.tracing",
+    }
+
+
+def test_obs_public_api_documented():
+    """Every name exported from ``repro.obs`` has a docstring (the
+    tracing/telemetry surface is instrumented into every subsystem;
+    docs/observability.md builds on these docstrings)."""
+    import repro.obs as obs
+
+    missing = []
+    for name in obs.__all__:
+        obj = getattr(obs, name)
+        if (inspect.isclass(obj) or inspect.isfunction(obj)) and not inspect.getdoc(
+            obj
+        ):
+            missing.append(name)
+    assert not missing, f"undocumented repro.obs exports: {missing}"
+
+
 def test_public_methods_documented():
     missing = []
     for mod, attr, obj in public_items():
