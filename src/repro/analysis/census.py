@@ -174,6 +174,20 @@ def _batched_census(
     return result
 
 
+def random_census_workload(
+    n_values: Iterable[int], span: int, p: float, samples: int, seed: int
+):
+    """The random-census workload, as every census entry point builds it.
+
+    Shared by :func:`random_census_run` and the CLI's distributed-queue
+    roles, so a coordinator's queue and a direct engine run enumerate
+    the identical population.
+    """
+    from ..engine import RandomGnpWorkload
+
+    return RandomGnpWorkload(list(n_values), span, p, samples, seed)
+
+
 def random_census_run(
     n_values: Iterable[int],
     span: int,
@@ -187,6 +201,9 @@ def random_census_run(
     max_workers: Optional[int] = 1,
     checkpoint_dir: Optional[str] = None,
     algorithm: str = "auto",
+    queue: Optional[str] = None,
+    queue_workers: int = 1,
+    lease_ttl: Optional[float] = None,
 ):
     """Engine run of the random census, returning the full ``CensusRun``.
 
@@ -194,11 +211,20 @@ def random_census_run(
     engine invocation: :func:`random_census` (which keeps the
     ``CensusResult``-returning signature) and the CLI (which also wants
     the run/cache accounting for its footer) both delegate here, so
-    their checkpoints stay interchangeable by construction.
+    their checkpoints stay interchangeable by construction. With
+    ``queue`` set, the run goes through the distributed work-queue path
+    (``queue_workers`` worker processes; see ``docs/distributed.md``)
+    and produces the identical result.
     """
-    from ..engine import RandomGnpWorkload, sharded_census
+    from ..engine import sharded_census
 
-    workload = RandomGnpWorkload(list(n_values), span, p, samples, seed)
+    workload = random_census_workload(n_values, span, p, samples, seed)
+    extra = {}
+    if queue is not None:
+        extra["queue"] = queue
+        extra["queue_workers"] = queue_workers
+        if lease_ttl is not None:
+            extra["lease_ttl"] = lease_ttl
     return sharded_census(
         workload,
         group_by=group_by_n,
@@ -208,6 +234,7 @@ def random_census_run(
         max_workers=max_workers,
         checkpoint_dir=checkpoint_dir,
         algorithm=algorithm,
+        **extra,
     )
 
 

@@ -193,15 +193,193 @@ def cmd_elect(args: argparse.Namespace) -> int:
     return 0 if result.elected or not result.trace.feasible else 1
 
 
+def _census_queue_mode(args: argparse.Namespace) -> int:
+    """The distributed roles of ``census`` (see docs/distributed.md).
+
+    ``--role worker`` attaches to an existing queue and drains it (the
+    census options come from the queue metadata, not the command line);
+    ``--role coordinator`` enumerates the census into the queue, waits
+    for external workers, and merges; ``--role auto`` does everything:
+    coordinator plus ``--workers`` local worker processes.
+    """
+    from .analysis.census import group_by_n, random_census_workload
+    from .engine import (
+        DEFAULT_LEASE_TTL,
+        WorkQueue,
+        census_queue_worker,
+        collect_census_queue,
+        create_census_queue,
+        distributed_census,
+    )
+
+    lease_ttl = (
+        args.lease_ttl if args.lease_ttl is not None else DEFAULT_LEASE_TTL
+    )
+    if args.role == "worker":
+        # a worker may be launched before its coordinator has created
+        # the queue; wait for the file instead of racing it
+        import os as _os
+        import time as _time
+
+        deadline = (
+            _time.monotonic() + args.queue_timeout
+            if args.queue_timeout
+            else None
+        )
+        while not _os.path.exists(args.queue):
+            if deadline is not None and _time.monotonic() > deadline:
+                raise SystemExit(
+                    f"census: no work queue at {args.queue!r} after "
+                    f"{args.queue_timeout}s"
+                )
+            _time.sleep(0.2)
+        if args.workers > 1:
+            import multiprocessing
+
+            procs = [
+                multiprocessing.Process(
+                    target=census_queue_worker,
+                    args=(args.queue,),
+                    kwargs={"lease_ttl": args.lease_ttl},
+                )
+                for _ in range(args.workers)
+            ]
+            for proc in procs:
+                proc.start()
+            for proc in procs:
+                proc.join()
+            bad = sum(1 for proc in procs if proc.exitcode != 0)
+            if bad:
+                raise SystemExit(
+                    f"census: {bad} worker process(es) exited abnormally"
+                )
+        else:
+            stats = census_queue_worker(args.queue, lease_ttl=args.lease_ttl)
+            if not args.stats_json:
+                print(f"  worker: {stats.as_dict()}")
+        with WorkQueue(args.queue) as queue:
+            counts = queue.counts()
+        if args.stats_json:
+            _print_stats_json(queue_counts=counts)
+        else:
+            print(
+                f"  queue: {counts['pending']} pending, "
+                f"{counts['leased']} leased, {counts['done']} done, "
+                f"{counts['failed']} failed"
+            )
+        return 0
+
+    ns = [int(x) for x in args.n.split(",")]
+    workload = random_census_workload(
+        ns, args.span, args.p, args.samples, args.seed
+    )
+    num_shards = (
+        args.shards if args.shards != 1 else max(4 * args.workers, 1)
+    )
+    if args.role == "coordinator":
+        queue = create_census_queue(
+            args.queue,
+            workload,
+            num_shards=num_shards,
+            measure_rounds=args.rounds,
+            algorithm=args.algorithm,
+            group_by=group_by_n,
+            cache_path=args.cache,
+            lease_ttl=lease_ttl,
+        )
+        if not args.stats_json:
+            print(f"  {queue.describe()} — waiting for workers")
+        queue.close()
+        run = collect_census_queue(
+            args.queue, wait=True, timeout=args.queue_timeout
+        )
+    else:  # auto: coordinator + local workers in one call
+        run = distributed_census(
+            workload,
+            args.queue,
+            num_workers=args.workers,
+            num_shards=args.shards if args.shards != 1 else None,
+            measure_rounds=args.rounds,
+            algorithm=args.algorithm,
+            group_by=group_by_n,
+            cache_path=args.cache,
+            lease_ttl=lease_ttl,
+        )
+    with WorkQueue(args.queue) as queue:
+        counts = queue.counts()
+    if args.stats_json:
+        _print_stats_json(engine=run.stats.as_dict, queue_counts=counts)
+        return 0
+    result = run.result
+    print(
+        format_table(
+            result.TABLE_HEADERS,
+            result.as_table(),
+            title=(
+                f"Feasibility census: p={args.p}, span={args.span}, "
+                f"{args.samples} samples per n ({args.workers} worker(s))"
+            ),
+        )
+    )
+    print(f"  {run.describe()}")
+    print(
+        f"  queue: {counts['total']} shard(s), {counts['retried']} retried, "
+        f"{counts['reclaimed']} reclaimed"
+    )
+    if args.stats:
+        print(kv_block("Engine stats", sorted(run.stats.as_dict().items())))
+        print(kv_block("Queue stats", sorted(counts.items())))
+    return 0
+
+
+def _print_stats_json(engine=None, queue_counts=None) -> None:
+    """Emit ``obs.snapshot()`` as the sole stdout output (machine mode).
+
+    ``engine`` is an ``as_dict`` callable; ``queue_counts`` is a queue's
+    :meth:`~repro.engine.queue.WorkQueue.counts` dict — each becomes a
+    registry group in the snapshot, mirroring what the gauges publish.
+    """
+    import json as _json
+
+    from . import obs
+
+    groups = []
+    if engine is not None:
+        obs.registry.register_group("engine", engine)
+        groups.append("engine")
+    if queue_counts is not None:
+        obs.registry.register_group("queue", lambda: queue_counts)
+        groups.append("queue")
+    try:
+        print(_json.dumps(obs.snapshot(), indent=2, sort_keys=True))
+    finally:
+        for name in groups:
+            obs.registry.unregister_group(name)
+
+
 def cmd_census(args: argparse.Namespace) -> int:
     """Feasibility census over random configurations (engine-backed)."""
     from .analysis.census import random_census_run
-    from .engine import ResultCache
+    from .engine import QueueError, ResultCache
 
     if args.shards < 1:
         raise SystemExit("census: --shards must be >= 1")
     if args.compact_cache and not args.cache:
         raise SystemExit("census: --compact-cache requires --cache")
+    if args.queue is None and args.role != "auto":
+        raise SystemExit("census: --role requires --queue")
+    if args.queue:
+        if args.checkpoint:
+            raise SystemExit(
+                "census: --queue and --checkpoint are mutually exclusive "
+                "(the queue itself is the durable state)"
+            )
+        try:
+            return _census_queue_mode(args)
+        except QueueError as exc:
+            raise SystemExit(f"census: {exc}")
+        except OSError as exc:
+            raise SystemExit(f"census: queue I/O failed: {exc}")
     ns = [int(x) for x in args.n.split(",")]
     try:
         cache = ResultCache(args.cache) if args.cache else ResultCache()
@@ -511,6 +689,77 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_queue_status(args: argparse.Namespace) -> int:
+    """Show a work queue's shard-state summary (``queue status PATH``)."""
+    from .engine import QueueError, WorkQueue
+
+    try:
+        with WorkQueue(args.path) as queue:
+            counts = queue.counts()
+            meta = queue.meta()
+            shards = queue.shard_states() if args.shards or args.json else []
+    except QueueError as exc:
+        raise SystemExit(f"queue: {exc}")
+    if args.json:
+        import json as _json
+
+        print(
+            _json.dumps(
+                {"counts": counts, "meta": meta, "shards": shards},
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+    rows = [(k, counts[k]) for k in
+            ("total", "pending", "leased", "done", "failed", "retried",
+             "reclaimed")]
+    workload = meta.get("workload")
+    rows.append(
+        ("workload", workload.get("kind", "?"))
+        if isinstance(workload, dict)
+        else ("workload", workload)
+    )
+    rows.append(("items", meta.get("total", "?")))
+    print(kv_block(f"Queue {args.path}", rows))
+    if args.shards:
+        print(
+            format_table(
+                ("shard", "range", "status", "attempts", "owner", "error"),
+                [
+                    (
+                        s["index"],
+                        f"[{s['start']},{s['stop']})",
+                        s["status"],
+                        s["attempts"],
+                        s["owner"] or "-",
+                        s["error"] or "-",
+                    )
+                    for s in shards
+                ],
+            )
+        )
+    return 0
+
+
+def cmd_queue_requeue(args: argparse.Namespace) -> int:
+    """Force leased/failed shards back to pending (``queue requeue``).
+
+    An operator tool for queues whose workers are known dead; run it
+    only when no worker is active (live leases are reset too).
+    """
+    from .engine import QueueError, WorkQueue
+
+    try:
+        with WorkQueue(args.path) as queue:
+            reset = queue.requeue(include_failed=args.include_failed)
+            print(f"requeued {reset} shard(s)")
+            print(f"  {queue.describe()}")
+    except QueueError as exc:
+        raise SystemExit(f"queue: {exc}")
+    return 0
+
+
 def cmd_quotient(args: argparse.Namespace) -> int:
     """Show the classifier quotient / symmetry skeleton."""
     from .analysis.quotient import classifier_quotient, infeasibility_certificate
@@ -581,6 +830,45 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--checkpoint", help="directory for per-shard resume checkpoints"
+    )
+    p.add_argument(
+        "--queue",
+        metavar="PATH",
+        help=(
+            "distributed mode: durable SQLite work queue shared by "
+            "cooperating worker processes (see docs/distributed.md); "
+            "--workers then counts worker processes"
+        ),
+    )
+    p.add_argument(
+        "--role",
+        choices=("auto", "coordinator", "worker"),
+        default="auto",
+        help=(
+            "distributed role: 'coordinator' enumerates the census into "
+            "--queue and waits for external workers, 'worker' attaches "
+            "to an existing queue and drains it, 'auto' (default) runs "
+            "coordinator plus --workers local worker processes"
+        ),
+    )
+    p.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=None,
+        help=(
+            "seconds a leased shard stays claimed without a heartbeat "
+            "before it is reclaimed (default 30)"
+        ),
+    )
+    p.add_argument(
+        "--queue-timeout",
+        type=float,
+        default=None,
+        help=(
+            "distributed mode: seconds a coordinator waits for workers "
+            "to finish the queue, and a worker waits for the queue file "
+            "to appear (default: wait indefinitely)"
+        ),
     )
     p.add_argument(
         "--compact-cache",
@@ -688,6 +976,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip per-event schema validation while reading",
     )
     ps.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "queue",
+        help="inspect/repair a distributed census work queue (census --queue)",
+    )
+    qsub = p.add_subparsers(dest="queue_command", required=True)
+    qs = qsub.add_parser(
+        "status", help="shard-state counts and metadata of a work queue"
+    )
+    qs.add_argument("path", help="SQLite work queue file (census --queue PATH)")
+    qs.add_argument(
+        "--shards", action="store_true", help="also list per-shard rows"
+    )
+    qs.add_argument(
+        "--json", action="store_true", help="machine-readable JSON output"
+    )
+    qs.set_defaults(func=cmd_queue_status)
+    qr = qsub.add_parser(
+        "requeue",
+        help=(
+            "force leased (and with --include-failed, failed) shards back "
+            "to pending; run only when no worker is active"
+        ),
+    )
+    qr.add_argument("path", help="SQLite work queue file")
+    qr.add_argument(
+        "--include-failed",
+        action="store_true",
+        help="also requeue permanently failed shards with a fresh attempt budget",
+    )
+    qr.set_defaults(func=cmd_queue_requeue)
 
     p = sub.add_parser("defeat", help="run the Prop 4.4 universal-algorithm adversary")
     p.add_argument("--probe-m", type=int, default=64)

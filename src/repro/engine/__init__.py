@@ -16,7 +16,12 @@ from throwaway sweeps into accumulating, resumable artifacts:
 * :mod:`repro.engine.pipeline` — the sharded census runner layered on
   :mod:`repro.analysis.parallel`, with per-shard checkpoints and
   bit-for-bit equality with the serial
-  :func:`repro.analysis.census.census` path.
+  :func:`repro.analysis.census.census` path;
+* :mod:`repro.engine.queue` + :mod:`repro.engine.scheduler` — the
+  distributed path: a durable SQLite work queue that N independent
+  worker processes drain under lease/heartbeat semantics, with pending
+  shards ranked by expected classification yield (see
+  ``docs/distributed.md``).
 
 Quickstart::
 
@@ -40,15 +45,36 @@ from .keys import (
     labeled_key,
 )
 from .pipeline import (
+    GROUPINGS,
     CensusRun,
     EngineStats,
     ShardSpec,
     batch_records,
     cached_evaluate,
     census_record,
+    census_queue_worker,
+    collect_census_queue,
+    create_census_queue,
+    distributed_census,
+    group_by_n_span,
     plan_shards,
     record_sufficient,
+    register_grouping,
     sharded_census,
+)
+from .queue import (
+    DEFAULT_LEASE_TTL,
+    DEFAULT_MAX_ATTEMPTS,
+    Lease,
+    QueueError,
+    WorkQueue,
+    default_owner,
+)
+from .scheduler import (
+    ShardCandidate,
+    expected_yield,
+    observed_miss_rate,
+    rank,
 )
 from .workloads import (
     EnumerationWorkload,
@@ -59,33 +85,54 @@ from .workloads import (
     feasible_batch,
     make_random_config,
     random_config_batch,
+    register_workload_kind,
     seeded_config,
+    workload_from_spec,
 )
 
 __all__ = [
     "CacheStats",
     "CensusRun",
+    "DEFAULT_LEASE_TTL",
+    "DEFAULT_MAX_ATTEMPTS",
     "EngineStats",
     "EnumerationWorkload",
+    "GROUPINGS",
     "Keyer",
+    "Lease",
+    "QueueError",
     "RandomGnpWorkload",
     "ResultCache",
     "SequenceWorkload",
+    "ShardCandidate",
     "ShardSpec",
+    "WorkQueue",
     "Workload",
     "as_workload",
     "batch_records",
     "cached_evaluate",
     "canonical_key",
+    "census_queue_worker",
     "census_record",
     "certificate_key",
+    "collect_census_queue",
+    "create_census_queue",
     "default_keyer",
+    "default_owner",
+    "distributed_census",
+    "expected_yield",
     "feasible_batch",
+    "group_by_n_span",
     "labeled_key",
     "make_random_config",
+    "observed_miss_rate",
     "plan_shards",
     "random_config_batch",
+    "rank",
     "record_sufficient",
+    "register_grouping",
+    "register_workload_kind",
     "seeded_config",
     "sharded_census",
+    "workload_from_spec",
 ]

@@ -88,7 +88,7 @@ class ResultCache:
         self.max_entries = max_entries
         self.stats = CacheStats()
         self._entries: "OrderedDict[str, Dict]" = OrderedDict()
-        self._fh = None  #: lazily-opened append handle for the JSONL store
+        self._fd: Optional[int] = None  #: lazily-opened O_APPEND store fd
         if path and os.path.exists(path):
             self._replay(path)
 
@@ -143,18 +143,25 @@ class ResultCache:
     def put(self, key: str, record: Dict) -> None:
         """Insert (or overwrite) a record; appends to the JSONL store.
 
-        The store handle is opened once and kept line-buffered, so each
-        record costs one write, each line hits the file as soon as it is
-        complete, and a crash mid-write leaves at most one truncated
-        trailing line (which :meth:`_replay` skips).
+        Each record is appended as exactly one ``write(2)`` on an
+        ``O_APPEND`` descriptor, so concurrent writers — e.g. the worker
+        processes of a distributed census sharing one cache file — never
+        interleave inside a line: the kernel serializes whole-line
+        appends, and records are deterministic, so whichever duplicate
+        lands last is bit-for-bit the same. A crash mid-write leaves at
+        most one truncated trailing line (which :meth:`_replay` skips).
         """
         self._store(key, record)
         if _OBS.enabled:
             _registry.inc("cache.puts")
         if self.path:
-            if self._fh is None:
-                self._fh = open(self.path, "a", encoding="utf-8", buffering=1)
-            self._fh.write(
+            if self._fd is None:
+                self._fd = os.open(
+                    self.path,
+                    os.O_WRONLY | os.O_APPEND | os.O_CREAT,
+                    0o644,
+                )
+            line = (
                 json.dumps(
                     {"key": key, "record": record},
                     separators=(",", ":"),
@@ -162,6 +169,7 @@ class ResultCache:
                 )
                 + "\n"
             )
+            os.write(self._fd, line.encode("utf-8"))
 
     def compact(self) -> int:
         """Atomically rewrite the JSONL store, dropping superseded lines.
@@ -199,7 +207,10 @@ class ResultCache:
                     # last-line-wins semantics
                     live[obj["key"]] = obj["record"]
         self.close()  # the stale append handle must not outlive the rewrite
-        tmp = self.path + ".tmp"
+        # per-pid temp name: two processes compacting the same store race
+        # on the rename (last one wins, both outcomes valid), never on
+        # the temp file's contents
+        tmp = f"{self.path}.tmp.{os.getpid()}"
         with open(tmp, "w", encoding="utf-8") as fh:
             for key, record in live.items():
                 fh.write(
@@ -216,10 +227,10 @@ class ResultCache:
         return dropped
 
     def close(self) -> None:
-        """Close the JSONL store handle (reopened lazily on next put)."""
-        if self._fh is not None:
-            self._fh.close()
-            self._fh = None
+        """Close the JSONL store descriptor (reopened lazily on next put)."""
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
 
     def __del__(self):
         try:

@@ -25,11 +25,13 @@ from __future__ import annotations
 
 import json
 import os
+import threading
+import time
 from dataclasses import dataclass, field
 from functools import partial
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
-from ..analysis.census import CensusResult, CensusRow
+from ..analysis.census import CensusResult, CensusRow, group_by_n
 from ..analysis.parallel import parallel_map
 from ..core.classifier import classify
 from ..core.configuration import Configuration
@@ -40,12 +42,62 @@ from ..obs.runtime import registry as _registry
 from ..obs.runtime import span as _obs_span
 from .cache import ResultCache
 from .keys import Keyer, default_keyer
-from .workloads import Workload, as_workload
+from .queue import (
+    DEFAULT_LEASE_TTL,
+    DEFAULT_MAX_ATTEMPTS,
+    QueueError,
+    WorkQueue,
+    default_owner,
+)
+from .workloads import Workload, as_workload, workload_from_spec
 
 #: Default grouping, matching :func:`repro.analysis.census.census`.
 GroupBy = Callable[[Configuration], object]
 
 _CHECKPOINT_VERSION = 1
+
+
+def group_by_n_span(config: Configuration) -> Tuple[int, int]:
+    """The default census grouping, ``(n, span)``, as a named function.
+
+    Distributed runs identify groupings by *name* (a worker process
+    cannot deserialize a lambda), so the default grouping needs a
+    stable, registered definition site. See :data:`GROUPINGS`.
+    """
+    return (config.n, config.span)
+
+
+#: Named groupings a distributed census can ship through its queue.
+GROUPINGS: Dict[str, GroupBy] = {
+    "n_span": group_by_n_span,
+    "n": group_by_n,
+}
+
+
+def register_grouping(name: str, group_by: GroupBy) -> None:
+    """Register a grouping for distributed runs under a stable name.
+
+    Worker processes must register the same name before attaching to a
+    queue that uses it.
+    """
+    GROUPINGS[name] = group_by
+
+
+def _grouping_name(group_by: Optional[GroupBy]) -> str:
+    """The registered name for a grouping callable (None -> default).
+
+    Unregistered callables cannot cross a process boundary, so they are
+    rejected with a pointer at :func:`register_grouping`.
+    """
+    if group_by is None:
+        return "n_span"
+    for name, fn in GROUPINGS.items():
+        if fn is group_by:
+            return name
+    raise ValueError(
+        "distributed censuses need a registered grouping "
+        "(register_grouping(name, fn)); got an unregistered callable"
+    )
 
 
 # ----------------------------------------------------------------------
@@ -264,7 +316,14 @@ def _load_checkpoint(
     }
     if any(obj.get(k) != v for k, v in expected.items()):
         return None
-    return obj.get("rows")
+    rows = obj.get("rows")
+    # a torn/hand-edited file can hold valid JSON of the wrong shape;
+    # treat it like a stale checkpoint (recompute) instead of crashing
+    if not isinstance(rows, list) or not all(
+        isinstance(r, dict) and "group" in r and "total" in r for r in rows
+    ):
+        return None
+    return rows
 
 
 def _write_checkpoint(
@@ -278,7 +337,10 @@ def _write_checkpoint(
         **fingerprint,
         "rows": rows,
     }
-    tmp = path + ".tmp"
+    # per-pid temp name: concurrent runs sharing a checkpoint dir race
+    # on the rename (either file is a complete, valid checkpoint), never
+    # on the temp file's contents
+    tmp = f"{path}.tmp.{os.getpid()}"
     with open(tmp, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, separators=(",", ":"), sort_keys=True)
     os.replace(tmp, path)  # atomic: a crashed run never half-writes
@@ -533,6 +595,9 @@ def sharded_census(
     chunksize: int = 16,
     checkpoint_dir: Optional[str] = None,
     algorithm: str = "auto",
+    queue: Optional[str] = None,
+    queue_workers: int = 1,
+    lease_ttl: float = DEFAULT_LEASE_TTL,
 ) -> CensusRun:
     """Run a census through the sharded, cached engine pipeline.
 
@@ -571,8 +636,40 @@ def sharded_census(
         Caveat: two *different* lambdas defined at the same source site
         (or two SequenceWorkloads whose fingerprints collide) cannot be
         told apart — point distinct censuses at distinct directories.
+    queue / queue_workers / lease_ttl:
+        the distributed path: ``queue`` is a path for a durable SQLite
+        work queue; the census is enumerated into it and drained by
+        ``queue_workers`` worker processes (see
+        :func:`distributed_census`). Durability comes from the queue,
+        so ``checkpoint_dir`` is mutually exclusive with it; the
+        grouping must be registered (:func:`register_grouping`) and the
+        keyer must be the default (workers always key canonically).
     """
     workload = as_workload(workload)
+    if queue is not None:
+        if checkpoint_dir is not None:
+            raise ValueError(
+                "queue= and checkpoint_dir= are mutually exclusive "
+                "(the queue itself is the durable state)"
+            )
+        if keyer is not default_keyer:
+            raise ValueError(
+                "queue= requires the default keyer (worker processes "
+                "always key canonically)"
+            )
+        return distributed_census(
+            workload,
+            queue,
+            num_workers=queue_workers,
+            num_shards=num_shards if num_shards != 1 else None,
+            measure_rounds=measure_rounds,
+            algorithm=algorithm,
+            group_by=group_by,
+            cache_path=cache.path if cache is not None else None,
+            lease_ttl=lease_ttl,
+            max_workers=max_workers,
+            chunksize=chunksize,
+        )
     if group_by is None:
         group_by = lambda c: (c.n, c.span)  # noqa: E731
     if cache is None:
@@ -665,3 +762,322 @@ def sharded_census(
         _registry.inc("census.runs")
         _registry.inc("census.shards_resumed", stats.shards_resumed)
     return CensusRun(result=result, stats=stats, cache=cache)
+
+
+# ----------------------------------------------------------------------
+# distributed census (durable work queue + lease-based workers)
+# ----------------------------------------------------------------------
+def create_census_queue(
+    queue_path: str,
+    workload,
+    *,
+    num_shards: int,
+    measure_rounds: bool = False,
+    algorithm: str = "auto",
+    group_by: Optional[GroupBy] = None,
+    cache_path: Optional[str] = None,
+    lease_ttl: float = DEFAULT_LEASE_TTL,
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+) -> WorkQueue:
+    """Enumerate a census into a durable shard queue (coordinator side).
+
+    The queue's metadata carries everything a standalone worker process
+    needs to reconstruct the run: the workload spec
+    (:meth:`~repro.engine.workloads.Workload.to_spec`), the census
+    options, the grouping *name* (see :func:`register_grouping`), and
+    the shared JSONL cache path (``None`` means every worker keeps a
+    private in-memory cache). Each shard is enqueued with the workload's
+    static cost estimate so the scheduler can rank by expected yield.
+
+    Creation is idempotent: re-running the coordinator against a queue
+    holding the *same* run resumes it; a different run at the same path
+    raises :class:`~repro.engine.queue.QueueError`.
+    """
+    workload = as_workload(workload)
+    total = len(workload)
+    shards = plan_shards(total, num_shards)
+    meta = {
+        "queue": "census",
+        "workload": workload.to_spec(),
+        "total": total,
+        "measure_rounds": measure_rounds,
+        "algorithm": algorithm,
+        "group_by": _grouping_name(group_by),
+        "cache": cache_path,
+        "num_shards": len(shards),
+    }
+    return WorkQueue.create(
+        queue_path,
+        [
+            (s.index, s.start, s.stop, float(workload.estimate_cost(s.start, s.stop)))
+            for s in shards
+        ],
+        meta,
+        lease_ttl=lease_ttl,
+        max_attempts=max_attempts,
+    )
+
+
+def _heartbeat_loop(
+    queue: WorkQueue, lease, stop: threading.Event
+) -> None:
+    """Extend ``lease`` every ttl/4 seconds until stopped or lost."""
+    interval = max(0.05, queue.lease_ttl / 4.0)
+    while not stop.wait(interval):
+        if not queue.heartbeat(lease):
+            return  # lease reclaimed; the commit will be rejected anyway
+
+
+def census_queue_worker(
+    queue_path: str,
+    *,
+    owner: Optional[str] = None,
+    max_shards: Optional[int] = None,
+    wait: bool = True,
+    poll: float = 0.5,
+    max_workers: Optional[int] = 1,
+    chunksize: int = 16,
+    lease_ttl: Optional[float] = None,
+) -> EngineStats:
+    """Drain census shards from a queue until it is finished.
+
+    The worker half of a distributed census: opens the queue at
+    ``queue_path``, rebuilds the workload and census options from the
+    queue metadata, and loops lease → classify → commit. A background
+    thread heartbeats the active lease, so a slow shard is never
+    reclaimed from a live worker; a classification error fails the
+    shard back to the queue (retried elsewhere up to the attempt cap)
+    and the worker moves on.
+
+    With ``wait=True`` (the default) the worker polls while peers hold
+    live leases — if a peer dies, its shard expires and this worker
+    picks it up — and returns once every shard is ``done`` or
+    ``failed``. ``wait=False`` returns as soon as nothing is leasable.
+    ``max_shards`` bounds how many shards this call will process.
+
+    Returns this worker's :class:`EngineStats` (its own shards only).
+    Safe to run many of these concurrently — in processes, threads, or
+    across machines sharing the queue file's filesystem.
+    """
+    queue = WorkQueue(queue_path, lease_ttl=lease_ttl)
+    cache: Optional[ResultCache] = None
+    stats = EngineStats()
+    try:
+        meta = queue.meta()
+        if meta.get("queue") != "census":
+            raise QueueError(
+                f"queue {queue_path!r} is not a census queue "
+                f"(queue={meta.get('queue')!r})"
+            )
+        workload = workload_from_spec(meta["workload"])
+        grouping = meta.get("group_by", "n_span")
+        try:
+            group_by = GROUPINGS[grouping]
+        except KeyError:
+            raise QueueError(
+                f"queue {queue_path!r} uses grouping {grouping!r}, which "
+                f"this process has not registered (register_grouping)"
+            ) from None
+        measure_rounds = bool(meta.get("measure_rounds", False))
+        algorithm = str(meta.get("algorithm", "auto"))
+        cache_path = meta.get("cache")
+        cache = ResultCache(cache_path) if cache_path else ResultCache()
+        owner = owner or default_owner()
+        done = 0
+        while True:
+            lease = queue.lease(owner)
+            if lease is None:
+                if not wait or queue.finished():
+                    break
+                time.sleep(poll)
+                continue
+            shard = ShardSpec(
+                index=lease.index, start=lease.start, stop=lease.stop
+            )
+            stop = threading.Event()
+            beat = threading.Thread(
+                target=_heartbeat_loop, args=(queue, lease, stop), daemon=True
+            )
+            beat.start()
+            c0, h0, d0 = stats.classified, stats.cache_hits, stats.deduped
+            try:
+                with _obs_span(
+                    "census.shard", shard=shard.index, size=shard.size
+                ):
+                    shard_rows = _classify_shard(
+                        shard,
+                        workload,
+                        cache,
+                        group_by,
+                        measure_rounds,
+                        default_keyer,
+                        max_workers,
+                        chunksize,
+                        stats,
+                        algorithm,
+                    )
+            except Exception as exc:
+                stop.set()
+                beat.join()
+                queue.fail(lease, f"{type(exc).__name__}: {exc}")
+                continue
+            stop.set()
+            beat.join()
+            queue.commit(
+                lease,
+                _shard_rows(shard_rows),
+                {
+                    "classified": stats.classified - c0,
+                    "cache_hits": stats.cache_hits - h0,
+                    "deduped": stats.deduped - d0,
+                },
+            )
+            stats.total_configs += shard.size
+            stats.shards_total += 1
+            done += 1
+            if max_shards is not None and done >= max_shards:
+                break
+    finally:
+        if cache is not None:
+            cache.close()
+        queue.close()
+    return stats
+
+
+def collect_census_queue(
+    queue_or_path,
+    *,
+    wait: bool = True,
+    poll: float = 0.5,
+    timeout: Optional[float] = None,
+    strict: bool = True,
+) -> CensusRun:
+    """Merge a census queue's committed shards into a :class:`CensusRun`.
+
+    With ``wait=True`` (the default), polls until the queue is finished
+    (every shard ``done`` or ``failed``) or ``timeout`` seconds elapse
+    (:class:`~repro.engine.queue.QueueError` on expiry). ``strict=True``
+    raises if any shard failed permanently; ``strict=False`` merges the
+    done shards and leaves the failures to the caller (inspect
+    :meth:`~repro.engine.queue.WorkQueue.failures`).
+
+    The merge reads each done shard exactly once and row addition is
+    commutative integer sums, so the merged result is bit-for-bit equal
+    to the serial census regardless of which worker computed which
+    shard in which order.
+    """
+    own = isinstance(queue_or_path, str)
+    queue = WorkQueue(queue_or_path) if own else queue_or_path
+    try:
+        deadline = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
+        while wait and not queue.finished():
+            if deadline is not None and time.monotonic() > deadline:
+                raise QueueError(
+                    f"queue {queue.path!r} not finished after {timeout}s: "
+                    + queue.describe()
+                )
+            time.sleep(poll)
+        failures = queue.failures()
+        if failures and strict:
+            detail = "; ".join(
+                f"shard {idx}: {err}" for idx, err in failures[:5]
+            )
+            raise QueueError(
+                f"{len(failures)} shard(s) failed permanently ({detail})"
+            )
+        result = CensusResult()
+        stats = EngineStats()
+        merged = 0
+        for idx, rows, shard_stats in queue.results():
+            _merge_rows(result, rows)
+            stats.total_configs += sum(r["total"] for r in rows)
+            stats.classified += int(shard_stats.get("classified", 0))
+            stats.cache_hits += int(shard_stats.get("cache_hits", 0))
+            stats.deduped += int(shard_stats.get("deduped", 0))
+            merged += 1
+            if _OBS.enabled:
+                _obs_event("shard.merged", shard=idx, rows=len(rows))
+        stats.shards_total = queue.counts()["total"]
+        _registry.inc("queue.merged", merged)
+        return CensusRun(result=result, stats=stats, cache=None)
+    finally:
+        if own:
+            queue.close()
+
+
+def distributed_census(
+    workload,
+    queue_path: str,
+    *,
+    num_workers: int = 1,
+    num_shards: Optional[int] = None,
+    measure_rounds: bool = False,
+    algorithm: str = "auto",
+    group_by: Optional[GroupBy] = None,
+    cache_path: Optional[str] = None,
+    lease_ttl: float = DEFAULT_LEASE_TTL,
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    max_workers: Optional[int] = 1,
+    chunksize: int = 16,
+    poll: float = 0.2,
+) -> CensusRun:
+    """One-call distributed census: coordinator plus N local workers.
+
+    Enumerates the workload into a durable queue at ``queue_path``
+    (resuming it if a matching half-finished queue is already there),
+    spawns ``num_workers`` worker *processes*, waits for them, and
+    merges the committed shards. If every worker dies with work still
+    queued, the coordinator drains the remainder in-process — expired
+    leases are reclaimed as they age out — so the call either returns
+    the complete census or raises on permanently failed shards.
+
+    ``num_shards`` defaults to ``4 * num_workers`` so the scheduler has
+    slack to balance uneven shard costs across workers.
+    """
+    if num_workers < 1:
+        raise ValueError("num_workers must be >= 1")
+    if num_shards is None:
+        num_shards = max(4 * num_workers, 1)
+    queue = create_census_queue(
+        queue_path,
+        workload,
+        num_shards=num_shards,
+        measure_rounds=measure_rounds,
+        algorithm=algorithm,
+        group_by=group_by,
+        cache_path=cache_path,
+        lease_ttl=lease_ttl,
+        max_attempts=max_attempts,
+    )
+    # close before forking: SQLite connections must not cross a fork
+    queue.close()
+
+    import multiprocessing
+
+    procs = [
+        multiprocessing.Process(
+            target=census_queue_worker,
+            args=(queue_path,),
+            kwargs={
+                "max_workers": max_workers,
+                "chunksize": chunksize,
+                "poll": poll,
+            },
+            daemon=True,
+        )
+        for _ in range(num_workers)
+    ]
+    for p in procs:
+        p.start()
+    for p in procs:
+        p.join()
+    # drain guard: if the workers died (or were killed) with shards
+    # still queued, finish their work here once the leases expire
+    with WorkQueue(queue_path) as check:
+        while not check.finished():
+            census_queue_worker(queue_path, wait=False, poll=poll)
+            if not check.finished():
+                time.sleep(poll)
+    return collect_census_queue(queue_path, wait=False)

@@ -1,0 +1,604 @@
+"""Durable SQLite-backed work queue for distributed censuses.
+
+One coordinator enumerates a census into shard tasks; N independent
+worker *processes* — or machines sharing a filesystem — lease shards,
+classify them, and commit results. The queue is a single SQLite file in
+WAL mode, so it needs no server, survives any worker dying, and gives
+the one primitive the whole design rests on: an atomic
+read-modify-write transaction (``BEGIN IMMEDIATE``) for leasing.
+
+Lifecycle of a shard row::
+
+    pending --lease--> leased --commit--> done
+       ^                 |
+       |   lease expired |--fail/expire (attempts < cap)
+       +-----------------+
+                         |--fail/expire (attempts >= cap)--> failed
+
+* **Lease** — the best pending shard (ranked by
+  :mod:`repro.engine.scheduler`) is atomically marked ``leased`` with
+  an owner id and a deadline ``lease_expires``. Within one transaction
+  at most one worker can win a shard, so double classification of a
+  live shard is impossible by construction.
+* **Heartbeat** — the owner periodically pushes ``lease_expires``
+  forward. A worker that is merely slow keeps its lease; a worker that
+  was SIGKILL'd stops heartbeating and its lease expires.
+* **Reclaim** — every lease call first sweeps expired leases back to
+  ``pending`` (or to ``failed`` once ``attempts`` reaches the retry
+  cap), so a dead worker loses at most its one in-flight shard and the
+  shard is retried by whoever leases next.
+* **Commit** — results are stored in the row itself, guarded by the
+  owner id: a stale worker whose lease was reclaimed cannot overwrite
+  the retry's result, and committing an already-``done`` shard is a
+  no-op. Merging (:func:`repro.engine.pipeline.collect_census_queue`)
+  reads each ``done`` row exactly once, so the merge is idempotent.
+
+Queue state is mirrored into the process observability registry
+(``queue.pending`` / ``queue.leased`` / ``queue.done`` /
+``queue.failed`` gauges, ``queue.leases`` / ``queue.reclaimed`` /
+``queue.retried`` counters) and, when tracing is enabled,
+``shard.leased`` / ``shard.reclaimed`` events join the run-event log.
+
+The queue is record-agnostic about *what* a shard computes: it stores
+opaque JSON payloads plus a metadata dict written at creation time.
+The census semantics (workload reconstruction, classification, merge)
+live in :mod:`repro.engine.pipeline`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import sqlite3
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..obs.runtime import STATE as _OBS
+from ..obs.runtime import event as _obs_event
+from ..obs.runtime import registry as _registry
+from .scheduler import ShardCandidate, observed_miss_rate, rank
+
+#: Version stamped into the queue's meta table; opening a queue written
+#: by a different schema version fails loudly instead of misbehaving.
+QUEUE_SCHEMA_VERSION = 1
+
+#: Default seconds a lease stays valid without a heartbeat.
+DEFAULT_LEASE_TTL = 30.0
+
+#: Default attempts before a shard is marked ``failed`` (poison cap).
+DEFAULT_MAX_ATTEMPTS = 3
+
+#: The closed set of shard states.
+SHARD_STATES = ("pending", "leased", "done", "failed")
+
+
+class QueueError(RuntimeError):
+    """A work-queue operation failed (schema/fingerprint mismatch, ...)."""
+
+
+@dataclass(frozen=True)
+class Lease:
+    """A successfully leased shard: the worker's ticket to work on it.
+
+    ``attempt`` is 1-based (first execution is attempt 1); ``expires``
+    is the wall-clock deadline the owner must heartbeat before.
+    """
+
+    index: int
+    start: int
+    stop: int
+    cost: float
+    owner: str
+    attempt: int
+    expires: float
+
+    @property
+    def size(self) -> int:
+        """Number of workload items in the leased shard."""
+        return self.stop - self.start
+
+
+def default_owner() -> str:
+    """Stable per-process owner id: ``hostname:pid``."""
+    return f"{socket.gethostname()}:{os.getpid()}"
+
+
+class WorkQueue:
+    """The durable shard queue (one SQLite file, WAL mode).
+
+    Open an existing queue with ``WorkQueue(path)``; create (or resume)
+    one with :meth:`create`. Instances are safe to share between the
+    threads of one process (a lock serializes the connection); separate
+    processes each open their own instance on the same path.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        *,
+        lease_ttl: Optional[float] = None,
+        max_attempts: Optional[int] = None,
+    ) -> None:
+        if not os.path.exists(path):
+            raise QueueError(f"no work queue at {path!r} (create one first)")
+        self.path = path
+        self._lock = threading.RLock()
+        self._conn = self._connect(path)
+        stored = self.meta()
+        if stored.get("schema") != QUEUE_SCHEMA_VERSION:
+            raise QueueError(
+                f"queue {path!r} has schema {stored.get('schema')!r}, "
+                f"this build speaks {QUEUE_SCHEMA_VERSION}"
+            )
+        self.lease_ttl = (
+            float(lease_ttl)
+            if lease_ttl is not None
+            else float(stored.get("lease_ttl", DEFAULT_LEASE_TTL))
+        )
+        self.max_attempts = (
+            int(max_attempts)
+            if max_attempts is not None
+            else int(stored.get("max_attempts", DEFAULT_MAX_ATTEMPTS))
+        )
+        # mirror the queue depth into this process's registry on open,
+        # so a coordinator that only creates/merges (all leasing happens
+        # in worker processes) still reports live gauges
+        self._publish()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _connect(path: str) -> sqlite3.Connection:
+        conn = sqlite3.connect(path, timeout=30.0, check_same_thread=False)
+        # manual transaction control: single mutations autocommit, the
+        # lease read-modify-write wraps itself in BEGIN IMMEDIATE
+        conn.isolation_level = None
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute("PRAGMA synchronous=NORMAL")
+        conn.execute("PRAGMA busy_timeout=30000")
+        return conn
+
+    @classmethod
+    def create(
+        cls,
+        path: str,
+        shards: Sequence[Tuple[int, int, int, float]],
+        meta: Dict[str, object],
+        *,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        now: Optional[float] = None,
+    ) -> "WorkQueue":
+        """Create a queue, or resume one whose fingerprint matches.
+
+        ``shards`` is a sequence of ``(index, start, stop, cost)``
+        tuples; ``meta`` is a JSON-able dict describing the run (the
+        pipeline stores the workload spec, census options, and cache
+        path there). Creation is idempotent: if ``path`` already holds
+        a queue whose meta matches ``meta`` key for key, the existing
+        queue is opened untouched — a restarted coordinator resumes a
+        half-finished run instead of double-enqueueing. A *mismatched*
+        existing queue raises :class:`QueueError` (point different runs
+        at different paths).
+        """
+        if os.path.exists(path):
+            queue = cls(path, lease_ttl=lease_ttl, max_attempts=max_attempts)
+            stored = queue.meta()
+            mismatch = {
+                k: (stored.get(k), v)
+                for k, v in meta.items()
+                if stored.get(k) != v
+            }
+            if mismatch:
+                queue.close()
+                raise QueueError(
+                    f"queue {path!r} holds a different run; "
+                    f"mismatched meta: {sorted(mismatch)}"
+                )
+            return queue
+        now = time.time() if now is None else now
+        conn = cls._connect(path)
+        try:
+            try:
+                conn.execute("BEGIN IMMEDIATE")
+                conn.execute(
+                    "CREATE TABLE meta (key TEXT PRIMARY KEY, value TEXT)"
+                )
+                conn.execute(
+                    """
+                    CREATE TABLE shards (
+                        idx INTEGER PRIMARY KEY,
+                        start INTEGER NOT NULL,
+                        stop INTEGER NOT NULL,
+                        cost REAL NOT NULL,
+                        status TEXT NOT NULL DEFAULT 'pending',
+                        attempts INTEGER NOT NULL DEFAULT 0,
+                        owner TEXT,
+                        lease_expires REAL,
+                        enqueued_at REAL NOT NULL,
+                        rows TEXT,
+                        stats TEXT,
+                        error TEXT
+                    )
+                    """
+                )
+                conn.execute(
+                    "CREATE INDEX shards_status ON shards (status)"
+                )
+                payload = dict(meta)
+                payload.setdefault("schema", QUEUE_SCHEMA_VERSION)
+                payload.setdefault("lease_ttl", lease_ttl)
+                payload.setdefault("max_attempts", max_attempts)
+                conn.executemany(
+                    "INSERT INTO meta (key, value) VALUES (?, ?)",
+                    [(k, json.dumps(v)) for k, v in payload.items()],
+                )
+                conn.executemany(
+                    "INSERT INTO shards (idx, start, stop, cost, enqueued_at)"
+                    " VALUES (?, ?, ?, ?, ?)",
+                    [(i, a, b, c, now) for i, a, b, c in shards],
+                )
+                conn.execute("COMMIT")
+            except sqlite3.OperationalError:
+                # raced with another coordinator creating the same queue:
+                # retry through the open-and-verify path above
+                try:
+                    conn.execute("ROLLBACK")
+                except sqlite3.OperationalError:
+                    pass
+                conn.close()
+                if not os.path.exists(path):
+                    raise
+                return cls.create(
+                    path,
+                    shards,
+                    meta,
+                    lease_ttl=lease_ttl,
+                    max_attempts=max_attempts,
+                    now=now,
+                )
+        finally:
+            conn.close()
+        return cls(path, lease_ttl=lease_ttl, max_attempts=max_attempts)
+
+    # ------------------------------------------------------------------
+    # metadata / accounting
+    # ------------------------------------------------------------------
+    def meta(self) -> Dict[str, object]:
+        """The queue's metadata dict (decoded from the meta table)."""
+        with self._lock:
+            rows = self._conn.execute("SELECT key, value FROM meta").fetchall()
+        return {k: json.loads(v) for k, v in rows}
+
+    def _counter(self, key: str) -> int:
+        row = self._conn.execute(
+            "SELECT value FROM meta WHERE key = ?", (f"counter.{key}",)
+        ).fetchone()
+        return int(json.loads(row[0])) if row else 0
+
+    def _bump_counter(self, key: str, n: int = 1) -> None:
+        self._conn.execute(
+            "INSERT INTO meta (key, value) VALUES (?, ?) "
+            "ON CONFLICT(key) DO UPDATE SET value = ?",
+            (f"counter.{key}", json.dumps(n), json.dumps(self._counter(key) + n)),
+        )
+
+    def counts(self) -> Dict[str, int]:
+        """Shard-state counts plus cumulative retry accounting.
+
+        ``{"total", "pending", "leased", "done", "failed", "retried",
+        "reclaimed"}`` — ``retried`` counts re-executions granted
+        (leases beyond a shard's first), ``reclaimed`` counts expired
+        leases swept back. This dict is what ``census --stats-json``
+        ships as the ``queue`` group and what the registry gauges
+        mirror.
+        """
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT status, COUNT(*) FROM shards GROUP BY status"
+            ).fetchall()
+            out = {state: 0 for state in SHARD_STATES}
+            out.update(dict(rows))
+            out["total"] = sum(out[state] for state in SHARD_STATES)
+            out["retried"] = self._counter("retried")
+            out["reclaimed"] = self._counter("reclaimed")
+        return out
+
+    def _publish(self, counts: Optional[Dict[str, int]] = None) -> None:
+        """Mirror queue depth into the process metrics registry."""
+        counts = counts or self.counts()
+        for state in SHARD_STATES:
+            _registry.set_gauge(f"queue.{state}", counts[state])
+
+    # ------------------------------------------------------------------
+    # the lease protocol
+    # ------------------------------------------------------------------
+    def _reclaim_expired(self, now: float) -> int:
+        """Sweep expired leases (caller holds the write transaction)."""
+        expired = self._conn.execute(
+            "SELECT idx, attempts, owner FROM shards "
+            "WHERE status = 'leased' AND lease_expires < ?",
+            (now,),
+        ).fetchall()
+        for idx, attempts, owner in expired:
+            exhausted = attempts >= self.max_attempts
+            self._conn.execute(
+                "UPDATE shards SET status = ?, owner = NULL, "
+                "lease_expires = NULL, error = ? WHERE idx = ?",
+                (
+                    "failed" if exhausted else "pending",
+                    f"lease by {owner!r} expired (attempt {attempts})"
+                    if exhausted
+                    else None,
+                    idx,
+                ),
+            )
+            self._bump_counter("reclaimed")
+            _registry.inc("queue.reclaimed")
+            if _OBS.enabled:
+                _obs_event(
+                    "shard.reclaimed",
+                    shard=idx,
+                    owner=owner,
+                    attempt=attempts,
+                    failed=exhausted,
+                )
+        return len(expired)
+
+    def lease(
+        self, owner: Optional[str] = None, *, now: Optional[float] = None
+    ) -> Optional[Lease]:
+        """Atomically claim the best pending shard; None when none is.
+
+        One ``BEGIN IMMEDIATE`` transaction sweeps expired leases, ranks
+        the pending shards by expected yield
+        (:func:`repro.engine.scheduler.rank`, fed the observed miss
+        rate of committed shards), and marks the winner ``leased`` for
+        this owner. ``None`` means no shard is *currently* leasable —
+        the queue may still hold live leases owned by other workers, so
+        callers poll :meth:`finished` before giving up.
+        """
+        owner = owner or default_owner()
+        now = time.time() if now is None else now
+        with self._lock:
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                self._reclaim_expired(now)
+                pending = self._conn.execute(
+                    "SELECT idx, start, stop, cost, attempts, enqueued_at "
+                    "FROM shards WHERE status = 'pending'"
+                ).fetchall()
+                if not pending:
+                    self._conn.execute("COMMIT")
+                    self._publish()
+                    return None
+                stats = [
+                    json.loads(s)
+                    for (s,) in self._conn.execute(
+                        "SELECT stats FROM shards "
+                        "WHERE status = 'done' AND stats IS NOT NULL"
+                    ).fetchall()
+                ]
+                miss = observed_miss_rate(stats)
+                ranked = rank(
+                    [
+                        ShardCandidate(index=i, cost=c, enqueued_at=e)
+                        for i, _, _, c, _, e in pending
+                    ],
+                    now,
+                    miss_rate=1.0 if miss is None else miss,
+                )
+                by_index = {row[0]: row for row in pending}
+                idx, start, stop, cost, attempts, _ = by_index[
+                    ranked[0].index
+                ]
+                expires = now + self.lease_ttl
+                self._conn.execute(
+                    "UPDATE shards SET status = 'leased', owner = ?, "
+                    "lease_expires = ?, attempts = attempts + 1 "
+                    "WHERE idx = ?",
+                    (owner, expires, idx),
+                )
+                if attempts > 0:
+                    self._bump_counter("retried")
+                    _registry.inc("queue.retried")
+                self._conn.execute("COMMIT")
+            except BaseException:
+                self._conn.execute("ROLLBACK")
+                raise
+            self._publish()
+        _registry.inc("queue.leases")
+        if _OBS.enabled:
+            _obs_event(
+                "shard.leased", shard=idx, owner=owner, attempt=attempts + 1
+            )
+        return Lease(
+            index=idx,
+            start=start,
+            stop=stop,
+            cost=cost,
+            owner=owner,
+            attempt=attempts + 1,
+            expires=expires,
+        )
+
+    def heartbeat(
+        self, lease: Lease, *, now: Optional[float] = None
+    ) -> bool:
+        """Extend a live lease; False means the lease was lost.
+
+        A lease is lost when it expired and was reclaimed (possibly
+        already re-leased to another owner) — the caller should abandon
+        the shard; its commit would be rejected anyway.
+        """
+        now = time.time() if now is None else now
+        with self._lock:
+            cur = self._conn.execute(
+                "UPDATE shards SET lease_expires = ? "
+                "WHERE idx = ? AND status = 'leased' AND owner = ?",
+                (now + self.lease_ttl, lease.index, lease.owner),
+            )
+            self._conn.commit()
+        return cur.rowcount == 1
+
+    def commit(
+        self,
+        lease: Lease,
+        rows: List[Dict],
+        stats: Optional[Dict[str, object]] = None,
+        *,
+        now: Optional[float] = None,
+    ) -> bool:
+        """Store a shard's result and mark it ``done``; owner-guarded.
+
+        Returns False (storing nothing) when the lease was lost to a
+        reclaim — the retry's commit, not this stale one, wins. A shard
+        that is already ``done`` is left untouched, which together with
+        the owner guard makes result merging idempotent: every done
+        shard carries exactly one result, written exactly once.
+        """
+        with self._lock:
+            cur = self._conn.execute(
+                "UPDATE shards SET status = 'done', rows = ?, stats = ?, "
+                "owner = NULL, lease_expires = NULL, error = NULL "
+                "WHERE idx = ? AND status = 'leased' AND owner = ?",
+                (
+                    json.dumps(rows, separators=(",", ":"), sort_keys=True),
+                    json.dumps(
+                        stats or {}, separators=(",", ":"), sort_keys=True
+                    ),
+                    lease.index,
+                    lease.owner,
+                ),
+            )
+            self._conn.commit()
+            self._publish()
+        return cur.rowcount == 1
+
+    def fail(
+        self, lease: Lease, error: str, *, now: Optional[float] = None
+    ) -> bool:
+        """Report a shard execution error; owner-guarded like commit.
+
+        Below the attempt cap the shard returns to ``pending`` for a
+        retry; at the cap it is marked ``failed`` permanently (a poison
+        shard must not stall the rest of the run — the queue keeps
+        draining and the coordinator reports the failure at collect
+        time).
+        """
+        with self._lock:
+            exhausted = lease.attempt >= self.max_attempts
+            cur = self._conn.execute(
+                "UPDATE shards SET status = ?, owner = NULL, "
+                "lease_expires = NULL, error = ? "
+                "WHERE idx = ? AND status = 'leased' AND owner = ?",
+                (
+                    "failed" if exhausted else "pending",
+                    f"{error} (attempt {lease.attempt})",
+                    lease.index,
+                    lease.owner,
+                ),
+            )
+            self._conn.commit()
+            self._publish()
+        return cur.rowcount == 1
+
+    # ------------------------------------------------------------------
+    # inspection / recovery
+    # ------------------------------------------------------------------
+    def finished(self) -> bool:
+        """True when no shard can make further progress.
+
+        Every shard is ``done`` or ``failed`` — nothing pending, no
+        live lease. Workers use this to decide between waiting (a peer
+        may still die and surrender its shard) and exiting.
+        """
+        counts = self.counts()
+        return counts["pending"] == 0 and counts["leased"] == 0
+
+    def results(self) -> Iterator[Tuple[int, List[Dict], Dict]]:
+        """Yield ``(index, rows, stats)`` for every done shard, in
+        shard order. Each done shard appears exactly once."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT idx, rows, stats FROM shards "
+                "WHERE status = 'done' ORDER BY idx"
+            ).fetchall()
+        for idx, payload, stats in rows:
+            yield idx, json.loads(payload), json.loads(stats or "{}")
+
+    def failures(self) -> List[Tuple[int, str]]:
+        """``(index, error)`` for every permanently failed shard."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT idx, error FROM shards "
+                "WHERE status = 'failed' ORDER BY idx"
+            ).fetchall()
+        return [(idx, err or "") for idx, err in rows]
+
+    def shard_states(self) -> List[Dict[str, object]]:
+        """Per-shard status rows for ``queue status`` (operator view)."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT idx, start, stop, cost, status, attempts, owner, "
+                "lease_expires, error FROM shards ORDER BY idx"
+            ).fetchall()
+        keys = (
+            "index", "start", "stop", "cost", "status", "attempts",
+            "owner", "lease_expires", "error",
+        )
+        return [dict(zip(keys, row)) for row in rows]
+
+    def requeue(
+        self, *, include_failed: bool = False, now: Optional[float] = None
+    ) -> int:
+        """Force leased (and optionally failed) shards back to pending.
+
+        An operator tool for a queue whose workers are known dead: live
+        leases are *not* distinguished from stale ones, so run it only
+        when no worker is active. Requeued failed shards get a fresh
+        attempt budget. Returns the number of shards reset.
+        """
+        with self._lock:
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                states = ("leased", "failed") if include_failed else ("leased",)
+                marks = ",".join("?" for _ in states)
+                cur = self._conn.execute(
+                    f"UPDATE shards SET status = 'pending', owner = NULL, "
+                    f"lease_expires = NULL, error = NULL, attempts = 0 "
+                    f"WHERE status IN ({marks})",
+                    states,
+                )
+                self._conn.execute("COMMIT")
+            except BaseException:
+                self._conn.execute("ROLLBACK")
+                raise
+            self._publish()
+        return cur.rowcount
+
+    def close(self) -> None:
+        """Close the SQLite connection (the file keeps all state)."""
+        with self._lock:
+            self._conn.close()
+
+    def __enter__(self) -> "WorkQueue":
+        """Context-manager entry: the queue itself."""
+        return self
+
+    def __exit__(self, *exc) -> None:
+        """Context-manager exit: close the connection."""
+        self.close()
+
+    def describe(self) -> str:
+        """One-line status summary for CLI footers and logs."""
+        c = self.counts()
+        return (
+            f"queue: {c['total']} shard(s) — {c['pending']} pending, "
+            f"{c['leased']} leased, {c['done']} done, {c['failed']} failed "
+            f"({c['retried']} retried, {c['reclaimed']} reclaimed)"
+        )

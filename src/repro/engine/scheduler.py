@@ -1,0 +1,157 @@
+"""Yield-priority shard scheduling for the distributed work queue.
+
+FIFO is the wrong order for a cold census: shard costs are heavily
+skewed (classification is ~O(n³Δ), so the large-n shards of a mixed
+workload dominate the wall clock), and whichever expensive shard runs
+*last* sets the critical path of the whole run. The scheduler ranks
+pending shards by **expected yield** — the classification work a shard
+is expected to actually perform::
+
+    expected_yield(shard) = cost(shard) * miss_rate
+
+where ``cost`` is the workload's static per-shard cost estimate
+(:meth:`repro.engine.workloads.Workload.estimate_cost`, enumerated once
+by the coordinator) and ``miss_rate`` is the *observed* cache-miss rate
+of the shards committed so far (1.0 while the queue is cold). Leasing
+the highest-yield shard first front-loads the expensive cold work, so
+the tail of the run is short cheap shards instead of one giant one.
+
+Two refinements keep the policy honest:
+
+* **Aging** — every second a shard waits adds
+  ``max_cost / aging_horizon`` to its score, so a starved cheap shard
+  outranks even the most expensive fresh shard after at most
+  ``aging_horizon`` seconds (the aging bonus then equals the largest
+  *cold* cost in the pool, which bounds every expected yield). No shard
+  waits forever behind a stream of newly reclaimed expensive work.
+* **Warm convergence to FIFO** — as the cache warms up the observed
+  miss rate falls and every expected yield shrinks proportionally,
+  while the aging term is deliberately scaled by *cold* cost, not
+  yield: on a warm queue age dominates and the order degrades
+  gracefully to oldest-first, which is optimal when every shard is
+  nearly free.
+
+Everything here is pure functions over plain values — the module knows
+nothing about SQLite — so the policy is unit-testable without a queue
+and swappable without touching storage (:mod:`repro.engine.queue` calls
+:func:`rank` inside its lease transaction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+#: Seconds of queue age after which a starved shard outranks the most
+#: expensive fresh shard (the aging horizon; see :func:`rank`).
+DEFAULT_AGING_HORIZON = 300.0
+
+#: Floor on the observed miss rate: even a fully warm queue keeps a
+#: sliver of cost-ordering so identical-age shards still break ties by
+#: expected work instead of degenerating to pure insertion order.
+MIN_MISS_RATE = 0.01
+
+
+@dataclass(frozen=True)
+class ShardCandidate:
+    """What the scheduler needs to know about one pending shard.
+
+    ``cost`` is the workload's static cost estimate for the shard's item
+    range; ``enqueued_at`` is the wall-clock time the shard (re)entered
+    the pending state — a reclaimed shard keeps its original enqueue
+    time, so retries inherit the age they already accumulated.
+    """
+
+    index: int
+    cost: float
+    enqueued_at: float
+
+
+def expected_yield(cost: float, miss_rate: float) -> float:
+    """Classification work a shard is expected to perform.
+
+    ``cost * miss_rate``, with ``miss_rate`` floored at
+    :data:`MIN_MISS_RATE` so a fully warm cache never erases cost
+    ordering entirely.
+    """
+    return cost * max(miss_rate, MIN_MISS_RATE)
+
+
+def score(
+    candidate: ShardCandidate,
+    now: float,
+    *,
+    miss_rate: float = 1.0,
+    age_weight: float = 0.0,
+) -> float:
+    """A shard's priority: expected yield plus an aging bonus.
+
+    ``age_weight`` is yield-units per second of queue age; callers
+    normally let :func:`rank` derive it from the candidate pool and the
+    aging horizon instead of picking a constant.
+    """
+    age = max(0.0, now - candidate.enqueued_at)
+    return expected_yield(candidate.cost, miss_rate) + age_weight * age
+
+
+def rank(
+    candidates: Iterable[ShardCandidate],
+    now: float,
+    *,
+    miss_rate: float = 1.0,
+    aging_horizon: float = DEFAULT_AGING_HORIZON,
+) -> List[ShardCandidate]:
+    """Pending shards in lease order: best expected yield first.
+
+    The aging weight is self-scaling: it is chosen so that
+    ``aging_horizon`` seconds of waiting are worth exactly the largest
+    *cold* cost in the pool (an upper bound on every expected yield),
+    guaranteeing starvation-freedom without a hand-tuned constant
+    (shard costs differ by orders of magnitude between workloads).
+    Scaling by cost rather than yield is what makes a warm queue
+    converge to oldest-first: the yield term shrinks with the miss rate
+    but the aging term does not. Ties break on lower shard index, so
+    the order is fully deterministic for a given candidate pool and
+    clock.
+    """
+    pool = list(candidates)
+    if not pool:
+        return []
+    if aging_horizon <= 0:
+        raise ValueError("aging_horizon must be > 0")
+    top = max(c.cost for c in pool)
+    age_weight = top / aging_horizon if top > 0 else 1.0 / aging_horizon
+    return sorted(
+        pool,
+        key=lambda c: (
+            -score(c, now, miss_rate=miss_rate, age_weight=age_weight),
+            c.index,
+        ),
+    )
+
+
+def observed_miss_rate(
+    shard_stats: Sequence[Dict[str, object]],
+) -> Optional[float]:
+    """Pooled cache-miss rate of the shards committed so far.
+
+    Each committed shard stores its engine accounting
+    (``{"classified": ..., "cache_hits": ..., "deduped": ...}``); the
+    pooled rate is fresh classifications over total items. Returns
+    ``None`` (meaning: assume cold, use 1.0) until at least one
+    committed shard carries usable counters.
+    """
+    classified = 0
+    total = 0
+    for stats in shard_stats:
+        try:
+            c = int(stats.get("classified", 0))  # type: ignore[union-attr]
+            h = int(stats.get("cache_hits", 0))  # type: ignore[union-attr]
+            d = int(stats.get("deduped", 0))  # type: ignore[union-attr]
+        except (AttributeError, TypeError, ValueError):
+            continue
+        classified += c
+        total += c + h + d
+    if total <= 0:
+        return None
+    return classified / total

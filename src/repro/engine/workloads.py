@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import random
 from itertools import islice
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence
 
 from ..core.configuration import Configuration
 from ..graphs.generators import build, random_connected_gnp_edges
@@ -79,7 +79,12 @@ class Workload:
 
     Subclasses implement :meth:`__len__` and :meth:`generate`; two calls
     to ``generate`` with the same range must yield equal configurations
-    (this is the contract shard resume relies on).
+    (this is the contract shard resume relies on). Workloads that want
+    to run under the distributed queue additionally implement
+    :meth:`to_spec` (a JSON-able self-description a worker process can
+    rebuild the workload from via :func:`workload_from_spec`) and may
+    refine :meth:`estimate_cost` (the scheduler's per-shard yield
+    estimate).
     """
 
     def __len__(self) -> int:
@@ -93,6 +98,32 @@ class Workload:
     def describe(self) -> str:
         """Short human-readable label for logs and checkpoints."""
         return f"{type(self).__name__}({len(self)} configs)"
+
+    def estimate_cost(self, start: int, stop: int) -> float:
+        """Cheap static cost estimate for the item range ``[start, stop)``.
+
+        Feeds the queue scheduler's expected-yield ranking
+        (:mod:`repro.engine.scheduler`); must *never* generate the
+        configurations (estimation runs over the whole workload at
+        enqueue time). The default — item count — is always safe;
+        parametric workloads override it with a classification-shaped
+        estimate (~n³ per item) so mixed-size workloads front-load
+        their expensive shards. Only the *relative* ordering matters.
+        """
+        return float(max(0, min(stop, len(self)) - start))
+
+    def to_spec(self) -> Dict:
+        """JSON-able description a worker can rebuild this workload from.
+
+        The inverse is :func:`workload_from_spec`; the round-trip must
+        reproduce the exact item sequence (it is how queue workers in
+        other processes regenerate shard contents). Workloads without a
+        spec cannot run distributed.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support distributed execution "
+            "(no to_spec); register one via register_workload_kind"
+        )
 
     def __iter__(self) -> Iterator[Configuration]:
         """Iterate the full workload in order."""
@@ -147,6 +178,24 @@ class RandomGnpWorkload(Workload):
             f"{self.samples}/n, seed={self.seed})"
         )
 
+    def estimate_cost(self, start: int, stop: int) -> float:
+        """~n³ per item, computed from indices alone (n-major layout)."""
+        stop = min(stop, len(self))
+        return float(
+            sum(self.n_values[i // self.samples] ** 3 for i in range(start, stop))
+        )
+
+    def to_spec(self) -> Dict:
+        """``{"kind": "gnp", ...}`` — the constructor parameters."""
+        return {
+            "kind": "gnp",
+            "n_values": list(self.n_values),
+            "span": self.span,
+            "p": self.p,
+            "samples": self.samples,
+            "seed": self.seed,
+        }
+
 
 class EnumerationWorkload(Workload):
     """Every configuration with ``n`` nodes and tags ``0..max_tag``.
@@ -180,6 +229,20 @@ class EnumerationWorkload(Workload):
         """e.g. ``enum(n=4, tags 0..1)`` (``labeled`` noted when set)."""
         suffix = ", labeled" if self.labeled else ""
         return f"enum(n={self.n}, tags 0..{self.max_tag}{suffix})"
+
+    def estimate_cost(self, start: int, stop: int) -> float:
+        """~n³ per item (every item has the same size here)."""
+        stop = min(stop, len(self))
+        return float(max(0, stop - start) * self.n**3)
+
+    def to_spec(self) -> Dict:
+        """``{"kind": "enum", ...}`` — the constructor parameters."""
+        return {
+            "kind": "enum",
+            "n": self.n,
+            "max_tag": self.max_tag,
+            "labeled": self.labeled,
+        }
 
 
 class SequenceWorkload(Workload):
@@ -220,6 +283,86 @@ class SequenceWorkload(Workload):
             self._digest = h.hexdigest()[:16]
         name = self.label or "sequence"
         return f"{name}({len(self)} configs, {self._digest})"
+
+    def estimate_cost(self, start: int, stop: int) -> float:
+        """~n³ per stored item (the members are already materialized)."""
+        return float(sum(c.n**3 for c in self.configs[start:stop]))
+
+    def to_spec(self) -> Dict:
+        """``{"kind": "sequence", ...}`` — every member, fully labeled.
+
+        Node labels must be JSON scalars (ints or strings) so the
+        round-trip through a queue file reproduces the exact
+        configurations; richer labels raise ``TypeError``.
+        """
+        configs = []
+        for cfg in self.configs:
+            for v in cfg.nodes:
+                if not isinstance(v, (int, str)) or isinstance(v, bool):
+                    raise TypeError(
+                        f"node label {v!r} is not JSON-stable; distributed "
+                        "sequence workloads need int or str node names"
+                    )
+            configs.append(
+                {
+                    "tags": [[v, cfg.tag(v)] for v in cfg.nodes],
+                    "edges": [list(e) for e in cfg.edges],
+                }
+            )
+        return {"kind": "sequence", "label": self.label, "configs": configs}
+
+
+def _sequence_from_spec(spec: Dict) -> "SequenceWorkload":
+    """Rebuild a :class:`SequenceWorkload` from its spec dict."""
+    configs = [
+        Configuration(
+            edges=[tuple(e) for e in item["edges"]],
+            tags={v: t for v, t in item["tags"]},
+        )
+        for item in spec["configs"]
+    ]
+    return SequenceWorkload(configs, label=spec.get("label"))
+
+
+#: Spec ``kind`` -> factory rebuilding the workload from its spec dict.
+WORKLOAD_KINDS: Dict[str, Callable[[Dict], Workload]] = {
+    "gnp": lambda spec: RandomGnpWorkload(
+        spec["n_values"], spec["span"], spec["p"], spec["samples"], spec["seed"]
+    ),
+    "enum": lambda spec: EnumerationWorkload(
+        spec["n"], spec["max_tag"], labeled=spec.get("labeled", False)
+    ),
+    "sequence": _sequence_from_spec,
+}
+
+
+def register_workload_kind(
+    kind: str, factory: Callable[[Dict], Workload]
+) -> None:
+    """Register a custom spec kind for distributed execution.
+
+    ``factory`` receives the full spec dict and returns the workload.
+    Worker processes must register the same kind before attaching to a
+    queue that uses it (e.g. at the top of the module they are launched
+    from).
+    """
+    WORKLOAD_KINDS[kind] = factory
+
+
+def workload_from_spec(spec: Dict) -> Workload:
+    """Rebuild a workload from a :meth:`Workload.to_spec` dict.
+
+    The queue stores the spec at creation; every worker calls this to
+    regenerate shard contents locally. Unknown kinds raise ``KeyError``
+    naming the kind (register it via :func:`register_workload_kind`).
+    """
+    kind = spec.get("kind")
+    if kind not in WORKLOAD_KINDS:
+        raise KeyError(
+            f"unknown workload kind {kind!r}; registered: "
+            f"{sorted(WORKLOAD_KINDS)}"
+        )
+    return WORKLOAD_KINDS[kind](spec)
 
 
 def as_workload(obj) -> Workload:

@@ -66,6 +66,8 @@ def test_engine_package_is_covered():
         "repro.engine.cache",
         "repro.engine.keys",
         "repro.engine.pipeline",
+        "repro.engine.queue",
+        "repro.engine.scheduler",
         "repro.engine.workloads",
     }
 

@@ -30,6 +30,14 @@ from conftest import random_config_batch
 OLD_CANONICAL_N_LIMIT = 10
 
 
+def _append_burst(path: str, prefix: str, count: int) -> None:
+    """Subprocess body: hammer `count` appends into a shared store."""
+    cache = ResultCache(path)
+    for i in range(count):
+        cache.put(f"{prefix}{i}", {"writer": prefix, "i": i, "pad": "x" * 64})
+    cache.close()
+
+
 def relabel(cfg: Configuration, perm) -> Configuration:
     """Apply a node permutation (dict old -> new) to a configuration."""
     return Configuration(
@@ -177,6 +185,41 @@ class TestResultCache:
     def test_bad_max_entries_rejected(self):
         with pytest.raises(ValueError):
             ResultCache(max_entries=0)
+
+    def test_two_processes_appending_concurrently_never_tear_lines(
+        self, tmp_path
+    ):
+        """Each put is one O_APPEND write(2), so concurrent writer
+        processes — the distributed census sharing one cache file —
+        interleave only at line granularity: every line parses, every
+        key from both writers survives."""
+        import multiprocessing
+
+        path = str(tmp_path / "shared.jsonl")
+        n_each = 200
+        procs = [
+            multiprocessing.Process(
+                target=_append_burst, args=(path, prefix, n_each)
+            )
+            for prefix in ("a", "b")
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join()
+        assert all(p.exitcode == 0 for p in procs)
+        with open(path, "r", encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+        assert len(lines) == 2 * n_each
+        parsed = [json.loads(line) for line in lines]  # no torn lines
+        keys = {obj["key"] for obj in parsed}
+        assert keys == {
+            f"{prefix}{i}" for prefix in ("a", "b") for i in range(n_each)
+        }
+        # replay sees every record from both writers
+        merged = ResultCache(path)
+        assert len(merged) == 2 * n_each
+        assert merged.peek("a0") == {"writer": "a", "i": 0, "pad": "x" * 64}
 
 
 # ----------------------------------------------------------------------

@@ -6,6 +6,7 @@ count, cache state, and resume history — these tests pin that contract,
 including on the rendered table bytes.
 """
 
+import json
 import os
 
 import pytest
@@ -277,6 +278,49 @@ class TestResume:
         )
         assert rerun.stats.shards_resumed == 1
         assert render(rerun.result) == render(serial)
+
+    def test_truncated_checkpoint_recomputed(self, tmp_path, workload, serial):
+        """A checkpoint torn mid-write (e.g. the disk filled, or the
+        file was copied while being written) resumes by recomputing the
+        shard, never by crashing or merging partial rows."""
+        ckpt = str(tmp_path / "ckpt")
+        sharded_census(
+            workload, num_shards=2, checkpoint_dir=ckpt, measure_rounds=True
+        )
+        path = os.path.join(ckpt, "shard-00001.json")
+        with open(path, "r", encoding="utf-8") as fh:
+            full = fh.read()
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(full[: len(full) // 2])  # torn: valid prefix, no tail
+        rerun = sharded_census(
+            workload, num_shards=2, checkpoint_dir=ckpt, measure_rounds=True
+        )
+        assert rerun.stats.shards_resumed == 1
+        assert render(rerun.result) == render(serial)
+
+    def test_wrong_shape_checkpoint_recomputed(self, tmp_path, workload, serial):
+        """Valid JSON of the wrong shape (hand-edited, foreign tool) is
+        treated as stale, not trusted."""
+        ckpt = str(tmp_path / "ckpt")
+        first = sharded_census(
+            workload, num_shards=2, checkpoint_dir=ckpt, measure_rounds=True
+        )
+        path = os.path.join(ckpt, "shard-00000.json")
+        with open(path, "r", encoding="utf-8") as fh:
+            obj = json.load(fh)
+        obj["rows"] = {"not": "a list"}
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(obj, fh)
+        rerun = sharded_census(
+            workload, num_shards=2, checkpoint_dir=ckpt, measure_rounds=True
+        )
+        assert rerun.stats.shards_resumed == 1
+        assert render(rerun.result) == render(first.result) == render(serial)
+
+    def test_checkpoint_write_leaves_no_temp_files(self, tmp_path, workload):
+        ckpt = str(tmp_path / "ckpt")
+        sharded_census(workload, num_shards=3, checkpoint_dir=ckpt)
+        assert all(".tmp" not in name for name in os.listdir(ckpt))
 
 
 # ----------------------------------------------------------------------
