@@ -1,0 +1,53 @@
+"""``repro.adversary`` — the zoo of seeded, serializable adversaries.
+
+The paper's model is failure-free; :mod:`repro.radio.faults` added
+explicit jam schedules; this package adds *strategies*: seeded
+stochastic and adaptive adversaries that describe themselves as
+JSON-able specs, so robustness campaigns (:mod:`repro.campaigns`) can
+sweep thousands of them and replay any trial bit-for-bit from a
+manifest.
+
+The zoo (:mod:`~repro.adversary.strategies`):
+
+* :func:`random_budget_jammer` — spends a round budget uniformly at
+  random over a horizon;
+* :func:`phase_targeting_jammer` / :func:`phase_targeting_for_trace` —
+  aims inside the Lemma 3.7 transmission blocks of the canonical DRIP;
+* :func:`crash_sleep_faults` / :func:`random_crash_sleep` — per-node
+  crash/sleep fault windows layered on the jam abstraction;
+* :class:`ReactiveJammer` — adaptive, keys off observed channel
+  feedback (reference backend only; ``auto`` falls back).
+
+Serialization (:mod:`~repro.adversary.specs`):
+:func:`adversary_from_spec` rebuilds any known kind from its spec dict,
+:func:`adversary_to_spec` is the forward direction, and
+:func:`register_adversary_kind` extends the registry.
+"""
+
+from .specs import (
+    ADVERSARY_KINDS,
+    adversary_from_spec,
+    adversary_to_spec,
+    register_adversary_kind,
+)
+from .strategies import (
+    ReactiveJammer,
+    crash_sleep_faults,
+    phase_targeting_for_trace,
+    phase_targeting_jammer,
+    random_budget_jammer,
+    random_crash_sleep,
+)
+
+__all__ = [
+    "ADVERSARY_KINDS",
+    "ReactiveJammer",
+    "adversary_from_spec",
+    "adversary_to_spec",
+    "crash_sleep_faults",
+    "phase_targeting_for_trace",
+    "phase_targeting_jammer",
+    "random_budget_jammer",
+    "random_crash_sleep",
+    "register_adversary_kind",
+]

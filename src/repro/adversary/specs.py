@@ -1,0 +1,122 @@
+"""Serialization registry for adversary strategies.
+
+Every strategy in the zoo (and every base jam schedule from
+:mod:`repro.radio.faults`) describes itself as a JSON-able dict with a
+``"kind"`` discriminator via ``to_spec()``. This module holds the
+inverse: a registry mapping kinds to rebuilders, so campaign manifests,
+engine cache keys and the ``repro-radio campaign replay`` path can turn
+a spec back into bit-identical jam decisions.
+
+The base kinds (``jam_pairs`` / ``jam_rounds`` / ``jam_nothing``)
+delegate to :meth:`~repro.radio.faults.ExplicitJamSchedule.from_spec`;
+the zoo kinds are registered here. Third-party strategies can join via
+:func:`register_adversary_kind` — the rebuilder receives the spec dict
+and must return a jam schedule whose ``to_spec()`` round-trips.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..radio.faults import ExplicitJamSchedule
+from .strategies import (
+    ReactiveJammer,
+    crash_sleep_faults,
+    phase_targeting_jammer,
+    random_budget_jammer,
+)
+
+__all__ = [
+    "ADVERSARY_KINDS",
+    "adversary_from_spec",
+    "adversary_to_spec",
+    "register_adversary_kind",
+]
+
+#: Registered spec kinds -> rebuilder ``spec_dict -> jam schedule``.
+ADVERSARY_KINDS: Dict[str, Callable[[Dict], object]] = {}
+
+
+def register_adversary_kind(
+    kind: str, builder: Callable[[Dict], object]
+) -> None:
+    """Register a rebuilder for adversary specs of the given ``kind``.
+
+    ``builder(spec)`` must return a jam schedule whose ``to_spec()``
+    reproduces ``spec`` (up to key order). Registering an existing kind
+    raises ``ValueError`` — kinds are part of the manifest format.
+    """
+    if kind in ADVERSARY_KINDS:
+        raise ValueError(f"adversary kind {kind!r} is already registered")
+    ADVERSARY_KINDS[kind] = builder
+
+
+def adversary_from_spec(spec: Dict):
+    """Rebuild any known jam schedule / adversary strategy from a spec.
+
+    Dispatches on ``spec["kind"]`` over the base jam-schedule kinds and
+    every registered zoo kind. The round-trip guarantee: the rebuilt
+    schedule makes exactly the same jam decisions as the one that
+    produced the spec.
+    """
+    kind = spec.get("kind")
+    builder = ADVERSARY_KINDS.get(kind)
+    if builder is None:
+        raise KeyError(
+            f"unknown adversary kind {kind!r}; known kinds: "
+            f"{sorted(ADVERSARY_KINDS)}"
+        )
+    return builder(spec)
+
+
+def adversary_to_spec(jammer) -> Dict:
+    """Spec dict of any serializable jam schedule (``None`` -> no-op).
+
+    Convenience for manifest writers: ``None`` (no adversary) maps to
+    the ``jam_nothing`` spec; anything else must expose ``to_spec``.
+    """
+    if jammer is None:
+        return {"kind": "jam_nothing"}
+    to_spec = getattr(jammer, "to_spec", None)
+    if to_spec is None:
+        raise TypeError(
+            f"{type(jammer).__name__} does not expose to_spec(); only "
+            "serializable schedules can enter a manifest"
+        )
+    return to_spec()
+
+
+register_adversary_kind("jam_pairs", ExplicitJamSchedule.from_spec)
+register_adversary_kind("jam_rounds", ExplicitJamSchedule.from_spec)
+register_adversary_kind("jam_nothing", ExplicitJamSchedule.from_spec)
+register_adversary_kind(
+    "random_budget",
+    lambda spec: random_budget_jammer(
+        spec["seed"], spec["budget"], spec["horizon"]
+    ),
+)
+register_adversary_kind(
+    "phase_targeting",
+    lambda spec: phase_targeting_jammer(
+        sigma=spec["sigma"],
+        phase_ends=spec["phase_ends"],
+        tags=[(v, t) for v, t in spec["tags"]],
+        phase=spec["phase"],
+        seed=spec["seed"],
+        hits=spec["hits"],
+    ),
+)
+register_adversary_kind(
+    "crash_sleep",
+    lambda spec: crash_sleep_faults(
+        (v, start, stop) for v, start, stop in spec["windows"]
+    ),
+)
+register_adversary_kind(
+    "reactive",
+    lambda spec: ReactiveJammer(
+        spec["seed"],
+        probability=spec["probability"],
+        budget=spec["budget"],
+    ),
+)

@@ -1,0 +1,287 @@
+"""The adversary zoo: seeded jamming and fault strategies.
+
+Each strategy here produces a jam schedule in the sense of
+:mod:`repro.radio.faults` — a ``(global_round, node) -> bool`` callable —
+but, unlike a hand-written schedule, every strategy is *seeded and
+serializable*: it carries a JSON-able spec (``to_spec``) from which
+:func:`~repro.adversary.specs.adversary_from_spec` rebuilds bit-identical
+jam decisions. That is what lets a campaign manifest replay any trial
+without pickling callables across process boundaries.
+
+Two families:
+
+* **Explicit** strategies (:func:`random_budget_jammer`,
+  :func:`phase_targeting_jammer`, :func:`crash_sleep_faults` and its
+  seeded sweep builder :func:`random_crash_sleep`) precompute their
+  jammed rounds and return an
+  :class:`~repro.radio.faults.ExplicitJamSchedule`, so the event-driven
+  ``fast`` backend can execute them.
+* **Adaptive** strategies (:class:`ReactiveJammer`) key off observed
+  channel feedback round by round. They expose ``observe`` / ``reset``
+  (the hooks in :mod:`repro.radio.backends.base`) instead of
+  ``event_rounds``; ``backend="auto"`` therefore falls back to the
+  reference loop, which stays the oracle for them.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..radio.faults import ExplicitJamSchedule
+
+__all__ = [
+    "ReactiveJammer",
+    "crash_sleep_faults",
+    "phase_targeting_jammer",
+    "phase_targeting_for_trace",
+    "random_budget_jammer",
+    "random_crash_sleep",
+]
+
+
+def _explicit_pairs(
+    pairs: Iterable[Tuple[int, object]], spec: Dict
+) -> ExplicitJamSchedule:
+    """Explicit schedule over ``(round, node)`` pairs with a custom spec."""
+    table = set(pairs)
+    return ExplicitJamSchedule(
+        lambda r, v: (r, v) in table, (r for r, _ in table), spec
+    )
+
+
+def random_budget_jammer(
+    seed: int, budget: int, horizon: int
+) -> ExplicitJamSchedule:
+    """A jammer spending a round budget uniformly at random.
+
+    Picks ``min(budget, horizon)`` distinct global rounds from
+    ``range(horizon)`` with ``random.Random(seed)`` and jams *every* node
+    in each of them. Explicit (fast-backend compatible) and
+    deterministic: the same ``(seed, budget, horizon)`` always yields
+    the same schedule.
+    """
+    if budget < 0:
+        raise ValueError("budget must be >= 0")
+    if horizon < 0:
+        raise ValueError("horizon must be >= 0")
+    rng = random.Random(seed)
+    rounds = sorted(rng.sample(range(horizon), min(budget, horizon)))
+    table = set(rounds)
+    spec = {
+        "kind": "random_budget",
+        "seed": seed,
+        "budget": budget,
+        "horizon": horizon,
+    }
+    return ExplicitJamSchedule(lambda r, v: r in table, rounds, spec)
+
+
+def phase_targeting_jammer(
+    *,
+    sigma: int,
+    phase_ends: Sequence[int],
+    tags: Iterable[Tuple[object, int]],
+    phase: int = 1,
+    seed: int = 0,
+    hits: int = 1,
+) -> ExplicitJamSchedule:
+    """A jammer that aims inside the Lemma 3.7 transmission blocks.
+
+    The canonical DRIP of a feasible configuration runs in phases; phase
+    ``j`` occupies local rounds ``(phase_ends[j-1], phase_ends[j]]`` and
+    consists of transmission blocks of width ``2σ+1`` followed by ``σ``
+    trailing listen rounds. Jamming confined to the trailing listen
+    rounds is provably harmless; a single jammed round *inside* a block
+    can derail the election (E18). This jammer knows that structure: for
+    every node with wakeup tag ``t`` it picks ``hits`` seeded local
+    rounds from the block region of the target ``phase`` and jams the
+    corresponding global rounds ``t + local``.
+
+    ``phase_ends`` and ``sigma`` come from
+    :class:`~repro.core.canonical.CanonicalData`;
+    :func:`phase_targeting_for_trace` derives them from a
+    :class:`~repro.core.trace.ClassifierTrace` directly. Explicit, so
+    the fast backend can run it.
+    """
+    tag_list = sorted(tags, key=lambda item: (item[1], str(item[0])))
+    if phase < 1 or phase >= len(phase_ends):
+        raise ValueError(
+            f"phase {phase} out of range (schedule has "
+            f"{len(phase_ends) - 1} phase(s))"
+        )
+    width = 2 * sigma + 1
+    lo, hi = phase_ends[phase - 1], phase_ends[phase]
+    block_region = hi - lo - sigma  # phase minus its trailing listens
+    if block_region <= 0:
+        raise ValueError(f"phase {phase} has no transmission blocks")
+    rng = random.Random(seed)
+    pairs: List[Tuple[int, object]] = []
+    for v, t in tag_list:
+        locals_ = rng.sample(
+            range(lo + 1, lo + block_region + 1), min(hits, block_region)
+        )
+        pairs.extend((t + local, v) for local in locals_)
+    spec = {
+        "kind": "phase_targeting",
+        "sigma": sigma,
+        "phase_ends": list(phase_ends),
+        "tags": [[v, t] for v, t in tag_list],
+        "phase": phase,
+        "seed": seed,
+        "hits": hits,
+    }
+    return _explicit_pairs(pairs, spec)
+
+
+def phase_targeting_for_trace(
+    trace, *, phase: int = 1, seed: int = 0, hits: int = 1
+) -> ExplicitJamSchedule:
+    """Build :func:`phase_targeting_jammer` from a classifier trace.
+
+    Reads ``sigma``, the canonical phase schedule and the wakeup tags
+    off ``trace`` (a feasible
+    :class:`~repro.core.trace.ClassifierTrace`), so callers need not
+    touch :mod:`repro.core.canonical` themselves.
+    """
+    from ..core.canonical import build_canonical_data
+
+    data = build_canonical_data(trace)
+    cfg = trace.config
+    return phase_targeting_jammer(
+        sigma=data.sigma,
+        phase_ends=data.phase_ends,
+        tags=[(v, cfg.tag(v)) for v in cfg.nodes],
+        phase=phase,
+        seed=seed,
+        hits=hits,
+    )
+
+
+def crash_sleep_faults(
+    windows: Iterable[Tuple[object, int, int]],
+) -> ExplicitJamSchedule:
+    """Crash/sleep faults layered on the jam abstraction.
+
+    ``windows`` is an iterable of ``(node, start, stop)``: during global
+    rounds ``start <= r < stop`` the node's radio is dead — it hears
+    jamming noise instead of the channel and cannot be woken by a
+    message, exactly the semantics of per-node jamming. A crash-stop
+    fault is a window with ``stop`` past the horizon; a sleep fault is a
+    finite window. Explicit (the event rounds are the union of all
+    windows), so the fast backend can run it.
+    """
+    wins: List[Tuple[object, int, int]] = []
+    for v, start, stop in windows:
+        if start < 0 or stop < start:
+            raise ValueError(f"bad fault window ({v!r}, {start}, {stop})")
+        wins.append((v, start, stop))
+    wins.sort(key=lambda w: (w[1], w[2], str(w[0])))
+    rounds = sorted({r for _, start, stop in wins for r in range(start, stop)})
+    spec = {
+        "kind": "crash_sleep",
+        "windows": [[v, start, stop] for v, start, stop in wins],
+    }
+    return ExplicitJamSchedule(
+        lambda r, v: any(
+            v == w and start <= r < stop for w, start, stop in wins
+        ),
+        rounds,
+        spec,
+    )
+
+
+def random_crash_sleep(
+    seed: int,
+    nodes: Sequence[object],
+    *,
+    count: int,
+    horizon: int,
+    min_len: int = 1,
+    max_len: int = 8,
+) -> ExplicitJamSchedule:
+    """Sweep-parameterized crash/sleep faults.
+
+    Draws ``count`` fault windows with ``random.Random(seed)``: each
+    picks a victim node, a start round in ``range(horizon)`` and a
+    length in ``[min_len, max_len]``. Serializes to its concrete
+    ``crash_sleep`` windows, so a manifest replays the exact faults
+    without re-deriving them from the sweep parameters.
+    """
+    if count < 0:
+        raise ValueError("count must be >= 0")
+    if not 1 <= min_len <= max_len:
+        raise ValueError("need 1 <= min_len <= max_len")
+    rng = random.Random(seed)
+    pool = sorted(nodes, key=str)
+    windows = []
+    for _ in range(count):
+        v = pool[rng.randrange(len(pool))]
+        start = rng.randrange(max(horizon, 1))
+        stop = start + rng.randint(min_len, max_len)
+        windows.append((v, start, stop))
+    return crash_sleep_faults(windows)
+
+
+class ReactiveJammer:
+    """An adaptive jammer that reacts to observed channel activity.
+
+    The strategy listens to the channel: whenever it observes at least
+    one transmission in the current round it may jam that same round
+    (every node), with probability ``probability``, until its round
+    ``budget`` is spent. Decisions come from a ``random.Random(seed)``
+    stream consumed once per *active* round, so the strategy is
+    deterministic for a fixed execution.
+
+    Adaptivity contract (see :mod:`repro.radio.backends.base`): the
+    reference backend calls :meth:`observe` once per round after
+    computing reception and before recording history entries;
+    :meth:`reset` re-arms the seeded state at the start of every run so
+    replays are bit-for-bit. There is no ``event_rounds`` — the fast
+    backend rejects adaptive strategies and ``backend="auto"`` falls
+    back to the reference loop.
+    """
+
+    __slots__ = ("seed", "probability", "budget", "_rng", "_left", "_jam_at")
+
+    def __init__(
+        self, seed: int, *, probability: float = 1.0, budget: int = 1
+    ) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        if budget < 0:
+            raise ValueError("budget must be >= 0")
+        self.seed = seed
+        self.probability = probability
+        self.budget = budget
+        self.reset()
+
+    def reset(self) -> None:
+        """Re-arm the seeded state (called by backends before each run)."""
+        self._rng = random.Random(self.seed)
+        self._left = self.budget
+        self._jam_at: Optional[int] = None
+
+    def observe(self, global_round: int, transmitter_count: int) -> None:
+        """Consume one round of channel feedback and pick a jam decision.
+
+        Called by the reference backend once per round, before the jam
+        schedule is consulted for that round.
+        """
+        if transmitter_count >= 1 and self._left > 0:
+            if self._rng.random() < self.probability:
+                self._jam_at = global_round
+                self._left -= 1
+
+    def __call__(self, global_round: int, node: object) -> bool:
+        """True when reception at ``node`` in ``global_round`` is jammed."""
+        return global_round == self._jam_at
+
+    def to_spec(self) -> Dict:
+        """JSON-able description (inverse of ``adversary_from_spec``)."""
+        return {
+            "kind": "reactive",
+            "seed": self.seed,
+            "probability": self.probability,
+            "budget": self.budget,
+        }

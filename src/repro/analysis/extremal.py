@@ -20,6 +20,11 @@ This module answers those questions by search:
   span (the threshold curve the E15 experiment plots).
 * :func:`hardest_tags` — seeded hill-climbing over tag assignments of a
   fixed graph and span, maximizing the dedicated election round count.
+* :func:`campaign_witnesses` — campaign-driven extremal search: picks
+  the extremal trials (slowest elections, heaviest effective jamming,
+  derailments, failures) out of a :mod:`repro.campaigns` result set,
+  deduplicated by canonical form so isomorphic repeats of one witness
+  don't crowd out genuinely different ones.
 """
 
 from __future__ import annotations
@@ -294,3 +299,92 @@ def hardest_tags(
         evaluations=evaluations,
         trajectory=trajectory,
     )
+
+
+# ----------------------------------------------------------------------
+# campaign-driven extremal witnesses
+# ----------------------------------------------------------------------
+def _witness_key(record: Dict) -> Optional[str]:
+    """Canonical-form dedupe key of a campaign trial record.
+
+    Two trials whose configurations are tag-preserving isomorphic carry
+    the same key; records without a rebuildable configuration spec map
+    to None (kept, but never deduped against each other).
+    """
+    spec = record.get("config")
+    if not spec:
+        return None
+    from ..engine.keys import default_keyer
+
+    cfg = Configuration(
+        edges=[tuple(e) for e in spec["edges"]],
+        tags={v: t for v, t in spec["tags"]},
+    )
+    return default_keyer(cfg.normalize())
+
+
+def _top_indices(
+    records: List[Dict],
+    value: Callable[[Dict], Optional[int]],
+    limit: int,
+) -> List[int]:
+    """Indices of the ``limit`` largest-value records, canonically deduped.
+
+    Candidates are ranked by ``value`` (records where it is None are
+    skipped) descending, ties broken by trial index; at most one record
+    per canonical configuration class survives.
+    """
+    ranked = sorted(
+        (r for r in records if value(r) is not None),
+        key=lambda r: (-value(r), r["index"]),
+    )
+    picked: List[int] = []
+    seen_keys = set()
+    for r in ranked:
+        key = _witness_key(r)
+        if key is not None:
+            if key in seen_keys:
+                continue
+            seen_keys.add(key)
+        picked.append(r["index"])
+        if len(picked) >= limit:
+            break
+    return picked
+
+
+def campaign_witnesses(results: List[Dict], *, limit: int = 3) -> Dict:
+    """Extremal witness trials of a campaign, deduped by canonical form.
+
+    ``results`` are :func:`repro.campaigns.run_trial` records. Returns a
+    dict of witness categories, each a list of at most ``limit`` trial
+    indices (replayable via ``repro-radio campaign replay``):
+
+    * ``"max_rounds"`` — completed elections with the most global
+      rounds (the by-rounds extremum);
+    * ``"max_jams"`` — trials with the most *effective* jams (jams that
+      changed a history entry — the by-ops adversary extremum);
+    * ``"derailed"`` — feasible elections the adversary broke, hardest
+      (fewest effective jams) first: the derail-boundary witnesses;
+    * ``"failed"`` — timeout / match-error / crashed trials.
+
+    Within each category at most one witness per canonical
+    configuration class is kept, so isomorphic duplicates of one
+    scenario don't mask distinct extremal scenarios.
+    """
+    completed = [r for r in results if r.get("rounds_elapsed") is not None]
+    derailed = [r for r in results if r.get("outcome") == "derailed"]
+    failed = [
+        r
+        for r in results
+        if r.get("outcome") in ("timeout", "match_error", "error")
+    ]
+    return {
+        "max_rounds": _top_indices(
+            completed, lambda r: r.get("rounds_elapsed"), limit
+        ),
+        "max_jams": _top_indices(completed, lambda r: r.get("jams"), limit),
+        "derailed": _top_indices(
+            derailed, lambda r: -int(r.get("jams") or 0), limit
+        ),
+        "failed": _top_indices(failed, lambda r: r["index"], limit),
+    }

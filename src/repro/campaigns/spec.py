@@ -1,0 +1,161 @@
+"""Campaign specifications: seeded Monte Carlo sweep descriptions.
+
+A :class:`CampaignSpec` is the complete, JSON-able description of a
+robustness campaign: how many trials, which configuration sizes, which
+adversary strategy mix, which backend. Everything a trial does is a pure
+function of ``(spec, trial index)`` — the per-trial seed is derived from
+the campaign seed, the configuration from the per-trial seed via
+:func:`repro.engine.workloads.seeded_config`, and the strategy by a
+seeded weighted pick — so any trial can be re-derived (or the finalized
+record replayed) from the manifest alone.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.configuration import Configuration
+from ..engine.workloads import seeded_config
+
+__all__ = [
+    "STRATEGY_NAMES",
+    "CampaignSpec",
+    "TrialPlan",
+    "derive_trial",
+]
+
+#: Strategy names a campaign mix may reference. ``"none"`` is the
+#: failure-free control arm; the rest map onto :mod:`repro.adversary`.
+STRATEGY_NAMES = (
+    "none",
+    "random_budget",
+    "phase_targeting",
+    "reactive",
+    "crash_sleep",
+)
+
+#: Multiplier deriving per-trial seeds from the campaign seed (a prime
+#: far larger than any trial count, so trial streams never overlap).
+TRIAL_SEED_STRIDE = 1_000_003
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Seeded description of one Monte Carlo robustness campaign.
+
+    ``strategies`` is the adversary mix: each entry is a dict with a
+    ``"strategy"`` name from :data:`STRATEGY_NAMES`, a positive
+    ``"weight"``, and strategy parameters (``budget``, ``phase``,
+    ``hits``, ``probability``, ``count`` ...). Each trial picks one
+    entry by seeded weighted choice. The spec round-trips through
+    :meth:`as_dict` / :meth:`from_dict` for manifests and queue
+    metadata.
+    """
+
+    name: str
+    seed: int
+    trials: int
+    n_values: Tuple[int, ...]
+    span: int = 2
+    p: float = 0.3
+    strategies: Tuple[Dict, ...] = field(
+        default_factory=lambda: ({"strategy": "none", "weight": 1.0},)
+    )
+    backend: str = "auto"
+
+    def __post_init__(self) -> None:
+        """Validate counts, sizes and the strategy mix."""
+        if self.trials < 1:
+            raise ValueError("trials must be >= 1")
+        if not self.n_values or any(n < 1 for n in self.n_values):
+            raise ValueError("n_values must be non-empty positive sizes")
+        if self.span < 0:
+            raise ValueError("span must be >= 0")
+        if not self.strategies:
+            raise ValueError("the strategy mix must not be empty")
+        for entry in self.strategies:
+            name = entry.get("strategy")
+            if name not in STRATEGY_NAMES:
+                raise ValueError(
+                    f"unknown strategy {name!r}; choose from "
+                    f"{STRATEGY_NAMES}"
+                )
+            if float(entry.get("weight", 1.0)) <= 0:
+                raise ValueError(f"strategy {name!r} has non-positive weight")
+        object.__setattr__(self, "n_values", tuple(self.n_values))
+        object.__setattr__(
+            self, "strategies", tuple(dict(s) for s in self.strategies)
+        )
+
+    def trial_seed(self, index: int) -> int:
+        """Deterministic seed of trial ``index``."""
+        return self.seed + TRIAL_SEED_STRIDE * index
+
+    def as_dict(self) -> Dict:
+        """JSON-able spec (inverse of :meth:`from_dict`)."""
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "trials": self.trials,
+            "n_values": list(self.n_values),
+            "span": self.span,
+            "p": self.p,
+            "strategies": [dict(s) for s in self.strategies],
+            "backend": self.backend,
+        }
+
+    @classmethod
+    def from_dict(cls, spec: Dict) -> "CampaignSpec":
+        """Rebuild a spec from :meth:`as_dict` output."""
+        return cls(
+            name=spec["name"],
+            seed=spec["seed"],
+            trials=spec["trials"],
+            n_values=tuple(spec["n_values"]),
+            span=spec.get("span", 2),
+            p=spec.get("p", 0.3),
+            strategies=tuple(spec.get("strategies", ())),
+            backend=spec.get("backend", "auto"),
+        )
+
+
+@dataclass(frozen=True)
+class TrialPlan:
+    """The derived inputs of one trial: its seed, configuration and the
+    strategy-mix entry it drew."""
+
+    index: int
+    seed: int
+    config: Configuration
+    strategy: Dict
+
+
+def _weighted_pick(rng: random.Random, entries: Sequence[Dict]) -> Dict:
+    """Seeded weighted choice over the strategy mix."""
+    total = sum(float(e.get("weight", 1.0)) for e in entries)
+    x = rng.random() * total
+    for entry in entries:
+        x -= float(entry.get("weight", 1.0))
+        if x < 0:
+            return entry
+    return entries[-1]
+
+
+def derive_trial(spec: CampaignSpec, index: int) -> TrialPlan:
+    """Derive trial ``index`` of ``spec`` (pure, deterministic).
+
+    The trial's own seed drives three independent draws: the
+    configuration size (uniform over ``n_values``), the connected
+    G(n, p) configuration with uniform tags, and the strategy-mix entry.
+    Re-deriving the same ``(spec, index)`` always yields the same plan.
+    """
+    if not 0 <= index < spec.trials:
+        raise IndexError(f"trial index {index} out of range")
+    seed = spec.trial_seed(index)
+    rng = random.Random(seed)
+    n = spec.n_values[rng.randrange(len(spec.n_values))]
+    strategy = _weighted_pick(rng, spec.strategies)
+    config = seeded_config(seed, n, spec.span, p=spec.p)
+    return TrialPlan(index=index, seed=seed, config=config, strategy=strategy)

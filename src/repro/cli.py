@@ -6,7 +6,8 @@ Commands: ``classify`` (feasibility of one configuration), ``elect``
 adversary), ``program`` (canonical-DRIP export/run), ``variants``
 (cross-model census), ``wired`` (radio vs wired contrast), ``minspan``
 (least feasible span), ``timeline`` (space-time grid), ``quotient``
-(classifier quotient / symmetry skeleton).
+(classifier quotient / symmetry skeleton), ``campaign`` (seeded
+adversarial robustness campaigns with replayable bundles).
 
 ::
 
@@ -760,6 +761,129 @@ def cmd_queue_requeue(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_strategy_mix(spec: str) -> List[dict]:
+    """Parse ``--mix`` entries like ``none=1,reactive=2,crash_sleep=1``.
+
+    Each comma-separated entry is ``strategy`` or ``strategy=weight``;
+    strategy parameters beyond the weight use their zoo defaults (run a
+    campaign through the Python API for full parameter control).
+    """
+    entries: List[dict] = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, _, weight = part.partition("=")
+        entries.append(
+            {"strategy": name.strip(), "weight": float(weight) if weight else 1.0}
+        )
+    if not entries:
+        raise SystemExit("campaign: --mix must name at least one strategy")
+    return entries
+
+
+def _campaign_spec_from_args(args: argparse.Namespace):
+    from .campaigns import CampaignSpec
+
+    try:
+        return CampaignSpec(
+            name=args.name,
+            seed=args.seed,
+            trials=args.trials,
+            n_values=tuple(int(n) for n in args.n.split(",")),
+            span=args.span,
+            p=args.p,
+            strategies=tuple(_parse_strategy_mix(args.mix)),
+            backend=args.backend,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"campaign: {exc}")
+
+
+def cmd_campaign_run(args: argparse.Namespace) -> int:
+    """Run a seeded robustness campaign and write its bundle."""
+    from .campaigns import distributed_campaign, run_campaign
+
+    spec = _campaign_spec_from_args(args)
+    if args.queue:
+        extra = {} if args.lease_ttl is None else {"lease_ttl": args.lease_ttl}
+        run = distributed_campaign(
+            spec, args.queue, num_workers=max(1, args.workers), **extra
+        )
+    else:
+        run = run_campaign(spec)
+    if args.out:
+        manifest = run.write_bundle(args.out)
+        print(f"bundle: {manifest}")
+    if args.json:
+        import json as _json
+
+        print(_json.dumps(run.metrics, indent=2, sort_keys=True))
+        return 0
+    print(run.describe())
+    return 0
+
+
+def cmd_campaign_status(args: argparse.Namespace) -> int:
+    """Show a campaign work queue's progress (``campaign status PATH``)."""
+    from .engine import QueueError, WorkQueue
+
+    try:
+        with WorkQueue(args.path) as queue:
+            counts = queue.counts()
+            meta = queue.meta()
+    except QueueError as exc:
+        raise SystemExit(f"campaign: {exc}")
+    if meta.get("queue") != "campaign":
+        raise SystemExit(
+            f"campaign: {args.path!r} is not a campaign queue "
+            f"(meta kind {meta.get('queue')!r})"
+        )
+    campaign = meta.get("campaign") or {}
+    rows = [
+        ("campaign", campaign.get("name", "?")),
+        ("trials", meta.get("total", "?")),
+        ("shards", meta.get("num_shards", "?")),
+    ]
+    rows.extend(
+        (k, counts[k])
+        for k in ("total", "pending", "leased", "done", "failed", "retried",
+                  "reclaimed")
+    )
+    print(kv_block(f"Campaign queue {args.path}", rows))
+    return 0
+
+
+def cmd_campaign_replay(args: argparse.Namespace) -> int:
+    """Replay recorded trials from a bundle; non-zero exit on mismatch."""
+    from .campaigns import read_bundle, replay_trial
+
+    try:
+        manifest = read_bundle(args.bundle)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"campaign: cannot read bundle: {exc}")
+    if args.index is not None:
+        indices = [args.index]
+    elif args.all:
+        indices = [r["index"] for r in manifest["results"]]
+    else:
+        witnesses = (manifest.get("metrics") or {}).get("witnesses") or {}
+        indices = sorted({i for ids in witnesses.values() for i in ids})
+        if not indices:
+            indices = [r["index"] for r in manifest["results"][:3]]
+    failures = 0
+    for index in indices:
+        report = replay_trial(manifest, index, backend=args.backend)
+        print(report.describe())
+        if not report.match:
+            failures += 1
+    if failures:
+        print(f"{failures} of {len(indices)} replay(s) MISMATCHED")
+        return 1
+    print(f"all {len(indices)} replay(s) matched bit-for-bit")
+    return 0
+
+
 def cmd_quotient(args: argparse.Namespace) -> int:
     """Show the classifier quotient / symmetry skeleton."""
     from .analysis.quotient import classifier_quotient, infeasibility_certificate
@@ -1007,6 +1131,83 @@ def build_parser() -> argparse.ArgumentParser:
         help="also requeue permanently failed shards with a fresh attempt budget",
     )
     qr.set_defaults(func=cmd_queue_requeue)
+
+    p = sub.add_parser(
+        "campaign",
+        help="seeded adversarial robustness campaigns (see docs/robustness.md)",
+    )
+    csub = p.add_subparsers(dest="campaign_command", required=True)
+    cr = csub.add_parser(
+        "run", help="run a Monte Carlo campaign and write a replayable bundle"
+    )
+    cr.add_argument("--name", default="cli", help="campaign name for the bundle")
+    cr.add_argument("--seed", type=int, default=1)
+    cr.add_argument("--trials", type=int, default=100)
+    cr.add_argument("--n", default="4,5,6", help="comma-separated config sizes")
+    cr.add_argument("--span", type=int, default=2)
+    cr.add_argument("--p", type=float, default=0.3)
+    cr.add_argument(
+        "--mix",
+        default="none=1,random_budget=1,reactive=1,crash_sleep=1",
+        help=(
+            "adversary strategy mix as 'name=weight,...' over "
+            "none, random_budget, phase_targeting, reactive, crash_sleep"
+        ),
+    )
+    cr.add_argument(
+        "--out", metavar="DIR", help="write the bundle manifest to DIR"
+    )
+    cr.add_argument(
+        "--queue",
+        metavar="PATH",
+        help=(
+            "distributed mode: fan shards through a durable SQLite work "
+            "queue at PATH with --workers worker processes"
+        ),
+    )
+    cr.add_argument(
+        "--workers", type=int, default=2, help="worker processes with --queue"
+    )
+    cr.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=None,
+        help="seconds a leased shard survives without a heartbeat",
+    )
+    cr.add_argument(
+        "--json", action="store_true", help="print metrics as JSON"
+    )
+    _add_backend_arg(cr)
+    _add_obs_args(cr)
+    cr.set_defaults(func=cmd_campaign_run)
+    cs = csub.add_parser(
+        "status", help="progress of a distributed campaign work queue"
+    )
+    cs.add_argument("path", help="SQLite work queue file (campaign run --queue)")
+    cs.set_defaults(func=cmd_campaign_status)
+    cp = csub.add_parser(
+        "replay",
+        help=(
+            "re-execute recorded trials from a bundle manifest and check "
+            "their digests bit-for-bit (witness trials by default)"
+        ),
+    )
+    cp.add_argument("bundle", help="bundle directory or manifest.json path")
+    cp.add_argument(
+        "--index", type=int, default=None, help="replay one specific trial"
+    )
+    cp.add_argument(
+        "--all", action="store_true", help="replay every recorded trial"
+    )
+    cp.add_argument(
+        "--backend",
+        default=None,
+        help=(
+            "override the recorded simulation backend (reference, fast "
+            "or auto); default replays on the backend the record names"
+        ),
+    )
+    cp.set_defaults(func=cmd_campaign_replay)
 
     p = sub.add_parser("defeat", help="run the Prop 4.4 universal-algorithm adversary")
     p.add_argument("--probe-m", type=int, default=64)

@@ -69,6 +69,7 @@ from .queue import (
     QueueError,
     WorkQueue,
     default_owner,
+    heartbeat_guard,
 )
 from .scheduler import (
     ShardCandidate,
@@ -123,6 +124,7 @@ __all__ = [
     "expected_yield",
     "feasible_batch",
     "group_by_n_span",
+    "heartbeat_guard",
     "labeled_key",
     "make_random_config",
     "observed_miss_rate",

@@ -25,7 +25,6 @@ from __future__ import annotations
 
 import json
 import os
-import threading
 import time
 from dataclasses import dataclass, field
 from functools import partial
@@ -48,6 +47,7 @@ from .queue import (
     QueueError,
     WorkQueue,
     default_owner,
+    heartbeat_guard,
 )
 from .workloads import Workload, as_workload, workload_from_spec
 
@@ -818,16 +818,6 @@ def create_census_queue(
     )
 
 
-def _heartbeat_loop(
-    queue: WorkQueue, lease, stop: threading.Event
-) -> None:
-    """Extend ``lease`` every ttl/4 seconds until stopped or lost."""
-    interval = max(0.05, queue.lease_ttl / 4.0)
-    while not stop.wait(interval):
-        if not queue.heartbeat(lease):
-            return  # lease reclaimed; the commit will be rejected anyway
-
-
 def census_queue_worker(
     queue_path: str,
     *,
@@ -894,14 +884,9 @@ def census_queue_worker(
             shard = ShardSpec(
                 index=lease.index, start=lease.start, stop=lease.stop
             )
-            stop = threading.Event()
-            beat = threading.Thread(
-                target=_heartbeat_loop, args=(queue, lease, stop), daemon=True
-            )
-            beat.start()
             c0, h0, d0 = stats.classified, stats.cache_hits, stats.deduped
             try:
-                with _obs_span(
+                with heartbeat_guard(queue, lease), _obs_span(
                     "census.shard", shard=shard.index, size=shard.size
                 ):
                     shard_rows = _classify_shard(
@@ -917,12 +902,8 @@ def census_queue_worker(
                         algorithm,
                     )
             except Exception as exc:
-                stop.set()
-                beat.join()
                 queue.fail(lease, f"{type(exc).__name__}: {exc}")
                 continue
-            stop.set()
-            beat.join()
             queue.commit(
                 lease,
                 _shard_rows(shard_rows),

@@ -53,6 +53,7 @@ import socket
 import sqlite3
 import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -104,6 +105,34 @@ class Lease:
 def default_owner() -> str:
     """Stable per-process owner id: ``hostname:pid``."""
     return f"{socket.gethostname()}:{os.getpid()}"
+
+
+@contextmanager
+def heartbeat_guard(queue: "WorkQueue", lease: Lease):
+    """Keep ``lease`` alive for the duration of a ``with`` block.
+
+    A daemon thread extends the lease every ``lease_ttl / 4`` seconds
+    (stopping early if the lease was reclaimed — the commit will be
+    rejected anyway) and is joined on exit, however the block ends. This
+    is the worker-side idiom shared by every queue consumer (census
+    shards, campaign shards): long work under an active lease is never
+    reclaimed from a live worker.
+    """
+    stop = threading.Event()
+
+    def _beat() -> None:
+        interval = max(0.05, queue.lease_ttl / 4.0)
+        while not stop.wait(interval):
+            if not queue.heartbeat(lease):
+                return
+
+    thread = threading.Thread(target=_beat, daemon=True)
+    thread.start()
+    try:
+        yield lease
+    finally:
+        stop.set()
+        thread.join()
 
 
 class WorkQueue:

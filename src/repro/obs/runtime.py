@@ -80,10 +80,11 @@ def disable() -> Optional[Tracer]:
     return tracer
 
 
-def span(name: str, **attrs):
+def span(name: str, /, **attrs):
     """A span under the active tracer — or :data:`NOOP_SPAN` when off.
 
-    The instrumentation idiom for timed regions::
+    ``name`` is positional-only, so ``attrs`` may carry a key called
+    ``name``. The instrumentation idiom for timed regions::
 
         with obs.span("census.shard", shard=i) as sp:
             ...
@@ -94,7 +95,7 @@ def span(name: str, **attrs):
     return NOOP_SPAN
 
 
-def event(name: str, **attrs) -> None:
+def event(name: str, /, **attrs) -> None:
     """Emit a point-in-time event (no-op while tracing is off)."""
     if STATE.enabled:
         STATE.tracer.event(name, **attrs)

@@ -187,11 +187,15 @@ class Tracer:
                 self._fh.write(json.dumps(obj, sort_keys=True) + "\n")
                 self._fh.flush()
 
-    def span(self, name: str, **attrs) -> Span:
-        """A new (not yet entered) span named ``name`` with ``attrs``."""
+    def span(self, name: str, /, **attrs) -> Span:
+        """A new (not yet entered) span named ``name`` with ``attrs``.
+
+        ``name`` is positional-only so an attribute may itself be
+        called ``name`` without colliding with the parameter.
+        """
         return Span(self, name, attrs)
 
-    def event(self, name: str, **attrs) -> None:
+    def event(self, name: str, /, **attrs) -> None:
         """Emit a point-in-time event inside the current span (if any)."""
         stack = _SPAN_STACK.get()
         span_id = stack[-1].span_id if stack else None

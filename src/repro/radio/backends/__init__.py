@@ -29,7 +29,9 @@ from .base import (
     SimulationBackend,
     SimulationSpec,
     SimulationTimeout,
+    adversary_is_adaptive,
     budget_exceeded,
+    reset_adversary,
     silent_neutral,
 )
 from .fast import FastBackend
@@ -75,7 +77,9 @@ __all__ = [
     "SimulationBackend",
     "SimulationSpec",
     "SimulationTimeout",
+    "adversary_is_adaptive",
     "budget_exceeded",
+    "reset_adversary",
     "resolve_backend",
     "silent_neutral",
 ]

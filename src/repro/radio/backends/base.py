@@ -6,8 +6,10 @@ jamming adversary — consumes the same normalized problem description, a
 :class:`SimulationSpec`, and produces the same
 :class:`~repro.radio.events.ExecutionResult`. This module holds that
 spec, the :class:`SimulationBackend` interface, the execution statistics
-record, and the diagnostic round-budget machinery all synchronous
-executors (including the wired one) share.
+record, the diagnostic round-budget machinery all synchronous executors
+(including the wired one) share, and the adaptive-adversary hooks
+(:func:`reset_adversary` / :func:`adversary_is_adaptive`) that thread
+deterministic seeded jammer state through every backend.
 
 The contract between backends is *bit-for-bit equality*: for any spec a
 backend supports, its ``ExecutionResult`` — histories, wake rounds and
@@ -206,6 +208,36 @@ class SimulationBackend(ABC):
     def why_unsupported(spec: SimulationSpec) -> Optional[str]:
         """Reason this backend cannot run ``spec``, or None if it can."""
         return None
+
+
+def reset_adversary(jammer) -> None:
+    """Re-arm a stateful (adaptive) adversary before a run.
+
+    Adaptive jam schedules — ones that key off observed channel feedback,
+    like :class:`repro.adversary.ReactiveJammer` — carry deterministic
+    seeded state. Every backend calls this at the top of ``run`` so the
+    same :class:`SimulationSpec` replays bit-for-bit no matter how many
+    times (or in which process) it is executed. Stateless schedules
+    (anything without a ``reset`` method) are untouched.
+    """
+    if jammer is not None:
+        reset = getattr(jammer, "reset", None)
+        if reset is not None:
+            reset()
+
+
+def adversary_is_adaptive(jammer) -> bool:
+    """True when ``jammer`` observes channel feedback round by round.
+
+    An adaptive adversary exposes ``observe(global_round,
+    transmitter_count)``; the reference backend feeds it every round
+    *before* consulting the jam schedule for that round, so the jam
+    decision may react to the current round's on-air activity. The fast
+    backend cannot run such a schedule — it skips silent stretches the
+    adversary is entitled to observe — and reports it via
+    :meth:`SimulationBackend.why_unsupported` instead.
+    """
+    return jammer is not None and hasattr(jammer, "observe")
 
 
 def jammed_listener_entries(channel, count: int, payload):

@@ -51,8 +51,10 @@ from .base import (
     SimulationBackend,
     SimulationSpec,
     budget_exceeded,
+    adversary_is_adaptive,
     jammed_listener_entries,
     jammed_spontaneous_entry,
+    reset_adversary,
     silent_neutral,
 )
 
@@ -110,6 +112,12 @@ class FastBackend(SimulationBackend):
                 f"channel {spec.channel!r} is not silent-neutral "
                 "(transmission-free rounds are observable)"
             )
+        if adversary_is_adaptive(spec.jammer):
+            return (
+                "jam schedule is adaptive (exposes observe()); it must "
+                "see every round's channel feedback, which the "
+                "event-driven loop skips"
+            )
         if spec.jammer is not None and not hasattr(spec.jammer, "event_rounds"):
             return (
                 "jam schedule does not expose event_rounds(); only "
@@ -137,6 +145,7 @@ class FastBackend(SimulationBackend):
         programs = [spec.programs[v] for v in nodes]
         channel = spec.channel
         jammer = spec.jammer
+        reset_adversary(jammer)
 
         state = [ASLEEP] * n
         wake_round = [-1] * n

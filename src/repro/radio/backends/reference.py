@@ -39,6 +39,7 @@ from .base import (
     budget_exceeded,
     jammed_listener_entries,
     jammed_spontaneous_entry,
+    reset_adversary,
 )
 
 
@@ -58,6 +59,11 @@ class ReferenceBackend(SimulationBackend):
         programs = spec.programs
         channel = spec.channel
         jammer = spec.jammer
+        reset_adversary(jammer)
+        # Adaptive adversaries observe the channel once per round, after
+        # reception is computed and before any jam decision for that
+        # round is consulted. Only this backend supports them.
+        observe = getattr(jammer, "observe", None)
 
         state: Dict[object, int] = {v: ASLEEP for v in nodes}
         histories: Dict[object, History] = {v: History() for v in nodes}
@@ -112,6 +118,9 @@ class ReferenceBackend(SimulationBackend):
                 for u in adj[t]:
                     recv_count[u] = recv_count.get(u, 0) + 1
                     recv_msg[u] = msg
+
+            if observe is not None:
+                observe(r, len(transmitters))
 
             # --- 3. record history entries for awake nodes --------------
             for v in nodes:

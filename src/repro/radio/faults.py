@@ -27,7 +27,7 @@ every bit of the history.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Optional, Set, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from .backends import SimulationSpec, resolve_backend
 from .events import ExecutionResult
@@ -51,15 +51,26 @@ class ExplicitJamSchedule:
     :meth:`event_rounds`, which lets the fast backend schedule each
     jammed round as an execution event. The invariant callers must keep:
     ``fn(r, v)`` is False for every ``r`` outside ``rounds``.
+
+    Schedules built by :func:`jam_pairs` / :func:`jam_rounds` /
+    :func:`jam_nothing` carry a JSON-able self-description and
+    round-trip through :meth:`to_spec` / :meth:`from_spec`, so they can
+    live in campaign manifests and engine cache keys instead of being
+    opaque callables. A schedule constructed from a bare callable has no
+    spec and :meth:`to_spec` raises ``TypeError``.
     """
 
-    __slots__ = ("_fn", "_rounds")
+    __slots__ = ("_fn", "_rounds", "_spec")
 
     def __init__(
-        self, fn: JamSchedule, rounds: Iterable[int]
+        self,
+        fn: JamSchedule,
+        rounds: Iterable[int],
+        spec: Optional[Dict] = None,
     ) -> None:
         self._fn = fn
         self._rounds: Tuple[int, ...] = tuple(sorted(set(rounds)))
+        self._spec = spec
 
     def __call__(self, global_round: int, node: object) -> bool:
         """True when reception at ``node`` in ``global_round`` is jammed."""
@@ -69,24 +80,72 @@ class ExplicitJamSchedule:
         """Sorted global rounds in which jamming may occur."""
         return self._rounds
 
+    def to_spec(self) -> Dict:
+        """JSON-able description this schedule can be rebuilt from.
+
+        The inverse is :meth:`from_spec`; the round-trip reproduces the
+        exact jam decisions. Only schedules built by the module
+        constructors carry a spec — an ad-hoc callable wrapped in an
+        ``ExplicitJamSchedule`` raises ``TypeError`` (it cannot cross a
+        manifest/process boundary).
+        """
+        if self._spec is None:
+            raise TypeError(
+                "this ExplicitJamSchedule wraps an opaque callable and "
+                "has no spec; build it via jam_pairs / jam_rounds / "
+                "jam_nothing (or a repro.adversary strategy) to make it "
+                "serializable"
+            )
+        return dict(self._spec)
+
+    @staticmethod
+    def from_spec(spec: Dict) -> "ExplicitJamSchedule":
+        """Rebuild a schedule from a :meth:`to_spec` dict.
+
+        Handles the three base kinds defined here (``jam_pairs``,
+        ``jam_rounds``, ``jam_nothing``). The adversary-zoo kinds are
+        registered in :mod:`repro.adversary`, whose
+        :func:`~repro.adversary.adversary_from_spec` dispatches over
+        every known kind (including these three).
+        """
+        kind = spec.get("kind")
+        if kind == "jam_pairs":
+            return jam_pairs((r, v) for r, v in spec["pairs"])
+        if kind == "jam_rounds":
+            return jam_rounds(spec["rounds"])
+        if kind == "jam_nothing":
+            return jam_nothing()
+        raise KeyError(
+            f"unknown jam-schedule kind {kind!r}; the adversary-zoo kinds "
+            "are rebuilt via repro.adversary.adversary_from_spec"
+        )
+
 
 def jam_pairs(pairs: Iterable[Tuple[int, object]]) -> ExplicitJamSchedule:
-    """Schedule from explicit ``(global_round, node)`` pairs."""
+    """Schedule from explicit ``(global_round, node)`` pairs.
+
+    Serializable when every node id is a JSON scalar (int or str).
+    """
     table: Set[Tuple[int, object]] = set(pairs)
+    spec = {
+        "kind": "jam_pairs",
+        "pairs": sorted([r, v] for r, v in table),
+    }
     return ExplicitJamSchedule(
-        lambda r, v: (r, v) in table, (r for r, _ in table)
+        lambda r, v: (r, v) in table, (r for r, _ in table), spec
     )
 
 
 def jam_rounds(rounds: Iterable[int]) -> ExplicitJamSchedule:
     """Schedule jamming every node in the given global rounds."""
     table = set(rounds)
-    return ExplicitJamSchedule(lambda r, v: r in table, table)
+    spec = {"kind": "jam_rounds", "rounds": sorted(table)}
+    return ExplicitJamSchedule(lambda r, v: r in table, table, spec)
 
 
 def jam_nothing() -> ExplicitJamSchedule:
     """The failure-free schedule (reference)."""
-    return ExplicitJamSchedule(lambda r, v: False, ())
+    return ExplicitJamSchedule(lambda r, v: False, (), {"kind": "jam_nothing"})
 
 
 class JammedRadioSimulator:

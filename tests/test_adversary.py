@@ -1,0 +1,234 @@
+"""Tests for the seeded adversary zoo (repro.adversary)."""
+
+import pytest
+
+from repro.adversary import (
+    ADVERSARY_KINDS,
+    ReactiveJammer,
+    adversary_from_spec,
+    adversary_to_spec,
+    crash_sleep_faults,
+    phase_targeting_for_trace,
+    phase_targeting_jammer,
+    random_budget_jammer,
+    random_crash_sleep,
+    register_adversary_kind,
+)
+from repro.core.canonical import CanonicalProtocol, build_canonical_data
+from repro.core.classifier import classify
+from repro.graphs.families import g_m, h_m
+from repro.radio.backends import adversary_is_adaptive
+from repro.radio.faults import ExplicitJamSchedule, jam_nothing, jammed_simulate
+from repro.testing import assert_execution_equal
+
+
+def canonical_setup(cfg):
+    trace = classify(cfg)
+    protocol = CanonicalProtocol.from_trace(trace)
+    network = trace.config
+    budget = protocol.round_budget(network.span)
+    return trace, protocol, network, budget
+
+
+class TestRandomBudgetJammer:
+    def test_deterministic_in_seed(self):
+        a = random_budget_jammer(7, 3, 50)
+        b = random_budget_jammer(7, 3, 50)
+        assert a.to_spec() == b.to_spec()
+        assert [a(r, 0) for r in range(50)] == [b(r, 0) for r in range(50)]
+
+    def test_jams_exactly_budget_rounds(self):
+        j = random_budget_jammer(3, 4, 30)
+        jammed = [r for r in range(30) if j(r, "any")]
+        assert len(jammed) == 4
+        assert sorted(j.event_rounds()) == jammed
+
+    def test_different_seeds_differ(self):
+        a = random_budget_jammer(1, 5, 100)
+        b = random_budget_jammer(2, 5, 100)
+        assert a.to_spec() != b.to_spec()
+
+    def test_roundtrip(self):
+        j = random_budget_jammer(9, 2, 40)
+        back = adversary_from_spec(j.to_spec())
+        assert back.to_spec() == j.to_spec()
+        assert [back(r, 0) for r in range(40)] == [j(r, 0) for r in range(40)]
+
+
+class TestPhaseTargetingJammer:
+    def test_hits_land_inside_the_phase_block_region(self):
+        trace = classify(h_m(2))
+        data = build_canonical_data(trace)
+        cfg = trace.config
+        j = phase_targeting_for_trace(trace, phase=1, seed=5, hits=1)
+        lo = data.phase_ends[0]
+        hi = data.phase_ends[1]
+        block_region = hi - lo - data.sigma
+        pairs = [
+            (g, v)
+            for v in cfg.nodes
+            for g in j.event_rounds()
+            if j(g, v)
+        ]
+        assert pairs
+        for g, v in pairs:
+            local = g - cfg.tag(v)
+            assert lo < local <= lo + block_region
+
+    def test_deterministic_and_roundtrips(self):
+        trace = classify(g_m(2))
+        a = phase_targeting_for_trace(trace, phase=1, seed=3, hits=2)
+        b = phase_targeting_for_trace(trace, phase=1, seed=3, hits=2)
+        assert a.to_spec() == b.to_spec()
+        back = adversary_from_spec(a.to_spec())
+        assert back.to_spec() == a.to_spec()
+        nodes = classify(g_m(2)).config.nodes
+        assert {
+            (g, v) for v in nodes for g in back.event_rounds() if back(g, v)
+        } == {(g, v) for v in nodes for g in a.event_rounds() if a(g, v)}
+
+    def test_rejects_out_of_range_phase(self):
+        trace = classify(h_m(2))
+        data = build_canonical_data(trace)
+        with pytest.raises(ValueError):
+            phase_targeting_for_trace(
+                trace, phase=data.num_phases + 1, seed=0, hits=1
+            )
+
+
+class TestCrashSleep:
+    def test_window_semantics_half_open(self):
+        j = crash_sleep_faults([("a", 3, 6)])
+        assert not j(2, "a")
+        assert j(3, "a") and j(5, "a")
+        assert not j(6, "a")
+        assert not j(4, "b")
+
+    def test_random_windows_serialize_concretely(self):
+        j = random_crash_sleep(11, ["a", "b", "c"], count=2, horizon=40)
+        spec = j.to_spec()
+        assert spec["kind"] == "crash_sleep"
+        assert len(spec["windows"]) == 2
+        back = adversary_from_spec(spec)
+        assert back.to_spec() == spec
+
+    def test_random_windows_deterministic(self):
+        a = random_crash_sleep(4, [0, 1, 2], count=3, horizon=50)
+        b = random_crash_sleep(4, [0, 1, 2], count=3, horizon=50)
+        assert a.to_spec() == b.to_spec()
+
+
+class TestReactiveJammer:
+    def test_is_adaptive_and_explicit_strategies_are_not(self):
+        assert adversary_is_adaptive(ReactiveJammer(1))
+        assert not adversary_is_adaptive(random_budget_jammer(1, 2, 10))
+        assert not adversary_is_adaptive(jam_nothing())
+        assert not adversary_is_adaptive(None)
+
+    def test_reset_rearms_the_same_decision_stream(self):
+        j = ReactiveJammer(5, probability=0.7, budget=2)
+        first = []
+        for r in range(20):
+            j.observe(r, r % 3)
+            first.append(j(r, "v"))
+        j.reset()
+        second = []
+        for r in range(20):
+            j.observe(r, r % 3)
+            second.append(j(r, "v"))
+        assert first == second
+        assert sum(first) <= 2
+
+    def test_only_fires_on_activity(self):
+        j = ReactiveJammer(5, probability=1.0, budget=3)
+        for r in range(10):
+            j.observe(r, 0)  # silent channel: nothing to react to
+            assert not j(r, "v")
+
+    def test_roundtrip_preserves_parameters(self):
+        j = ReactiveJammer(8, probability=0.25, budget=4)
+        back = adversary_from_spec(j.to_spec())
+        assert isinstance(back, ReactiveJammer)
+        assert back.to_spec() == j.to_spec()
+
+    def test_auto_backend_falls_back_to_reference(self):
+        trace, protocol, network, budget = canonical_setup(h_m(2))
+        execution = jammed_simulate(
+            network,
+            protocol.factory,
+            jammer=ReactiveJammer(3, probability=1.0, budget=1),
+            max_rounds=budget,
+            backend="auto",
+        )
+        assert execution.backend_stats.backend == "reference"
+
+    def test_fast_backend_rejects_adaptive(self):
+        trace, protocol, network, budget = canonical_setup(h_m(2))
+        from repro.radio.backends import BackendUnsupported
+
+        with pytest.raises(BackendUnsupported):
+            jammed_simulate(
+                network,
+                protocol.factory,
+                jammer=ReactiveJammer(3),
+                max_rounds=budget,
+                backend="fast",
+            )
+
+    def test_rerun_of_same_simulator_is_bit_for_bit(self):
+        """reset() makes adaptive runs idempotent: simulating twice
+        with the same jammer object yields identical executions."""
+        trace, protocol, network, budget = canonical_setup(g_m(2))
+        jammer = ReactiveJammer(2, probability=0.8, budget=2)
+        first = jammed_simulate(
+            network, protocol.factory, jammer=jammer, max_rounds=budget
+        )
+        second = jammed_simulate(
+            network, protocol.factory, jammer=jammer, max_rounds=budget
+        )
+        assert_execution_equal(second, first, context="reactive rerun")
+
+
+class TestSpecRegistry:
+    def test_all_kinds_registered(self):
+        assert set(ADVERSARY_KINDS) == {
+            "jam_pairs",
+            "jam_rounds",
+            "jam_nothing",
+            "random_budget",
+            "phase_targeting",
+            "crash_sleep",
+            "reactive",
+        }
+
+    def test_none_maps_to_jam_nothing(self):
+        spec = adversary_to_spec(None)
+        assert spec == {"kind": "jam_nothing"}
+        j = adversary_from_spec(spec)
+        assert isinstance(j, ExplicitJamSchedule)
+        assert not j(0, "v")
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(KeyError):
+            adversary_from_spec({"kind": "martian"})
+
+    def test_opaque_jammer_raises(self):
+        with pytest.raises(TypeError):
+            adversary_to_spec(lambda r, v: False)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_adversary_kind("reactive", lambda spec: None)
+
+    @pytest.mark.parametrize(
+        "jammer",
+        [
+            random_budget_jammer(1, 2, 20),
+            crash_sleep_faults([("a", 1, 4), ("b", 2, 3)]),
+            ReactiveJammer(1, probability=0.5, budget=1),
+        ],
+        ids=["random_budget", "crash_sleep", "reactive"],
+    )
+    def test_to_from_spec_roundtrip(self, jammer):
+        spec = adversary_to_spec(jammer)
+        assert adversary_to_spec(adversary_from_spec(spec)) == spec

@@ -267,6 +267,63 @@ def test_obs_public_api_documented():
     assert not missing, f"undocumented repro.obs exports: {missing}"
 
 
+def test_adversary_package_is_covered():
+    """The adversary zoo must be walked by this gate: its modules appear
+    in the collected module list (a silent pkgutil skip would exempt the
+    whole package from the docstring requirement)."""
+    adversary_modules = {m for m in MODULES if m.startswith("repro.adversary")}
+    assert adversary_modules >= {
+        "repro.adversary",
+        "repro.adversary.specs",
+        "repro.adversary.strategies",
+    }
+
+
+def test_adversary_public_api_documented():
+    """Every name exported from ``repro.adversary`` has a docstring (the
+    strategy zoo is the robustness subsystem's extension point;
+    docs/robustness.md builds on these docstrings)."""
+    import repro.adversary as adversary
+
+    missing = []
+    for name in adversary.__all__:
+        obj = getattr(adversary, name)
+        if (inspect.isclass(obj) or inspect.isfunction(obj)) and not inspect.getdoc(
+            obj
+        ):
+            missing.append(name)
+    assert not missing, f"undocumented repro.adversary exports: {missing}"
+
+
+def test_campaigns_package_is_covered():
+    """The campaign driver must be walked by this gate: its modules
+    appear in the collected module list (a silent pkgutil skip would
+    exempt the whole package from the docstring requirement)."""
+    campaign_modules = {m for m in MODULES if m.startswith("repro.campaigns")}
+    assert campaign_modules >= {
+        "repro.campaigns",
+        "repro.campaigns.bundle",
+        "repro.campaigns.runner",
+        "repro.campaigns.spec",
+    }
+
+
+def test_campaigns_public_api_documented():
+    """Every name exported from ``repro.campaigns`` has a docstring (the
+    campaign surface is how robustness results are produced and
+    replayed; docs/robustness.md builds on these docstrings)."""
+    import repro.campaigns as campaigns
+
+    missing = []
+    for name in campaigns.__all__:
+        obj = getattr(campaigns, name)
+        if (inspect.isclass(obj) or inspect.isfunction(obj)) and not inspect.getdoc(
+            obj
+        ):
+            missing.append(name)
+    assert not missing, f"undocumented repro.campaigns exports: {missing}"
+
+
 def test_public_methods_documented():
     missing = []
     for mod, attr, obj in public_items():

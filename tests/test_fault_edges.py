@@ -1,0 +1,198 @@
+"""Fault-model edge cases: budgets, timeouts, relabelings, fallbacks."""
+
+import pytest
+
+from repro.adversary import ReactiveJammer, random_budget_jammer
+from repro.core.canonical import CanonicalProtocol
+from repro.core.classifier import classify
+from repro.graphs.families import g_m, h_m
+from repro.radio.backends import BackendUnsupported, SimulationTimeout
+from repro.radio.faults import jam_pairs, jam_rounds, jammed_simulate
+from repro.testing import assert_execution_equal, random_relabel
+
+
+def canonical_setup(cfg):
+    trace = classify(cfg)
+    protocol = CanonicalProtocol.from_trace(trace)
+    network = trace.config
+    budget = protocol.round_budget(network.span)
+    return trace, protocol, network, budget
+
+
+class TestJamsBeyondBudget:
+    """Jam rounds past ``max_rounds`` (or past termination) are inert:
+    they must neither extend the execution nor change any entry."""
+
+    @pytest.mark.parametrize("backend", ["reference", "fast"])
+    def test_far_future_jams_are_noops(self, backend):
+        trace, protocol, network, budget = canonical_setup(h_m(2))
+        clean = jammed_simulate(
+            network, protocol.factory, max_rounds=budget, backend=backend
+        )
+        jammed = jammed_simulate(
+            network,
+            protocol.factory,
+            jammer=jam_rounds([budget + 5, budget + 100, 10**6]),
+            max_rounds=budget,
+            backend=backend,
+        )
+        assert_execution_equal(jammed, clean, context=backend)
+        assert jammed.rounds_elapsed == clean.rounds_elapsed
+
+    def test_backends_agree_on_far_future_jams(self):
+        trace, protocol, network, budget = canonical_setup(g_m(2))
+        jammer = jam_rounds([budget + 1, budget + 7])
+        ref = jammed_simulate(
+            network,
+            protocol.factory,
+            jammer=jammer,
+            max_rounds=budget,
+            backend="reference",
+        )
+        fast = jammed_simulate(
+            network,
+            protocol.factory,
+            jammer=jammer,
+            max_rounds=budget,
+            backend="fast",
+        )
+        assert_execution_equal(fast, ref, context="far-future jams")
+
+
+class TestTimeoutDiagnostics:
+    """Jamming combined with a starved budget raises the same
+    diagnostic ``SimulationTimeout`` on both backends."""
+
+    @pytest.mark.parametrize("max_rounds", [1, 3])
+    def test_diagnostics_identical_across_backends(self, max_rounds):
+        trace, protocol, network, budget = canonical_setup(h_m(2))
+        jammer = random_budget_jammer(3, 2, max_rounds + 1)
+        diags = {}
+        for backend in ("reference", "fast"):
+            with pytest.raises(SimulationTimeout) as excinfo:
+                jammed_simulate(
+                    network,
+                    protocol.factory,
+                    jammer=jammer,
+                    max_rounds=max_rounds,
+                    backend=backend,
+                )
+            exc = excinfo.value
+            diags[backend] = (
+                exc.round_reached,
+                exc.awake,
+                exc.asleep,
+                exc.terminated,
+                str(exc),
+            )
+        assert diags["reference"] == diags["fast"]
+        assert diags["reference"][0] is not None
+
+    def test_adaptive_timeout_has_diagnostics(self):
+        trace, protocol, network, budget = canonical_setup(h_m(2))
+        with pytest.raises(SimulationTimeout) as excinfo:
+            jammed_simulate(
+                network,
+                protocol.factory,
+                jammer=ReactiveJammer(1, probability=1.0, budget=3),
+                max_rounds=2,
+                backend="reference",
+            )
+        assert excinfo.value.round_reached is not None
+
+
+class TestRelabelDeterminism:
+    """Node-agnostic adversaries commute with relabeling: simulating a
+    shuffled copy of the network under the same jammer yields the
+    relabeled execution."""
+
+    @pytest.mark.parametrize("seed", [3, 11])
+    def test_random_budget_commutes_with_relabel(self, seed):
+        trace, protocol, network, budget = canonical_setup(g_m(2))
+        jammer = random_budget_jammer(5, 2, budget)
+        base = jammed_simulate(
+            network, protocol.factory, jammer=jammer, max_rounds=budget
+        )
+        shuffled = random_relabel(network, seed)
+        other = jammed_simulate(
+            shuffled, protocol.factory, jammer=jammer, max_rounds=budget
+        )
+        assert base.rounds_elapsed == other.rounds_elapsed
+        # per-tag multisets of histories must agree: round-jamming
+        # cannot tell nodes apart, so only tags matter
+        def by_tag(execution, cfg):
+            out = {}
+            for v, h in execution.histories.items():
+                out.setdefault(cfg.tag(v), []).append(h.render())
+            return {t: sorted(hs) for t, hs in out.items()}
+
+        assert by_tag(base, network) == by_tag(other, shuffled)
+
+    def test_reactive_jammer_ignores_labels(self):
+        trace, protocol, network, budget = canonical_setup(h_m(2))
+        shuffled = random_relabel(network, 7)
+        base = jammed_simulate(
+            network,
+            protocol.factory,
+            jammer=ReactiveJammer(4, probability=1.0, budget=1),
+            max_rounds=budget,
+            backend="reference",
+        )
+        other = jammed_simulate(
+            shuffled,
+            protocol.factory,
+            jammer=ReactiveJammer(4, probability=1.0, budget=1),
+            max_rounds=budget,
+            backend="reference",
+        )
+        assert base.rounds_elapsed == other.rounds_elapsed
+        assert sorted(h.render() for h in base.histories.values()) == sorted(
+            h.render() for h in other.histories.values()
+        )
+
+
+class TestOpaqueFallback:
+    """An opaque jam schedule (plain callable, no ``event_rounds``) is
+    rejected by the fast backend and silently falls back to the
+    reference loop under ``backend='auto'`` — with results identical to
+    the equivalent explicit schedule on either backend."""
+
+    def test_fast_rejects_opaque(self):
+        trace, protocol, network, budget = canonical_setup(h_m(2))
+        with pytest.raises(BackendUnsupported):
+            jammed_simulate(
+                network,
+                protocol.factory,
+                jammer=lambda r, v: r == 2,
+                max_rounds=budget,
+                backend="fast",
+            )
+
+    def test_auto_falls_back_and_matches_explicit(self):
+        trace, protocol, network, budget = canonical_setup(g_m(2))
+        victim = next(iter(network.nodes))
+        explicit = jam_pairs([(2, victim), (4, victim)])
+
+        def opaque(r, v):
+            return v == victim and r in (2, 4)
+
+        auto = jammed_simulate(
+            network,
+            protocol.factory,
+            jammer=opaque,
+            max_rounds=budget,
+            backend="auto",
+        )
+        assert auto.backend_stats.backend == "reference"
+        for backend in ("reference", "fast"):
+            assert_execution_equal(
+                jammed_simulate(
+                    network,
+                    protocol.factory,
+                    jammer=explicit,
+                    max_rounds=budget,
+                    backend=backend,
+                ),
+                auto,
+                context=f"opaque vs explicit on {backend}",
+            )

@@ -1,0 +1,129 @@
+"""Seed audit: every stochastic entry point is locally seeded.
+
+Two properties per entry point: (1) the same seed yields the identical
+result on repeated calls — no hidden state leaks between runs; (2) the
+*global* ``random`` module RNG is never consumed or reseeded — every
+entry point must thread its seed through a local ``random.Random``.
+"""
+
+import random
+
+import pytest
+
+from repro.adversary import (
+    ReactiveJammer,
+    random_budget_jammer,
+    random_crash_sleep,
+)
+from repro.analysis.extremal import (
+    feasibility_probability,
+    hardest_tags,
+    min_feasible_span,
+)
+from repro.campaigns import CampaignSpec, derive_trial, run_campaign
+from repro.engine import RandomGnpWorkload, sharded_census
+from repro.engine.workloads import make_random_config, seeded_config
+from repro.graphs.generators import (
+    random_connected_gnp_edges,
+    random_tree_edges,
+)
+from repro.graphs.tags import uniform_random
+
+
+@pytest.fixture
+def global_rng_untouched():
+    """Fail the test if it consumes or reseeds the global ``random``."""
+    random.seed(987654321)
+    marker = random.getstate()
+    yield
+    assert random.getstate() == marker, (
+        "the entry point consumed the global random module RNG; thread "
+        "an explicit random.Random(seed) through instead"
+    )
+
+
+class TestGenerators:
+    def test_tree_edges_reproducible(self, global_rng_untouched):
+        assert random_tree_edges(9, 4) == random_tree_edges(9, 4)
+
+    def test_gnp_edges_reproducible(self, global_rng_untouched):
+        a = random_connected_gnp_edges(10, 0.3, 7)
+        assert a == random_connected_gnp_edges(10, 0.3, 7)
+        assert a != random_connected_gnp_edges(10, 0.3, 8)
+
+    def test_uniform_tags_reproducible(self, global_rng_untouched):
+        a = uniform_random(range(8), 3, 5)
+        assert a == uniform_random(range(8), 3, 5)
+
+    def test_seeded_config_reproducible(self, global_rng_untouched):
+        assert seeded_config(3, 6, 2) == seeded_config(3, 6, 2)
+
+    def test_make_random_config_reproducible(self, global_rng_untouched):
+        assert make_random_config(11) == make_random_config(11)
+
+
+class TestAnalysis:
+    def test_feasibility_probability_reproducible(self, global_rng_untouched):
+        a = feasibility_probability(5, [0, 1, 2], samples=6, seed=2)
+        b = feasibility_probability(5, [0, 1, 2], samples=6, seed=2)
+        assert [(pt.span, pt.feasible) for pt in a] == [
+            (pt.span, pt.feasible) for pt in b
+        ]
+
+    def test_hardest_tags_reproducible(self, global_rng_untouched):
+        edges = [(0, 1), (1, 2), (2, 3), (3, 0)]
+        a = hardest_tags(edges, 4, 2, restarts=2, steps=10, seed=9)
+        b = hardest_tags(edges, 4, 2, restarts=2, steps=10, seed=9)
+        assert a.config == b.config
+        assert a.objective == b.objective
+        assert a.trajectory == b.trajectory
+
+    def test_min_feasible_span_deterministic(self, global_rng_untouched):
+        edges = [(i, i + 1) for i in range(6)]  # n=7: randomized regime
+        a = min_feasible_span(edges, 7, max_span=2, samples=40, seed=4)
+        b = min_feasible_span(edges, 7, max_span=2, samples=40, seed=4)
+        assert (a.span, a.witness, a.exhaustive) == (
+            b.span,
+            b.witness,
+            b.exhaustive,
+        )
+
+
+class TestCensusAndCampaigns:
+    def test_random_census_reproducible(self, global_rng_untouched):
+        wl = RandomGnpWorkload([5, 6], span=2, p=0.3, samples=5, seed=13)
+        a = sharded_census(wl)
+        b = sharded_census(
+            RandomGnpWorkload([5, 6], span=2, p=0.3, samples=5, seed=13)
+        )
+        assert a.result.rows == b.result.rows
+
+    def test_campaign_trials_reproducible(self, global_rng_untouched):
+        spec = CampaignSpec(
+            name="audit",
+            seed=5,
+            trials=10,
+            n_values=(4, 5),
+            strategies=(
+                {"strategy": "random_budget", "weight": 1.0, "budget": 2},
+                {"strategy": "reactive", "weight": 1.0},
+            ),
+        )
+        assert run_campaign(spec).results == run_campaign(spec).results
+        for i in range(10):
+            assert derive_trial(spec, i) == derive_trial(spec, i)
+
+
+class TestAdversaries:
+    def test_zoo_strategies_reproducible(self, global_rng_untouched):
+        assert (
+            random_budget_jammer(3, 2, 30).to_spec()
+            == random_budget_jammer(3, 2, 30).to_spec()
+        )
+        assert (
+            random_crash_sleep(3, [0, 1, 2], count=2, horizon=20).to_spec()
+            == random_crash_sleep(3, [0, 1, 2], count=2, horizon=20).to_spec()
+        )
+        j = ReactiveJammer(3, probability=0.5, budget=2)
+        j.observe(0, 2)
+        j.reset()
